@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the FOCUS deviation (the machinery behind
+//! Figures 9–10): deviation between similar blocks (cheap — supports come
+//! from the models) vs. dissimilar blocks (expensive — both blocks are
+//! scanned), and one compact-sequence update step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use demon_datagen::webtrace::{self, WebTraceConfig, WebTraceGen};
+use demon_focus::deviation::itemset_deviation;
+use demon_focus::{CompactSequenceMiner, ItemsetSimilarity, SimilarityConfig};
+use demon_itemsets::FrequentItemsets;
+use demon_types::{MinSupport, Timestamp, TxBlock};
+use std::hint::black_box;
+
+fn trace_blocks() -> Vec<TxBlock> {
+    let mut gen = WebTraceGen::new(WebTraceConfig {
+        days: 7,
+        base_rate: 400.0,
+        ..WebTraceConfig::default()
+    });
+    let reqs = gen.generate();
+    webtrace::segment_into_blocks(&reqs, 6, Timestamp::from_day_hour(0, 12))
+}
+
+fn bench_deviation(c: &mut Criterion) {
+    let blocks = trace_blocks();
+    let minsup = MinSupport::new(0.01).unwrap();
+    let model = |b: &TxBlock| FrequentItemsets::mine_blocks(&[b], webtrace::N_ITEMS, minsup);
+    // Blocks 2 and 6 are both working-day business blocks (similar);
+    // block 20 lands on the weekend (dissimilar).
+    let (a, b, weekend) = (&blocks[2], &blocks[6], &blocks[20]);
+    let (ma, mb, mw) = (model(a), model(b), model(weekend));
+
+    c.bench_function("deviation/similar_blocks", |bench| {
+        bench.iter(|| itemset_deviation(black_box(a), &ma, black_box(b), &mb))
+    });
+    c.bench_function("deviation/dissimilar_blocks", |bench| {
+        bench.iter(|| itemset_deviation(black_box(a), &ma, black_box(weekend), &mw))
+    });
+}
+
+fn bench_compact_step(c: &mut Criterion) {
+    let blocks = trace_blocks();
+    let mut group = c.benchmark_group("compact_sequences");
+    group.sample_size(10);
+    group.bench_function("absorb_trace_week", |bench| {
+        bench.iter(|| {
+            let oracle = ItemsetSimilarity::new(
+                webtrace::N_ITEMS,
+                MinSupport::new(0.01).unwrap(),
+                SimilarityConfig::Threshold { alpha: 0.25 },
+            );
+            let mut miner = CompactSequenceMiner::new(oracle);
+            for b in blocks.iter().cloned() {
+                miner.add_block(black_box(b));
+            }
+            miner.maximal_sequences().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deviation, bench_compact_step);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! **Figure 8** — BIRCH+ vs. non-incremental BIRCH, time to refresh the
+//! cluster model when a new block arrives, vs. new-block size.
+//!
+//! Paper setting: first block `1M.50c.5d`, second block `∗M.50c.5d` with
+//! 100K–800K points and 2% uniform noise. Expected shape: BIRCH re-scans
+//! everything (cost grows with the *total* data), while BIRCH+ only scans
+//! the new block plus a near-constant phase-2 — a widening gap.
+
+use demon_bench::{banner, ms, scale, Table};
+use demon_clustering::{Birch, BirchParams, BirchPlus};
+use demon_datagen::{ClusterDataGen, ClusterParams};
+use demon_types::{BlockId, PointBlock};
+
+fn main() {
+    banner(
+        "Figure 8",
+        "BIRCH+ vs BIRCH, model refresh time vs new-block size",
+        "first block 1M.50c.5d, second block *M.50c.5d, 2% noise",
+    );
+    let mut table = Table::new(
+        "fig8",
+        &[
+            "new_block_size",
+            "birch_total_ms",
+            "birchplus_phase1_ms",
+            "birchplus_phase2_ms",
+            "birchplus_total_ms",
+            "speedup",
+            "clusters",
+        ],
+    );
+
+    let mut params = BirchParams::new(5, 50);
+    params.tree.threshold2 = 4.0;
+    params.tree.max_leaf_entries = 2048;
+    params.seed = 3;
+
+    let base_n = (1_000_000.0 * scale()).round() as usize;
+    let cluster_params = ClusterParams::parse("1M.50c.5d", scale()).unwrap();
+    let mut gen = ClusterDataGen::new(cluster_params, 99);
+    let base_points = gen.take_points(base_n);
+    let base_block = PointBlock::new(BlockId(1), base_points);
+
+    // Pre-build the maintained BIRCH+ tree over the base block (this cost
+    // was paid when the base block arrived; Figure 8 measures the refresh).
+    let mut warm = BirchPlus::new(params);
+    warm.absorb_block(&base_block);
+
+    for paper_size in [100_000u64, 200_000, 300_000, 400_000, 500_000, 600_000, 700_000, 800_000]
+    {
+        let n = ((paper_size as f64) * scale()).round().max(1.0) as usize;
+        let new_block = PointBlock::new(BlockId(2), gen.take_points(n));
+
+        // Non-incremental BIRCH: cluster base + new from scratch.
+        let (full_model, full_stats) = Birch::new(params).cluster_blocks(&[&base_block, &new_block]);
+
+        // BIRCH+: resume phase 1 on the new block, re-run phase 2.
+        let mut plus = warm.clone();
+        let p1 = plus.absorb_block(&new_block);
+        let (plus_model, p2) = plus.model();
+
+        let birch_ms = ms(full_stats.total_time());
+        let plus_ms = ms(p1 + p2);
+        table.row(&[
+            &paper_size,
+            &format!("{birch_ms:.2}"),
+            &format!("{:.2}", ms(p1)),
+            &format!("{:.2}", ms(p2)),
+            &format!("{plus_ms:.2}"),
+            &format!("{:.1}x", birch_ms / plus_ms.max(1e-6)),
+            &format!("{}/{}", plus_model.k(), full_model.k()),
+        ]);
+    }
+}

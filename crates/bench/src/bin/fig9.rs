@@ -1,0 +1,76 @@
+//! **Figure 9** (table) — calendar patterns discovered in the web proxy
+//! trace at five block granularities.
+//!
+//! The real DEC traces being unavailable, the synthetic trace plants the
+//! same calendar structure (working-day business hours, Tue/Thu evenings,
+//! weekend/holiday leisure, one anomalous Monday 9-9-1996). Expected
+//! shape: compact sequences recovering "working days except 9-9-1996"
+//! style patterns at each granularity, with the anomalous Monday excluded
+//! from every working-day pattern.
+
+use demon_bench::{banner, scale};
+use demon_core::report;
+use demon_datagen::webtrace::{self, WebTraceConfig, WebTraceGen};
+use demon_focus::{CompactSequenceMiner, ItemsetSimilarity, SimilarityConfig};
+use demon_types::{MinSupport, Timestamp};
+
+fn main() {
+    banner(
+        "Figure 9",
+        "patterns discovered in the (synthetic) web proxy trace",
+        "21 days, 10 object types × 1000 size buckets, κ=0.01, granularities {4,6,8,12,24}h",
+    );
+    let base_rate = std::env::var("DEMON_TRACE_RATE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| (2000.0 * scale() * 10.0).max(200.0));
+    let alpha = std::env::var("DEMON_ALPHA")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.12);
+    println!("# base_rate={base_rate}/h alpha={alpha}");
+
+    let mut gen = WebTraceGen::new(WebTraceConfig {
+        base_rate,
+        ..WebTraceConfig::default()
+    });
+    let requests = gen.generate();
+    println!("# trace: {} requests over 21 days", requests.len());
+
+    for granularity in [4u64, 6, 8, 12, 24] {
+        // The paper numbers blocks from noon of day 0 for the 6-hour
+        // experiment; we do the same at every granularity except 8/24h,
+        // which align with the trace start (8 AM).
+        let start_hour = if granularity == 8 || granularity == 24 { 8 } else { 12 };
+        let blocks =
+            webtrace::segment_into_blocks(&requests, granularity, Timestamp::from_day_hour(0, start_hour));
+        let oracle = ItemsetSimilarity::new(
+            webtrace::N_ITEMS,
+            MinSupport::new(0.01).unwrap(),
+            SimilarityConfig::Threshold { alpha },
+        );
+        let mut miner = CompactSequenceMiner::new(oracle);
+        let intervals: Vec<_> = blocks.iter().map(|b| b.interval().unwrap()).collect();
+        for block in blocks {
+            miner.add_block(block);
+        }
+        println!("\n== granularity {granularity}h ({} blocks) ==", intervals.len());
+        let mut rows: Vec<(usize, String)> = Vec::new();
+        for seq in miner.maximal_sequences() {
+            if seq.len() < 4 {
+                continue;
+            }
+            let ivs: Vec<_> = seq.iter().map(|id| intervals[id.index()]).collect();
+            let pattern = report::describe(&ivs);
+            rows.push((seq.len(), pattern.description));
+        }
+        rows.sort_by_key(|r| std::cmp::Reverse(r.0));
+        rows.dedup_by(|a, b| a.1 == b.1);
+        for (len, desc) in rows.iter().take(12) {
+            println!("{len:>3} blocks  {desc}");
+        }
+        if rows.is_empty() {
+            println!("(no sequence of length ≥ 4)");
+        }
+    }
+}

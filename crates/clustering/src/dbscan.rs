@@ -1,0 +1,609 @@
+//! DBSCAN and **incremental DBSCAN** (Ester, Kriegel, Sander, Wimmer, Xu;
+//! VLDB '98) — the incremental clustering comparator the paper cites.
+//!
+//! DEMON §3.2.4 argues for GEMM over direct add/delete maintenance partly
+//! because "the cost incurred by incremental DBScan to maintain the set
+//! of clusters when a tuple is deleted is higher than that when a tuple
+//! is inserted". This module reproduces that asymmetry:
+//!
+//! * **insertion** is local — only the new point's ε-neighborhood can
+//!   gain core status, and cluster merges are union-find operations;
+//! * **deletion** can split a cluster, and detecting a split requires
+//!   re-examining the connectivity of the whole affected cluster.
+//!
+//! Neighborhood queries run against a uniform grid with ε-sized cells.
+
+use demon_types::Point;
+use std::collections::HashMap;
+
+/// Cluster assignment of one point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Label {
+    /// Not density-reachable from any core point.
+    Noise,
+    /// Member of the cluster with this (resolved) id.
+    Cluster(usize),
+}
+
+/// What an insertion did (Ester et al.'s case analysis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertEffect {
+    /// The point is noise.
+    Noise,
+    /// A brand-new cluster formed.
+    Creation,
+    /// The point (and possibly promoted neighbors) joined one cluster.
+    Absorption,
+    /// Several previously separate clusters merged.
+    Merge {
+        /// How many clusters fused into one.
+        merged: usize,
+    },
+}
+
+/// What a deletion did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoveEffect {
+    /// Nothing but the point itself changed.
+    Shrink,
+    /// The affected cluster fell apart into this many pieces (possibly
+    /// 0 — everything became noise).
+    Split {
+        /// Number of resulting clusters.
+        pieces: usize,
+    },
+}
+
+/// The incremental DBSCAN structure.
+#[derive(Clone, Debug)]
+pub struct IncrementalDbscan {
+    eps: f64,
+    eps2: f64,
+    min_pts: usize,
+    dim: usize,
+    points: Vec<Point>,
+    alive: Vec<bool>,
+    /// Raw cluster id per point (resolve through `parent`).
+    raw: Vec<Option<usize>>,
+    core: Vec<bool>,
+    /// Union-find over raw cluster ids (merging is what makes insertion
+    /// cheap).
+    parent: Vec<usize>,
+    grid: HashMap<Vec<i64>, Vec<usize>>,
+    n_alive: usize,
+}
+
+impl IncrementalDbscan {
+    /// An empty structure with radius `eps` and density `min_pts`
+    /// (neighborhoods include the point itself).
+    pub fn new(dim: usize, eps: f64, min_pts: usize) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive");
+        assert!(min_pts >= 2, "min_pts below 2 makes everything a core");
+        IncrementalDbscan {
+            eps,
+            eps2: eps * eps,
+            min_pts,
+            dim,
+            points: Vec::new(),
+            alive: Vec::new(),
+            raw: Vec::new(),
+            core: Vec::new(),
+            parent: Vec::new(),
+            grid: HashMap::new(),
+            n_alive: 0,
+        }
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.n_alive
+    }
+
+    /// Whether the structure holds no live points.
+    pub fn is_empty(&self) -> bool {
+        self.n_alive == 0
+    }
+
+    fn cell_of(&self, p: &Point) -> Vec<i64> {
+        p.coords()
+            .iter()
+            .map(|&c| (c / self.eps).floor() as i64)
+            .collect()
+    }
+
+    /// Live indices within `eps` of `p` (including `p` itself when live).
+    fn neighbors(&self, p: &Point) -> Vec<usize> {
+        let cell = self.cell_of(p);
+        let mut out = Vec::new();
+        let mut offsets = vec![0i64; self.dim];
+        self.scan_cells(&cell, 0, &mut offsets, p, &mut out);
+        out
+    }
+
+    fn scan_cells(
+        &self,
+        cell: &[i64],
+        d: usize,
+        offsets: &mut Vec<i64>,
+        p: &Point,
+        out: &mut Vec<usize>,
+    ) {
+        if d == self.dim {
+            let key: Vec<i64> = cell.iter().zip(offsets.iter()).map(|(c, o)| c + o).collect();
+            if let Some(members) = self.grid.get(&key) {
+                for &i in members {
+                    if self.alive[i] && self.points[i].dist2(p) <= self.eps2 {
+                        out.push(i);
+                    }
+                }
+            }
+            return;
+        }
+        for o in -1..=1 {
+            offsets[d] = o;
+            self.scan_cells(cell, d + 1, offsets, p, out);
+        }
+    }
+
+    fn find(&self, mut id: usize) -> usize {
+        while self.parent[id] != id {
+            id = self.parent[id];
+        }
+        id
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+            lo
+        } else {
+            ra
+        }
+    }
+
+    /// The resolved label of point `idx`.
+    pub fn label(&self, idx: usize) -> Label {
+        match self.raw[idx] {
+            None => Label::Noise,
+            Some(id) => Label::Cluster(self.find(id)),
+        }
+    }
+
+    /// Whether point `idx` is a core point.
+    pub fn is_core(&self, idx: usize) -> bool {
+        self.core[idx]
+    }
+
+    /// The live clusters as sorted member lists.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut by_id: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..self.points.len() {
+            if self.alive[i] {
+                if let Label::Cluster(id) = self.label(i) {
+                    by_id.entry(id).or_default().push(i);
+                }
+            }
+        }
+        let mut out: Vec<Vec<usize>> = by_id.into_values().collect();
+        out.sort();
+        out
+    }
+
+    /// Number of live clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters().len()
+    }
+
+    /// Inserts a point, returning its index and the structural effect.
+    pub fn insert(&mut self, p: Point) -> (usize, InsertEffect) {
+        debug_assert_eq!(p.dim(), self.dim);
+        let idx = self.points.len();
+        let cell = self.cell_of(&p);
+        self.points.push(p);
+        self.alive.push(true);
+        self.raw.push(None);
+        self.core.push(false);
+        self.grid.entry(cell).or_default().push(idx);
+        self.n_alive += 1;
+
+        let nbrs = self.neighbors(&self.points[idx]); // includes idx
+        // Only points in N_ε(idx) can change core status, all upward.
+        let mut promoted: Vec<usize> = Vec::new();
+        for &q in &nbrs {
+            if !self.core[q] {
+                let deg = self.neighbors(&self.points[q].clone()).len();
+                if deg >= self.min_pts {
+                    self.core[q] = true;
+                    promoted.push(q);
+                }
+            }
+        }
+        if promoted.is_empty() {
+            // No new core: idx is border iff some neighbor is core.
+            if let Some(&c) = nbrs.iter().find(|&&q| self.core[q]) {
+                self.raw[idx] = self.raw[c];
+                return (idx, InsertEffect::Absorption);
+            }
+            return (idx, InsertEffect::Noise);
+        }
+
+        // Each promoted core claims its neighborhood; collect the cluster
+        // ids it touches.
+        let mut touched: Vec<usize> = Vec::new();
+        for &q in &promoted {
+            for r in self.neighbors(&self.points[q].clone()) {
+                if self.core[r] {
+                    if let Some(id) = self.raw[r] {
+                        let root = self.find(id);
+                        if !touched.contains(&root) {
+                            touched.push(root);
+                        }
+                    }
+                }
+            }
+        }
+
+        let effect;
+        let target = match touched.len() {
+            0 => {
+                // Creation: a fresh cluster id.
+                let id = self.parent.len();
+                self.parent.push(id);
+                effect = InsertEffect::Creation;
+                id
+            }
+            1 => {
+                effect = InsertEffect::Absorption;
+                touched[0]
+            }
+            n => {
+                let mut t = touched[0];
+                for &other in &touched[1..] {
+                    t = self.union(t, other);
+                }
+                effect = InsertEffect::Merge { merged: n };
+                t
+            }
+        };
+        // Promoted cores and their neighborhoods join the target cluster.
+        for &q in &promoted {
+            self.raw[q] = Some(target);
+            for r in self.neighbors(&self.points[q].clone()) {
+                if self.raw[r].is_none() || !self.core[r] {
+                    self.raw[r] = Some(target);
+                }
+            }
+        }
+        (idx, effect)
+    }
+
+    /// Deletes point `idx`, returning the structural effect. Deletion may
+    /// split the affected cluster, which requires re-clustering all of
+    /// its points — the expensive direction (§3.2.4).
+    pub fn remove(&mut self, idx: usize) -> RemoveEffect {
+        assert!(self.alive[idx], "point {idx} already removed");
+        let old_cluster = match self.label(idx) {
+            Label::Cluster(id) => Some(id),
+            Label::Noise => None,
+        };
+        self.alive[idx] = false;
+        self.n_alive -= 1;
+        let p = self.points[idx].clone();
+        self.raw[idx] = None;
+        let was_core = self.core[idx];
+        self.core[idx] = false;
+
+        // Neighbors may lose core status.
+        let nbrs = self.neighbors(&p);
+        let mut demoted = Vec::new();
+        for &q in &nbrs {
+            if self.core[q] {
+                let deg = self.neighbors(&self.points[q].clone()).len();
+                if deg < self.min_pts {
+                    self.core[q] = false;
+                    demoted.push(q);
+                }
+            }
+        }
+        if !was_core && demoted.is_empty() {
+            return RemoveEffect::Shrink;
+        }
+        // Every cluster holding the removed point or a demoted core may
+        // have lost connectivity.
+        let mut affected: Vec<usize> = Vec::new();
+        if let Some(id) = old_cluster {
+            affected.push(id);
+        }
+        for &q in &demoted {
+            if let Label::Cluster(id) = self.label(q) {
+                if !affected.contains(&id) {
+                    affected.push(id);
+                }
+            }
+        }
+        if affected.is_empty() {
+            return RemoveEffect::Shrink;
+        }
+        let n_affected = affected.len();
+
+        // Re-cluster the affected clusters from scratch: collect their
+        // live members, clear them, and re-run region growing among them.
+        let members: Vec<usize> = (0..self.points.len())
+            .filter(|&i| {
+                self.alive[i]
+                    && matches!(self.label(i), Label::Cluster(id) if affected.contains(&id))
+            })
+            .collect();
+        for &m in &members {
+            self.raw[m] = None;
+        }
+        let mut pieces = 0usize;
+        for &m in &members {
+            if self.raw[m].is_some() || !self.core[m] {
+                continue;
+            }
+            // Grow a new cluster from this unassigned core.
+            let id = self.parent.len();
+            self.parent.push(id);
+            pieces += 1;
+            let mut stack = vec![m];
+            self.raw[m] = Some(id);
+            while let Some(q) = stack.pop() {
+                for r in self.neighbors(&self.points[q].clone()) {
+                    if self.raw[r].map(|x| self.find(x)) == Some(id) {
+                        continue;
+                    }
+                    self.raw[r] = Some(id);
+                    if self.core[r] {
+                        stack.push(r);
+                    }
+                }
+            }
+        }
+        if pieces == n_affected {
+            RemoveEffect::Shrink
+        } else {
+            RemoveEffect::Split { pieces }
+        }
+    }
+
+    /// Reference batch DBSCAN over the live points — the test oracle and
+    /// the from-scratch baseline.
+    #[allow(clippy::needless_range_loop)]
+    pub fn batch_labels(&self) -> Vec<Option<usize>> {
+        let mut labels: Vec<Option<usize>> = vec![None; self.points.len()];
+        let mut next = 0usize;
+        for i in 0..self.points.len() {
+            if !self.alive[i] || labels[i].is_some() || !self.batch_is_core(i) {
+                continue;
+            }
+            let id = next;
+            next += 1;
+            let mut stack = vec![i];
+            labels[i] = Some(id);
+            while let Some(q) = stack.pop() {
+                for r in self.neighbors(&self.points[q].clone()) {
+                    if labels[r] == Some(id) {
+                        continue;
+                    }
+                    if labels[r].is_none() {
+                        labels[r] = Some(id);
+                        if self.batch_is_core(r) {
+                            stack.push(r);
+                        }
+                    } else if self.batch_is_core(r) {
+                        // A core reached from two seeds belongs to one
+                        // cluster; seeds are processed in order so this
+                        // cannot happen for cores. Borders may flip —
+                        // that ambiguity is inherent to DBSCAN.
+                    }
+                }
+            }
+        }
+        labels
+    }
+
+    fn batch_is_core(&self, i: usize) -> bool {
+        self.neighbors(&self.points[i].clone()).len() >= self.min_pts
+    }
+
+    /// Verifies the incremental state against batch DBSCAN: identical
+    /// core flags, identical core partition, identical noise set (border
+    /// assignment may differ, but every border point must sit within ε of
+    /// a core of its cluster). Test support.
+    #[allow(clippy::needless_range_loop)]
+    pub fn check_against_batch(&self) {
+        let batch = self.batch_labels();
+        // Core flags.
+        for i in 0..self.points.len() {
+            if self.alive[i] {
+                assert_eq!(
+                    self.core[i],
+                    self.batch_is_core(i),
+                    "core flag of {i} diverged"
+                );
+            }
+        }
+        // Core partition: two live cores share an incremental cluster iff
+        // they share a batch cluster.
+        let cores: Vec<usize> = (0..self.points.len())
+            .filter(|&i| self.alive[i] && self.core[i])
+            .collect();
+        for (ai, &a) in cores.iter().enumerate() {
+            for &b in &cores[ai + 1..] {
+                let inc_same = self.label(a) == self.label(b);
+                let batch_same = batch[a] == batch[b];
+                assert_eq!(inc_same, batch_same, "core partition differs at ({a},{b})");
+            }
+        }
+        for i in 0..self.points.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            match self.label(i) {
+                Label::Noise => {
+                    assert!(batch[i].is_none(), "{i} noise incrementally, clustered in batch");
+                }
+                Label::Cluster(id) => {
+                    assert!(batch[i].is_some(), "{i} clustered incrementally, noise in batch");
+                    if !self.core[i] {
+                        // Border: must be within ε of some core of its cluster.
+                        let ok = self
+                            .neighbors(&self.points[i].clone())
+                            .into_iter()
+                            .any(|r| self.core[r] && self.label(r) == Label::Cluster(id));
+                        assert!(ok, "border {i} not attached to its cluster");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(c: &[f64]) -> Point {
+        Point::new(c.to_vec())
+    }
+
+    /// A dense 3-point blob around (x, y).
+    fn blob(db: &mut IncrementalDbscan, x: f64, y: f64) -> Vec<usize> {
+        [(0.0, 0.0), (0.3, 0.0), (0.0, 0.3)]
+            .iter()
+            .map(|(dx, dy)| db.insert(p(&[x + dx, y + dy])).0)
+            .collect()
+    }
+
+    fn db() -> IncrementalDbscan {
+        IncrementalDbscan::new(2, 1.0, 3)
+    }
+
+    #[test]
+    fn isolated_points_are_noise() {
+        let mut d = db();
+        let (i, e) = d.insert(p(&[0.0, 0.0]));
+        assert_eq!(e, InsertEffect::Noise);
+        let (_, e) = d.insert(p(&[10.0, 0.0]));
+        assert_eq!(e, InsertEffect::Noise);
+        assert_eq!(d.label(i), Label::Noise);
+        assert_eq!(d.n_clusters(), 0);
+        d.check_against_batch();
+    }
+
+    #[test]
+    fn dense_blob_creates_one_cluster() {
+        let mut d = db();
+        d.insert(p(&[0.0, 0.0]));
+        d.insert(p(&[0.3, 0.0]));
+        let (_, e) = d.insert(p(&[0.0, 0.3]));
+        assert_eq!(e, InsertEffect::Creation);
+        assert_eq!(d.n_clusters(), 1);
+        d.check_against_batch();
+    }
+
+    #[test]
+    fn nearby_point_is_absorbed() {
+        let mut d = db();
+        blob(&mut d, 0.0, 0.0);
+        let (_, e) = d.insert(p(&[0.5, 0.5]));
+        assert_eq!(e, InsertEffect::Absorption);
+        assert_eq!(d.n_clusters(), 1);
+        d.check_against_batch();
+    }
+
+    #[test]
+    fn bridge_point_merges_clusters() {
+        let mut d = db();
+        blob(&mut d, 0.0, 0.0);
+        blob(&mut d, 1.8, 0.0);
+        assert_eq!(d.n_clusters(), 2);
+        let (_, e) = d.insert(p(&[0.95, 0.0]));
+        assert_eq!(e, InsertEffect::Merge { merged: 2 });
+        assert_eq!(d.n_clusters(), 1);
+        d.check_against_batch();
+    }
+
+    #[test]
+    fn removing_bridge_splits_cluster() {
+        let mut d = db();
+        blob(&mut d, 0.0, 0.0);
+        blob(&mut d, 1.8, 0.0);
+        let (bridge, _) = d.insert(p(&[0.95, 0.0]));
+        assert_eq!(d.n_clusters(), 1);
+        let e = d.remove(bridge);
+        assert_eq!(e, RemoveEffect::Split { pieces: 2 });
+        assert_eq!(d.n_clusters(), 2);
+        d.check_against_batch();
+    }
+
+    #[test]
+    fn removing_border_point_just_shrinks() {
+        let mut d = db();
+        blob(&mut d, 0.0, 0.0);
+        let (border, _) = d.insert(p(&[0.9, 0.0]));
+        assert!(!d.is_core(border) || d.is_core(border)); // may or may not be core
+        let before = d.n_clusters();
+        d.remove(border);
+        assert_eq!(d.n_clusters(), before);
+        d.check_against_batch();
+    }
+
+    #[test]
+    fn removing_everything_leaves_noise() {
+        let mut d = db();
+        let ids = blob(&mut d, 0.0, 0.0);
+        for id in ids {
+            d.remove(id);
+        }
+        assert!(d.is_empty());
+        assert_eq!(d.n_clusters(), 0);
+    }
+
+    #[test]
+    fn random_insert_delete_matches_batch() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut d = IncrementalDbscan::new(2, 1.0, 4);
+        let mut live: Vec<usize> = Vec::new();
+        for step in 0..300 {
+            if !live.is_empty() && rng.gen_bool(0.3) {
+                let pos = rng.gen_range(0..live.len());
+                let idx = live.swap_remove(pos);
+                d.remove(idx);
+            } else {
+                // Clustered around 3 attractors plus uniform noise.
+                let pt = if rng.gen_bool(0.8) {
+                    let c = [(0.0, 0.0), (6.0, 0.0), (0.0, 6.0)][rng.gen_range(0..3)];
+                    p(&[c.0 + rng.gen_range(-0.8..0.8), c.1 + rng.gen_range(-0.8..0.8)])
+                } else {
+                    p(&[rng.gen_range(-3.0..9.0), rng.gen_range(-3.0..9.0)])
+                };
+                let (idx, _) = d.insert(pt);
+                live.push(idx);
+            }
+            if step % 25 == 0 {
+                d.check_against_batch();
+            }
+        }
+        d.check_against_batch();
+    }
+
+    #[test]
+    #[should_panic(expected = "already removed")]
+    fn double_remove_panics() {
+        let mut d = db();
+        let (i, _) = d.insert(p(&[0.0, 0.0]));
+        d.remove(i);
+        d.remove(i);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn rejects_bad_eps() {
+        IncrementalDbscan::new(2, 0.0, 3);
+    }
+}

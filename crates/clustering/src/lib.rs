@@ -1,0 +1,58 @@
+//! BIRCH clustering (Zhang, Ramakrishnan, Livny; SIGMOD '96) and the
+//! **BIRCH+** incremental maintainer of the DEMON paper.
+//!
+//! * [`cf`] — cluster features `(N, LS, SS)` with the standard BIRCH
+//!   algebra (additivity, centroid, radius, diameter);
+//! * [`cftree`] — the height-balanced CF-tree of phase 1, with threshold-
+//!   driven absorption, node splitting and capacity-driven rebuilding;
+//! * [`global`] — phase 2: weighted k-means (k-means++ seeding) and
+//!   centroid-linkage agglomerative clustering over the leaf entries;
+//! * [`birch`] — the two-phase pipeline, the [`birch::BirchPlus`]
+//!   incremental maintainer (paper §3.1.2: suspend/resume phase 1 across
+//!   blocks, rerun the cheap phase 2 on demand), and the labeling scan;
+//! * [`dbscan`] — DBSCAN and incremental DBSCAN (Ester et al. '98), the
+//!   comparator whose insert/delete cost asymmetry motivates GEMM
+//!   (paper §3.2.4).
+
+//!
+//! # Example
+//!
+//! Maintain a cluster model across two blocks with BIRCH+:
+//!
+//! ```
+//! use demon_clustering::{BirchParams, BirchPlus};
+//! use demon_types::{BlockId, Point, PointBlock};
+//!
+//! let mut params = BirchParams::new(2, 2);
+//! params.tree.threshold2 = 1.0;
+//! let mut plus = BirchPlus::new(params);
+//!
+//! let blob = |cx: f64, id: u64| {
+//!     PointBlock::new(
+//!         BlockId(id),
+//!         (0..50).map(|i| Point::new(vec![cx + (i % 5) as f64 * 0.1, 0.0])).collect(),
+//!     )
+//! };
+//! plus.absorb_block(&blob(0.0, 1));   // phase 1, resumed per block
+//! plus.absorb_block(&blob(30.0, 2));
+//! let (model, _phase2_time) = plus.model();
+//! assert_eq!(model.k(), 2);
+//! assert_eq!(model.n_points(), 100);
+//! // Label a fresh point against the maintained concepts.
+//! assert_eq!(model.assign_point(&Point::new(vec![29.5, 0.0])),
+//!            model.assign_point(&Point::new(vec![30.5, 0.0])));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod birch;
+pub mod cf;
+pub mod dbscan;
+pub mod cftree;
+pub mod global;
+
+pub use birch::{Birch, BirchModel, BirchParams, BirchPlus, Cluster};
+pub use cf::ClusterFeature;
+pub use dbscan::IncrementalDbscan;
+pub use cftree::CfTree;

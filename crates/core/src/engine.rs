@@ -1,0 +1,216 @@
+//! A small facade over the problem space of Figure 11: pick a data span
+//! option, get a maintained model.
+
+use crate::bss::{BlockSelector, WiBss};
+use crate::gemm::{Gemm, GemmStats};
+use crate::maintainer::ModelMaintainer;
+use demon_types::{Block, BlockId, DemonError, Result};
+use std::time::{Duration, Instant};
+
+/// The data span dimension (paper §2.2): mine everything collected so
+/// far, or only the `w` most recent blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataSpan {
+    /// Unrestricted window, with a window-independent BSS.
+    Unrestricted(WiBss),
+    /// Most recent window of size `w`, with either BSS flavour.
+    MostRecent {
+        /// Window size.
+        w: usize,
+        /// The block selection sequence.
+        selector: BlockSelector,
+    },
+}
+
+/// Timing of one engine step.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Time until the updated required model was available.
+    pub response_time: Duration,
+    /// Off-line time (GEMM's future-window updates; zero for UW).
+    pub offline_time: Duration,
+    /// Whether the arriving block entered the required model.
+    pub absorbed: bool,
+}
+
+impl From<GemmStats> for EngineStats {
+    fn from(g: GemmStats) -> Self {
+        EngineStats {
+            response_time: g.response_time,
+            offline_time: g.offline_time,
+            absorbed: g.absorbed_into_current,
+        }
+    }
+}
+
+/// The unrestricted-window engine: one model, maintained by `A_M` under a
+/// window-independent BSS (paper §3.1).
+pub struct UwEngine<M: ModelMaintainer> {
+    maintainer: M,
+    bss: WiBss,
+    model: M::Model,
+    latest: Option<BlockId>,
+}
+
+impl<M: ModelMaintainer> UwEngine<M> {
+    /// A new engine.
+    pub fn new(maintainer: M, bss: WiBss) -> Self {
+        let model = maintainer.fresh();
+        UwEngine {
+            maintainer,
+            bss,
+            model,
+            latest: None,
+        }
+    }
+
+    /// The maintained model.
+    pub fn model(&self) -> &M::Model {
+        &self.model
+    }
+
+    /// The underlying maintainer.
+    pub fn maintainer(&self) -> &M {
+        &self.maintainer
+    }
+
+    /// Processes the next arriving block.
+    pub fn add_block(&mut self, block: Block<M::Record>) -> Result<EngineStats> {
+        let id = block.id();
+        let expected = self.latest.map_or(BlockId::FIRST, BlockId::next);
+        if id != expected {
+            return Err(DemonError::InvalidParameter(format!(
+                "expected block {expected}, got {id}"
+            )));
+        }
+        self.maintainer.register_block(block);
+        self.latest = Some(id);
+        let absorbed = self.bss.bit(id);
+        let t0 = Instant::now();
+        if absorbed {
+            // The current set of frequent itemsets simply carries over on
+            // a 0 bit (§3.1.1); on a 1 bit the maintainer updates it.
+            self.maintainer.absorb(&mut self.model, id);
+        }
+        Ok(EngineStats {
+            response_time: t0.elapsed(),
+            offline_time: Duration::ZERO,
+            absorbed,
+        })
+    }
+}
+
+/// The unified engine, dispatching on the data span option.
+pub enum DemonEngine<M: ModelMaintainer + Sync> {
+    /// Unrestricted window.
+    Uw(UwEngine<M>),
+    /// Most recent window (GEMM).
+    Mrw(Gemm<M>),
+}
+
+impl<M: ModelMaintainer + Sync> DemonEngine<M> {
+    /// Builds the engine for the chosen data span option.
+    pub fn new(maintainer: M, span: DataSpan) -> Result<Self> {
+        match span {
+            DataSpan::Unrestricted(bss) => Ok(DemonEngine::Uw(UwEngine::new(maintainer, bss))),
+            DataSpan::MostRecent { w, selector } => {
+                Ok(DemonEngine::Mrw(Gemm::new(maintainer, w, selector)?))
+            }
+        }
+    }
+
+    /// Processes the next arriving block.
+    pub fn add_block(&mut self, block: Block<M::Record>) -> Result<EngineStats> {
+        match self {
+            DemonEngine::Uw(e) => e.add_block(block),
+            DemonEngine::Mrw(g) => Ok(g.add_block(block)?.into()),
+        }
+    }
+
+    /// The currently required model (`None` only for an MRW engine that
+    /// has seen no blocks).
+    pub fn current_model(&self) -> Option<&M::Model> {
+        match self {
+            DemonEngine::Uw(e) => Some(e.model()),
+            DemonEngine::Mrw(g) => g.current_model(),
+        }
+    }
+
+    /// The underlying maintainer.
+    pub fn maintainer(&self) -> &M {
+        match self {
+            DemonEngine::Uw(e) => e.maintainer(),
+            DemonEngine::Mrw(g) => g.maintainer(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maintainer::ItemsetMaintainer;
+    use demon_itemsets::CounterKind;
+    use demon_types::{Item, ItemSet, MinSupport, Tid, Transaction, TxBlock};
+
+    fn marker_block(id: u64, n_tx: usize) -> TxBlock {
+        TxBlock::new(
+            BlockId(id),
+            (0..n_tx)
+                .map(|i| Transaction::new(Tid(id * 1000 + i as u64), vec![Item(id as u32)]))
+                .collect(),
+        )
+    }
+
+    fn maintainer() -> ItemsetMaintainer {
+        ItemsetMaintainer::new(16, MinSupport::new(0.05).unwrap(), CounterKind::Ecut)
+    }
+
+    #[test]
+    fn uw_engine_accumulates_selected_blocks() {
+        let bss = WiBss::Periodic {
+            pattern: vec![true, false],
+        };
+        let mut e = UwEngine::new(maintainer(), bss);
+        for id in 1..=4u64 {
+            e.add_block(marker_block(id, 4)).unwrap();
+        }
+        // Blocks 1 and 3 selected.
+        assert!(e.model().is_frequent(&ItemSet::from_ids(&[1])));
+        assert!(!e.model().is_frequent(&ItemSet::from_ids(&[2])));
+        assert!(e.model().is_frequent(&ItemSet::from_ids(&[3])));
+        assert!(!e.model().is_frequent(&ItemSet::from_ids(&[4])));
+    }
+
+    #[test]
+    fn uw_engine_rejects_gaps() {
+        let mut e = UwEngine::new(maintainer(), WiBss::All);
+        e.add_block(marker_block(1, 2)).unwrap();
+        assert!(e.add_block(marker_block(3, 2)).is_err());
+    }
+
+    #[test]
+    fn unified_engine_dispatches_both_spans() {
+        let mut uw =
+            DemonEngine::new(maintainer(), DataSpan::Unrestricted(WiBss::All)).unwrap();
+        let mut mrw = DemonEngine::new(
+            maintainer(),
+            DataSpan::MostRecent {
+                w: 2,
+                selector: BlockSelector::all(),
+            },
+        )
+        .unwrap();
+        for id in 1..=4u64 {
+            let su = uw.add_block(marker_block(id, 4)).unwrap();
+            let sm = mrw.add_block(marker_block(id, 4)).unwrap();
+            assert!(su.absorbed && sm.absorbed);
+        }
+        // UW keeps everything; MRW only the last two blocks.
+        let uw_model = uw.current_model().unwrap();
+        let mrw_model = mrw.current_model().unwrap();
+        assert!(uw_model.is_frequent(&ItemSet::from_ids(&[1])));
+        assert!(!mrw_model.is_frequent(&ItemSet::from_ids(&[1])));
+        assert!(mrw_model.is_frequent(&ItemSet::from_ids(&[3])));
+        assert!(mrw_model.is_frequent(&ItemSet::from_ids(&[4])));
+    }
+}

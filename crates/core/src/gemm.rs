@@ -1,0 +1,566 @@
+//! **GEMM** — the GEneric Model Maintainer for the most recent window
+//! (paper §3.2, Algorithm 3.1).
+//!
+//! The window `D[t−w+1, t]` evolves in `w` steps, so the model of any
+//! future window can be grown incrementally from the prefix it shares
+//! with the current window. GEMM therefore maintains `w` models: the
+//! current one plus one per overlapping future window, each extracted
+//! with respect to the projected (window-independent) or right-shifted
+//! (window-relative) BSS. When block `D_{t+1}` arrives:
+//!
+//! * the model covering `D[t−w+2, t]` absorbs the block (iff its BSS bit
+//!   is 1) and *becomes the new current model* — the cost of exactly this
+//!   one update is the **response time**;
+//! * every other future-window model absorbs the block off-line (these
+//!   updates may run in parallel and the models may live on disk — "main
+//!   memory is not a limitation as long as a single model fits");
+//! * a fresh model is started for the newest future window.
+
+use crate::bss::BlockSelector;
+use crate::maintainer::ModelMaintainer;
+use demon_types::{Block, BlockId, DemonError, Result};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Where the off-line (non-current) models live between blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShelfMode {
+    /// Keep every model in memory.
+    Memory,
+    /// Serialize off-line models to JSON files under this directory,
+    /// loading each only for its update — the paper's disk shelf.
+    Disk(PathBuf),
+}
+
+/// Timing of one GEMM step.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GemmStats {
+    /// Time to produce the new *required* model (update of the slot that
+    /// becomes current). This is the response time of §3.2.3.
+    pub response_time: Duration,
+    /// Time spent updating the remaining future-window models.
+    pub offline_time: Duration,
+    /// Whether the arriving block was selected into the current model.
+    pub absorbed_into_current: bool,
+    /// Number of off-line models that absorbed the block.
+    pub offline_absorbed: usize,
+}
+
+/// One maintained model slot: the future window it belongs to (identified
+/// by that window's start block) and the model of its overlap prefix.
+struct Slot<Model> {
+    start: BlockId,
+    model: Stored<Model>,
+}
+
+enum Stored<Model> {
+    Mem(Model),
+    Disk(PathBuf),
+}
+
+impl<Model: serde::Serialize + serde::de::DeserializeOwned> Stored<Model> {
+    fn load(&self) -> Result<Model> {
+        match self {
+            Stored::Mem(_) => Err(DemonError::InvalidParameter(
+                "load called on in-memory model".into(),
+            )),
+            Stored::Disk(path) => {
+                let bytes = std::fs::read(path)?;
+                serde_json::from_slice(&bytes).map_err(|e| DemonError::Serde(e.to_string()))
+            }
+        }
+    }
+
+    fn write(path: &PathBuf, model: &Model) -> Result<()> {
+        let bytes =
+            serde_json::to_vec(model).map_err(|e| DemonError::Serde(e.to_string()))?;
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+}
+
+/// The generic most-recent-window maintainer.
+pub struct Gemm<M: ModelMaintainer> {
+    maintainer: M,
+    selector: BlockSelector,
+    w: usize,
+    shelf: ShelfMode,
+    parallel: bool,
+    retire: bool,
+    slots: Vec<Slot<M::Model>>,
+    latest: Option<BlockId>,
+}
+
+impl<M: ModelMaintainer + Sync> Gemm<M> {
+    /// A GEMM instance over `maintainer` with window size `w` and the
+    /// given BSS. Off-line models stay in memory and update sequentially;
+    /// see [`Gemm::with_shelf`] and [`Gemm::with_parallel_offline`].
+    pub fn new(maintainer: M, w: usize, selector: BlockSelector) -> Result<Self> {
+        if w == 0 {
+            return Err(DemonError::InvalidParameter(
+                "window size must be positive".into(),
+            ));
+        }
+        if let BlockSelector::WindowRelative(wr) = &selector {
+            if wr.window_size() != w {
+                return Err(DemonError::BssMismatch {
+                    got: wr.window_size(),
+                    expected: w,
+                });
+            }
+        }
+        Ok(Gemm {
+            maintainer,
+            selector,
+            w,
+            shelf: ShelfMode::Memory,
+            parallel: false,
+            retire: true,
+            slots: Vec::new(),
+            latest: None,
+        })
+    }
+
+    /// Moves the off-line models to a disk shelf.
+    pub fn with_shelf(mut self, shelf: ShelfMode) -> Result<Self> {
+        if let ShelfMode::Disk(dir) = &shelf {
+            std::fs::create_dir_all(dir)?;
+        }
+        self.shelf = shelf;
+        Ok(self)
+    }
+
+    /// Updates the off-line models in parallel (they are independent; the
+    /// paper notes they are not time-critical).
+    pub fn with_parallel_offline(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Keeps retired blocks' data instead of dropping it (for experiments
+    /// that re-read history).
+    pub fn with_retirement(mut self, retire: bool) -> Self {
+        self.retire = retire;
+        self
+    }
+
+    /// The window size.
+    pub fn window_size(&self) -> usize {
+        self.w
+    }
+
+    /// The underlying maintainer.
+    pub fn maintainer(&self) -> &M {
+        &self.maintainer
+    }
+
+    /// The latest absorbed block id.
+    pub fn latest_block(&self) -> Option<BlockId> {
+        self.latest
+    }
+
+    /// Start of the current most-recent window.
+    pub fn window_start(&self) -> Option<BlockId> {
+        self.slots.first().map(|s| s.start)
+    }
+
+    /// The model on the current window w.r.t. the BSS — always held in
+    /// memory. `None` before the first block.
+    pub fn current_model(&self) -> Option<&M::Model> {
+        match self.slots.first().map(|s| &s.model) {
+            Some(Stored::Mem(m)) => Some(m),
+            Some(Stored::Disk(_)) => unreachable!("current model is pinned in memory"),
+            None => None,
+        }
+    }
+
+    /// Loads (a clone of) the prefix model of the future window starting
+    /// at `start` — test/diagnostic access to the whole collection.
+    pub fn future_model(&self, start: BlockId) -> Result<M::Model>
+    where
+        M::Model: Clone,
+    {
+        let slot = self
+            .slots
+            .iter()
+            .find(|s| s.start == start)
+            .ok_or(DemonError::UnknownBlock(start.value()))?;
+        match &slot.model {
+            Stored::Mem(m) => Ok(m.clone()),
+            disk => disk.load(),
+        }
+    }
+
+    /// Starts of all maintained future windows (ascending; the first is
+    /// the current window).
+    pub fn slot_starts(&self) -> Vec<BlockId> {
+        self.slots.iter().map(|s| s.start).collect()
+    }
+
+    /// Processes the next arriving block (ids must be contiguous).
+    pub fn add_block(&mut self, block: Block<M::Record>) -> Result<GemmStats> {
+        let id = block.id();
+        let expected = self.latest.map_or(BlockId::FIRST, BlockId::next);
+        if id != expected {
+            return Err(DemonError::InvalidParameter(format!(
+                "expected block {expected}, got {id}"
+            )));
+        }
+        self.maintainer.register_block(block);
+        self.latest = Some(id);
+        let mut stats = GemmStats::default();
+
+        // Slide: drop the outgoing current slot once the window is full.
+        if self.slots.len() == self.w {
+            let gone = self.slots.remove(0);
+            if let Stored::Disk(path) = &gone.model {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        // New future window starting at the arriving block.
+        self.slots.push(Slot {
+            start: id,
+            model: Stored::Mem(self.maintainer.fresh()),
+        });
+
+        // The new current slot must be in memory before its timed update.
+        self.unshelve_front()?;
+
+        // Time-critical update: the new current model.
+        let current_bit = self.bit_for(self.slots[0].start, id);
+        let t0 = Instant::now();
+        if current_bit {
+            let Stored::Mem(model) = &mut self.slots[0].model else {
+                unreachable!("front slot unshelved above");
+            };
+            self.maintainer.absorb(model, id);
+        }
+        stats.response_time = t0.elapsed();
+        stats.absorbed_into_current = current_bit;
+
+        // Off-line updates of the remaining slots.
+        let t1 = Instant::now();
+        stats.offline_absorbed = self.update_offline(id)?;
+        stats.offline_time = t1.elapsed();
+
+        // Retire data no maintained window can reach.
+        if self.retire && self.slots[0].start.value() > 1 {
+            self.maintainer
+                .retire_block(BlockId(self.slots[0].start.value() - 1));
+        }
+        Ok(stats)
+    }
+
+    /// Pulls the front slot into memory if it was shelved, removing its
+    /// now-stale shelf file.
+    fn unshelve_front(&mut self) -> Result<()> {
+        if let Some(slot) = self.slots.first_mut() {
+            if let Stored::Disk(path) = &slot.model {
+                let model = slot.model.load()?;
+                let _ = std::fs::remove_file(path);
+                slot.model = Stored::Mem(model);
+            }
+        }
+        Ok(())
+    }
+
+    fn bit_for(&self, slot_start: BlockId, arriving: BlockId) -> bool {
+        self.selector
+            .selects_arriving(arriving, slot_start, self.w)
+    }
+
+    fn update_offline(&mut self, id: BlockId) -> Result<usize> {
+        let w = self.w;
+        let selector = self.selector.clone();
+        // Collect the work: (slot index, absorb?).
+        let work: Vec<(usize, bool)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, s)| (i, selector.selects_arriving(id, s.start, w)))
+            .collect();
+        let absorbed = work.iter().filter(|&&(_, b)| b).count();
+
+        // Load shelved models, update, re-shelve.
+        let mut loaded: Vec<(usize, M::Model, bool)> = Vec::with_capacity(work.len());
+        for &(i, bit) in &work {
+            let model = match &self.slots[i].model {
+                Stored::Mem(_) => {
+                    if let Stored::Mem(m) =
+                        std::mem::replace(&mut self.slots[i].model, Stored::Disk(PathBuf::new()))
+                    {
+                        m
+                    } else {
+                        unreachable!()
+                    }
+                }
+                disk => disk.load()?,
+            };
+            loaded.push((i, model, bit));
+        }
+
+        if self.parallel {
+            let maintainer = &self.maintainer;
+            crossbeam::thread::scope(|scope| {
+                for (_, model, bit) in loaded.iter_mut() {
+                    if *bit {
+                        scope.spawn(move |_| maintainer.absorb(model, id));
+                    }
+                }
+            })
+            .expect("offline update thread panicked");
+        } else {
+            for (_, model, bit) in loaded.iter_mut() {
+                if *bit {
+                    self.maintainer.absorb(model, id);
+                }
+            }
+        }
+
+        // Put models back (to memory or to the shelf).
+        for (i, model, _) in loaded {
+            self.slots[i].model = match &self.shelf {
+                ShelfMode::Memory => Stored::Mem(model),
+                ShelfMode::Disk(dir) => {
+                    let path = dir.join(format!("slot_{}.json", self.slots[i].start.value()));
+                    Stored::write(&path, &model)?;
+                    Stored::Disk(path)
+                }
+            };
+        }
+        Ok(absorbed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bss::{BlockSelector, WiBss, WrBss};
+    use crate::maintainer::ItemsetMaintainer;
+    use demon_itemsets::{CounterKind, FrequentItemsets, TxStore};
+    use demon_types::{Item, MinSupport, Tid, Transaction, TxBlock};
+
+    fn k(v: f64) -> MinSupport {
+        MinSupport::new(v).unwrap()
+    }
+
+    /// Block `id` holds transactions over items that encode the block id,
+    /// so it is easy to verify which blocks a model covers.
+    fn tx_block(id: u64, txs: &[&[u32]]) -> TxBlock {
+        TxBlock::new(
+            BlockId(id),
+            txs.iter()
+                .enumerate()
+                .map(|(i, items)| {
+                    Transaction::new(
+                        Tid(id * 1000 + i as u64),
+                        items.iter().copied().map(Item).collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// A block whose only item is its own id — a model's frequent items
+    /// then spell out exactly which blocks it was extracted from.
+    fn marker_block(id: u64, n_tx: usize) -> TxBlock {
+        let items = [id as u32];
+        let txs: Vec<&[u32]> = (0..n_tx).map(|_| &items[..]).collect();
+        tx_block(id, &txs)
+    }
+
+    fn covered_blocks(model: &FrequentItemsets) -> Vec<u64> {
+        let mut v: Vec<u64> = model
+            .frequent()
+            .keys()
+            .filter(|s| s.len() == 1)
+            .map(|s| s.items()[0].id() as u64)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn gemm_with(
+        w: usize,
+        selector: BlockSelector,
+    ) -> Gemm<ItemsetMaintainer> {
+        let maintainer = ItemsetMaintainer::new(16, k(0.05), CounterKind::Ecut);
+        Gemm::new(maintainer, w, selector).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        let m = ItemsetMaintainer::new(4, k(0.1), CounterKind::Ecut);
+        assert!(Gemm::new(m, 0, BlockSelector::all()).is_err());
+        let m = ItemsetMaintainer::new(4, k(0.1), CounterKind::Ecut);
+        let wr = BlockSelector::WindowRelative(WrBss::new(vec![true, false]));
+        assert!(Gemm::new(m, 3, wr).is_err());
+    }
+
+    #[test]
+    fn rejects_non_contiguous_blocks() {
+        let mut g = gemm_with(2, BlockSelector::all());
+        g.add_block(marker_block(1, 4)).unwrap();
+        assert!(g.add_block(marker_block(3, 4)).is_err());
+    }
+
+    #[test]
+    fn all_ones_window_tracks_last_w_blocks() {
+        let mut g = gemm_with(3, BlockSelector::all());
+        for id in 1..=5u64 {
+            g.add_block(marker_block(id, 4)).unwrap();
+        }
+        let model = g.current_model().unwrap();
+        assert_eq!(covered_blocks(model), vec![3, 4, 5]);
+        assert_eq!(g.window_start(), Some(BlockId(3)));
+        assert_eq!(g.slot_starts(), vec![BlockId(3), BlockId(4), BlockId(5)]);
+    }
+
+    #[test]
+    fn warmup_covers_all_blocks_before_window_fills() {
+        let mut g = gemm_with(4, BlockSelector::all());
+        g.add_block(marker_block(1, 4)).unwrap();
+        g.add_block(marker_block(2, 4)).unwrap();
+        let model = g.current_model().unwrap();
+        assert_eq!(covered_blocks(model), vec![1, 2]);
+        assert_eq!(g.window_start(), Some(BlockId(1)));
+    }
+
+    #[test]
+    fn window_independent_bss_selects_by_block_id() {
+        // BSS ⟨10110…⟩ repeated: bits of blocks 1..=5 are 1,0,1,1,0.
+        let wi = BlockSelector::WindowIndependent(WiBss::Explicit {
+            bits: vec![true, false, true, true, false],
+            tail: false,
+        });
+        let mut g = gemm_with(3, wi);
+        for id in 1..=4u64 {
+            g.add_block(marker_block(id, 4)).unwrap();
+        }
+        // Window D[2,4]: selected blocks are 3 and 4 (paper's example).
+        assert_eq!(covered_blocks(g.current_model().unwrap()), vec![3, 4]);
+        let stats = g.add_block(marker_block(5, 4)).unwrap();
+        // Window D[3,5]: block 5 has bit 0 → not absorbed; model covers 3,4.
+        assert!(!stats.absorbed_into_current);
+        assert_eq!(covered_blocks(g.current_model().unwrap()), vec![3, 4]);
+    }
+
+    #[test]
+    fn window_relative_bss_moves_with_window() {
+        // Pattern ⟨101⟩ over a window of 3: select positions 1 and 3.
+        let wr = BlockSelector::WindowRelative(WrBss::new(vec![true, false, true]));
+        let mut g = gemm_with(3, wr);
+        for id in 1..=3u64 {
+            g.add_block(marker_block(id, 4)).unwrap();
+        }
+        // Window D[1,3]: positions 1,3 → blocks 1 and 3.
+        assert_eq!(covered_blocks(g.current_model().unwrap()), vec![1, 3]);
+        g.add_block(marker_block(4, 4)).unwrap();
+        // Window D[2,4]: positions 1,3 → blocks 2 and 4 (paper §3.2.2).
+        assert_eq!(covered_blocks(g.current_model().unwrap()), vec![2, 4]);
+        g.add_block(marker_block(5, 4)).unwrap();
+        // Window D[3,5]: blocks 3 and 5.
+        assert_eq!(covered_blocks(g.current_model().unwrap()), vec![3, 5]);
+    }
+
+    #[test]
+    fn current_model_matches_scratch_mining() {
+        // Cross-check GEMM's incremental state against batch mining of the
+        // same selection, for a nontrivial window-relative BSS.
+        let wr = BlockSelector::WindowRelative(WrBss::new(vec![true, true, false, true]));
+        let mut g = gemm_with(4, wr).with_retirement(false);
+        for id in 1..=7u64 {
+            g.add_block(marker_block(id, 4)).unwrap();
+        }
+        let selected = BlockSelector::WindowRelative(WrBss::new(vec![true, true, false, true]))
+            .selected_in_window(BlockId(4), 4, BlockId(7));
+        assert_eq!(selected, vec![BlockId(4), BlockId(5), BlockId(7)]);
+        assert_eq!(
+            covered_blocks(g.current_model().unwrap()),
+            vec![4, 5, 7]
+        );
+        // Batch-mine the same blocks on a scratch store.
+        let mut store = TxStore::new(16);
+        for id in 1..=7u64 {
+            store.add_block(marker_block(id, 4));
+        }
+        let batch = FrequentItemsets::mine_from(&store, &selected, k(0.05)).unwrap();
+        let model = g.current_model().unwrap();
+        assert_eq!(model.frequent(), batch.frequent());
+    }
+
+    #[test]
+    fn disk_shelf_roundtrips_models() {
+        let dir = std::env::temp_dir().join(format!("demon-gemm-test-{}", std::process::id()));
+        let maintainer = ItemsetMaintainer::new(16, k(0.05), CounterKind::Ecut);
+        let mut g = Gemm::new(maintainer, 3, BlockSelector::all())
+            .unwrap()
+            .with_shelf(ShelfMode::Disk(dir.clone()))
+            .unwrap();
+        for id in 1..=5u64 {
+            g.add_block(marker_block(id, 4)).unwrap();
+        }
+        assert_eq!(covered_blocks(g.current_model().unwrap()), vec![3, 4, 5]);
+        // Future-window models are loadable from the shelf.
+        let f = g.future_model(BlockId(5)).unwrap();
+        assert_eq!(covered_blocks(&f), vec![5]);
+        // Shelf files exist for the off-line slots only.
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_offline_matches_sequential() {
+        let mk = || {
+            let maintainer = ItemsetMaintainer::new(16, k(0.05), CounterKind::Ecut);
+            Gemm::new(maintainer, 4, BlockSelector::all()).unwrap()
+        };
+        let mut seq = mk();
+        let mut par = mk().with_parallel_offline(true);
+        for id in 1..=6u64 {
+            seq.add_block(marker_block(id, 4)).unwrap();
+            par.add_block(marker_block(id, 4)).unwrap();
+        }
+        assert_eq!(
+            seq.current_model().unwrap().frequent(),
+            par.current_model().unwrap().frequent()
+        );
+        for start in seq.slot_starts() {
+            let a = seq.future_model(start).unwrap();
+            let b = par.future_model(start).unwrap();
+            assert_eq!(a.frequent(), b.frequent());
+        }
+    }
+
+    #[test]
+    fn retirement_drops_out_of_window_blocks() {
+        let mut g = gemm_with(2, BlockSelector::all());
+        for id in 1..=4u64 {
+            g.add_block(marker_block(id, 4)).unwrap();
+        }
+        // Window is D[3,4]; blocks 1 and 2 must be gone from the store.
+        assert!(g.maintainer().store().block(BlockId(1)).is_none());
+        assert!(g.maintainer().store().block(BlockId(2)).is_none());
+        assert!(g.maintainer().store().block(BlockId(3)).is_some());
+    }
+
+    #[test]
+    fn stats_report_absorption() {
+        let wi = BlockSelector::WindowIndependent(WiBss::Periodic {
+            pattern: vec![true, false],
+        });
+        let mut g = gemm_with(3, wi);
+        let s1 = g.add_block(marker_block(1, 4)).unwrap();
+        assert!(s1.absorbed_into_current);
+        let s2 = g.add_block(marker_block(2, 4)).unwrap();
+        assert!(!s2.absorbed_into_current);
+        assert_eq!(s2.offline_absorbed, 0);
+        let s3 = g.add_block(marker_block(3, 4)).unwrap();
+        assert!(s3.absorbed_into_current);
+        // Slots at starts 1,2,3 all have bit(D3)=1 under the periodic BSS;
+        // two of them are off-line.
+        assert_eq!(s3.offline_absorbed, 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! The DEMON engine: data span dimension, block selection sequences, and
+//! the **GEMM** generic model maintainer.
+//!
+//! This crate ties the substrates together into the framework of the
+//! paper's Figure 11 — the problem-space matrix of
+//! {unrestricted window, most recent window} × {model maintenance, pattern
+//! detection}:
+//!
+//! * [`bss`] — block selection sequences: window-independent and
+//!   window-relative bit sequences, with the **projection** and
+//!   **right-shift** operations of §3.2;
+//! * [`maintainer`] — the [`ModelMaintainer`] abstraction GEMM is generic
+//!   over, with the two instantiations of §3.1:
+//!   [`maintainer::ItemsetMaintainer`] (BORDERS + ECUT/ECUT+) and
+//!   [`maintainer::ClusterMaintainer`] (BIRCH+);
+//! * [`gemm`] — the generic most-recent-window algorithm: maintain one
+//!   model per future window overlapping the current one, updating the
+//!   time-critical model first (its cost is the *response time*) and the
+//!   rest off-line, optionally parallel and optionally shelved to disk;
+//! * [`aum`] — the direct add/delete maintainer (`AuM`, §3.2.4) used as
+//!   the GEMM ablation baseline;
+//! * [`engine`] — a small facade selecting the data span option;
+//! * [`report`] — calendar-style reporting of block sequences for the
+//!   web-trace experiments;
+//! * [`monitor`] — the full Figure-11 composition: model maintenance and
+//!   pattern detection over one stream.
+//!
+//! # Example
+//!
+//! GEMM over a window of two blocks, with the window-relative BSS ⟨01⟩
+//! ("only the newest block of the window"):
+//!
+//! ```
+//! use demon_core::bss::{BlockSelector, WrBss};
+//! use demon_core::{Gemm, ItemsetMaintainer};
+//! use demon_itemsets::CounterKind;
+//! use demon_types::{Block, BlockId, Item, ItemSet, MinSupport, Tid, Transaction};
+//!
+//! let maintainer = ItemsetMaintainer::new(8, MinSupport::new(0.2)?, CounterKind::Ecut);
+//! let bss = BlockSelector::WindowRelative(WrBss::new(vec![false, true]));
+//! let mut gemm = Gemm::new(maintainer, 2, bss)?;
+//! for id in 1..=3u64 {
+//!     let txs = (0..10)
+//!         .map(|i| Transaction::new(Tid(id * 100 + i), vec![Item(id as u32)]))
+//!         .collect();
+//!     gemm.add_block(Block::new(BlockId(id), txs))?;
+//! }
+//! // Window D[2,3], position-2 bit set → the model covers block 3 only.
+//! let model = gemm.current_model().unwrap();
+//! assert!(model.is_frequent(&ItemSet::from_ids(&[3])));
+//! assert!(!model.is_frequent(&ItemSet::from_ids(&[2])));
+//! # Ok::<(), demon_types::DemonError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aum;
+pub mod bss;
+pub mod engine;
+pub mod gemm;
+pub mod maintainer;
+pub mod monitor;
+pub mod report;
+
+pub use bss::{BlockSelector, WiBss};
+pub use engine::{DataSpan, DemonEngine};
+pub use gemm::{Gemm, GemmStats, ShelfMode};
+pub use maintainer::{ClusterMaintainer, ItemsetMaintainer, ModelMaintainer, TreeMaintainer};
+pub use monitor::{DemonMonitor, MonitorStats};

@@ -1,0 +1,187 @@
+//! The full DEMONic view (paper Figure 11): **model maintenance** and
+//! **pattern detection**, each under either data span option, over one
+//! evolving block stream.
+//!
+//! [`DemonMonitor`] feeds every arriving block to a maintenance engine
+//! (UW or GEMM) *and* to a compact-sequence miner (unrestricted or
+//! windowed), so an application gets the up-to-date model and the
+//! evolving block-similarity patterns from a single `add_block` call —
+//! the paper's two problem dimensions composed.
+
+use crate::engine::{DataSpan, DemonEngine, EngineStats};
+use crate::maintainer::ModelMaintainer;
+use demon_focus::compact::{CompactSequenceMiner, CompactStats};
+use demon_focus::similarity::SimilarityOracle;
+use demon_focus::windowed::WindowedCompactMiner;
+use demon_types::{Block, BlockId, Result};
+
+/// Combined per-block statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MonitorStats {
+    /// Model-maintenance timing.
+    pub maintenance: EngineStats,
+    /// Pattern-detection timing.
+    pub patterns: CompactStats,
+}
+
+enum PatternMiner<O, R>
+where
+    O: SimilarityOracle<R>,
+{
+    Unrestricted(CompactSequenceMiner<O, R>),
+    MostRecent(WindowedCompactMiner<O, R>),
+}
+
+/// The unified monitor over one block stream.
+pub struct DemonMonitor<M, O>
+where
+    M: ModelMaintainer + Sync,
+    M::Record: Clone,
+    O: SimilarityOracle<M::Record>,
+{
+    engine: DemonEngine<M>,
+    miner: PatternMiner<O, M::Record>,
+}
+
+impl<M, O> DemonMonitor<M, O>
+where
+    M: ModelMaintainer + Sync,
+    M::Record: Clone,
+    O: SimilarityOracle<M::Record>,
+{
+    /// Builds the monitor: `span` picks the maintenance quadrant,
+    /// `pattern_window` picks the pattern-detection quadrant (`None` =
+    /// unrestricted, `Some(w)` = most recent `w` blocks).
+    pub fn new(
+        maintainer: M,
+        span: DataSpan,
+        oracle: O,
+        pattern_window: Option<usize>,
+    ) -> Result<Self> {
+        let engine = DemonEngine::new(maintainer, span)?;
+        let miner = match pattern_window {
+            None => PatternMiner::Unrestricted(CompactSequenceMiner::new(oracle)),
+            Some(w) => PatternMiner::MostRecent(WindowedCompactMiner::new(oracle, w)),
+        };
+        Ok(DemonMonitor { engine, miner })
+    }
+
+    /// Processes the next arriving block through both dimensions.
+    pub fn add_block(&mut self, block: Block<M::Record>) -> Result<MonitorStats> {
+        let maintenance = self.engine.add_block(block.clone())?;
+        let patterns = match &mut self.miner {
+            PatternMiner::Unrestricted(m) => m.add_block(block),
+            PatternMiner::MostRecent(m) => m.add_block(block),
+        };
+        Ok(MonitorStats {
+            maintenance,
+            patterns,
+        })
+    }
+
+    /// The currently required model.
+    pub fn model(&self) -> Option<&M::Model> {
+        self.engine.current_model()
+    }
+
+    /// The maintenance engine.
+    pub fn engine(&self) -> &DemonEngine<M> {
+        &self.engine
+    }
+
+    /// The current (maximal for UW, live for MRW) block sequences.
+    pub fn sequences(&self) -> Vec<Vec<BlockId>> {
+        match &self.miner {
+            PatternMiner::Unrestricted(m) => m.maximal_sequences(),
+            PatternMiner::MostRecent(m) => m.sequences(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bss::{BlockSelector, WiBss};
+    use crate::maintainer::ItemsetMaintainer;
+    use demon_focus::similarity::{ItemsetSimilarity, SimilarityConfig};
+    use demon_itemsets::CounterKind;
+    use demon_types::{Item, ItemSet, MinSupport, Tid, Transaction, TxBlock};
+
+    /// Blocks alternate between two item populations.
+    fn block(id: u64, family: u32) -> TxBlock {
+        TxBlock::new(
+            BlockId(id),
+            (0..30)
+                .map(|i| {
+                    Transaction::new(
+                        Tid(id * 1000 + i),
+                        vec![Item(family * 2), Item(family * 2 + 1)],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn oracle() -> ItemsetSimilarity {
+        ItemsetSimilarity::new(
+            8,
+            MinSupport::new(0.1).unwrap(),
+            SimilarityConfig::Threshold { alpha: 0.2 },
+        )
+    }
+
+    #[test]
+    fn monitor_maintains_model_and_patterns_together() {
+        let maintainer = ItemsetMaintainer::new(8, MinSupport::new(0.1).unwrap(), CounterKind::Ecut);
+        let mut monitor = DemonMonitor::new(
+            maintainer,
+            DataSpan::MostRecent {
+                w: 3,
+                selector: BlockSelector::all(),
+            },
+            oracle(),
+            None,
+        )
+        .unwrap();
+        for id in 1..=6u64 {
+            let stats = monitor.add_block(block(id, (id % 2) as u32)).unwrap();
+            assert!(stats.maintenance.absorbed);
+        }
+        // Model: last 3 blocks (families 1,0,1) — both families frequent.
+        let model = monitor.model().unwrap();
+        assert!(model.is_frequent(&ItemSet::from_ids(&[0, 1])));
+        assert!(model.is_frequent(&ItemSet::from_ids(&[2, 3])));
+        // Patterns: the two alternating families form the two maximal runs.
+        let seqs = monitor.sequences();
+        let evens: Vec<BlockId> = [2u64, 4, 6].map(BlockId).to_vec();
+        let odds: Vec<BlockId> = [1u64, 3, 5].map(BlockId).to_vec();
+        assert!(seqs.contains(&evens), "{seqs:?}");
+        assert!(seqs.contains(&odds), "{seqs:?}");
+    }
+
+    #[test]
+    fn monitor_with_windowed_patterns_retires_old_sequences() {
+        let maintainer = ItemsetMaintainer::new(8, MinSupport::new(0.1).unwrap(), CounterKind::Ecut);
+        let mut monitor = DemonMonitor::new(
+            maintainer,
+            DataSpan::Unrestricted(WiBss::All),
+            oracle(),
+            Some(3),
+        )
+        .unwrap();
+        for id in 1..=7u64 {
+            monitor.add_block(block(id, (id % 2) as u32)).unwrap();
+        }
+        // UW model covers everything…
+        assert_eq!(
+            monitor.model().unwrap().n_transactions(),
+            7 * 30
+        );
+        // …while the pattern window only holds the last 3 blocks.
+        for seq in monitor.sequences() {
+            for b in seq {
+                assert!(b.value() >= 5, "retired block {b} still in a sequence");
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Gaussian cluster data generator in the style of Agrawal et al.
+//! (SIGMOD '98), used for the BIRCH / BIRCH+ experiments.
+//!
+//! The paper denotes datasets `NM.Kc.dd`: `N` million points, `K` clusters,
+//! `d` dimensions, distributed over all dimensions, with a configurable
+//! fraction of uniformly-distributed noise points ("2% uniformly distributed
+//! noise points to perturb the cluster centers", §5.2).
+
+use demon_types::Point;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the cluster generator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterParams {
+    /// Number of points to generate (`N` in `NM`).
+    pub n_points: usize,
+    /// Number of clusters (`K` in `Kc`).
+    pub k: usize,
+    /// Dimensionality (`d` in `dd`).
+    pub dim: usize,
+    /// Fraction of points drawn uniformly from the domain instead of a
+    /// cluster (the paper uses 0.02).
+    pub noise_fraction: f64,
+    /// Standard deviation of each Gaussian cluster.
+    pub sigma: f64,
+    /// The data domain is the hyper-cube `[0, domain]^d`.
+    pub domain: f64,
+}
+
+impl ClusterParams {
+    /// Builds parameters from the paper's `NM.Kc.dd` notation, e.g.
+    /// `"1M.50c.5d"`. `scale` multiplies the point count.
+    pub fn parse(spec: &str, scale: f64) -> Result<Self, String> {
+        let mut p = ClusterParams::default();
+        for part in spec.split('.') {
+            let end = part
+                .char_indices()
+                .take_while(|(_, c)| c.is_ascii_digit())
+                .map(|(i, c)| i + c.len_utf8())
+                .last()
+                .ok_or_else(|| format!("malformed component {part:?} in {spec:?}"))?;
+            let num: f64 = part[..end]
+                .parse()
+                .map_err(|_| format!("bad number in {part:?}"))?;
+            match &part[end..] {
+                "M" => p.n_points = (num * 1_000_000.0 * scale).round() as usize,
+                "K" => p.n_points = (num * 1_000.0 * scale).round() as usize,
+                "c" => p.k = num as usize,
+                "d" => p.dim = num as usize,
+                other => return Err(format!("unknown suffix {other:?} in {spec:?}")),
+            }
+        }
+        if p.n_points == 0 || p.k == 0 || p.dim == 0 {
+            return Err(format!("degenerate parameters parsed from {spec:?}"));
+        }
+        Ok(p)
+    }
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            n_points: 10_000,
+            k: 10,
+            dim: 2,
+            noise_fraction: 0.02,
+            sigma: 1.0,
+            domain: 100.0,
+        }
+    }
+}
+
+/// The generator: fixes `k` well-separated centers at construction, then
+/// streams points. Blocks of the same evolving database are successive
+/// slices of one generator, so all blocks share the same ground truth.
+pub struct ClusterDataGen {
+    params: ClusterParams,
+    centers: Vec<Point>,
+    normal: Normal<f64>,
+    rng: StdRng,
+}
+
+impl ClusterDataGen {
+    /// Builds the generator, drawing `k` centers uniformly in the domain
+    /// subject to a minimum pairwise separation of `4·σ` (best effort:
+    /// after a bounded number of rejections the separation constraint is
+    /// relaxed so construction always terminates).
+    pub fn new(params: ClusterParams, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centers: Vec<Point> = Vec::with_capacity(params.k);
+        let min_sep2 = (4.0 * params.sigma) * (4.0 * params.sigma);
+        let mut attempts = 0usize;
+        while centers.len() < params.k {
+            let c = Point::new((0..params.dim).map(|_| rng.gen_range(0.0..params.domain)).collect());
+            attempts += 1;
+            let ok = attempts > 100 * params.k
+                || centers.iter().all(|existing| existing.dist2(&c) >= min_sep2);
+            if ok {
+                centers.push(c);
+            }
+        }
+        let normal = Normal::new(0.0, params.sigma).expect("sigma must be finite positive");
+        ClusterDataGen {
+            params,
+            centers,
+            normal,
+            rng,
+        }
+    }
+
+    /// The ground-truth cluster centers.
+    pub fn centers(&self) -> &[Point] {
+        &self.centers
+    }
+
+    /// The parameters this generator was built with.
+    pub fn params(&self) -> &ClusterParams {
+        &self.params
+    }
+
+    /// Generates the next point: uniform noise with probability
+    /// `noise_fraction`, otherwise Gaussian around a random center.
+    pub fn next_point(&mut self) -> Point {
+        self.next_labeled().0
+    }
+
+    /// Generates the next point together with its ground-truth label: the
+    /// index of the generating center, or the nearest center for noise
+    /// points. Feeds the decision-tree experiments, where the cluster of
+    /// origin doubles as the class.
+    pub fn next_labeled(&mut self) -> (Point, u32) {
+        if self.rng.gen::<f64>() < self.params.noise_fraction {
+            let p = Point::new(
+                (0..self.params.dim)
+                    .map(|_| self.rng.gen_range(0.0..self.params.domain))
+                    .collect(),
+            );
+            let label = self
+                .centers
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.dist2(&p).total_cmp(&b.1.dist2(&p)))
+                .map(|(i, _)| i as u32)
+                .unwrap_or(0);
+            return (p, label);
+        }
+        let ci = self.rng.gen_range(0..self.centers.len());
+        let center = self.centers[ci].coords();
+        let p = Point::new(
+            (0..self.params.dim)
+                .map(|d| center[d] + self.normal.sample(&mut self.rng))
+                .collect(),
+        );
+        (p, ci as u32)
+    }
+
+    /// Generates the next `n` labeled points.
+    pub fn take_labeled(&mut self, n: usize) -> Vec<(Point, u32)> {
+        (0..n).map(|_| self.next_labeled()).collect()
+    }
+
+    /// Generates the next `n` points.
+    pub fn take_points(&mut self, n: usize) -> Vec<Point> {
+        (0..n).map(|_| self.next_point()).collect()
+    }
+
+    /// Generates all `params.n_points` points.
+    pub fn generate_all(&mut self) -> Vec<Point> {
+        self.take_points(self.params.n_points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> ClusterParams {
+        ClusterParams {
+            n_points: 1000,
+            k: 5,
+            dim: 3,
+            sigma: 1.0,
+            domain: 100.0,
+            noise_fraction: 0.02,
+        }
+    }
+
+    #[test]
+    fn parse_paper_notation() {
+        let p = ClusterParams::parse("1M.50c.5d", 1.0).unwrap();
+        assert_eq!(p.n_points, 1_000_000);
+        assert_eq!(p.k, 50);
+        assert_eq!(p.dim, 5);
+        let q = ClusterParams::parse("800K.50c.5d", 0.5).unwrap();
+        assert_eq!(q.n_points, 400_000);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ClusterParams::parse("1M.xc", 1.0).is_err());
+        assert!(ClusterParams::parse("blah", 1.0).is_err());
+        assert!(ClusterParams::parse("0M.5c.2d", 1.0).is_err());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = ClusterDataGen::new(small_params(), 42);
+        let mut b = ClusterDataGen::new(small_params(), 42);
+        assert_eq!(a.centers(), b.centers());
+        assert_eq!(a.take_points(100), b.take_points(100));
+    }
+
+    #[test]
+    fn centers_are_separated() {
+        let g = ClusterDataGen::new(small_params(), 1);
+        let cs = g.centers();
+        assert_eq!(cs.len(), 5);
+        for i in 0..cs.len() {
+            for j in i + 1..cs.len() {
+                assert!(cs[i].dist(&cs[j]) >= 4.0, "centers {i},{j} too close");
+            }
+        }
+    }
+
+    #[test]
+    fn points_are_in_or_near_domain() {
+        let mut g = ClusterDataGen::new(small_params(), 2);
+        for p in g.take_points(500) {
+            assert_eq!(p.dim(), 3);
+            for &c in p.coords() {
+                // Gaussian tails can exceed the domain slightly.
+                assert!(c > -10.0 && c < 110.0, "coordinate {c} far out of domain");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_point_at_generating_center() {
+        let mut g = ClusterDataGen::new(
+            ClusterParams {
+                noise_fraction: 0.0,
+                ..small_params()
+            },
+            9,
+        );
+        let centers = g.centers().to_vec();
+        for (p, label) in g.take_labeled(300) {
+            // With σ=1 and 4σ-separated centers, the generating center is
+            // the nearest one.
+            let nearest = centers
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.dist2(&p).total_cmp(&b.1.dist2(&p)))
+                .map(|(i, _)| i as u32)
+                .unwrap();
+            assert_eq!(label, nearest);
+        }
+    }
+
+    #[test]
+    fn noise_points_get_nearest_center_label() {
+        let mut g = ClusterDataGen::new(
+            ClusterParams {
+                noise_fraction: 1.0,
+                ..small_params()
+            },
+            10,
+        );
+        for (_, label) in g.take_labeled(50) {
+            assert!((label as usize) < 5);
+        }
+    }
+
+    #[test]
+    fn most_points_lie_near_some_center() {
+        let mut g = ClusterDataGen::new(small_params(), 3);
+        let centers = g.centers().to_vec();
+        let pts = g.take_points(1000);
+        let near = pts
+            .iter()
+            .filter(|p| centers.iter().any(|c| p.dist(c) <= 4.0))
+            .count();
+        // ~98% of points are cluster members; with σ=1 and d=3 almost all
+        // members fall within 4σ of their center.
+        assert!(near >= 900, "only {near}/1000 points near a center");
+    }
+}

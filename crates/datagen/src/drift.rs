@@ -1,0 +1,177 @@
+//! A Quest stream with scheduled **concept drift** — the data-generating
+//! process behind the paper's §2.2 motivation: "Popularity of most toys
+//! is short-lived … mining over the entire database may dilute some
+//! patterns that may be visible if only the most recent window is
+//! analyzed."
+//!
+//! The generator holds several independently seeded pattern pools
+//! ("regimes") and a schedule assigning one regime to each block. Blocks
+//! within a regime are statistically exchangeable; regime switches change
+//! the frequent itemsets.
+
+use crate::quest::{QuestGen, QuestParams};
+use demon_types::{Block, BlockId, Tid, Transaction, TxBlock};
+
+/// A Quest stream whose pattern pool switches per block according to a
+/// schedule.
+pub struct DriftingQuestGen {
+    regimes: Vec<QuestGen>,
+    /// `schedule[i]` = regime of block `i+1`; blocks beyond the schedule
+    /// reuse its last entry.
+    schedule: Vec<usize>,
+    next_block: u64,
+    next_tid: u64,
+}
+
+impl DriftingQuestGen {
+    /// Builds `n_regimes` pools from `params` with seeds
+    /// `seed, seed+1, …`, following `schedule`.
+    pub fn new(params: QuestParams, n_regimes: usize, seed: u64, schedule: Vec<usize>) -> Self {
+        assert!(n_regimes >= 1, "need at least one regime");
+        assert!(
+            schedule.iter().all(|&r| r < n_regimes),
+            "schedule references an unknown regime"
+        );
+        assert!(!schedule.is_empty(), "schedule cannot be empty");
+        let regimes = (0..n_regimes)
+            .map(|r| QuestGen::new(params.clone(), seed + r as u64))
+            .collect();
+        DriftingQuestGen {
+            regimes,
+            schedule,
+            next_block: 1,
+            next_tid: 1,
+        }
+    }
+
+    /// A two-regime schedule that switches once after `switch_at` blocks —
+    /// the "new toy line launches" scenario.
+    pub fn switch_once(params: QuestParams, seed: u64, switch_at: usize, total: usize) -> Self {
+        assert!(switch_at < total, "switch must fall inside the stream");
+        let mut schedule = vec![0usize; switch_at];
+        schedule.extend(std::iter::repeat_n(1, total - switch_at));
+        Self::new(params, 2, seed, schedule)
+    }
+
+    /// The regime of block `id`.
+    pub fn regime_of(&self, id: BlockId) -> usize {
+        let i = id.index().min(self.schedule.len() - 1);
+        self.schedule[i]
+    }
+
+    /// Generates the next block with `n` transactions.
+    pub fn next_block(&mut self, n: usize) -> TxBlock {
+        let id = BlockId(self.next_block);
+        self.next_block += 1;
+        let regime = self.regime_of(id);
+        let txs: Vec<Transaction> = self.regimes[regime]
+            .take_transactions(n)
+            .into_iter()
+            .map(|t| {
+                let tx = Transaction::from_sorted(Tid(self.next_tid), t.items().to_vec());
+                self.next_tid += 1;
+                tx
+            })
+            .collect();
+        Block::new(id, txs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demon_types::Item;
+
+    fn params() -> QuestParams {
+        QuestParams {
+            n_transactions: 0,
+            avg_tx_len: 6.0,
+            n_items: 100,
+            n_patterns: 30,
+            avg_pattern_len: 3.0,
+            ..QuestParams::default()
+        }
+    }
+
+    fn item_histogram(block: &TxBlock) -> Vec<u32> {
+        let mut h = vec![0u32; 100];
+        for tx in block.records() {
+            for &it in tx.items() {
+                h[it.index()] += 1;
+            }
+        }
+        h
+    }
+
+    fn l1_distance(a: &[u32], b: &[u32]) -> u64 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| u64::from(x.abs_diff(y)))
+            .sum()
+    }
+
+    #[test]
+    fn schedule_controls_the_regime() {
+        let g = DriftingQuestGen::new(params(), 2, 5, vec![0, 0, 1, 0]);
+        assert_eq!(g.regime_of(BlockId(1)), 0);
+        assert_eq!(g.regime_of(BlockId(3)), 1);
+        assert_eq!(g.regime_of(BlockId(4)), 0);
+        // Past the schedule: last entry repeats.
+        assert_eq!(g.regime_of(BlockId(9)), 0);
+    }
+
+    #[test]
+    fn switch_once_builds_expected_schedule() {
+        let g = DriftingQuestGen::switch_once(params(), 5, 2, 5);
+        assert_eq!(g.regime_of(BlockId(1)), 0);
+        assert_eq!(g.regime_of(BlockId(2)), 0);
+        assert_eq!(g.regime_of(BlockId(3)), 1);
+        assert_eq!(g.regime_of(BlockId(5)), 1);
+    }
+
+    #[test]
+    fn same_regime_blocks_are_closer_than_cross_regime() {
+        let mut g = DriftingQuestGen::new(params(), 2, 7, vec![0, 0, 1]);
+        let b1 = g.next_block(2000);
+        let b2 = g.next_block(2000);
+        let b3 = g.next_block(2000);
+        let (h1, h2, h3) = (item_histogram(&b1), item_histogram(&b2), item_histogram(&b3));
+        let same = l1_distance(&h1, &h2);
+        let cross = l1_distance(&h1, &h3);
+        assert!(
+            cross > same * 2,
+            "cross-regime distance {cross} should dwarf same-regime {same}"
+        );
+    }
+
+    #[test]
+    fn tids_and_block_ids_are_globally_monotonic() {
+        let mut g = DriftingQuestGen::switch_once(params(), 1, 1, 3);
+        let mut last_tid = 0u64;
+        for expect_id in 1..=3u64 {
+            let b = g.next_block(50);
+            assert_eq!(b.id(), BlockId(expect_id));
+            for tx in b.records() {
+                assert!(tx.tid().value() > last_tid);
+                last_tid = tx.tid().value();
+            }
+        }
+    }
+
+    #[test]
+    fn items_stay_in_domain_across_regimes() {
+        let mut g = DriftingQuestGen::new(params(), 3, 2, vec![0, 1, 2]);
+        for _ in 0..3 {
+            let b = g.next_block(200);
+            for tx in b.records() {
+                assert!(tx.items().iter().all(|i| *i < Item(100)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown regime")]
+    fn rejects_bad_schedule() {
+        DriftingQuestGen::new(params(), 2, 0, vec![0, 2]);
+    }
+}

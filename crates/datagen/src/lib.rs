@@ -1,0 +1,48 @@
+//! Synthetic data generators for the DEMON experiments.
+//!
+//! Three generators reproduce the paper's data sources:
+//!
+//! * [`quest`] — the IBM Quest market-basket generator of Agrawal &
+//!   Srikant (VLDB '94), with the paper's `NM.tlL.|I|I.NpPats.pPlen`
+//!   parameterization (e.g. `2M.20L.1I.4pats.4plen`);
+//! * [`clusters`] — the Gaussian-cluster generator in the style of Agrawal
+//!   et al. (SIGMOD '98) used for the BIRCH experiments (`NM.Kc.dd` plus a
+//!   uniform-noise fraction);
+//! * [`webtrace`] — a synthetic web-proxy request stream standing in for
+//!   the 1996 DEC traces, with planted diurnal/weekly/holiday structure so
+//!   that the compact-sequence experiments exercise the same code path.
+//!
+//! A fourth generator, [`drift`], schedules regime switches over a Quest
+//! stream — the data process behind the paper's "popularity of most toys
+//! is short-lived" motivation.
+//!
+//! Every generator is deterministic given its seed.
+//!
+//! # Example
+//!
+//! ```
+//! use demon_datagen::{QuestGen, QuestParams};
+//!
+//! // The paper's dataset notation, scaled to laptop size.
+//! let params = QuestParams::parse("2M.20L.1I.4pats.4plen", 0.001).unwrap();
+//! assert_eq!(params.n_transactions, 2_000);
+//! let mut gen = QuestGen::new(params, 42);
+//! let txs = gen.take_transactions(100);
+//! assert_eq!(txs.len(), 100);
+//! // TIDs increase in arrival order — the property per-block TID-lists
+//! // are built on.
+//! assert!(txs.windows(2).all(|w| w[0].tid() < w[1].tid()));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clusters;
+pub mod drift;
+pub mod quest;
+pub mod webtrace;
+
+pub use clusters::{ClusterDataGen, ClusterParams};
+pub use drift::DriftingQuestGen;
+pub use quest::{QuestGen, QuestParams};
+pub use webtrace::{Request, WebTraceConfig, WebTraceGen};

@@ -1,0 +1,368 @@
+//! The IBM Quest synthetic transaction generator (Agrawal & Srikant, VLDB '94).
+//!
+//! The generator first builds a pool of *potentially large itemsets*
+//! ("patterns"): itemset sizes are Poisson-distributed around the mean
+//! pattern length, consecutive patterns share a geometrically-decaying
+//! fraction of items (the *correlation level*), each pattern carries an
+//! exponentially-distributed selection weight, and a per-pattern *corruption
+//! level* drawn from a clipped normal. Transactions are then assembled by
+//! repeatedly picking weighted patterns, dropping items from them according
+//! to the corruption level, and packing them until the Poisson-distributed
+//! transaction length is reached.
+//!
+//! The DEMON paper names datasets `NM.tlL.|I|I.NpPats.pPlen`; the
+//! [`QuestParams::parse`] constructor accepts exactly that notation.
+
+use demon_types::{Item, Tid, Transaction};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Exp1, Normal, Poisson};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Quest generator.
+///
+/// Defaults mirror AS94: correlation 0.5, corruption mean 0.5 / σ 0.1.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuestParams {
+    /// Number of transactions to generate (`N` in `NM`).
+    pub n_transactions: usize,
+    /// Average transaction length (`tl` in `tlL`), Poisson mean.
+    pub avg_tx_len: f64,
+    /// Number of distinct items (`|I|` in `|I|I`, stored un-multiplied).
+    pub n_items: u32,
+    /// Number of potentially large itemsets (`Np` in `NpPats`).
+    pub n_patterns: usize,
+    /// Average pattern length (`p` in `pPlen`), Poisson mean.
+    pub avg_pattern_len: f64,
+    /// Fraction of items a pattern shares with its predecessor.
+    pub correlation: f64,
+    /// Mean of the per-pattern corruption level.
+    pub corruption_mean: f64,
+    /// Std-dev of the per-pattern corruption level.
+    pub corruption_dev: f64,
+}
+
+impl QuestParams {
+    /// Builds parameters from the paper's dataset notation, e.g.
+    /// `"2M.20L.1I.4pats.4plen"` = 2 M transactions, average length 20,
+    /// 1 000 items, 4 000 patterns, average pattern length 4.
+    ///
+    /// `scale` multiplies the transaction count (the paper's absolute sizes
+    /// target 1996 hardware; benches default to a laptop-friendly scale).
+    pub fn parse(spec: &str, scale: f64) -> Result<Self, String> {
+        let mut p = QuestParams::default();
+        for part in spec.split('.') {
+            let (num, suffix) = split_numeric_prefix(part)
+                .ok_or_else(|| format!("malformed component {part:?} in {spec:?}"))?;
+            match suffix {
+                "M" => p.n_transactions = (num * 1_000_000.0 * scale).round() as usize,
+                "K" => p.n_transactions = (num * 1_000.0 * scale).round() as usize,
+                "L" => p.avg_tx_len = num,
+                "I" => p.n_items = (num * 1000.0).round() as u32,
+                "pats" => p.n_patterns = (num * 1000.0).round() as usize,
+                "plen" | "npl" => p.avg_pattern_len = num,
+                other => return Err(format!("unknown suffix {other:?} in {spec:?}")),
+            }
+        }
+        if p.n_transactions == 0 || p.n_items == 0 {
+            return Err(format!("degenerate parameters parsed from {spec:?}"));
+        }
+        Ok(p)
+    }
+}
+
+impl Default for QuestParams {
+    fn default() -> Self {
+        QuestParams {
+            n_transactions: 10_000,
+            avg_tx_len: 10.0,
+            n_items: 1000,
+            n_patterns: 2000,
+            avg_pattern_len: 4.0,
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            corruption_dev: 0.1,
+        }
+    }
+}
+
+fn split_numeric_prefix(part: &str) -> Option<(f64, &str)> {
+    let end = part
+        .char_indices()
+        .take_while(|(_, c)| c.is_ascii_digit() || *c == '-')
+        .map(|(i, c)| i + c.len_utf8())
+        .last()?;
+    let num: f64 = part[..end].parse().ok()?;
+    Some((num, &part[end..]))
+}
+
+/// One potentially-large itemset of the pattern pool.
+#[derive(Clone, Debug)]
+struct Pattern {
+    items: Vec<Item>,
+    /// Cumulative selection weight (prefix sum over the pool).
+    cum_weight: f64,
+    corruption: f64,
+}
+
+/// The Quest generator. Construct once (building the pattern pool), then
+/// pull any number of transactions; generation is deterministic in
+/// `(params, seed)` and *streamable* — blocks of the same evolving database
+/// are successive slices of one generator.
+pub struct QuestGen {
+    params: QuestParams,
+    patterns: Vec<Pattern>,
+    total_weight: f64,
+    tx_len_dist: Poisson<f64>,
+    rng: StdRng,
+    next_tid: Tid,
+}
+
+impl QuestGen {
+    /// Builds the pattern pool from `params` with the given `seed`.
+    pub fn new(params: QuestParams, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let patterns = Self::build_patterns(&params, &mut rng);
+        let total_weight = patterns.last().map_or(0.0, |p| p.cum_weight);
+        let tx_len_dist =
+            Poisson::new(params.avg_tx_len.max(0.5)).expect("positive Poisson mean");
+        QuestGen {
+            params,
+            patterns,
+            total_weight,
+            tx_len_dist,
+            rng,
+            next_tid: Tid(1),
+        }
+    }
+
+    /// The parameters this generator was built with.
+    pub fn params(&self) -> &QuestParams {
+        &self.params
+    }
+
+    fn build_patterns(params: &QuestParams, rng: &mut StdRng) -> Vec<Pattern> {
+        let len_dist = poisson_at_least_one(params.avg_pattern_len);
+        let corr_dist = Normal::new(params.corruption_mean, params.corruption_dev)
+            .expect("corruption_dev must be finite and non-negative");
+        let mut patterns: Vec<Pattern> = Vec::with_capacity(params.n_patterns);
+        let mut cum = 0.0;
+        let mut prev_items: Vec<Item> = Vec::new();
+        for _ in 0..params.n_patterns {
+            let len = len_dist(rng).min(params.n_items as usize).max(1);
+            let mut items: Vec<Item> = Vec::with_capacity(len);
+            if !prev_items.is_empty() {
+                // Share an exponentially-distributed fraction (mean =
+                // correlation) of items with the previous pattern, as AS94
+                // prescribes.
+                let frac = (params.correlation * rng.sample::<f64, _>(Exp1)).min(1.0);
+                let n_shared = ((len as f64) * frac).round() as usize;
+                let mut prev = prev_items.clone();
+                prev.shuffle(rng);
+                items.extend(prev.into_iter().take(n_shared.min(len)));
+            }
+            while items.len() < len {
+                let it = Item(rng.gen_range(0..params.n_items));
+                if !items.contains(&it) {
+                    items.push(it);
+                }
+            }
+            items.sort_unstable();
+            items.dedup();
+            // Exponential weight with unit mean; normalization is implicit
+            // in sampling against the running total.
+            let w: f64 = rng.sample::<f64, _>(Exp1) + 1e-9;
+            cum += w;
+            let corruption = rng.sample(corr_dist).clamp(0.0, 1.0);
+            prev_items.clone_from(&items);
+            patterns.push(Pattern {
+                items,
+                cum_weight: cum,
+                corruption,
+            });
+        }
+        patterns
+    }
+
+    /// Picks a pattern index by weight (binary search over prefix sums).
+    fn pick_pattern(&mut self) -> usize {
+        let x = self.rng.gen_range(0.0..self.total_weight);
+        self.patterns
+            .partition_point(|p| p.cum_weight <= x)
+            .min(self.patterns.len() - 1)
+    }
+
+    /// Generates the next transaction of the stream.
+    pub fn next_transaction(&mut self) -> Transaction {
+        let target = (self.tx_len_dist.sample(&mut self.rng) as usize)
+            .max(1)
+            .min(self.params.n_items as usize);
+        let mut items: Vec<Item> = Vec::with_capacity(target + 4);
+        // Guard against pathological parameter corners (e.g. patterns whose
+        // corrupted form is always empty) with a bounded number of attempts.
+        let mut attempts = 0usize;
+        while items.len() < target && attempts < 8 * (target + 1) {
+            attempts += 1;
+            let pi = self.pick_pattern();
+            let corruption = self.patterns[pi].corruption;
+            let mut picked: Vec<Item> = self.patterns[pi].items.clone();
+            // AS94 corruption: keep dropping a random item as long as a
+            // uniform draw stays below the pattern's corruption level
+            // (expected drops ≈ c/(1−c) — most of the pattern survives,
+            // which is what makes its sub-itemsets frequent).
+            while !picked.is_empty() && self.rng.gen::<f64>() < corruption {
+                let idx = self.rng.gen_range(0..picked.len());
+                picked.swap_remove(idx);
+            }
+            if picked.is_empty() {
+                continue;
+            }
+            if items.len() + picked.len() > target {
+                // AS94: an overflowing pattern is kept in half the cases,
+                // otherwise deferred to the next transaction.
+                if self.rng.gen::<bool>() {
+                    items.extend(picked);
+                }
+                break;
+            }
+            items.extend(picked);
+        }
+        if items.is_empty() {
+            // Never emit an empty basket; fall back to one random item.
+            items.push(Item(self.rng.gen_range(0..self.params.n_items)));
+        }
+        let tid = self.next_tid;
+        self.next_tid = tid.next();
+        Transaction::new(tid, items)
+    }
+
+    /// Generates the next `n` transactions.
+    pub fn take_transactions(&mut self, n: usize) -> Vec<Transaction> {
+        (0..n).map(|_| self.next_transaction()).collect()
+    }
+
+    /// Generates all `params.n_transactions` transactions.
+    pub fn generate_all(&mut self) -> Vec<Transaction> {
+        self.take_transactions(self.params.n_transactions)
+    }
+}
+
+/// A Poisson sampler clamped to ≥ 1 (both transaction and pattern lengths
+/// in AS94 are "picked from a Poisson distribution" and must be non-empty).
+fn poisson_at_least_one(mean: f64) -> impl Fn(&mut StdRng) -> usize {
+    let dist = Poisson::new(mean.max(0.5)).expect("positive Poisson mean");
+    move |rng: &mut StdRng| (dist.sample(rng) as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> QuestParams {
+        QuestParams {
+            n_transactions: 500,
+            avg_tx_len: 8.0,
+            n_items: 100,
+            n_patterns: 50,
+            avg_pattern_len: 3.0,
+            ..QuestParams::default()
+        }
+    }
+
+    #[test]
+    fn parse_paper_notation() {
+        let p = QuestParams::parse("2M.20L.1I.4pats.4plen", 1.0).unwrap();
+        assert_eq!(p.n_transactions, 2_000_000);
+        assert_eq!(p.avg_tx_len, 20.0);
+        assert_eq!(p.n_items, 1000);
+        assert_eq!(p.n_patterns, 4000);
+        assert_eq!(p.avg_pattern_len, 4.0);
+    }
+
+    #[test]
+    fn parse_applies_scale_and_k_suffix() {
+        let p = QuestParams::parse("2M.20L.1I.4pats.4plen", 0.01).unwrap();
+        assert_eq!(p.n_transactions, 20_000);
+        let q = QuestParams::parse("400K.20L.1I.8pats.4npl", 1.0).unwrap();
+        assert_eq!(q.n_transactions, 400_000);
+        assert_eq!(q.n_patterns, 8000);
+        assert_eq!(q.avg_pattern_len, 4.0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(QuestParams::parse("2M.xyz", 1.0).is_err());
+        assert!(QuestParams::parse("nonsense", 1.0).is_err());
+        assert!(QuestParams::parse("0M.20L.1I.4pats.4plen", 1.0).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = QuestGen::new(small_params(), 7).take_transactions(50);
+        let b = QuestGen::new(small_params(), 7).take_transactions(50);
+        assert_eq!(a, b);
+        let c = QuestGen::new(small_params(), 8).take_transactions(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tids_increase_monotonically_from_one() {
+        let txs = QuestGen::new(small_params(), 1).take_transactions(20);
+        for (i, t) in txs.iter().enumerate() {
+            assert_eq!(t.tid(), Tid(i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn transactions_are_nonempty_and_in_domain() {
+        let p = small_params();
+        let txs = QuestGen::new(p.clone(), 3).take_transactions(300);
+        for t in &txs {
+            assert!(!t.is_empty());
+            for &it in t.items() {
+                assert!(it.id() < p.n_items);
+            }
+        }
+    }
+
+    #[test]
+    fn average_length_tracks_parameter() {
+        let p = small_params();
+        let txs = QuestGen::new(p.clone(), 11).take_transactions(2000);
+        let mean: f64 = txs.iter().map(|t| t.len() as f64).sum::<f64>() / txs.len() as f64;
+        // Corruption and packing shift the mean; it should land in a broad
+        // band around the target.
+        assert!(
+            mean > p.avg_tx_len * 0.4 && mean < p.avg_tx_len * 1.6,
+            "mean length {mean} vs target {}",
+            p.avg_tx_len
+        );
+    }
+
+    #[test]
+    fn patterns_create_skew() {
+        // With patterns, some items must be markedly more frequent than the
+        // uniform baseline — that skew is what frequent-itemset mining eats.
+        let p = small_params();
+        let txs = QuestGen::new(p.clone(), 5).take_transactions(2000);
+        let mut counts = vec![0u32; p.n_items as usize];
+        for t in &txs {
+            for &it in t.items() {
+                counts[it.index()] += 1;
+            }
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
+        assert!(max > 2.0 * mean, "max {max} should exceed 2× mean {mean}");
+    }
+
+    #[test]
+    fn streaming_equals_batch() {
+        // Two consecutive take_transactions calls are the same stream as one.
+        let mut g1 = QuestGen::new(small_params(), 9);
+        let mut head = g1.take_transactions(30);
+        head.extend(g1.take_transactions(20));
+        let g2 = QuestGen::new(small_params(), 9).take_transactions(50);
+        assert_eq!(head, g2);
+    }
+}

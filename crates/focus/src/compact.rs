@@ -1,0 +1,374 @@
+//! Incremental mining of **compact sequences** of pairwise-similar blocks
+//! (paper §4).
+//!
+//! A compact sequence is a maximal sequence of pairwise-similar blocks
+//! with no "holes": any block lying between the first and last member that
+//! is similar to every member before it must itself be a member. Unlike a
+//! clustering of blocks, compact sequences may overlap — "blocks collected
+//! every Monday" and "blocks collected on the first day of every month"
+//! co-exist.
+//!
+//! The miner follows the paper's inductive algorithm: when block `D_{t+1}`
+//! arrives, it is compared against every earlier block (the deviations are
+//! cached in a growing half-matrix), every existing sequence is extended
+//! with `D_{t+1}` if the extension is still compact, and the singleton
+//! sequence `{D_{t+1}}` is added.
+
+use crate::similarity::SimilarityOracle;
+use demon_types::{Block, BlockId, Transaction};
+use std::time::{Duration, Instant};
+
+/// Cost evidence of one `add_block` step (Figure 10: per-block update
+/// time, spiking when the new block differs from many earlier blocks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompactStats {
+    /// Wall-clock time of the whole step.
+    pub time: Duration,
+    /// Pairwise similarity evaluations performed (one per earlier block).
+    pub pairs_evaluated: usize,
+    /// How many of those pairs were similar.
+    pub similar_pairs: usize,
+    /// How many existing sequences were extended.
+    pub extended: usize,
+}
+
+/// The incremental compact-sequence miner, generic over the record type
+/// of the blocks (and therefore over the model class judging similarity).
+pub struct CompactSequenceMiner<O, R = Transaction>
+where
+    O: SimilarityOracle<R>,
+{
+    oracle: O,
+    blocks: Vec<Block<R>>,
+    /// `sim[i][j]`, `j < i`: is block `j` similar to block `i`?
+    sim: Vec<Vec<bool>>,
+    /// Cached deviations, same shape as `sim`.
+    dev: Vec<Vec<f64>>,
+    /// Sequences as indices into `blocks`, ascending.
+    sequences: Vec<Vec<usize>>,
+}
+
+impl<O, R> CompactSequenceMiner<O, R>
+where
+    O: SimilarityOracle<R>,
+{
+    /// A miner over the given similarity oracle.
+    pub fn new(oracle: O) -> Self {
+        CompactSequenceMiner {
+            oracle,
+            blocks: Vec::new(),
+            sim: Vec::new(),
+            dev: Vec::new(),
+            sequences: Vec::new(),
+        }
+    }
+
+    /// Number of blocks absorbed.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The cached deviation between the `i`-th and `j`-th absorbed blocks.
+    pub fn deviation(&self, i: usize, j: usize) -> Option<f64> {
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        if lo == hi {
+            return Some(0.0);
+        }
+        self.dev.get(hi).and_then(|row| row.get(lo)).copied()
+    }
+
+    /// Whether blocks `i` and `j` were judged similar.
+    pub fn is_similar(&self, i: usize, j: usize) -> bool {
+        if i == j {
+            return true;
+        }
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        self.sim[hi][lo]
+    }
+
+    /// Absorbs the next block, updating the deviation matrix and the set
+    /// of compact sequences.
+    pub fn add_block(&mut self, block: Block<R>) -> CompactStats {
+        let t0 = Instant::now();
+        let mut stats = CompactStats::default();
+        let t = self.blocks.len();
+
+        let mut sim_row = Vec::with_capacity(t);
+        let mut dev_row = Vec::with_capacity(t);
+        for earlier in &self.blocks {
+            let (similar, deviation) = self.oracle.similar(earlier, &block);
+            stats.pairs_evaluated += 1;
+            stats.similar_pairs += usize::from(similar);
+            sim_row.push(similar);
+            dev_row.push(deviation);
+        }
+        self.sim.push(sim_row);
+        self.dev.push(dev_row);
+        self.blocks.push(block);
+
+        // Try to extend every existing sequence with the new block.
+        let n_seq = self.sequences.len();
+        for s in 0..n_seq {
+            if self.can_extend(&self.sequences[s], t) {
+                self.sequences[s].push(t);
+                stats.extended += 1;
+            }
+        }
+        self.sequences.push(vec![t]);
+        stats.time = t0.elapsed();
+        stats
+    }
+
+    /// Compactness of `seq ∪ {t}` given `seq` is compact and `t` is past
+    /// its end: `t` must be similar to every member, and every skipped
+    /// block between the old end and `t` must be dissimilar to at least
+    /// one member (otherwise it would be an eligible hole).
+    fn can_extend(&self, seq: &[usize], t: usize) -> bool {
+        if !seq.iter().all(|&m| self.is_similar(m, t)) {
+            return false;
+        }
+        let last = *seq.last().expect("sequences are non-empty");
+        for hole in last + 1..t {
+            if seq.iter().all(|&m| self.is_similar(m, hole)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All maintained sequences as block-id lists (one sequence starts at
+    /// every block, so subsets of longer sequences are included — exactly
+    /// the paper's collection `G₁ … G_t`).
+    pub fn sequences(&self) -> Vec<Vec<BlockId>> {
+        self.sequences
+            .iter()
+            .map(|seq| seq.iter().map(|&i| self.blocks[i].id()).collect())
+            .collect()
+    }
+
+    /// The maximal sequences: those not a subset of any other maintained
+    /// sequence — the deliverable an analyst looks at.
+    pub fn maximal_sequences(&self) -> Vec<Vec<BlockId>> {
+        let seqs = &self.sequences;
+        let mut maximal: Vec<Vec<BlockId>> = Vec::new();
+        for (i, s) in seqs.iter().enumerate() {
+            let subset_of_other = seqs.iter().enumerate().any(|(j, other)| {
+                j != i
+                    && other.len() >= s.len()
+                    && (other.len() > s.len() || j < i)
+                    && s.iter().all(|m| other.contains(m))
+            });
+            if !subset_of_other {
+                maximal.push(s.iter().map(|&i| self.blocks[i].id()).collect());
+            }
+        }
+        maximal
+    }
+
+    /// The blocks absorbed so far, in arrival order.
+    pub fn blocks(&self) -> &[Block<R>] {
+        &self.blocks
+    }
+
+    /// Consumes the miner, handing the oracle back (to inspect its caches).
+    pub fn into_oracle(self) -> O {
+        self.oracle
+    }
+
+    /// Checks the definition of compactness against the cached similarity
+    /// matrix for every maintained sequence. Test support.
+    pub fn check_invariants(&self) {
+        for seq in &self.sequences {
+            // (1) pairwise similarity.
+            for (ai, &a) in seq.iter().enumerate() {
+                for &b in &seq[ai + 1..] {
+                    assert!(
+                        self.is_similar(a, b),
+                        "sequence {seq:?} violates pairwise similarity at ({a},{b})"
+                    );
+                }
+            }
+            // (2) no holes.
+            let (&first, &last) = (seq.first().unwrap(), seq.last().unwrap());
+            for k in first..=last {
+                if seq.contains(&k) {
+                    continue;
+                }
+                let eligible = seq
+                    .iter()
+                    .take_while(|&&m| m < k)
+                    .all(|&m| self.is_similar(m, k));
+                assert!(!eligible, "sequence {seq:?} has hole {k}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demon_types::{Item, Tid, Transaction, TxBlock};
+
+    /// A scripted oracle driven by an explicit similarity matrix, keyed by
+    /// block id — lets tests replay the paper's worked example exactly.
+    struct Scripted {
+        similar_pairs: Vec<(u64, u64)>,
+    }
+
+    impl SimilarityOracle for Scripted {
+        fn similar(&mut self, a: &TxBlock, b: &TxBlock) -> (bool, f64) {
+            let (x, y) = (a.id().value(), b.id().value());
+            let hit = self
+                .similar_pairs
+                .iter()
+                .any(|&(p, q)| (p, q) == (x, y) || (p, q) == (y, x));
+            (hit, if hit { 0.0 } else { 1.0 })
+        }
+    }
+
+    fn blk(id: u64) -> TxBlock {
+        TxBlock::new(
+            BlockId(id),
+            vec![Transaction::new(Tid(id), vec![Item(id as u32)])],
+        )
+    }
+
+    fn ids(v: &[u64]) -> Vec<BlockId> {
+        v.iter().copied().map(BlockId).collect()
+    }
+
+    #[test]
+    fn paper_example_sequences() {
+        // Paper §4: blocks D1..D4, similar pairs (1,2),(1,3),(1,4),(2,4).
+        // {D1,D2,D4} is compact; {D1,D2,D3} violates pairwise similarity;
+        // {D1,D4} violates the no-hole condition (D2 is eligible).
+        let oracle = Scripted {
+            similar_pairs: vec![(1, 2), (1, 3), (1, 4), (2, 4)],
+        };
+        let mut miner = CompactSequenceMiner::new(oracle);
+        for id in 1..=4 {
+            miner.add_block(blk(id));
+        }
+        miner.check_invariants();
+        let seqs = miner.sequences();
+        assert!(seqs.contains(&ids(&[1, 2, 4])), "sequences: {seqs:?}");
+        assert!(!seqs.contains(&ids(&[1, 2, 3])));
+        assert!(!seqs.contains(&ids(&[1, 4])));
+        // One sequence starts at each block.
+        assert_eq!(seqs.len(), 4);
+    }
+
+    #[test]
+    fn holes_block_extension() {
+        // D1 ~ D3, and D2 ~ D1 as well: D2 is an eligible hole, so {D1}
+        // cannot stretch to {D1, D3} — but {D1, D2, D3} needs D2 ~ D3 too.
+        let oracle = Scripted {
+            similar_pairs: vec![(1, 2), (1, 3)],
+        };
+        let mut miner = CompactSequenceMiner::new(oracle);
+        for id in 1..=3 {
+            miner.add_block(blk(id));
+        }
+        miner.check_invariants();
+        let seqs = miner.sequences();
+        assert!(seqs.contains(&ids(&[1, 2])));
+        assert!(!seqs.contains(&ids(&[1, 3])));
+        assert!(!seqs.contains(&ids(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn dissimilar_intermediate_allows_skip() {
+        // D2 dissimilar to D1; D3 similar to D1 → {D1, D3} is compact.
+        let oracle = Scripted {
+            similar_pairs: vec![(1, 3)],
+        };
+        let mut miner = CompactSequenceMiner::new(oracle);
+        for id in 1..=3 {
+            miner.add_block(blk(id));
+        }
+        miner.check_invariants();
+        assert!(miner.sequences().contains(&ids(&[1, 3])));
+    }
+
+    #[test]
+    fn overlapping_sequences_coexist() {
+        // {1,2} and {2,3} overlap at block 2 — a partitioning clustering
+        // could not represent both (the paper's motivation for compact
+        // sequences over block clustering).
+        let oracle = Scripted {
+            similar_pairs: vec![(1, 2), (2, 3)],
+        };
+        let mut miner = CompactSequenceMiner::new(oracle);
+        for id in 1..=3 {
+            miner.add_block(blk(id));
+        }
+        miner.check_invariants();
+        let seqs = miner.maximal_sequences();
+        assert!(seqs.contains(&ids(&[1, 2])), "{seqs:?}");
+        assert!(seqs.contains(&ids(&[2, 3])), "{seqs:?}");
+    }
+
+    #[test]
+    fn all_similar_yields_one_run() {
+        let oracle = Scripted {
+            similar_pairs: (1..=5u64)
+                .flat_map(|a| (a + 1..=5).map(move |b| (a, b)))
+                .collect(),
+        };
+        let mut miner = CompactSequenceMiner::new(oracle);
+        for id in 1..=5 {
+            miner.add_block(blk(id));
+        }
+        miner.check_invariants();
+        let maximal = miner.maximal_sequences();
+        assert_eq!(maximal, vec![ids(&[1, 2, 3, 4, 5])]);
+    }
+
+    #[test]
+    fn maximal_filters_prefixes() {
+        let oracle = Scripted {
+            similar_pairs: vec![(1, 2), (1, 3), (2, 3)],
+        };
+        let mut miner = CompactSequenceMiner::new(oracle);
+        for id in 1..=3 {
+            miner.add_block(blk(id));
+        }
+        let maximal = miner.maximal_sequences();
+        assert_eq!(maximal, vec![ids(&[1, 2, 3])]);
+    }
+
+    #[test]
+    fn stats_count_pairs_and_extensions() {
+        let oracle = Scripted {
+            similar_pairs: vec![(1, 2)],
+        };
+        let mut miner = CompactSequenceMiner::new(oracle);
+        let s1 = miner.add_block(blk(1));
+        assert_eq!(s1.pairs_evaluated, 0);
+        let s2 = miner.add_block(blk(2));
+        assert_eq!(s2.pairs_evaluated, 1);
+        assert_eq!(s2.similar_pairs, 1);
+        assert_eq!(s2.extended, 1);
+        let s3 = miner.add_block(blk(3));
+        assert_eq!(s3.pairs_evaluated, 2);
+        assert_eq!(s3.similar_pairs, 0);
+        assert_eq!(s3.extended, 0);
+    }
+
+    #[test]
+    fn deviation_matrix_is_symmetric_and_cached() {
+        let oracle = Scripted {
+            similar_pairs: vec![(1, 2)],
+        };
+        let mut miner = CompactSequenceMiner::new(oracle);
+        miner.add_block(blk(1));
+        miner.add_block(blk(2));
+        miner.add_block(blk(3));
+        assert_eq!(miner.deviation(0, 1), Some(0.0));
+        assert_eq!(miner.deviation(1, 0), Some(0.0));
+        assert_eq!(miner.deviation(0, 2), Some(1.0));
+        assert_eq!(miner.deviation(1, 1), Some(0.0));
+        assert!(miner.is_similar(0, 1));
+        assert!(!miner.is_similar(2, 0));
+    }
+}

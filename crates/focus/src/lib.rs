@@ -1,0 +1,67 @@
+//! The FOCUS deviation framework and DEMON's pattern detection.
+//!
+//! DEMON §4 uses the FOCUS framework (Ganti et al., PODS '99) as a
+//! black-box **block similarity oracle**: the deviation between two blocks
+//! quantifies how differently their data is distributed, as seen through a
+//! class of data mining models. Blocks are *similar* when the deviation is
+//! statistically insignificant.
+//!
+//! * [`deviation`] — the deviation instantiated for frequent-itemset
+//!   models (regions = union of the two models' frequent itemsets,
+//!   measures = support fractions) and for cluster models (regions =
+//!   cluster balls, measures = membership fractions). Supports already
+//!   tracked in a model are reused; only regions unknown to the *other*
+//!   model force a scan — which is why computing the deviation between
+//!   similar blocks is cheap and between dissimilar blocks is expensive
+//!   (the spikes of Figure 10);
+//! * [`significance`] — bootstrap estimation of the statistical
+//!   significance of an observed deviation under the pooled null;
+//! * [`similarity`] — the binary block-similarity predicate of
+//!   Definition 4.1, with model caching;
+//! * [`compact`] — the incremental **compact sequence** miner of §4.
+//!
+//! # Example
+//!
+//! Mine compact sequences over an alternating block stream:
+//!
+//! ```
+//! use demon_focus::{CompactSequenceMiner, ItemsetSimilarity, SimilarityConfig};
+//! use demon_types::{Block, BlockId, Item, MinSupport, Tid, Transaction};
+//!
+//! let oracle = ItemsetSimilarity::new(
+//!     4,
+//!     MinSupport::new(0.2).unwrap(),
+//!     SimilarityConfig::Threshold { alpha: 0.3 },
+//! );
+//! let mut miner = CompactSequenceMiner::new(oracle);
+//! for id in 1..=6u64 {
+//!     let item = Item((id % 2) as u32);      // blocks alternate populations
+//!     let txs = (0..20)
+//!         .map(|i| Transaction::new(Tid(id * 100 + i), vec![item]))
+//!         .collect();
+//!     miner.add_block(Block::new(BlockId(id), txs));
+//! }
+//! let seqs = miner.maximal_sequences();
+//! let odd: Vec<BlockId> = [1u64, 3, 5].map(BlockId).to_vec();
+//! let even: Vec<BlockId> = [2u64, 4, 6].map(BlockId).to_vec();
+//! assert!(seqs.contains(&odd) && seqs.contains(&even));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compact;
+pub mod deviation;
+pub mod granularity;
+pub mod postprocess;
+pub mod significance;
+pub mod similarity;
+pub mod windowed;
+
+pub use compact::{CompactSequenceMiner, CompactStats};
+pub use deviation::{cluster_deviation, itemset_deviation, tree_deviation, DeviationResult};
+pub use granularity::{evaluate_granularities, select_granularity, GranularityReport};
+pub use postprocess::{cyclic_subsequences, CyclicSequence};
+pub use significance::bootstrap_significance;
+pub use similarity::{ClusterSimilarity, ItemsetSimilarity, SimilarityConfig, SimilarityOracle, TreeSimilarity};
+pub use windowed::WindowedCompactMiner;

@@ -1,0 +1,145 @@
+//! Post-processing of compact sequences (paper §4): "the set of compact
+//! sequences may be analyzed further to discover specialized types of
+//! patterns by placing additional constraints like cyclicity … if
+//! ⟨D₁,D₃,D₄,D₅,D₇⟩ is a compact sequence, we can easily derive the
+//! cyclic sequence ⟨D₁,D₃,D₅,D₇⟩".
+//!
+//! A **cyclic sequence** is an arithmetic subsequence of block ids:
+//! members at a fixed period (every day, every 7th block, …). The
+//! extractor below finds, for each period, the longest arithmetic
+//! subsequences contained in a compact sequence.
+
+use demon_types::BlockId;
+use std::collections::BTreeSet;
+
+/// A cyclic (arithmetic) subsequence: `start, start+period, …`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CyclicSequence {
+    /// Member block ids, ascending, equally spaced.
+    pub blocks: Vec<BlockId>,
+    /// The id spacing between consecutive members.
+    pub period: u64,
+}
+
+impl CyclicSequence {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the sequence is empty (never produced by the extractor).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Extracts all *maximal* cyclic subsequences of `sequence` with at least
+/// `min_len` members (`min_len ≥ 3` — two points always form a trivial
+/// arithmetic sequence).
+///
+/// Runs in `O(m²)` over the member count by extending each (start, period)
+/// pair greedily; a subsequence is reported only if it is not a suffix of
+/// a longer one with the same period.
+pub fn cyclic_subsequences(sequence: &[BlockId], min_len: usize) -> Vec<CyclicSequence> {
+    assert!(min_len >= 3, "min_len below 3 is degenerate");
+    let ids: Vec<u64> = sequence.iter().map(|b| b.value()).collect();
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "sequence must ascend");
+    let members: BTreeSet<u64> = ids.iter().copied().collect();
+    let mut out: Vec<CyclicSequence> = Vec::new();
+    let mut covered: BTreeSet<(u64, u64)> = BTreeSet::new(); // (start, period) already inside a reported run
+
+    for i in 0..ids.len() {
+        for j in i + 1..ids.len() {
+            let period = ids[j] - ids[i];
+            if covered.contains(&(ids[i], period)) {
+                continue;
+            }
+            // Only start maximal runs: skip if ids[i]-period is a member.
+            if members.contains(&(ids[i].wrapping_sub(period))) && ids[i] >= period {
+                continue;
+            }
+            let mut run = vec![ids[i], ids[j]];
+            let mut next = ids[j] + period;
+            while members.contains(&next) {
+                run.push(next);
+                next += period;
+            }
+            if run.len() >= min_len {
+                for &r in &run {
+                    covered.insert((r, period));
+                }
+                out.push(CyclicSequence {
+                    blocks: run.into_iter().map(BlockId).collect(),
+                    period,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then(a.period.cmp(&b.period)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<BlockId> {
+        v.iter().copied().map(BlockId).collect()
+    }
+
+    #[test]
+    fn paper_example_extracts_period_two_cycle() {
+        // ⟨D1,D3,D4,D5,D7⟩ contains the cyclic ⟨D1,D3,D5,D7⟩.
+        let cycles = cyclic_subsequences(&ids(&[1, 3, 4, 5, 7]), 3);
+        let best = &cycles[0];
+        assert_eq!(best.blocks, ids(&[1, 3, 5, 7]));
+        assert_eq!(best.period, 2);
+    }
+
+    #[test]
+    fn weekly_pattern_in_daily_blocks() {
+        // Mondays among daily blocks: period 7.
+        let seq = ids(&[2, 9, 10, 16, 23, 30]);
+        let cycles = cyclic_subsequences(&seq, 3);
+        assert!(cycles
+            .iter()
+            .any(|c| c.period == 7 && c.blocks == ids(&[2, 9, 16, 23, 30])));
+    }
+
+    #[test]
+    fn contiguous_run_is_period_one() {
+        let cycles = cyclic_subsequences(&ids(&[4, 5, 6, 7]), 3);
+        assert_eq!(cycles[0].period, 1);
+        assert_eq!(cycles[0].len(), 4);
+    }
+
+    #[test]
+    fn runs_are_maximal_not_suffixes() {
+        let cycles = cyclic_subsequences(&ids(&[1, 2, 3, 4, 5]), 3);
+        let period1: Vec<&CyclicSequence> =
+            cycles.iter().filter(|c| c.period == 1).collect();
+        assert_eq!(period1.len(), 1, "only the maximal run, not its suffixes");
+        assert_eq!(period1[0].len(), 5);
+    }
+
+    #[test]
+    fn short_sequences_yield_nothing() {
+        assert!(cyclic_subsequences(&ids(&[1, 5]), 3).is_empty());
+        assert!(cyclic_subsequences(&ids(&[1, 4, 9]), 3).is_empty()); // gaps 3 and 5
+    }
+
+    #[test]
+    fn sorted_longest_first() {
+        let cycles = cyclic_subsequences(&ids(&[1, 2, 3, 4, 10, 20, 30]), 3);
+        for w in cycles.windows(2) {
+            assert!(w[0].len() >= w[1].len());
+        }
+        assert!(cycles.iter().any(|c| c.period == 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_min_len_two() {
+        cyclic_subsequences(&ids(&[1, 2, 3]), 2);
+    }
+}

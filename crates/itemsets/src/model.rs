@@ -1,0 +1,787 @@
+//! The maintained frequent-itemset model: `L(D, κ) ∪ NB⁻(D, κ)` with exact
+//! supports, evolved by the **BORDERS** algorithm (Feldman et al. '97;
+//! Thomas et al. '97) with the paper's pluggable update-phase counters.
+//!
+//! Maintenance proceeds in two phases (paper §3.1.1):
+//!
+//! 1. **Detection** — when block `D_{t+1}` arrives (or is retired, for the
+//!    deletion-capable `AuM` variant of §3.2.4), scan *only that block*
+//!    with a prefix tree over all tracked itemsets and adjust their counts.
+//! 2. **Update** — re-threshold; itemsets crossing the border move between
+//!    `L` and `NB⁻`. Newly frequent border itemsets trigger candidate
+//!    generation (prefix join against `L`, Apriori prune); the candidates'
+//!    supports over the *whole* selected dataset are counted by the chosen
+//!    [`CounterKind`] — this is where ECUT/ECUT+ beat PT-Scan — and the
+//!    cascade repeats until no new frequent itemsets appear.
+
+use crate::apriori;
+use crate::counter::{count_supports, CounterKind};
+use crate::prefix_tree::PrefixTree;
+use crate::store::TxStore;
+use demon_types::{BlockId, DemonError, FastMap, FastSet, Item, ItemSet, MinSupport, Result};
+use serde::{Deserialize, Serialize};
+
+use std::time::{Duration, Instant};
+
+/// Cost breakdown of one maintenance step, mirroring the detection/update
+/// split reported in Figures 4–7.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaintenanceStats {
+    /// Wall-clock time of the detection phase.
+    pub detection_time: Duration,
+    /// Wall-clock time of the update phase (candidate counting + cascade).
+    pub update_time: Duration,
+    /// Item/TID units read during detection.
+    pub detection_units: u64,
+    /// Item/TID units read during the update phase.
+    pub update_units: u64,
+    /// Number of new candidate itemsets counted in the update phase.
+    pub candidates_counted: usize,
+    /// Itemsets promoted from the negative border into `L`.
+    pub promoted: usize,
+    /// Itemsets demoted from `L` into the negative border.
+    pub demoted: usize,
+}
+
+impl MaintenanceStats {
+    /// Total wall-clock time of the step.
+    pub fn total_time(&self) -> Duration {
+        self.detection_time + self.update_time
+    }
+
+    /// Accumulates another step's stats into this one.
+    pub fn merge(&mut self, other: &MaintenanceStats) {
+        self.detection_time += other.detection_time;
+        self.update_time += other.update_time;
+        self.detection_units += other.detection_units;
+        self.update_units += other.update_units;
+        self.candidates_counted += other.candidates_counted;
+        self.promoted += other.promoted;
+        self.demoted += other.demoted;
+    }
+}
+
+/// Serializes itemset-keyed maps as (sorted) pair sequences, since JSON
+/// map keys must be strings.
+mod map_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &FastMap<ItemSet, u64>,
+        s: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        let mut pairs: Vec<(&ItemSet, &u64)> = map.iter().collect();
+        pairs.sort();
+        s.collect_seq(pairs)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> std::result::Result<FastMap<ItemSet, u64>, D::Error> {
+        let pairs = Vec::<(ItemSet, u64)>::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+/// The long-lived detection-phase index: a prefix tree over every
+/// tracked itemset (`L ∪ NB⁻`), extended in place as the cascade creates
+/// candidates. Entries for itemsets that have since been dropped from
+/// the model go stale (their counts are simply ignored); the tree is
+/// rebuilt once stale entries outnumber live ones.
+#[derive(Clone, Debug)]
+struct Detector {
+    tree: PrefixTree,
+    sets: Vec<ItemSet>,
+}
+
+impl Detector {
+    fn build(sets: Vec<ItemSet>) -> Detector {
+        let tree = PrefixTree::build(&sets);
+        Detector { tree, sets }
+    }
+
+    fn insert(&mut self, set: &ItemSet) {
+        let slot = self.tree.insert_candidate(set);
+        if slot == self.sets.len() {
+            self.sets.push(set.clone());
+        }
+    }
+}
+
+/// The frequent-itemset model of a block selection: `L` and `NB⁻` with
+/// exact absolute supports, plus the identifiers of the selected blocks.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrequentItemsets {
+    minsup: MinSupport,
+    n_items: u32,
+    /// Transactions in the selected blocks.
+    n: u64,
+    /// Blocks this model was extracted from (ascending).
+    included: Vec<BlockId>,
+    #[serde(with = "map_serde")]
+    freq: FastMap<ItemSet, u64>,
+    #[serde(with = "map_serde")]
+    border: FastMap<ItemSet, u64>,
+    /// Cached detection index; rebuilt lazily after deserialization.
+    #[serde(skip)]
+    detector: Option<Detector>,
+}
+
+impl FrequentItemsets {
+    /// The empty model over an `n_items` universe: nothing is frequent and
+    /// the negative border holds every singleton with count 0. Absorbing
+    /// blocks into the empty model reproduces mining from scratch through
+    /// the BORDERS cascade — this is GEMM's `fresh` model.
+    pub fn empty(minsup: MinSupport, n_items: u32) -> Self {
+        let border = (0..n_items)
+            .map(|i| (ItemSet::singleton(Item(i)), 0u64))
+            .collect();
+        FrequentItemsets {
+            minsup,
+            n_items,
+            n: 0,
+            included: Vec::new(),
+            freq: FastMap::default(),
+            border,
+            detector: None,
+        }
+    }
+
+    /// Batch-mines the model directly over blocks (no store needed) —
+    /// used by the FOCUS deviation machinery, which models single blocks.
+    pub fn mine_blocks(
+        blocks: &[&demon_types::TxBlock],
+        n_items: u32,
+        minsup: MinSupport,
+    ) -> Self {
+        let mined = apriori::mine(blocks, n_items, minsup);
+        let mut included: Vec<BlockId> = blocks.iter().map(|b| b.id()).collect();
+        included.sort_unstable();
+        included.dedup();
+        FrequentItemsets {
+            minsup,
+            n_items,
+            n: mined.n,
+            included,
+            freq: mined.frequent.into_iter().collect(),
+            border: mined.border.into_iter().collect(),
+            detector: None,
+        }
+    }
+
+    /// Batch-mines the model over the given blocks of `store` with Apriori
+    /// (faster than absorbing block-by-block when history is available).
+    pub fn mine_from(store: &TxStore, ids: &[BlockId], minsup: MinSupport) -> Result<Self> {
+        let mut blocks = Vec::with_capacity(ids.len());
+        for id in ids {
+            blocks.push(
+                store
+                    .block(*id)
+                    .ok_or(DemonError::UnknownBlock(id.value()))?,
+            );
+        }
+        let mined = apriori::mine(&blocks, store.n_items(), minsup);
+        let mut included: Vec<BlockId> = ids.to_vec();
+        included.sort_unstable();
+        included.dedup();
+        Ok(FrequentItemsets {
+            minsup,
+            n_items: store.n_items(),
+            n: mined.n,
+            included,
+            freq: mined.frequent.into_iter().collect(),
+            border: mined.border.into_iter().collect(),
+            detector: None,
+        })
+    }
+
+    /// The minimum-support threshold.
+    pub fn min_support(&self) -> MinSupport {
+        self.minsup
+    }
+
+    /// Number of transactions in the selected blocks.
+    pub fn n_transactions(&self) -> u64 {
+        self.n
+    }
+
+    /// The absolute support count an itemset needs to be frequent.
+    pub fn threshold(&self) -> u64 {
+        self.minsup.count_for(self.n)
+    }
+
+    /// The blocks this model is extracted from, ascending.
+    pub fn included_blocks(&self) -> &[BlockId] {
+        &self.included
+    }
+
+    /// Whether a block is part of the selection.
+    pub fn includes(&self, id: BlockId) -> bool {
+        self.included.binary_search(&id).is_ok()
+    }
+
+    /// The frequent itemsets with their support counts.
+    pub fn frequent(&self) -> &FastMap<ItemSet, u64> {
+        &self.freq
+    }
+
+    /// The negative border with its support counts.
+    pub fn border(&self) -> &FastMap<ItemSet, u64> {
+        &self.border
+    }
+
+    /// Number of frequent itemsets.
+    pub fn n_frequent(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// Whether `itemset` is currently frequent.
+    pub fn is_frequent(&self, itemset: &ItemSet) -> bool {
+        self.freq.contains_key(itemset)
+    }
+
+    /// Support count of a *tracked* itemset (frequent or border).
+    pub fn support(&self, itemset: &ItemSet) -> Option<u64> {
+        self.freq
+            .get(itemset)
+            .or_else(|| self.border.get(itemset))
+            .copied()
+    }
+
+    /// Support as a fraction of the selected transactions.
+    pub fn support_fraction(&self, itemset: &ItemSet) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        self.support(itemset).map(|c| c as f64 / self.n as f64)
+    }
+
+    /// Frequent itemsets sorted for deterministic output.
+    pub fn frequent_sorted(&self) -> Vec<(ItemSet, u64)> {
+        let mut v: Vec<(ItemSet, u64)> =
+            self.freq.iter().map(|(s, c)| (s.clone(), *c)).collect();
+        v.sort();
+        v
+    }
+
+    /// The frequent 2-itemsets ordered by descending support — the ECUT+
+    /// materialization priority list (paper §3.1.1: "an itemset with a
+    /// higher overall support is chosen before another with lower").
+    pub fn frequent_pairs_by_support(&self) -> Vec<(Item, Item)> {
+        let mut pairs: Vec<(u64, Item, Item)> = self
+            .freq
+            .iter()
+            .filter(|(s, _)| s.len() == 2)
+            .map(|(s, c)| (*c, s.items()[0], s.items()[1]))
+            .collect();
+        pairs.sort_unstable_by(|a, b| b.cmp(a));
+        pairs.into_iter().map(|(_, a, b)| (a, b)).collect()
+    }
+
+    /// **BORDERS block addition.** Adjusts the model to include block `id`
+    /// of `store`, counting new candidates with `counter`.
+    pub fn absorb_block(
+        &mut self,
+        store: &TxStore,
+        id: BlockId,
+        counter: CounterKind,
+    ) -> Result<MaintenanceStats> {
+        if self.includes(id) {
+            return Err(DemonError::InvalidParameter(format!(
+                "block {id} already absorbed"
+            )));
+        }
+        let block = store
+            .block(id)
+            .ok_or(DemonError::UnknownBlock(id.value()))?;
+
+        let mut stats = MaintenanceStats::default();
+
+        // Detection phase: scan only the new block over all tracked sets,
+        // using the long-lived prefix tree.
+        let t0 = Instant::now();
+        self.detect(block, &mut stats, 1);
+        self.n += block.len() as u64;
+        let pos = self.included.partition_point(|&b| b < id);
+        self.included.insert(pos, id);
+        stats.detection_time = t0.elapsed();
+
+        // Update phase.
+        let t1 = Instant::now();
+        self.cascade(store, counter, &mut stats);
+        stats.update_time = t1.elapsed();
+        Ok(stats)
+    }
+
+    /// **`AuM` block deletion** (paper §3.2.4). Adjusts the model to
+    /// exclude block `id`, which must still be present in `store` (its
+    /// transactions are scanned to decrement counts before retirement).
+    pub fn remove_block(
+        &mut self,
+        store: &TxStore,
+        id: BlockId,
+        counter: CounterKind,
+    ) -> Result<MaintenanceStats> {
+        if !self.includes(id) {
+            return Err(DemonError::InvalidParameter(format!(
+                "block {id} not part of the model"
+            )));
+        }
+        let block = store
+            .block(id)
+            .ok_or(DemonError::UnknownBlock(id.value()))?;
+
+        let mut stats = MaintenanceStats::default();
+        let t0 = Instant::now();
+        self.detect(block, &mut stats, -1);
+        self.n -= block.len() as u64;
+        self.included.retain(|&b| b != id);
+        stats.detection_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        self.cascade(store, counter, &mut stats);
+        stats.update_time = t1.elapsed();
+        Ok(stats)
+    }
+
+    /// Changes the minimum support threshold. Raising κ only re-thresholds
+    /// (L(D, κ') ⊆ L(D, κ)); lowering κ runs the full BORDERS cascade with
+    /// the chosen counter (paper §3.1.1).
+    pub fn set_min_support(
+        &mut self,
+        store: &TxStore,
+        minsup: MinSupport,
+        counter: CounterKind,
+    ) -> MaintenanceStats {
+        let mut stats = MaintenanceStats::default();
+        self.minsup = minsup;
+        let t = Instant::now();
+        self.cascade(store, counter, &mut stats);
+        stats.update_time = t.elapsed();
+        stats
+    }
+
+    /// Counts every tracked itemset on one block with the cached prefix
+    /// tree and applies `sign × count` to the stored supports.
+    fn detect(&mut self, block: &demon_types::TxBlock, stats: &mut MaintenanceStats, sign: i64) {
+        self.ensure_detector();
+        let det = self.detector.as_mut().expect("detector just ensured");
+        det.tree.reset();
+        for tx in block.records() {
+            stats.detection_units += tx.len() as u64;
+            det.tree.add_transaction(tx.items());
+        }
+        let (freq, border) = (&mut self.freq, &mut self.border);
+        for (set, &delta) in det.sets.iter().zip(det.tree.counts()) {
+            if delta == 0 {
+                continue;
+            }
+            // Stale detector entries (itemsets dropped from the model)
+            // match neither map and are ignored.
+            if let Some(c) = freq.get_mut(set).or_else(|| border.get_mut(set)) {
+                *c = (*c as i64 + sign * delta as i64).max(0) as u64;
+            }
+        }
+    }
+
+    /// Pre-builds the detection index. Absorbing a block builds it on
+    /// demand anyway; benchmarks call this to keep the one-time index
+    /// construction out of the per-block detection timing.
+    pub fn warm_detector(&mut self) {
+        self.ensure_detector();
+    }
+
+    /// Builds the detector on first use (or after deserialization), and
+    /// rebuilds it when stale entries outnumber live ones.
+    fn ensure_detector(&mut self) {
+        let live = self.freq.len() + self.border.len();
+        let needs_rebuild = match &self.detector {
+            None => true,
+            Some(det) => det.sets.len() > 2 * live.max(1),
+        };
+        if needs_rebuild {
+            let sets: Vec<ItemSet> = self
+                .freq
+                .keys()
+                .chain(self.border.keys())
+                .cloned()
+                .collect();
+            self.detector = Some(Detector::build(sets));
+        }
+    }
+
+    /// The shared update-phase cascade: demote, prune, promote, generate
+    /// and count candidates, repeat.
+    fn cascade(&mut self, store: &TxStore, counter: CounterKind, stats: &mut MaintenanceStats) {
+        let thresh = self.threshold();
+
+        // Demotions: frequent itemsets that dropped below the threshold
+        // move into the border; border itemsets that now have an
+        // infrequent proper subset are no longer border members.
+        let demoted: Vec<ItemSet> = self
+            .freq
+            .iter()
+            .filter(|&(_, &c)| c < thresh)
+            .map(|(s, _)| s.clone())
+            .collect();
+        if !demoted.is_empty() {
+            stats.demoted += demoted.len();
+            for set in &demoted {
+                if let Some(c) = self.freq.remove(set) {
+                    self.border.insert(set.clone(), c);
+                }
+            }
+            self.border.retain(|set, _| {
+                !demoted
+                    .iter()
+                    .any(|d| d.is_proper_subset_of(set))
+            });
+        }
+
+        // Promotion loop.
+        loop {
+            let promoted: Vec<ItemSet> = self
+                .border
+                .iter()
+                .filter(|&(_, &c)| c >= thresh)
+                .map(|(s, _)| s.clone())
+                .collect();
+            if promoted.is_empty() {
+                break;
+            }
+            stats.promoted += promoted.len();
+            for set in &promoted {
+                if let Some(c) = self.border.remove(set) {
+                    self.freq.insert(set.clone(), c);
+                }
+            }
+
+            // Candidate generation: a set becomes a candidate exactly when
+            // its *last* maximal subset turns frequent, so every new
+            // candidate is a one-item extension of some promoted set.
+            // Enumerating `P ∪ {i}` over the item universe and
+            // Apriori-pruning is complete — unlike a prefix join of the
+            // promoted sets against `L`, which misses candidates whose
+            // promoted subset is not a prefix parent.
+            let mut candidates: FastSet<ItemSet> = FastSet::default();
+            for x in &promoted {
+                for i in 0..self.n_items {
+                    let Some(cand) = x.with_item(Item(i)) else {
+                        continue;
+                    };
+                    if self.freq.contains_key(&cand)
+                        || self.border.contains_key(&cand)
+                        || candidates.contains(&cand)
+                    {
+                        continue;
+                    }
+                    if cand
+                        .proper_maximal_subsets()
+                        .all(|s| self.freq.contains_key(&s))
+                    {
+                        candidates.insert(cand);
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            let candidates: Vec<ItemSet> = candidates.into_iter().collect();
+            stats.candidates_counted += candidates.len();
+            let counted = count_supports(counter, store, &self.included, &candidates);
+            stats.update_units += counted.units_read;
+            for (cand, count) in candidates.into_iter().zip(counted.counts) {
+                // Frequent candidates will be promoted next round and then
+                // generate further candidates — the paper's "and so on
+                // until no new frequent itemsets are found".
+                if let Some(det) = &mut self.detector {
+                    det.insert(&cand);
+                }
+                self.border.insert(cand, count);
+            }
+        }
+    }
+
+    /// Checks the structural invariants of the model against `store`
+    /// (exactness of counts, border definition, anti-monotonicity).
+    /// Test-support; panics with a description on violation.
+    pub fn check_invariants(&self, store: &TxStore) {
+        let thresh = self.threshold();
+        let blocks: Vec<_> = self
+            .included
+            .iter()
+            .map(|id| store.block(*id).expect("included block in store"))
+            .collect();
+        let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+        assert_eq!(total, self.n, "transaction count drifted");
+        for (set, &c) in &self.freq {
+            assert!(c >= thresh, "{set} in L but count {c} < {thresh}");
+            assert_eq!(c, apriori::naive_support(set, &blocks), "{set} count wrong");
+        }
+        for (set, &c) in &self.border {
+            assert!(c < thresh, "{set} in NB⁻ but count {c} ≥ {thresh}");
+            assert_eq!(c, apriori::naive_support(set, &blocks), "{set} count wrong");
+            for sub in set.proper_maximal_subsets() {
+                assert!(
+                    sub.is_empty() || self.freq.contains_key(&sub),
+                    "border member {set} has non-frequent subset {sub}"
+                );
+            }
+        }
+        // All singletons must remain tracked.
+        for i in 0..self.n_items {
+            let s = ItemSet::singleton(Item(i));
+            assert!(
+                self.freq.contains_key(&s) || self.border.contains_key(&s),
+                "singleton {s} lost"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demon_types::{Tid, Transaction, TxBlock};
+
+    fn block(id: u64, base: u64, txs: &[&[u32]]) -> TxBlock {
+        TxBlock::new(
+            BlockId(id),
+            txs.iter()
+                .enumerate()
+                .map(|(i, items)| {
+                    Transaction::new(
+                        Tid(base + i as u64),
+                        items.iter().copied().map(Item).collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn k(v: f64) -> MinSupport {
+        MinSupport::new(v).unwrap()
+    }
+
+    /// Mining from scratch and incrementally absorbing must agree.
+    fn assert_same_model(a: &FrequentItemsets, b: &FrequentItemsets) {
+        let norm = |m: &FrequentItemsets| {
+            let mut v: Vec<(ItemSet, u64)> =
+                m.frequent().iter().map(|(s, c)| (s.clone(), *c)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(a), norm(b), "frequent sets differ");
+        assert_eq!(a.n_transactions(), b.n_transactions());
+    }
+
+    #[test]
+    fn absorb_from_empty_equals_batch_mine() {
+        let b1 = block(1, 1, &[&[0, 1, 2], &[0, 1], &[1, 2], &[0, 2], &[3]]);
+        let b2 = block(2, 100, &[&[0, 1], &[0, 1, 2], &[2, 3], &[3]]);
+        let mut store = TxStore::new(4);
+        store.add_block(b1);
+        store.add_block(b2);
+        for counter in [CounterKind::PtScan, CounterKind::Ecut] {
+            let mut inc = FrequentItemsets::empty(k(0.3), 4);
+            inc.absorb_block(&store, BlockId(1), counter).unwrap();
+            inc.check_invariants(&store);
+            inc.absorb_block(&store, BlockId(2), counter).unwrap();
+            inc.check_invariants(&store);
+            let batch =
+                FrequentItemsets::mine_from(&store, &[BlockId(1), BlockId(2)], k(0.3)).unwrap();
+            assert_same_model(&inc, &batch);
+        }
+    }
+
+    #[test]
+    fn absorb_detects_newly_frequent_itemsets() {
+        // Item 3 is rare in block 1 but dominant in block 2.
+        let b1 = block(1, 1, &[&[0, 1], &[0, 1], &[0, 1], &[0, 1], &[3]]);
+        let b2 = block(2, 100, &[&[3, 0], &[3, 0], &[3, 0], &[3, 0], &[3, 0]]);
+        let mut store = TxStore::new(4);
+        store.add_block(b1);
+        store.add_block(b2);
+        let mut m = FrequentItemsets::empty(k(0.4), 4);
+        m.absorb_block(&store, BlockId(1), CounterKind::Ecut).unwrap();
+        assert!(!m.is_frequent(&ItemSet::from_ids(&[3])));
+        let stats = m
+            .absorb_block(&store, BlockId(2), CounterKind::Ecut)
+            .unwrap();
+        assert!(m.is_frequent(&ItemSet::from_ids(&[3])));
+        assert!(m.is_frequent(&ItemSet::from_ids(&[0, 3])));
+        assert!(stats.promoted > 0);
+        assert!(stats.candidates_counted > 0);
+        m.check_invariants(&store);
+    }
+
+    #[test]
+    fn absorb_demotes_stale_itemsets() {
+        let b1 = block(1, 1, &[&[0, 1], &[0, 1], &[0, 1]]);
+        let b2 = block(2, 100, &[&[2], &[2], &[2], &[2], &[2], &[2]]);
+        let mut store = TxStore::new(3);
+        store.add_block(b1);
+        store.add_block(b2);
+        let mut m = FrequentItemsets::empty(k(0.5), 3);
+        m.absorb_block(&store, BlockId(1), CounterKind::PtScan).unwrap();
+        assert!(m.is_frequent(&ItemSet::from_ids(&[0, 1])));
+        let stats = m
+            .absorb_block(&store, BlockId(2), CounterKind::PtScan)
+            .unwrap();
+        assert!(!m.is_frequent(&ItemSet::from_ids(&[0, 1])));
+        assert!(m.is_frequent(&ItemSet::from_ids(&[2])));
+        assert!(stats.demoted > 0);
+        m.check_invariants(&store);
+    }
+
+    #[test]
+    fn remove_block_inverts_absorb() {
+        let b1 = block(1, 1, &[&[0, 1, 2], &[0, 1], &[1, 2], &[0, 2]]);
+        let b2 = block(2, 100, &[&[2, 0], &[2], &[2, 1]]);
+        let mut store = TxStore::new(3);
+        store.add_block(b1);
+        store.add_block(b2);
+        let mut m = FrequentItemsets::empty(k(0.4), 3);
+        m.absorb_block(&store, BlockId(1), CounterKind::Ecut).unwrap();
+        let reference = m.clone();
+        m.absorb_block(&store, BlockId(2), CounterKind::Ecut).unwrap();
+        m.remove_block(&store, BlockId(2), CounterKind::Ecut).unwrap();
+        m.check_invariants(&store);
+        assert_same_model(&m, &reference);
+    }
+
+    #[test]
+    fn absorb_rejects_duplicates_and_unknown_blocks() {
+        let b1 = block(1, 1, &[&[0]]);
+        let mut store = TxStore::new(1);
+        store.add_block(b1);
+        let mut m = FrequentItemsets::empty(k(0.5), 1);
+        m.absorb_block(&store, BlockId(1), CounterKind::Ecut).unwrap();
+        assert!(m.absorb_block(&store, BlockId(1), CounterKind::Ecut).is_err());
+        assert!(m.absorb_block(&store, BlockId(9), CounterKind::Ecut).is_err());
+        assert!(m.remove_block(&store, BlockId(9), CounterKind::Ecut).is_err());
+    }
+
+    #[test]
+    fn raising_min_support_shrinks_l() {
+        let b1 = block(
+            1,
+            1,
+            &[&[0, 1], &[0, 1], &[0, 2], &[0], &[1], &[2], &[0, 1, 2]],
+        );
+        let mut store = TxStore::new(3);
+        store.add_block(b1);
+        let mut m = FrequentItemsets::empty(k(0.2), 3);
+        m.absorb_block(&store, BlockId(1), CounterKind::Ecut).unwrap();
+        let before = m.n_frequent();
+        m.set_min_support(&store, k(0.5), CounterKind::Ecut);
+        m.check_invariants(&store);
+        assert!(m.n_frequent() < before);
+        let batch = FrequentItemsets::mine_from(&store, &[BlockId(1)], k(0.5)).unwrap();
+        assert_same_model(&m, &batch);
+    }
+
+    #[test]
+    fn lowering_min_support_grows_l() {
+        let b1 = block(
+            1,
+            1,
+            &[&[0, 1], &[0, 1], &[0, 2], &[0], &[1], &[2], &[0, 1, 2]],
+        );
+        let mut store = TxStore::new(3);
+        store.add_block(b1);
+        let mut m = FrequentItemsets::empty(k(0.5), 3);
+        m.absorb_block(&store, BlockId(1), CounterKind::Ecut).unwrap();
+        m.set_min_support(&store, k(0.15), CounterKind::Ecut);
+        m.check_invariants(&store);
+        let batch = FrequentItemsets::mine_from(&store, &[BlockId(1)], k(0.15)).unwrap();
+        assert_same_model(&m, &batch);
+    }
+
+    #[test]
+    fn detector_rebuild_after_massive_border_shrink() {
+        // Build a model with a wide border, then raise κ so the border
+        // collapses: the cached detector becomes mostly stale and must be
+        // rebuilt on the next absorb without corrupting counts.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        let raw: Vec<Vec<u32>> = (0..300)
+            .map(|_| (0..4).map(|_| rng.gen_range(0..16u32)).collect())
+            .collect();
+        let slices: Vec<&[u32]> = raw.iter().map(|v| v.as_slice()).collect();
+        let b1 = block(1, 1, &slices);
+        let b2 = block(2, 1000, &[&[0, 1], &[0, 1], &[2, 3]]);
+        let mut store = TxStore::new(16);
+        store.add_block(b1);
+        store.add_block(b2);
+        let mut m = FrequentItemsets::empty(k(0.02), 16);
+        m.absorb_block(&store, BlockId(1), CounterKind::Ecut).unwrap();
+        // Raising κ demotes almost everything, leaving stale detector slots.
+        m.set_min_support(&store, k(0.45), CounterKind::Ecut);
+        m.absorb_block(&store, BlockId(2), CounterKind::Ecut).unwrap();
+        m.check_invariants(&store);
+        let batch =
+            FrequentItemsets::mine_from(&store, &[BlockId(1), BlockId(2)], k(0.45)).unwrap();
+        assert_same_model(&m, &batch);
+    }
+
+    #[test]
+    fn merged_blocks_mine_like_their_parts() {
+        // §2.1 time hierarchy: coarsening blocks must not change the model.
+        let b1 = block(1, 1, &[&[0, 1], &[2]]);
+        let b2 = block(2, 100, &[&[0, 1], &[0]]);
+        let mut fine = TxStore::new(3);
+        fine.add_block(b1.clone());
+        fine.add_block(b2.clone());
+        let merged = demon_types::Block::merge(BlockId(1), vec![b1, b2]);
+        let mut coarse = TxStore::new(3);
+        coarse.add_block(merged);
+        let a = FrequentItemsets::mine_from(&fine, &[BlockId(1), BlockId(2)], k(0.3)).unwrap();
+        let b = FrequentItemsets::mine_from(&coarse, &[BlockId(1)], k(0.3)).unwrap();
+        assert_eq!(a.frequent(), b.frequent());
+    }
+
+    #[test]
+    fn model_roundtrips_through_serde() {
+        let b1 = block(1, 1, &[&[0, 1], &[0, 1], &[2]]);
+        let mut store = TxStore::new(3);
+        store.add_block(b1);
+        let mut m = FrequentItemsets::empty(k(0.4), 3);
+        m.absorb_block(&store, BlockId(1), CounterKind::Ecut).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: FrequentItemsets = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.frequent(), m.frequent());
+        assert_eq!(back.border(), m.border());
+        assert_eq!(back.n_transactions(), m.n_transactions());
+        assert_eq!(back.included_blocks(), m.included_blocks());
+    }
+
+    #[test]
+    fn frequent_pairs_ordered_by_support() {
+        let b1 = block(
+            1,
+            1,
+            &[&[0, 1], &[0, 1], &[0, 1], &[1, 2], &[1, 2], &[0, 2]],
+        );
+        let mut store = TxStore::new(3);
+        store.add_block(b1);
+        let m = FrequentItemsets::mine_from(&store, &[BlockId(1)], k(0.2)).unwrap();
+        let pairs = m.frequent_pairs_by_support();
+        assert_eq!(pairs[0], (Item(0), Item(1)));
+        assert!(pairs.contains(&(Item(1), Item(2))));
+    }
+
+    #[test]
+    fn support_fraction_matches_counts() {
+        let b1 = block(1, 1, &[&[0], &[0], &[1]]);
+        let mut store = TxStore::new(2);
+        store.add_block(b1);
+        let m = FrequentItemsets::mine_from(&store, &[BlockId(1)], k(0.3)).unwrap();
+        assert!(
+            (m.support_fraction(&ItemSet::from_ids(&[0])).unwrap() - 2.0 / 3.0).abs() < 1e-12
+        );
+        let empty = FrequentItemsets::empty(k(0.3), 2);
+        assert_eq!(empty.support_fraction(&ItemSet::from_ids(&[0])), None);
+    }
+}

@@ -1,0 +1,361 @@
+//! On-disk persistence of the evolving transactional database.
+//!
+//! Layout, one directory per store:
+//!
+//! ```text
+//! <dir>/meta.json           n_items + the block manifest
+//! <dir>/block_<id>.txs      raw transactions (varint TIDs + delta items)
+//! <dir>/block_<id>.tid      per-item TID-lists (delta varints), then the
+//!                           materialized pair lists
+//! ```
+//!
+//! Blocks are immutable, so each block writes exactly once when it
+//! arrives (the paper's "constructed when D_i is added … used without any
+//! further changes"). Numbers are LEB128 varints throughout; lengths are
+//! validated before decoding so corrupt files surface as
+//! [`DemonError::Serde`] rather than panics.
+
+use crate::codec::{get_varint, put_varint};
+use crate::store::TxStore;
+use crate::tidlist::BlockTidLists;
+use bytes::BytesMut;
+use demon_types::{Block, BlockId, DemonError, Item, Result, Tid, Transaction, TxBlock};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+#[derive(Serialize, Deserialize)]
+struct Meta {
+    n_items: u32,
+    blocks: Vec<BlockMeta>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BlockMeta {
+    id: u64,
+    n_transactions: u64,
+    /// Wall-clock span `(start_secs, end_secs)`, when known.
+    #[serde(default)]
+    interval: Option<(u64, u64)>,
+}
+
+/// Persists `store` under `dir` (created if missing). Existing files for
+/// the same blocks are overwritten; stale files are not removed.
+pub fn save_store(store: &TxStore, dir: &Path) -> Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut meta = Meta {
+        n_items: store.n_items(),
+        blocks: Vec::new(),
+    };
+    for id in store.block_ids() {
+        let block = store.block(id).expect("listed block exists");
+        let lists = store
+            .tidlists()
+            .block(id)
+            .expect("tidlists materialized on add");
+        meta.blocks.push(BlockMeta {
+            id: id.value(),
+            n_transactions: block.len() as u64,
+            interval: block.interval().map(|iv| (iv.start.secs(), iv.end.secs())),
+        });
+        std::fs::write(dir.join(format!("block_{}.txs", id.value())), encode_txs(block))?;
+        std::fs::write(
+            dir.join(format!("block_{}.tid", id.value())),
+            encode_lists(lists, store.n_items()),
+        )?;
+    }
+    let json = serde_json::to_vec_pretty(&meta).map_err(|e| DemonError::Serde(e.to_string()))?;
+    std::fs::write(dir.join("meta.json"), json)?;
+    Ok(())
+}
+
+/// Loads a store persisted by [`save_store`].
+pub fn load_store(dir: &Path) -> Result<TxStore> {
+    let meta_bytes = std::fs::read(dir.join("meta.json"))?;
+    let meta: Meta =
+        serde_json::from_slice(&meta_bytes).map_err(|e| DemonError::Serde(e.to_string()))?;
+    let mut store = TxStore::new(meta.n_items);
+    for bm in &meta.blocks {
+        let tx_bytes = std::fs::read(dir.join(format!("block_{}.txs", bm.id)))?;
+        let mut block = decode_txs(&tx_bytes, BlockId(bm.id), bm.n_transactions)?;
+        if let Some((start, end)) = bm.interval {
+            block = Block::with_interval(
+                block.id(),
+                demon_types::BlockInterval::new(
+                    demon_types::Timestamp(start),
+                    demon_types::Timestamp(end),
+                ),
+                block.into_records(),
+            );
+        }
+        store.add_block(block);
+        // Reapply materialized pair lists (item lists are rebuilt by
+        // add_block; pairs carry the ECUT+ investment across restarts).
+        let tid_bytes = std::fs::read(dir.join(format!("block_{}.tid", bm.id)))?;
+        apply_pairs(&mut store, BlockId(bm.id), &tid_bytes, meta.n_items)?;
+    }
+    Ok(store)
+}
+
+fn encode_txs(block: &TxBlock) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    put_varint(&mut buf, block.len() as u64);
+    for tx in block.records() {
+        put_varint(&mut buf, tx.tid().value());
+        put_varint(&mut buf, tx.len() as u64);
+        let mut prev = 0u64;
+        for item in tx.items() {
+            // Items are sorted and unique: delta-1 encoding.
+            let v = u64::from(item.id());
+            put_varint(&mut buf, v - prev);
+            prev = v + 1;
+        }
+    }
+    buf.to_vec()
+}
+
+/// A checked varint read.
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    if *pos >= bytes.len() {
+        return Err(DemonError::Serde("truncated block file".into()));
+    }
+    // Validate that the varint terminates within the buffer.
+    let slice = &bytes[*pos..];
+    let end = slice
+        .iter()
+        .position(|b| b & 0x80 == 0)
+        .ok_or_else(|| DemonError::Serde("truncated varint".into()))?;
+    let (v, read) = get_varint(&slice[..=end]);
+    *pos += read;
+    Ok(v)
+}
+
+fn decode_txs(bytes: &[u8], id: BlockId, expect: u64) -> Result<TxBlock> {
+    let mut pos = 0usize;
+    let n = read_varint(bytes, &mut pos)?;
+    if n != expect {
+        return Err(DemonError::Serde(format!(
+            "block {id}: manifest says {expect} transactions, file has {n}"
+        )));
+    }
+    let mut records = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let tid = Tid(read_varint(bytes, &mut pos)?);
+        let len = read_varint(bytes, &mut pos)? as usize;
+        let mut items = Vec::with_capacity(len);
+        let mut prev = 0u64;
+        for _ in 0..len {
+            let gap = read_varint(bytes, &mut pos)?;
+            let v = prev + gap;
+            items.push(Item(u32::try_from(v).map_err(|_| {
+                DemonError::Serde("item id overflows u32".into())
+            })?));
+            prev = v + 1;
+        }
+        records.push(Transaction::from_sorted(tid, items));
+    }
+    Ok(Block::new(id, records))
+}
+
+fn encode_lists(lists: &BlockTidLists, n_items: u32) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    // Item lists, in item order.
+    put_varint(&mut buf, u64::from(n_items));
+    for i in 0..n_items {
+        let list = lists.item_list(Item(i));
+        put_varint(&mut buf, list.len() as u64);
+        let mut prev = 0u64;
+        for t in list {
+            put_varint(&mut buf, t.0 - prev);
+            prev = t.0;
+        }
+    }
+    // Pair lists.
+    let pairs: Vec<(Item, Item)> = lists.materialized_pairs().collect();
+    put_varint(&mut buf, pairs.len() as u64);
+    for (a, b) in pairs {
+        let list = lists.pair_list(a, b).expect("listed pair");
+        put_varint(&mut buf, u64::from(a.id()));
+        put_varint(&mut buf, u64::from(b.id()));
+        put_varint(&mut buf, list.len() as u64);
+        let mut prev = 0u64;
+        for t in list {
+            put_varint(&mut buf, t.0 - prev);
+            prev = t.0;
+        }
+    }
+    buf.to_vec()
+}
+
+/// Skips the item-list section and re-inserts the pair lists.
+fn apply_pairs(store: &mut TxStore, id: BlockId, bytes: &[u8], n_items: u32) -> Result<()> {
+    let mut pos = 0usize;
+    let n = read_varint(bytes, &mut pos)?;
+    if n != u64::from(n_items) {
+        return Err(DemonError::Serde(format!(
+            "block {id}: tid file item universe {n} ≠ store universe {n_items}"
+        )));
+    }
+    for _ in 0..n_items {
+        let len = read_varint(bytes, &mut pos)?;
+        for _ in 0..len {
+            read_varint(bytes, &mut pos)?;
+        }
+    }
+    let n_pairs = read_varint(bytes, &mut pos)?;
+    let Some(lists) = store.tidlists_mut_for_persist(id) else {
+        return Err(DemonError::UnknownBlock(id.value()));
+    };
+    for _ in 0..n_pairs {
+        let a = Item(read_varint(bytes, &mut pos)? as u32);
+        let b = Item(read_varint(bytes, &mut pos)? as u32);
+        let len = read_varint(bytes, &mut pos)? as usize;
+        let mut list = Vec::with_capacity(len);
+        let mut prev = 0u64;
+        for _ in 0..len {
+            prev += read_varint(bytes, &mut pos)?;
+            list.push(Tid(prev));
+        }
+        lists.insert_pair(a, b, list);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demon_types::MinSupport;
+
+    fn sample_store() -> TxStore {
+        let mut store = TxStore::new(6);
+        let mk = |id: u64, base: u64, txs: &[&[u32]]| {
+            TxBlock::new(
+                BlockId(id),
+                txs.iter()
+                    .enumerate()
+                    .map(|(i, items)| {
+                        Transaction::new(
+                            Tid(base + i as u64),
+                            items.iter().copied().map(Item).collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        store.add_block(mk(1, 1, &[&[0, 1, 2], &[0, 1], &[3], &[1, 4]]));
+        store.add_block(mk(2, 100, &[&[0, 1], &[2, 5], &[0, 1, 5]]));
+        store.materialize_pairs(BlockId(1), &[(Item(0), Item(1))], None);
+        store
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("demon-persist-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = sample_store();
+        let dir = tmp("roundtrip");
+        save_store(&store, &dir).unwrap();
+        let back = load_store(&dir).unwrap();
+        assert_eq!(back.n_items(), 6);
+        assert_eq!(back.block_ids(), store.block_ids());
+        for id in store.block_ids() {
+            let (a, b) = (store.block(id).unwrap(), back.block(id).unwrap());
+            assert_eq!(a.records(), b.records());
+            let (la, lb) = (
+                store.tidlists().block(id).unwrap(),
+                back.tidlists().block(id).unwrap(),
+            );
+            for i in 0..6u32 {
+                assert_eq!(la.item_list(Item(i)), lb.item_list(Item(i)));
+            }
+        }
+        // Pair lists survive.
+        assert_eq!(
+            back.tidlists()
+                .block(BlockId(1))
+                .unwrap()
+                .pair_list(Item(0), Item(1)),
+            store
+                .tidlists()
+                .block(BlockId(1))
+                .unwrap()
+                .pair_list(Item(0), Item(1))
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reloaded_store_mines_identically() {
+        let store = sample_store();
+        let dir = tmp("mine");
+        save_store(&store, &dir).unwrap();
+        let back = load_store(&dir).unwrap();
+        let k = MinSupport::new(0.2).unwrap();
+        let a = crate::FrequentItemsets::mine_from(&store, &store.block_ids(), k).unwrap();
+        let b = crate::FrequentItemsets::mine_from(&back, &back.block_ids(), k).unwrap();
+        assert_eq!(a.frequent(), b.frequent());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn intervals_survive_roundtrip() {
+        use demon_types::{BlockInterval, Timestamp};
+        let mut store = TxStore::new(2);
+        let iv = BlockInterval::new(Timestamp(100), Timestamp(200));
+        store.add_block(TxBlock::with_interval(
+            BlockId(1),
+            iv,
+            vec![Transaction::new(Tid(1), vec![Item(0)])],
+        ));
+        let dir = tmp("interval");
+        save_store(&store, &dir).unwrap();
+        let back = load_store(&dir).unwrap();
+        assert_eq!(back.block(BlockId(1)).unwrap().interval(), Some(iv));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        let err = load_store(Path::new("/nonexistent/demon-store")).unwrap_err();
+        assert!(matches!(err, DemonError::Io(_)));
+    }
+
+    #[test]
+    fn corrupt_meta_errors() {
+        let dir = tmp("badmeta");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("meta.json"), b"{not json").unwrap();
+        let err = load_store(&dir).unwrap_err();
+        assert!(matches!(err, DemonError::Serde(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_block_file_errors() {
+        let store = sample_store();
+        let dir = tmp("trunc");
+        save_store(&store, &dir).unwrap();
+        let path = dir.join("block_1.txs");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_store(&dir).unwrap_err();
+        assert!(matches!(err, DemonError::Serde(_)), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_mismatch_errors() {
+        let store = sample_store();
+        let dir = tmp("mismatch");
+        save_store(&store, &dir).unwrap();
+        // Swap the two block data files: transaction counts disagree.
+        let a = std::fs::read(dir.join("block_1.txs")).unwrap();
+        let b = std::fs::read(dir.join("block_2.txs")).unwrap();
+        std::fs::write(dir.join("block_1.txs"), b).unwrap();
+        std::fs::write(dir.join("block_2.txs"), a).unwrap();
+        let err = load_store(&dir).unwrap_err();
+        assert!(matches!(err, DemonError::Serde(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,263 @@
+//! The candidate prefix tree of Mueller '95, used by **PT-Scan**.
+//!
+//! BORDERS counts the supports of a set of candidate itemsets by organizing
+//! them in a prefix tree and scanning the dataset once (paper §3.1.1). Each
+//! root-to-marked-node path spells a candidate (items strictly increasing);
+//! counting a transaction walks every matching path. Because transactions
+//! and candidates are both sorted, each candidate is reached by at most one
+//! increasing subsequence per transaction, so no deduplication is needed.
+
+use demon_types::{Item, ItemSet, TxBlock};
+
+/// Arena index of a tree node.
+type NodeId = u32;
+
+#[derive(Clone, Debug, Default)]
+struct Node {
+    /// Children sorted by edge item (binary-searched during descent).
+    children: Vec<(Item, NodeId)>,
+    /// Index into the candidate/count arrays when a candidate ends here.
+    candidate: Option<u32>,
+}
+
+/// A prefix tree over a set of candidate itemsets, accumulating one
+/// support count per candidate. Candidates can be added incrementally
+/// with [`PrefixTree::insert_candidate`] — the BORDERS detection phase
+/// keeps one long-lived tree over `L ∪ NB⁻` and extends it as the
+/// cascade generates new candidates.
+#[derive(Clone, Debug)]
+pub struct PrefixTree {
+    nodes: Vec<Node>,
+    counts: Vec<u64>,
+    n_candidates: usize,
+}
+
+const ROOT: NodeId = 0;
+
+impl PrefixTree {
+    /// Builds the tree for `candidates`. Duplicate candidates share a node
+    /// (and therefore a single count slot — the first occurrence wins).
+    pub fn build(candidates: &[ItemSet]) -> Self {
+        let mut tree = PrefixTree {
+            nodes: vec![Node::default()],
+            counts: vec![0; candidates.len()],
+            n_candidates: candidates.len(),
+        };
+        for (ci, cand) in candidates.iter().enumerate() {
+            tree.insert(cand, ci as u32);
+        }
+        tree
+    }
+
+    fn insert(&mut self, itemset: &ItemSet, candidate_idx: u32) {
+        let mut node = ROOT;
+        for &item in itemset.items() {
+            node = match self.nodes[node as usize]
+                .children
+                .binary_search_by_key(&item, |&(it, _)| it)
+            {
+                Ok(pos) => self.nodes[node as usize].children[pos].1,
+                Err(pos) => {
+                    let id = self.nodes.len() as NodeId;
+                    self.nodes.push(Node::default());
+                    self.nodes[node as usize].children.insert(pos, (item, id));
+                    id
+                }
+            };
+        }
+        let slot = &mut self.nodes[node as usize].candidate;
+        if slot.is_none() {
+            *slot = Some(candidate_idx);
+        }
+    }
+
+    /// Adds one candidate after construction, returning its count slot.
+    /// When the itemset is already a candidate, the existing slot is
+    /// returned (its accumulated count is preserved).
+    pub fn insert_candidate(&mut self, itemset: &ItemSet) -> usize {
+        let idx = self.counts.len() as u32;
+        self.insert(itemset, idx);
+        // `insert` keeps an existing slot; detect which case happened.
+        let mut node = 0u32;
+        for &item in itemset.items() {
+            let pos = self.nodes[node as usize]
+                .children
+                .binary_search_by_key(&item, |&(it, _)| it)
+                .expect("path was just inserted");
+            node = self.nodes[node as usize].children[pos].1;
+        }
+        let slot = self.nodes[node as usize].candidate.expect("candidate set");
+        if slot == idx {
+            self.counts.push(0);
+            self.n_candidates += 1;
+        }
+        slot as usize
+    }
+
+    /// Number of candidates the tree was built over.
+    pub fn len(&self) -> usize {
+        self.n_candidates
+    }
+
+    /// Whether the tree holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.n_candidates == 0
+    }
+
+    /// Counts one transaction: every candidate that is a subset of `items`
+    /// has its count incremented. `items` must be sorted ascending
+    /// (guaranteed by [`demon_types::Transaction`]).
+    pub fn add_transaction(&mut self, items: &[Item]) {
+        if self.n_candidates > 0 {
+            self.descend(ROOT, items);
+        }
+    }
+
+    fn descend(&mut self, node: NodeId, items: &[Item]) {
+        if let Some(ci) = self.nodes[node as usize].candidate {
+            self.counts[ci as usize] += 1;
+        }
+        if self.nodes[node as usize].children.is_empty() {
+            return;
+        }
+        for (pos, &item) in items.iter().enumerate() {
+            if let Ok(cpos) = self.nodes[node as usize]
+                .children
+                .binary_search_by_key(&item, |&(it, _)| it)
+            {
+                let child = self.nodes[node as usize].children[cpos].1;
+                self.descend(child, &items[pos + 1..]);
+            }
+        }
+    }
+
+    /// Counts every transaction of a block.
+    pub fn count_block(&mut self, block: &TxBlock) {
+        for tx in block.records() {
+            self.add_transaction(tx.items());
+        }
+    }
+
+    /// The accumulated counts, in candidate order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Consumes the tree, yielding the counts.
+    pub fn into_counts(self) -> Vec<u64> {
+        self.counts
+    }
+
+    /// Resets all counts to zero, keeping the structure.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demon_types::{BlockId, Tid, Transaction};
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids)
+    }
+
+    fn tx(tid: u64, ids: &[u32]) -> Transaction {
+        Transaction::new(Tid(tid), ids.iter().copied().map(Item).collect())
+    }
+
+    #[test]
+    fn counts_simple_candidates() {
+        let cands = vec![set(&[1]), set(&[1, 2]), set(&[2, 3]), set(&[4])];
+        let mut t = PrefixTree::build(&cands);
+        t.add_transaction(tx(1, &[1, 2, 3]).items());
+        t.add_transaction(tx(2, &[2, 3]).items());
+        t.add_transaction(tx(3, &[1, 4]).items());
+        assert_eq!(t.counts(), &[2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_tree_counts_nothing() {
+        let mut t = PrefixTree::build(&[]);
+        assert!(t.is_empty());
+        t.add_transaction(tx(1, &[1, 2]).items());
+        assert!(t.counts().is_empty());
+    }
+
+    #[test]
+    fn shared_prefixes_count_independently() {
+        let cands = vec![set(&[1, 2, 3]), set(&[1, 2, 4]), set(&[1, 2])];
+        let mut t = PrefixTree::build(&cands);
+        t.add_transaction(tx(1, &[1, 2, 3]).items());
+        t.add_transaction(tx(2, &[1, 2, 4]).items());
+        t.add_transaction(tx(3, &[1, 2, 3, 4]).items());
+        assert_eq!(t.counts(), &[2, 2, 3]);
+    }
+
+    #[test]
+    fn candidate_counted_once_per_transaction() {
+        // {1,3} must be counted once even though item 3 appears after both
+        // potential branch points.
+        let cands = vec![set(&[1, 3])];
+        let mut t = PrefixTree::build(&cands);
+        t.add_transaction(tx(1, &[1, 2, 3]).items());
+        assert_eq!(t.counts(), &[1]);
+    }
+
+    #[test]
+    fn count_block_and_reset() {
+        let cands = vec![set(&[1]), set(&[2])];
+        let block = TxBlock::new(
+            BlockId(1),
+            vec![tx(1, &[1]), tx(2, &[1, 2]), tx(3, &[3])],
+        );
+        let mut t = PrefixTree::build(&cands);
+        t.count_block(&block);
+        assert_eq!(t.counts(), &[2, 1]);
+        t.reset();
+        assert_eq!(t.counts(), &[0, 0]);
+        t.count_block(&block);
+        assert_eq!(t.into_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn matches_naive_counting_on_random_data() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(99);
+        let universe = 20u32;
+        // Random candidates of sizes 1..=4.
+        let cands: Vec<ItemSet> = (0..60)
+            .map(|_| {
+                let k = rng.gen_range(1..=4usize);
+                let mut ids: Vec<u32> = (0..universe).collect();
+                ids.shuffle(&mut rng);
+                ItemSet::from_ids(&ids[..k])
+            })
+            .collect();
+        let txs: Vec<Transaction> = (0..300)
+            .map(|i| {
+                let k = rng.gen_range(1..=10usize);
+                let mut ids: Vec<u32> = (0..universe).collect();
+                ids.shuffle(&mut rng);
+                tx(i, &ids[..k])
+            })
+            .collect();
+        let mut tree = PrefixTree::build(&cands);
+        for t in &txs {
+            tree.add_transaction(t.items());
+        }
+        for (ci, cand) in cands.iter().enumerate() {
+            let naive = txs
+                .iter()
+                .filter(|t| t.contains_all(cand.items()))
+                .count() as u64;
+            // Duplicate candidates share one slot; skip slots shadowed by an
+            // earlier identical candidate.
+            if cands[..ci].contains(cand) {
+                continue;
+            }
+            assert_eq!(tree.counts()[ci], naive, "candidate {cand}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! [`TxStore`]: the evolving transactional database.
+//!
+//! The store keeps both representations the paper discusses: the raw
+//! transactional blocks (scanned by PT-Scan) and the per-block TID-lists
+//! (read selectively by ECUT/ECUT+). In the paper the TID-lists *replace*
+//! the transactional format; we keep both because the experiments compare
+//! counting procedures head-to-head on the same data.
+
+use crate::tidlist::{intersect_pair, TidListStore};
+use demon_types::{BlockId, Item, TxBlock};
+use std::collections::BTreeMap;
+
+/// Result of an ECUT+ pair-materialization pass over one block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaterializeStats {
+    /// Number of 2-itemsets whose lists were written.
+    pub pairs_materialized: usize,
+    /// Number of 2-itemsets skipped because the budget ran out.
+    pub pairs_skipped: usize,
+    /// TIDs written for pair lists (the *extra* space of Figure 3).
+    pub pair_space: u64,
+}
+
+/// The evolving database: raw blocks plus their TID-lists.
+#[derive(Debug, Default)]
+pub struct TxStore {
+    blocks: BTreeMap<BlockId, TxBlock>,
+    tidlists: TidListStore,
+    n_items: u32,
+}
+
+impl TxStore {
+    /// An empty store over an item universe of size `n_items`.
+    pub fn new(n_items: u32) -> Self {
+        TxStore {
+            blocks: BTreeMap::new(),
+            tidlists: TidListStore::new(n_items),
+            n_items,
+        }
+    }
+
+    /// Size of the item universe.
+    pub fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// Adds a block: stores the raw transactions and materializes the
+    /// per-item TID-lists in one scan.
+    pub fn add_block(&mut self, block: TxBlock) {
+        self.tidlists.add_block(&block);
+        self.blocks.insert(block.id(), block);
+    }
+
+    /// Retires a block entirely (raw data and TID-lists).
+    pub fn remove_block(&mut self, id: BlockId) -> bool {
+        self.tidlists.remove_block(id);
+        self.blocks.remove(&id).is_some()
+    }
+
+    /// The raw block, if present.
+    pub fn block(&self, id: BlockId) -> Option<&TxBlock> {
+        self.blocks.get(&id)
+    }
+
+    /// All stored block ids, ascending.
+    pub fn block_ids(&self) -> Vec<BlockId> {
+        self.blocks.keys().copied().collect()
+    }
+
+    /// Number of stored blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the store holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total transactions across the given blocks.
+    pub fn n_transactions(&self, ids: &[BlockId]) -> u64 {
+        ids.iter()
+            .filter_map(|id| self.blocks.get(id))
+            .map(|b| b.len() as u64)
+            .sum()
+    }
+
+    /// The TID-list store.
+    pub fn tidlists(&self) -> &TidListStore {
+        &self.tidlists
+    }
+
+    /// Mutable per-block list access for the persistence layer (pair
+    /// lists are re-applied after reload).
+    pub(crate) fn tidlists_mut_for_persist(
+        &mut self,
+        id: BlockId,
+    ) -> Option<&mut crate::tidlist::BlockTidLists> {
+        self.tidlists.block_mut(id)
+    }
+
+    /// Space (in TIDs) of the per-item lists of the given blocks — equal to
+    /// the transactional size of those blocks.
+    pub fn item_space(&self, ids: &[BlockId]) -> u64 {
+        ids.iter()
+            .filter_map(|id| self.tidlists.block(*id))
+            .map(|b| b.item_space())
+            .sum()
+    }
+
+    /// Extra space (in TIDs) of materialized pair lists of the given blocks.
+    pub fn pair_space(&self, ids: &[BlockId]) -> u64 {
+        ids.iter()
+            .filter_map(|id| self.tidlists.block(*id))
+            .map(|b| b.pair_space())
+            .sum()
+    }
+
+    /// ECUT+ materialization for a newly added block: writes TID-lists for
+    /// `pairs` (callers pass the current frequent 2-itemsets, highest
+    /// overall support first) until `budget` TIDs have been written.
+    /// `budget = None` materializes everything (the paper's Figure 2/3
+    /// setting: "all 2-frequent itemsets in each block materialized").
+    pub fn materialize_pairs(
+        &mut self,
+        id: BlockId,
+        pairs: &[(Item, Item)],
+        budget: Option<u64>,
+    ) -> MaterializeStats {
+        let mut stats = MaterializeStats::default();
+        let Some(lists) = self.tidlists.block_mut(id) else {
+            stats.pairs_skipped = pairs.len();
+            return stats;
+        };
+        let budget = budget.unwrap_or(u64::MAX);
+        for &(a, b) in pairs {
+            debug_assert!(a < b, "pairs must be ordered");
+            let list = intersect_pair(lists.item_list(a), lists.item_list(b));
+            let extra = list.len() as u64;
+            if stats.pair_space + extra > budget {
+                // Higher-priority pairs come first; once the budget is hit,
+                // everything after is skipped too (the paper picks by
+                // descending overall support).
+                stats.pairs_skipped = pairs.len() - stats.pairs_materialized;
+                break;
+            }
+            lists.insert_pair(a, b, list);
+            stats.pairs_materialized += 1;
+            stats.pair_space += extra;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demon_types::{Tid, Transaction};
+
+    fn block(id: u64, txs: &[(u64, &[u32])]) -> TxBlock {
+        TxBlock::new(
+            BlockId(id),
+            txs.iter()
+                .map(|(tid, items)| {
+                    Transaction::new(Tid(*tid), items.iter().copied().map(Item).collect())
+                })
+                .collect(),
+        )
+    }
+
+    fn sample_store() -> TxStore {
+        let mut s = TxStore::new(4);
+        s.add_block(block(1, &[(1, &[0, 1, 2]), (2, &[0, 1]), (3, &[2, 3])]));
+        s.add_block(block(2, &[(4, &[0, 1]), (5, &[1, 2])]));
+        s
+    }
+
+    #[test]
+    fn add_query_remove_blocks() {
+        let mut s = sample_store();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.block(BlockId(1)).unwrap().len(), 3);
+        assert_eq!(s.block_ids(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(s.n_transactions(&[BlockId(1), BlockId(2)]), 5);
+        assert_eq!(s.n_transactions(&[BlockId(2)]), 2);
+        assert!(s.remove_block(BlockId(1)));
+        assert!(!s.remove_block(BlockId(1)));
+        assert!(s.tidlists().block(BlockId(1)).is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn tidlists_materialized_on_add() {
+        let s = sample_store();
+        let lists = s.tidlists().block(BlockId(1)).unwrap();
+        assert_eq!(lists.item_support(Item(0)), 2);
+        assert_eq!(lists.item_support(Item(3)), 1);
+        // 3+2+2 = 7 item occurrences in block 1, 2+2 in block 2.
+        assert_eq!(s.item_space(&[BlockId(1)]), 7);
+        assert_eq!(s.item_space(&[BlockId(1), BlockId(2)]), 11);
+    }
+
+    #[test]
+    fn materialize_pairs_unbounded() {
+        let mut s = sample_store();
+        let pairs = [(Item(0), Item(1)), (Item(1), Item(2))];
+        let st = s.materialize_pairs(BlockId(1), &pairs, None);
+        assert_eq!(st.pairs_materialized, 2);
+        assert_eq!(st.pairs_skipped, 0);
+        // {0,1} appears in TIDs 1,2; {1,2} in TID 1 → 3 TIDs of extra space.
+        assert_eq!(st.pair_space, 3);
+        assert_eq!(s.pair_space(&[BlockId(1)]), 3);
+        let lists = s.tidlists().block(BlockId(1)).unwrap();
+        assert_eq!(lists.pair_list(Item(0), Item(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn materialize_pairs_respects_budget() {
+        let mut s = sample_store();
+        let pairs = [(Item(0), Item(1)), (Item(1), Item(2))];
+        // Budget of 2 TIDs: the first pair (2 TIDs) fits, the second does not.
+        let st = s.materialize_pairs(BlockId(1), &pairs, Some(2));
+        assert_eq!(st.pairs_materialized, 1);
+        assert_eq!(st.pairs_skipped, 1);
+        assert_eq!(st.pair_space, 2);
+        let lists = s.tidlists().block(BlockId(1)).unwrap();
+        assert!(lists.pair_list(Item(0), Item(1)).is_some());
+        assert!(lists.pair_list(Item(1), Item(2)).is_none());
+    }
+
+    #[test]
+    fn materialize_pairs_unknown_block() {
+        let mut s = sample_store();
+        let st = s.materialize_pairs(BlockId(9), &[(Item(0), Item(1))], None);
+        assert_eq!(st.pairs_materialized, 0);
+        assert_eq!(st.pairs_skipped, 1);
+    }
+}

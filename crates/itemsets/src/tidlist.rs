@@ -1,0 +1,368 @@
+//! Per-block TID-lists and sorted-list intersection.
+//!
+//! ECUT's insight (paper §3.1.1) rests on two properties of systematic
+//! block evolution: **additivity** (the support of an itemset over a window
+//! is the sum of its per-block supports) and the **0/1 property** (a BSS
+//! selects a block completely or not at all). Together they let each item's
+//! TID-list be split into immutable per-block segments, written once when
+//! the block arrives and read selectively ever after.
+//!
+//! TIDs increase in arrival order, so every per-block list is sorted by
+//! construction and intersections are sort-merge joins.
+
+use demon_types::{BlockId, Item, Tid, TxBlock};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// TID-lists of one block: one sorted list per item, plus optionally
+/// materialized 2-itemset lists for ECUT+.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BlockTidLists {
+    /// `item_lists[i]` is the sorted list of TIDs of transactions in this
+    /// block containing item `i`.
+    item_lists: Vec<Vec<Tid>>,
+    /// Materialized 2-itemset lists, keyed by the (ordered) item pair.
+    pair_lists: BTreeMap<(Item, Item), Vec<Tid>>,
+    /// Number of transactions in the block.
+    n_transactions: u64,
+}
+
+impl BlockTidLists {
+    /// Scans `block` once and materializes the TID-list of every item
+    /// (paper: "The TID-lists of all items are materialized simultaneously").
+    pub fn materialize(block: &TxBlock, n_items: u32) -> Self {
+        let mut item_lists = vec![Vec::new(); n_items as usize];
+        for tx in block.records() {
+            for &item in tx.items() {
+                debug_assert!(item.id() < n_items, "item {item} outside universe");
+                item_lists[item.index()].push(tx.tid());
+            }
+        }
+        BlockTidLists {
+            item_lists,
+            pair_lists: BTreeMap::new(),
+            n_transactions: block.len() as u64,
+        }
+    }
+
+    /// Number of transactions in the block.
+    pub fn n_transactions(&self) -> u64 {
+        self.n_transactions
+    }
+
+    /// The TID-list of `item` in this block.
+    pub fn item_list(&self, item: Item) -> &[Tid] {
+        self.item_lists
+            .get(item.index())
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// Support (absolute count) of a single item in this block.
+    pub fn item_support(&self, item: Item) -> u64 {
+        self.item_list(item).len() as u64
+    }
+
+    /// The materialized TID-list of the pair `(a, b)` (ordered `a < b`),
+    /// if ECUT+ chose to materialize it for this block.
+    pub fn pair_list(&self, a: Item, b: Item) -> Option<&[Tid]> {
+        debug_assert!(a < b);
+        self.pair_lists.get(&(a, b)).map(|v| v.as_slice())
+    }
+
+    /// Materializes the pair `(a, b)` by intersecting the two item lists.
+    /// Returns the length of the new list. Idempotent.
+    pub fn materialize_pair(&mut self, a: Item, b: Item) -> usize {
+        debug_assert!(a < b);
+        if let Some(l) = self.pair_lists.get(&(a, b)) {
+            return l.len();
+        }
+        let list = intersect_pair(self.item_list(a), self.item_list(b));
+        let len = list.len();
+        self.pair_lists.insert((a, b), list);
+        len
+    }
+
+    /// Stores a pre-computed pair list (ECUT+ budgeted materialization
+    /// intersects first to learn the cost, then decides whether to keep).
+    pub fn insert_pair(&mut self, a: Item, b: Item, list: Vec<Tid>) {
+        debug_assert!(a < b);
+        debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "pair list unsorted");
+        self.pair_lists.insert((a, b), list);
+    }
+
+    /// Iterates over the materialized pairs of this block.
+    pub fn materialized_pairs(&self) -> impl Iterator<Item = (Item, Item)> + '_ {
+        self.pair_lists.keys().copied()
+    }
+
+    /// Total TIDs stored in the per-item lists. One TID models one disk
+    /// word, so this doubles as the space occupied by the transactional
+    /// representation (paper: the TID-list representation replaces it).
+    pub fn item_space(&self) -> u64 {
+        self.item_lists.iter().map(|l| l.len() as u64).sum()
+    }
+
+    /// Total TIDs stored in materialized pair lists (the *extra* space of
+    /// ECUT+, reported in Figure 3).
+    pub fn pair_space(&self) -> u64 {
+        self.pair_lists.values().map(|l| l.len() as u64).sum()
+    }
+}
+
+/// The TID-list side of the evolving database: one [`BlockTidLists`]
+/// per block, immutable once written.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TidListStore {
+    blocks: BTreeMap<BlockId, BlockTidLists>,
+    n_items: u32,
+}
+
+impl TidListStore {
+    /// An empty store over an item universe of size `n_items`.
+    pub fn new(n_items: u32) -> Self {
+        TidListStore {
+            blocks: BTreeMap::new(),
+            n_items,
+        }
+    }
+
+    /// Size of the item universe.
+    pub fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// Materializes and stores the TID-lists of `block`.
+    pub fn add_block(&mut self, block: &TxBlock) {
+        let lists = BlockTidLists::materialize(block, self.n_items);
+        self.blocks.insert(block.id(), lists);
+    }
+
+    /// Drops the lists of a retired block.
+    pub fn remove_block(&mut self, id: BlockId) -> bool {
+        self.blocks.remove(&id).is_some()
+    }
+
+    /// The lists of one block.
+    pub fn block(&self, id: BlockId) -> Option<&BlockTidLists> {
+        self.blocks.get(&id)
+    }
+
+    /// Mutable access (ECUT+ pair materialization).
+    pub fn block_mut(&mut self, id: BlockId) -> Option<&mut BlockTidLists> {
+        self.blocks.get_mut(&id)
+    }
+
+    /// Iterates over stored blocks in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &BlockTidLists)> {
+        self.blocks.iter().map(|(id, b)| (*id, b))
+    }
+
+    /// Number of stored blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Intersects two sorted TID-lists with a galloping merge: the shorter list
+/// drives, binary-searching the longer one. Equivalent to the merge phase
+/// of a sort-merge join (paper §3.1.1) but asymptotically better when the
+/// lists are very skewed — the common case when intersecting a rare item
+/// with a popular one.
+pub fn intersect_pair(a: &[Tid], b: &[Tid]) -> Vec<Tid> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(short.len());
+    let mut lo = 0usize;
+    for &t in short {
+        // Gallop forward in the long list until long[hi] ≥ t (or the end).
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < long.len() && long[hi] < t {
+            lo = hi + 1;
+            hi = lo + step;
+            step *= 2;
+        }
+        // long[hi] ≥ t when hi is in range, so include it in the search.
+        let hi = (hi + 1).min(long.len());
+        match long[lo..hi].binary_search(&t) {
+            Ok(pos) => {
+                out.push(t);
+                lo += pos + 1;
+            }
+            Err(pos) => {
+                lo += pos;
+            }
+        }
+        if lo >= long.len() {
+            break;
+        }
+    }
+    out
+}
+
+/// Intersects any number of sorted TID-lists. Lists are processed shortest
+/// first, so the running intersection only shrinks.
+///
+/// Returns the full TID-list of the conjunction; its length is the support.
+pub fn intersect_all(lists: &[&[Tid]]) -> Vec<Tid> {
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists[0].to_vec(),
+        _ => {
+            let mut order: Vec<&[Tid]> = lists.to_vec();
+            order.sort_by_key(|l| l.len());
+            let mut acc = intersect_pair(order[0], order[1]);
+            for l in &order[2..] {
+                if acc.is_empty() {
+                    break;
+                }
+                acc = intersect_pair(&acc, l);
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demon_types::Transaction;
+
+    fn tids(v: &[u64]) -> Vec<Tid> {
+        v.iter().copied().map(Tid).collect()
+    }
+
+    fn block(id: u64, txs: &[(u64, &[u32])]) -> TxBlock {
+        TxBlock::new(
+            BlockId(id),
+            txs.iter()
+                .map(|(tid, items)| {
+                    Transaction::new(Tid(*tid), items.iter().copied().map(Item).collect())
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn intersect_pair_basic() {
+        assert_eq!(
+            intersect_pair(&tids(&[1, 3, 5, 7]), &tids(&[2, 3, 4, 7, 9])),
+            tids(&[3, 7])
+        );
+        assert_eq!(intersect_pair(&tids(&[]), &tids(&[1])), tids(&[]));
+        assert_eq!(intersect_pair(&tids(&[1, 2]), &tids(&[3, 4])), tids(&[]));
+        assert_eq!(
+            intersect_pair(&tids(&[1, 2, 3]), &tids(&[1, 2, 3])),
+            tids(&[1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn intersect_pair_skewed_gallop() {
+        let long: Vec<Tid> = (0..10_000u64).map(|i| Tid(i * 3)).collect();
+        let short = tids(&[3, 2998 * 3, 9999 * 3, 50_000]);
+        assert_eq!(
+            intersect_pair(&short, &long),
+            tids(&[3, 2998 * 3, 9999 * 3])
+        );
+        // Argument order must not matter.
+        assert_eq!(intersect_pair(&long, &short), intersect_pair(&short, &long));
+    }
+
+    #[test]
+    fn intersect_all_multiway() {
+        let a = tids(&[1, 2, 3, 4, 5, 6]);
+        let b = tids(&[2, 4, 6, 8]);
+        let c = tids(&[4, 5, 6, 7]);
+        assert_eq!(intersect_all(&[&a, &b, &c]), tids(&[4, 6]));
+        assert_eq!(intersect_all(&[&a]), a);
+        assert_eq!(intersect_all(&[]), tids(&[]));
+    }
+
+    #[test]
+    fn intersect_all_short_circuits_on_empty() {
+        let a = tids(&[1, 2]);
+        let empty = tids(&[]);
+        let b = tids(&[1]);
+        assert_eq!(intersect_all(&[&a, &empty, &b]), tids(&[]));
+    }
+
+    #[test]
+    fn materialize_builds_sorted_lists() {
+        let b = block(1, &[(1, &[0, 2]), (2, &[1, 2]), (3, &[0, 1, 2])]);
+        let lists = BlockTidLists::materialize(&b, 4);
+        assert_eq!(lists.item_list(Item(0)), &tids(&[1, 3])[..]);
+        assert_eq!(lists.item_list(Item(1)), &tids(&[2, 3])[..]);
+        assert_eq!(lists.item_list(Item(2)), &tids(&[1, 2, 3])[..]);
+        assert_eq!(lists.item_list(Item(3)), &[] as &[Tid]);
+        assert_eq!(lists.n_transactions(), 3);
+        assert_eq!(lists.item_support(Item(2)), 3);
+    }
+
+    #[test]
+    fn item_space_equals_total_item_occurrences() {
+        let b = block(1, &[(1, &[0, 2]), (2, &[1, 2]), (3, &[0, 1, 2])]);
+        let lists = BlockTidLists::materialize(&b, 4);
+        // 2 + 2 + 3 = 7 item occurrences — exactly the transactional size.
+        assert_eq!(lists.item_space(), 7);
+        assert_eq!(lists.pair_space(), 0);
+    }
+
+    #[test]
+    fn pair_materialization_is_idempotent_intersection() {
+        let b = block(1, &[(1, &[0, 2]), (2, &[1, 2]), (3, &[0, 1, 2])]);
+        let mut lists = BlockTidLists::materialize(&b, 4);
+        let len = lists.materialize_pair(Item(1), Item(2));
+        assert_eq!(len, 2); // TIDs 2 and 3 contain both.
+        assert_eq!(lists.pair_list(Item(1), Item(2)).unwrap(), &tids(&[2, 3])[..]);
+        assert_eq!(lists.materialize_pair(Item(1), Item(2)), 2);
+        assert_eq!(lists.pair_space(), 2);
+        assert_eq!(
+            lists.materialized_pairs().collect::<Vec<_>>(),
+            vec![(Item(1), Item(2))]
+        );
+        assert_eq!(lists.pair_list(Item(0), Item(3)), None);
+    }
+
+    #[test]
+    fn store_add_query_remove() {
+        let mut store = TidListStore::new(4);
+        assert!(store.is_empty());
+        store.add_block(&block(1, &[(1, &[0, 1])]));
+        store.add_block(&block(2, &[(2, &[1, 2])]));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.block(BlockId(1)).unwrap().item_support(Item(0)), 1);
+        assert_eq!(store.block(BlockId(2)).unwrap().item_support(Item(2)), 1);
+        assert!(store.block(BlockId(3)).is_none());
+        assert!(store.remove_block(BlockId(1)));
+        assert!(!store.remove_block(BlockId(1)));
+        assert_eq!(store.len(), 1);
+        let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![BlockId(2)]);
+    }
+
+    #[test]
+    fn additivity_across_blocks() {
+        // Support over two blocks = sum of per-block supports (paper's
+        // additivity property).
+        let b1 = block(1, &[(1, &[0, 1]), (2, &[0])]);
+        let b2 = block(2, &[(3, &[0, 1]), (4, &[1])]);
+        let mut store = TidListStore::new(2);
+        store.add_block(&b1);
+        store.add_block(&b2);
+        let total: u64 = store
+            .iter()
+            .map(|(_, lists)| {
+                intersect_pair(lists.item_list(Item(0)), lists.item_list(Item(1))).len() as u64
+            })
+            .sum();
+        assert_eq!(total, 2); // TIDs 1 and 3.
+    }
+}

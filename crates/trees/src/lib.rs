@@ -1,0 +1,19 @@
+//! Decision-tree classifiers for the DEMON framework.
+//!
+//! The FOCUS deviation framework (paper §4) "can be instantiated with any
+//! one of three popular data mining models: frequent itemsets, decision
+//! tree classifiers, and clusters". This crate supplies the third model
+//! class: a greedy binary CART-style classifier over numeric points with
+//! class labels, whose leaves expose the *structural component* FOCUS
+//! needs — axis-aligned regions with per-class measures.
+//!
+//! (Incremental decision-tree *maintenance* is the authors' separate BOAT
+//! line of work, which the paper explicitly does not revisit; here the
+//! tree is the model FOCUS compares across blocks.)
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod tree;
+
+pub use tree::{DecisionTree, LabeledPoint, Region, TreeParams};

@@ -1,0 +1,134 @@
+//! Calendar structure over [`Timestamp`]s.
+//!
+//! The pattern-detection experiments describe discovered block sequences in
+//! calendar terms: working days, weekends, Tuesdays and Thursdays, a labor
+//! day holiday. The experiment epoch mirrors the DEC trace: **day 0 is
+//! Monday 1996-09-02 (Labor Day)**, and the trace runs for 21 days.
+
+use crate::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Day of week. The experiment epoch (day 0) is a Monday.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Weekday {
+    /// Monday
+    Mon,
+    /// Tuesday
+    Tue,
+    /// Wednesday
+    Wed,
+    /// Thursday
+    Thu,
+    /// Friday
+    Fri,
+    /// Saturday
+    Sat,
+    /// Sunday
+    Sun,
+}
+
+impl Weekday {
+    const ALL: [Weekday; 7] = [
+        Weekday::Mon,
+        Weekday::Tue,
+        Weekday::Wed,
+        Weekday::Thu,
+        Weekday::Fri,
+        Weekday::Sat,
+        Weekday::Sun,
+    ];
+
+    /// Weekday of the given day index (day 0 = Monday).
+    pub fn of_day(day: u64) -> Weekday {
+        Self::ALL[(day % 7) as usize]
+    }
+
+    /// Whether this is a Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Sat | Weekday::Sun)
+    }
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Weekday::Mon => "Mon",
+            Weekday::Tue => "Tue",
+            Weekday::Wed => "Wed",
+            Weekday::Thu => "Thu",
+            Weekday::Fri => "Fri",
+            Weekday::Sat => "Sat",
+            Weekday::Sun => "Sun",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Debug for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Weekday of a timestamp.
+pub fn weekday(t: Timestamp) -> Weekday {
+    Weekday::of_day(t.day())
+}
+
+/// Day indices (relative to the epoch) that are holidays in the experiment
+/// calendar. Day 0 models Labor Day 1996-09-02.
+pub const HOLIDAYS: [u64; 1] = [0];
+
+/// Whether `day` is a working day: a non-holiday weekday.
+pub fn is_working_day(day: u64) -> bool {
+    !Weekday::of_day(day).is_weekend() && !HOLIDAYS.contains(&day)
+}
+
+/// Formats a day index as a calendar date in September 1996
+/// (day 0 ↦ `9-2-1996`), matching the paper's reporting style.
+pub fn format_date(day: u64) -> String {
+    format!("9-{}-1996", day + 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_day_is_monday() {
+        assert_eq!(Weekday::of_day(0), Weekday::Mon);
+        assert_eq!(Weekday::of_day(1), Weekday::Tue);
+        assert_eq!(Weekday::of_day(5), Weekday::Sat);
+        assert_eq!(Weekday::of_day(6), Weekday::Sun);
+        assert_eq!(Weekday::of_day(7), Weekday::Mon);
+    }
+
+    #[test]
+    fn weekend_classification() {
+        assert!(Weekday::Sat.is_weekend());
+        assert!(Weekday::Sun.is_weekend());
+        assert!(!Weekday::Wed.is_weekend());
+    }
+
+    #[test]
+    fn labor_day_is_not_a_working_day() {
+        assert!(!is_working_day(0)); // holiday Monday
+        assert!(is_working_day(1)); // Tuesday 9-3
+        assert!(!is_working_day(5)); // Saturday
+        assert!(!is_working_day(6)); // Sunday
+        assert!(is_working_day(7)); // the *next* Monday, 9-9
+    }
+
+    #[test]
+    fn weekday_of_timestamp() {
+        assert_eq!(weekday(Timestamp::from_day_hour(2, 13)), Weekday::Wed);
+    }
+
+    #[test]
+    fn date_formatting_matches_paper_style() {
+        assert_eq!(format_date(0), "9-2-1996");
+        assert_eq!(format_date(7), "9-9-1996");
+        assert_eq!(format_date(20), "9-22-1996");
+    }
+}

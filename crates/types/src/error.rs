@@ -1,0 +1,86 @@
+//! The shared error type.
+
+use std::fmt;
+
+/// Errors surfaced by the DEMON workspace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DemonError {
+    /// Minimum support must satisfy `0 < κ < 1`.
+    InvalidMinSupport(f64),
+    /// A window size or other structural parameter was invalid.
+    InvalidParameter(String),
+    /// A block id was out of range for the current snapshot.
+    UnknownBlock(u64),
+    /// A block-selection sequence did not match the window it was applied to.
+    BssMismatch {
+        /// Length of the supplied sequence.
+        got: usize,
+        /// Expected length (the window size).
+        expected: usize,
+    },
+    /// An I/O failure (GEMM's on-disk model shelf).
+    Io(std::io::Error),
+    /// A (de)serialization failure.
+    Serde(String),
+}
+
+impl fmt::Display for DemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemonError::InvalidMinSupport(k) => {
+                write!(f, "minimum support must satisfy 0 < κ < 1, got {k}")
+            }
+            DemonError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DemonError::UnknownBlock(id) => write!(f, "unknown block D{id}"),
+            DemonError::BssMismatch { got, expected } => write!(
+                f,
+                "block selection sequence has length {got}, window expects {expected}"
+            ),
+            DemonError::Io(e) => write!(f, "i/o error: {e}"),
+            DemonError::Serde(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DemonError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DemonError {
+    fn from(e: std::io::Error) -> Self {
+        DemonError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(DemonError::InvalidMinSupport(1.5)
+            .to_string()
+            .contains("0 < κ < 1"));
+        assert!(DemonError::UnknownBlock(9).to_string().contains("D9"));
+        let e = DemonError::BssMismatch {
+            got: 3,
+            expected: 5,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DemonError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

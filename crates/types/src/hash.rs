@@ -1,0 +1,118 @@
+//! A fast, non-cryptographic hasher for internal maps.
+//!
+//! The mining code keys very large hash maps by [`crate::ItemSet`]
+//! (`L ∪ NB⁻` holds hundreds of thousands of entries at paper-scale
+//! parameters), and the default SipHash spends most of its time defending
+//! against HashDoS — irrelevant for maps keyed by our own mining output.
+//! This is the Fx multiply-rotate scheme used by rustc, implemented here
+//! because the workspace's dependency budget is fixed; the algorithm is
+//! public domain folklore.
+//!
+//! Use [`FastMap`]/[`FastSet`] for internal state; keep `std` maps for
+//! anything keyed by untrusted external input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` using [`FxHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"demon"), hash_of(&"demon"));
+        let a = crate::ItemSet::from_ids(&[1, 5, 9]);
+        let b = crate::ItemSet::from_ids(&[9, 5, 1]);
+        assert_eq!(hash_of(&a), hash_of(&b), "sets normalize before hashing");
+    }
+
+    #[test]
+    fn different_values_usually_differ() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(hash_of(&i));
+        }
+        assert!(seen.len() > 9_990, "too many collisions: {}", seen.len());
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        // Values differing only in their final (non-8-aligned) bytes must
+        // not collide systematically.
+        assert_ne!(hash_of(&[1u8; 9][..]), hash_of(&[1u8, 1, 1, 1, 1, 1, 1, 1, 2][..]));
+    }
+
+    #[test]
+    fn fast_map_works_as_a_map() {
+        let mut m: FastMap<crate::ItemSet, u64> = FastMap::default();
+        m.insert(crate::ItemSet::from_ids(&[1, 2]), 7);
+        assert_eq!(m.get(&crate::ItemSet::from_ids(&[2, 1])), Some(&7));
+        let mut s: FastSet<u32> = FastSet::default();
+        s.insert(3);
+        assert!(s.contains(&3));
+    }
+}

@@ -1,0 +1,87 @@
+//! Items: the literals of the market-basket domain.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single item (literal) from the item universe `I = {i_1, …, i_n}`.
+///
+/// Items are dense `u32` identifiers. The synthetic generators and the
+/// web-trace encoder both map their domains onto `0..n`, which lets the
+/// mining code index per-item arrays (TID-list directories, singleton
+/// counters) directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Item(pub u32);
+
+impl Item {
+    /// Returns the raw identifier.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the identifier widened to `usize` for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Item {
+    #[inline]
+    fn from(v: u32) -> Self {
+        Item(v)
+    }
+}
+
+impl From<Item> for u32 {
+    #[inline]
+    fn from(v: Item) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Debug for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_roundtrips_through_u32() {
+        let it = Item::from(42u32);
+        assert_eq!(u32::from(it), 42);
+        assert_eq!(it.id(), 42);
+        assert_eq!(it.index(), 42usize);
+    }
+
+    #[test]
+    fn item_orders_by_id() {
+        assert!(Item(1) < Item(2));
+        assert_eq!(Item(7), Item(7));
+    }
+
+    #[test]
+    fn item_displays_with_prefix() {
+        assert_eq!(Item(3).to_string(), "i3");
+        assert_eq!(format!("{:?}", Item(3)), "i3");
+    }
+
+    #[test]
+    fn item_serde_is_transparent() {
+        let json = serde_json::to_string(&Item(9)).unwrap();
+        assert_eq!(json, "9");
+        let back: Item = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Item(9));
+    }
+}

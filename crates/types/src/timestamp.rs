@@ -1,0 +1,139 @@
+//! Wall-clock timestamps and block intervals.
+//!
+//! The web-trace experiments (paper §5.3) segment a 21-day request stream
+//! into blocks of 4/6/8/12/24-hour granularity and describe the discovered
+//! patterns in calendar terms ("12 Noon – 4 PM on all working days …").
+//! A timestamp here is seconds since an arbitrary epoch; the [`crate::calendar`]
+//! module turns it into (day, hour) coordinates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Seconds since the (experiment-local) epoch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Timestamp(pub u64);
+
+/// Seconds in one hour.
+pub const HOUR: u64 = 3600;
+/// Seconds in one day.
+pub const DAY: u64 = 24 * HOUR;
+
+impl Timestamp {
+    /// Builds a timestamp from whole days and hours past the epoch.
+    pub fn from_day_hour(day: u64, hour: u64) -> Timestamp {
+        Timestamp(day * DAY + hour * HOUR)
+    }
+
+    /// Seconds since epoch.
+    #[inline]
+    pub fn secs(self) -> u64 {
+        self.0
+    }
+
+    /// Whole days since epoch.
+    #[inline]
+    pub fn day(self) -> u64 {
+        self.0 / DAY
+    }
+
+    /// Hour of day, `0..24`.
+    #[inline]
+    pub fn hour(self) -> u64 {
+        (self.0 % DAY) / HOUR
+    }
+
+    /// Timestamp advanced by `secs` seconds.
+    #[inline]
+    pub fn plus_secs(self, secs: u64) -> Timestamp {
+        Timestamp(self.0 + secs)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}+{:02}h", self.day(), self.hour())
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A half-open wall-clock interval `[start, end)` covered by one block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockInterval {
+    /// Inclusive start of the interval.
+    pub start: Timestamp,
+    /// Exclusive end of the interval.
+    pub end: Timestamp,
+}
+
+impl BlockInterval {
+    /// Builds an interval; `start` must precede `end`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(start < end, "empty or inverted block interval");
+        BlockInterval { start, end }
+    }
+
+    /// Interval length in seconds.
+    #[inline]
+    pub fn duration_secs(self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// Whether `t` falls inside the half-open interval.
+    #[inline]
+    pub fn contains(self, t: Timestamp) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+impl fmt::Debug for BlockInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_hour_roundtrip() {
+        let t = Timestamp::from_day_hour(3, 14);
+        assert_eq!(t.day(), 3);
+        assert_eq!(t.hour(), 14);
+        assert_eq!(t.secs(), 3 * DAY + 14 * HOUR);
+    }
+
+    #[test]
+    fn plus_secs_advances() {
+        let t = Timestamp::from_day_hour(0, 23).plus_secs(2 * HOUR);
+        assert_eq!(t.day(), 1);
+        assert_eq!(t.hour(), 1);
+    }
+
+    #[test]
+    fn interval_contains_half_open() {
+        let iv = BlockInterval::new(Timestamp(100), Timestamp(200));
+        assert!(iv.contains(Timestamp(100)));
+        assert!(iv.contains(Timestamp(199)));
+        assert!(!iv.contains(Timestamp(200)));
+        assert!(!iv.contains(Timestamp(99)));
+        assert_eq!(iv.duration_secs(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn interval_rejects_inversion() {
+        let _ = BlockInterval::new(Timestamp(5), Timestamp(5));
+    }
+
+    #[test]
+    fn display_shows_day_and_hour() {
+        assert_eq!(Timestamp::from_day_hour(2, 5).to_string(), "d2+05h");
+    }
+}

@@ -1,0 +1,205 @@
+//! Transactions and transaction identifiers.
+
+use crate::Item;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A transaction identifier.
+///
+/// TIDs are unique positive integers that **increase in arrival order**
+/// (paper §2.1/§3.1.1). This monotonicity is what makes per-block TID-list
+/// materialization trivial: scanning blocks in order appends to each item's
+/// TID-list in sorted order with no further bookkeeping.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Tid(pub u64);
+
+impl Tid {
+    /// Returns the raw identifier.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the successor TID.
+    #[inline]
+    pub fn next(self) -> Tid {
+        Tid(self.0 + 1)
+    }
+}
+
+impl From<u64> for Tid {
+    #[inline]
+    fn from(v: u64) -> Self {
+        Tid(v)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A transaction: a TID plus a sorted, duplicate-free set of items.
+///
+/// The item slice is kept sorted so that containment tests
+/// ([`Transaction::contains_all`]) are linear merges and so that candidate
+/// counting against a prefix tree can walk the transaction front-to-back.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    tid: Tid,
+    items: Box<[Item]>,
+}
+
+impl Transaction {
+    /// Builds a transaction, sorting and de-duplicating `items`.
+    pub fn new(tid: Tid, mut items: Vec<Item>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Transaction {
+            tid,
+            items: items.into_boxed_slice(),
+        }
+    }
+
+    /// Builds a transaction from items already sorted and duplicate-free.
+    ///
+    /// Falls back to sorting when the invariant does not hold, so the
+    /// constructor is always safe to call; the fast path is a single scan.
+    pub fn from_sorted(tid: Tid, items: Vec<Item>) -> Self {
+        if items.windows(2).all(|w| w[0] < w[1]) {
+            Transaction {
+                tid,
+                items: items.into_boxed_slice(),
+            }
+        } else {
+            Transaction::new(tid, items)
+        }
+    }
+
+    /// The transaction identifier.
+    #[inline]
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// The items, sorted ascending and duplicate-free.
+    #[inline]
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items in the transaction.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the transaction is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the transaction contains a single item (binary search).
+    #[inline]
+    pub fn contains(&self, item: Item) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Whether the transaction contains **every** item of `needle`.
+    ///
+    /// `needle` must be sorted ascending (as [`crate::ItemSet`] guarantees);
+    /// the check is a linear merge over both slices.
+    pub fn contains_all(&self, needle: &[Item]) -> bool {
+        if needle.len() > self.items.len() {
+            return false;
+        }
+        let mut hay = self.items.iter();
+        'outer: for want in needle {
+            for have in hay.by_ref() {
+                match have.cmp(want) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:?}", self.tid, self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(ids: &[u32]) -> Vec<Item> {
+        ids.iter().copied().map(Item).collect()
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let t = Transaction::new(Tid(1), items(&[5, 2, 5, 9, 2]));
+        assert_eq!(t.items(), &items(&[2, 5, 9])[..]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn from_sorted_fast_path_keeps_order() {
+        let t = Transaction::from_sorted(Tid(1), items(&[1, 4, 7]));
+        assert_eq!(t.items(), &items(&[1, 4, 7])[..]);
+    }
+
+    #[test]
+    fn from_sorted_repairs_unsorted_input() {
+        let t = Transaction::from_sorted(Tid(1), items(&[4, 1, 7, 1]));
+        assert_eq!(t.items(), &items(&[1, 4, 7])[..]);
+    }
+
+    #[test]
+    fn contains_single_item() {
+        let t = Transaction::new(Tid(0), items(&[1, 3, 5]));
+        assert!(t.contains(Item(3)));
+        assert!(!t.contains(Item(4)));
+    }
+
+    #[test]
+    fn contains_all_subset_and_non_subset() {
+        let t = Transaction::new(Tid(0), items(&[1, 3, 5, 8, 13]));
+        assert!(t.contains_all(&items(&[1, 8])));
+        assert!(t.contains_all(&items(&[3, 5, 13])));
+        assert!(t.contains_all(&[]));
+        assert!(!t.contains_all(&items(&[1, 2])));
+        assert!(!t.contains_all(&items(&[14])));
+        assert!(!t.contains_all(&items(&[1, 3, 5, 8, 13, 21])));
+    }
+
+    #[test]
+    fn empty_transaction() {
+        let t = Transaction::new(Tid(7), vec![]);
+        assert!(t.is_empty());
+        assert!(t.contains_all(&[]));
+        assert!(!t.contains(Item(0)));
+    }
+
+    #[test]
+    fn tid_monotonic_helpers() {
+        assert_eq!(Tid(3).next(), Tid(4));
+        assert!(Tid(3) < Tid(4));
+        assert_eq!(Tid::from(11u64).value(), 11);
+    }
+}

@@ -1,0 +1,88 @@
+//! Concept drift with windowed decision trees — GEMM instantiated with
+//! the third model class ("GEMM can be instantiated for any class of
+//! data mining models", §3.2).
+//!
+//! A fraud-detection-style scenario: labeled transactions arrive in daily
+//! blocks; at some point the fraud pattern rotates (the class boundary
+//! moves). A classifier over *all* history keeps scoring old patterns;
+//! the GEMM-maintained classifier over the last `w` blocks tracks the new
+//! boundary within a window's worth of data.
+//!
+//! ```sh
+//! cargo run --release --example concept_drift
+//! ```
+
+use demon::core::bss::BlockSelector;
+use demon::core::engine::DataSpan;
+use demon::core::{DemonEngine, TreeMaintainer};
+use demon::trees::{DecisionTree, LabeledPoint, TreeParams};
+use demon::types::{Block, BlockId};
+use rand::prelude::*;
+
+const DAYS: u64 = 12;
+const SWITCH: u64 = 6;
+const PER_DAY: usize = 1200;
+const WINDOW: usize = 3;
+
+/// Day `d`'s labeled data: before the switch, fraud lives at x > 2;
+/// afterwards the fraudsters adapt and fraud lives at x < -2.
+fn day_block(day: u64, rng: &mut StdRng) -> Block<LabeledPoint> {
+    let records = (0..PER_DAY)
+        .map(|_| {
+            let x: f64 = rng.gen_range(-5.0..5.0);
+            let y: f64 = rng.gen_range(-1.0..1.0);
+            let fraud = if day <= SWITCH { x > 2.0 } else { x < -2.0 };
+            LabeledPoint::new(vec![x, y], u32::from(fraud))
+        })
+        .collect();
+    Block::new(BlockId(day), records)
+}
+
+/// Accuracy of a model against freshly drawn data of day `day`.
+fn score(tree: &DecisionTree, day: u64, rng: &mut StdRng) -> f64 {
+    tree.accuracy(day_block(day, rng).records())
+}
+
+fn main() -> Result<(), demon::types::DemonError> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut windowed = DemonEngine::new(
+        TreeMaintainer::new(2, TreeParams::new(2)),
+        DataSpan::MostRecent {
+            w: WINDOW,
+            selector: BlockSelector::all(),
+        },
+    )?;
+    let mut all_history = DemonEngine::new(
+        TreeMaintainer::new(2, TreeParams::new(2)),
+        DataSpan::Unrestricted(demon::core::bss::WiBss::All),
+    )?;
+
+    println!("day | accuracy on today's data");
+    println!("    |  all-history  last-{WINDOW}-days");
+    for day in 1..=DAYS {
+        let block = day_block(day, &mut rng);
+        all_history.add_block(block.clone())?;
+        windowed.add_block(block)?;
+        let acc_all = all_history
+            .current_model()
+            .and_then(|m| m.tree.clone())
+            .map(|t| score(&t, day, &mut rng))
+            .unwrap_or(0.0);
+        let acc_win = windowed
+            .current_model()
+            .and_then(|m| m.tree.clone())
+            .map(|t| score(&t, day, &mut rng))
+            .unwrap_or(0.0);
+        let marker = if day == SWITCH + 1 { "  ← fraud pattern rotates" } else { "" };
+        println!(
+            "{day:>3} |   {:>6.1}%      {:>6.1}%{marker}",
+            acc_all * 100.0,
+            acc_win * 100.0
+        );
+    }
+    println!(
+        "\nThe windowed classifier re-learns the boundary within {WINDOW} days; \
+         the all-history classifier stays split between the two regimes."
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Incremental document clustering (paper §2.2's first motivating
+//! application): a growing corpus where "the document cluster model is
+//! used to associate new, unclassified documents with existing concepts".
+//!
+//! Documents are modeled as points in a low-dimensional topic-embedding
+//! space (simulated: Gaussian blobs around topic centroids). Each month a
+//! new block of documents arrives; BIRCH+ keeps the cluster model current
+//! without re-scanning the archive, and newly arriving documents are
+//! labeled against the maintained model.
+//!
+//! ```sh
+//! cargo run --release --example document_clustering
+//! ```
+
+use demon::clustering::{BirchParams, BirchPlus};
+use demon::datagen::{ClusterDataGen, ClusterParams};
+use demon::types::{BlockId, PointBlock};
+
+const TOPICS: usize = 8;
+const DIM: usize = 6;
+const DOCS_PER_MONTH: usize = 5_000;
+const MONTHS: u64 = 12;
+
+fn main() {
+    // The corpus process: 8 latent topics in a 6-d embedding space.
+    let mut corpus = ClusterDataGen::new(
+        ClusterParams {
+            n_points: 0,
+            k: TOPICS,
+            dim: DIM,
+            noise_fraction: 0.03,
+            sigma: 1.0,
+            domain: 60.0,
+        },
+        2024,
+    );
+
+    let mut params = BirchParams::new(DIM, TOPICS);
+    params.tree.threshold2 = 2.0;
+    params.tree.max_leaf_entries = 1024;
+    let mut library = BirchPlus::new(params);
+
+    println!("month | corpus size | sub-clusters | topics | phase1+phase2");
+    for month in 1..=MONTHS {
+        let block = PointBlock::new(BlockId(month), corpus.take_points(DOCS_PER_MONTH));
+        let p1 = library.absorb_block(&block);
+        let (model, p2) = library.model();
+        println!(
+            "{month:>5} | {:>11} | {:>12} | {:>6} | {:?}",
+            library.n_points(),
+            library.tree().n_subclusters(),
+            model.k(),
+            p1 + p2
+        );
+    }
+
+    // Associate fresh, unclassified documents with the maintained topics.
+    let (model, _) = library.model();
+    let fresh = corpus.take_points(6);
+    println!("\nassigning new documents to concepts:");
+    for doc in &fresh {
+        let topic = model.assign_point(doc);
+        let centroid = model.clusters[topic].centroid();
+        println!(
+            "  doc at {:?} → topic {} (centroid {:?}, {} members)",
+            doc,
+            topic,
+            centroid,
+            model.clusters[topic].n()
+        );
+    }
+
+    // Sanity: the maintained topics sit near the true topic centroids.
+    let mut recovered = 0;
+    for truth in corpus.centers() {
+        let best = model
+            .centroids()
+            .iter()
+            .map(|c| c.dist(truth))
+            .fold(f64::INFINITY, f64::min);
+        if best < 3.0 {
+            recovered += 1;
+        }
+    }
+    println!(
+        "\n{recovered}/{TOPICS} true topic centroids recovered within 3σ \
+         after {MONTHS} months of incremental maintenance"
+    );
+}

@@ -1,0 +1,144 @@
+//! The "Demons'R Us" toy store scenario (paper §2.2–2.3): a retail
+//! database updated daily, where the analyst watches *recent* trends.
+//!
+//! Three simultaneous monitors over the same daily block stream:
+//!
+//! 1. all data so far (unrestricted window) — the long-run model;
+//! 2. the last 14 days (MRW, all-ones BSS) — the current-trends model;
+//! 3. the same weekday as today within the last 14 days (MRW,
+//!    window-relative BSS selecting every 7th block) — the paper's third
+//!    motivating application.
+//!
+//! The generator shifts the popular patterns halfway through, and weekend
+//! baskets differ from weekday baskets; watch the three models diverge.
+//!
+//! ```sh
+//! cargo run --release --example retail_monitoring
+//! ```
+
+use demon::core::bss::{BlockSelector, WiBss, WrBss};
+use demon::core::engine::UwEngine;
+use demon::core::{Gemm, ItemsetMaintainer};
+use demon::datagen::{QuestGen, QuestParams};
+use demon::itemsets::{CounterKind, FrequentItemsets};
+use demon::types::{Block, BlockId, MinSupport, Tid, Transaction};
+
+const N_ITEMS: u32 = 300;
+const DAYS: u64 = 28;
+const TX_PER_DAY: usize = 1500;
+const WINDOW: usize = 14;
+
+/// Daily baskets: weekdays draw from one pattern pool, weekends from
+/// another, and after day 14 the weekday pool is replaced ("popularity of
+/// most toys is short-lived").
+struct Store {
+    weekday_old: QuestGen,
+    weekday_new: QuestGen,
+    weekend: QuestGen,
+    next_tid: u64,
+}
+
+impl Store {
+    fn new() -> Store {
+        let mk = |seed: u64| {
+            QuestGen::new(
+                QuestParams {
+                    n_transactions: 0,
+                    avg_tx_len: 6.0,
+                    n_items: N_ITEMS,
+                    n_patterns: 60,
+                    avg_pattern_len: 3.0,
+                    ..QuestParams::default()
+                },
+                seed,
+            )
+        };
+        Store {
+            weekday_old: mk(1),
+            weekday_new: mk(2),
+            weekend: mk(3),
+            next_tid: 1,
+        }
+    }
+
+    fn day_block(&mut self, day: u64) -> Block<Transaction> {
+        let weekend = matches!(day % 7, 5 | 6);
+        let gen = if weekend {
+            &mut self.weekend
+        } else if day < DAYS / 2 {
+            &mut self.weekday_old
+        } else {
+            &mut self.weekday_new
+        };
+        let txs: Vec<Transaction> = gen
+            .take_transactions(TX_PER_DAY)
+            .into_iter()
+            .map(|t| {
+                let tid = Tid(self.next_tid);
+                self.next_tid += 1;
+                Transaction::from_sorted(tid, t.items().to_vec())
+            })
+            .collect();
+        Block::new(BlockId(day + 1), txs)
+    }
+}
+
+fn overlap(a: &FrequentItemsets, b: &FrequentItemsets) -> f64 {
+    let common = a
+        .frequent()
+        .keys()
+        .filter(|s| b.frequent().contains_key(*s))
+        .count();
+    let denom = a.n_frequent().max(b.n_frequent()).max(1);
+    common as f64 / denom as f64
+}
+
+fn main() -> Result<(), demon::types::DemonError> {
+    let minsup = MinSupport::new(0.02).unwrap();
+    let maintainer = || ItemsetMaintainer::new(N_ITEMS, minsup, CounterKind::Ecut);
+
+    let mut all_time = UwEngine::new(maintainer(), WiBss::All);
+    let mut recent = Gemm::new(maintainer(), WINDOW, BlockSelector::all())?;
+    // "Same day of the week as today within the past 14 days": positions
+    // 14 and 7 counting from the window start — a window-relative BSS that
+    // moves with the window.
+    let same_weekday_bits: Vec<bool> = (1..=WINDOW).map(|p| p % 7 == 0).collect();
+    let mut same_weekday = Gemm::new(
+        maintainer(),
+        WINDOW,
+        BlockSelector::WindowRelative(WrBss::new(same_weekday_bits)),
+    )?;
+
+    let mut store = Store::new();
+    println!("day  | L(all) | L(14d) | L(weekday) | trend-shift signal");
+    for day in 0..DAYS {
+        let block = store.day_block(day);
+        all_time.add_block(block.clone())?;
+        recent.add_block(block.clone())?;
+        same_weekday.add_block(block)?;
+
+        if day >= WINDOW as u64 - 1 && day % 2 == 1 {
+            let a = all_time.model();
+            let r = recent.current_model().unwrap();
+            let w = same_weekday.current_model().unwrap();
+            // How much of the recent window's model still matches the
+            // all-time model: drops when the trend shifts mid-stream.
+            let agree = overlap(a, r);
+            println!(
+                "D{:>3} | {:>6} | {:>6} | {:>10} | recent↔all-time overlap {:>5.1}%",
+                day + 1,
+                a.n_frequent(),
+                r.n_frequent(),
+                w.n_frequent(),
+                agree * 100.0
+            );
+        }
+    }
+
+    println!(
+        "\nThe all-time model dilutes the new trend (paper §2.2: mining the \
+         entire database \"may dilute some patterns\"); the 14-day window \
+         tracks it, and the same-weekday model isolates weekly seasonality."
+    );
+    Ok(())
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the ablations.
+# Outputs stream to stdout and are teed into results/<name>.txt (the
+# tabular binaries also write results/<name>.csv themselves).
+#
+# Knobs: DEMON_SCALE (default 0.02), DEMON_TRACE_RATE, DEMON_ALPHA.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+mkdir -p results
+BINS=(
+  fig2 fig3 fig4to7 fig8 fig9 fig10
+  ablation_gemm ablation_gemm_window ablation_ecut_budget
+  ablation_adaptive ablation_fup ablation_dilution
+)
+
+cargo build --release -p demon-bench --bins
+
+for bin in "${BINS[@]}"; do
+  echo "=== $bin ==="
+  cargo run --release -q -p demon-bench --bin "$bin" | tee "results/$bin.txt"
+  echo
+done
+
+echo "=== criterion micro-benches (quick mode) ==="
+cargo bench -p demon-bench --benches -- --quick

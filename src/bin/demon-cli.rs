@@ -1,0 +1,415 @@
+//! `demon-cli` — drive the DEMON framework from the command line.
+//!
+//! ```text
+//! demon-cli generate quest    --spec 2M.20L.1I.4pats.4plen --scale 0.01 --blocks 4 --out store/
+//! demon-cli generate webtrace --days 21 --rate 300 --granularity 6 --out trace/
+//! demon-cli inspect  <store>
+//! demon-cli mine     <store> --minsup 0.01 [--rules 0.8 --top 20]
+//! demon-cli monitor  <store> --minsup 0.01 [--window 4] [--bss 1011] [--counter ecut+]
+//! demon-cli patterns <store> [--alpha 0.12] [--min-len 4] [--window N]
+//! ```
+//!
+//! Stores are directories in the `demon_itemsets::persist` layout;
+//! `generate` creates them, every other command replays them.
+
+use demon::core::bss::{BlockSelector, WiBss, WrBss};
+use demon::core::engine::UwEngine;
+use demon::core::report;
+use demon::core::{Gemm, ItemsetMaintainer};
+use demon::datagen::webtrace::{self, WebTraceConfig, WebTraceGen};
+use demon::datagen::{QuestGen, QuestParams};
+use demon::focus::{
+    CompactSequenceMiner, ItemsetSimilarity, SimilarityConfig, WindowedCompactMiner,
+};
+use demon::itemsets::persist::{load_store, save_store};
+use demon::itemsets::{derive_rules, CounterKind, FrequentItemsets, TxStore};
+use demon::types::{Block, BlockId, MinSupport, Timestamp};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+demon-cli — mining and monitoring evolving data (DEMON, ICDE 2000)
+
+USAGE:
+  demon-cli generate quest    --out DIR [--spec S] [--scale F] [--blocks N] [--seed N]
+  demon-cli generate webtrace --out DIR [--days N] [--rate F] [--granularity H] [--seed N]
+  demon-cli inspect  STORE
+  demon-cli mine     STORE --minsup F [--rules F] [--top N]
+  demon-cli monitor  STORE --minsup F [--window N] [--bss BITS] [--counter KIND]
+  demon-cli patterns STORE [--alpha F] [--min-len N] [--window N]
+
+COUNTERS: ptscan | ecut | ecut+ | adaptive
+BSS:      a bit string like 1011; window-relative when --window is set,
+          window-independent (periodic) otherwise.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Splits arguments into positionals and `--flag value` pairs.
+fn parse(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name, value.as_str());
+            i += 2;
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag_parse<T: std::str::FromStr>(
+    flags: &HashMap<&str, &str>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse(args)?;
+    match positional.first().copied() {
+        Some("generate") => generate(&positional, &flags),
+        Some("inspect") => inspect(&positional),
+        Some("mine") => mine(&positional, &flags),
+        Some("monitor") => monitor(&positional, &flags),
+        Some("patterns") => patterns(&positional, &flags),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn store_arg<'a>(positional: &[&'a str]) -> Result<&'a Path, String> {
+    positional
+        .get(1)
+        .map(|p| Path::new(*p))
+        .ok_or_else(|| "missing STORE directory argument".to_string())
+}
+
+fn load(positional: &[&str]) -> Result<TxStore, String> {
+    let dir = store_arg(positional)?;
+    load_store(dir).map_err(|e| format!("loading {}: {e}", dir.display()))
+}
+
+fn generate(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let out: PathBuf = PathBuf::from(
+        *flags
+            .get("out")
+            .ok_or_else(|| "generate needs --out DIR".to_string())?,
+    );
+    match positional.get(1).copied() {
+        Some("quest") => {
+            let spec = flags.get("spec").copied().unwrap_or("1M.20L.1I.4pats.4plen");
+            let scale: f64 = flag_parse(flags, "scale", 0.01)?;
+            let n_blocks: u64 = flag_parse(flags, "blocks", 4)?;
+            let seed: u64 = flag_parse(flags, "seed", 1)?;
+            let params = QuestParams::parse(spec, scale)?;
+            let per_block = (params.n_transactions / n_blocks as usize).max(1);
+            let n_items = params.n_items;
+            let mut gen = QuestGen::new(params, seed);
+            let mut store = TxStore::new(n_items);
+            for id in 1..=n_blocks {
+                store.add_block(Block::new(BlockId(id), gen.take_transactions(per_block)));
+            }
+            save_store(&store, &out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} blocks × {} transactions ({} items) to {}",
+                n_blocks,
+                per_block,
+                n_items,
+                out.display()
+            );
+            Ok(())
+        }
+        Some("webtrace") => {
+            let days: u64 = flag_parse(flags, "days", 21)?;
+            let rate: f64 = flag_parse(flags, "rate", 300.0)?;
+            let granularity: u64 = flag_parse(flags, "granularity", 6)?;
+            let seed: u64 = flag_parse(flags, "seed", 0xDEC_1996)?;
+            let mut gen = WebTraceGen::new(WebTraceConfig {
+                days,
+                base_rate: rate,
+                seed,
+                ..WebTraceConfig::default()
+            });
+            let requests = gen.generate();
+            let blocks = webtrace::segment_into_blocks(
+                &requests,
+                granularity,
+                Timestamp::from_day_hour(0, 12),
+            );
+            let mut store = TxStore::new(webtrace::N_ITEMS);
+            let n_blocks = blocks.len();
+            for b in blocks {
+                store.add_block(b);
+            }
+            save_store(&store, &out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} requests as {} blocks of {}h to {}",
+                requests.len(),
+                n_blocks,
+                granularity,
+                out.display()
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "generate: unknown dataset {other:?} (quest | webtrace)"
+        )),
+    }
+}
+
+fn inspect(positional: &[&str]) -> Result<(), String> {
+    let store = load(positional)?;
+    println!("items:  {}", store.n_items());
+    println!("blocks: {}", store.len());
+    let ids = store.block_ids();
+    println!(
+        "transactions: {}",
+        store.n_transactions(&ids)
+    );
+    for id in &ids {
+        let b = store.block(*id).expect("listed");
+        let span = b
+            .interval()
+            .map(|iv| format!("  [{} .. {})", iv.start, iv.end))
+            .unwrap_or_default();
+        println!("  {id}: {} transactions{span}", b.len());
+    }
+    println!(
+        "base space: {} TIDs; pair space: {} TIDs",
+        store.item_space(&ids),
+        store.pair_space(&ids)
+    );
+    Ok(())
+}
+
+fn minsup_flag(flags: &HashMap<&str, &str>) -> Result<MinSupport, String> {
+    let kappa: f64 = flag_parse(flags, "minsup", 0.01)?;
+    MinSupport::new(kappa).map_err(|e| e.to_string())
+}
+
+fn counter_flag(flags: &HashMap<&str, &str>) -> Result<CounterKind, String> {
+    match flags.get("counter").copied().unwrap_or("ecut") {
+        "ptscan" => Ok(CounterKind::PtScan),
+        "ecut" => Ok(CounterKind::Ecut),
+        "ecut+" | "ecutplus" => Ok(CounterKind::EcutPlus),
+        "adaptive" => Ok(CounterKind::Adaptive),
+        other => Err(format!("unknown counter {other:?}")),
+    }
+}
+
+fn mine(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let store = load(positional)?;
+    let minsup = minsup_flag(flags)?;
+    let ids = store.block_ids();
+    let model =
+        FrequentItemsets::mine_from(&store, &ids, minsup).map_err(|e| e.to_string())?;
+    println!(
+        "{} frequent itemsets over {} transactions ({}, border {})",
+        model.n_frequent(),
+        model.n_transactions(),
+        minsup,
+        model.border().len()
+    );
+    let top: usize = flag_parse(flags, "top", 20)?;
+    let mut sorted = model.frequent_sorted();
+    sorted.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    for (set, count) in sorted.iter().take(top) {
+        println!(
+            "  {set}  {:.3}%",
+            *count as f64 / model.n_transactions() as f64 * 100.0
+        );
+    }
+    if let Some(conf) = flags.get("rules") {
+        let conf: f64 = conf
+            .parse()
+            .map_err(|_| "--rules: bad confidence".to_string())?;
+        println!("\nassociation rules (confidence ≥ {conf}):");
+        for rule in derive_rules(&model, conf).iter().take(top) {
+            println!("  {rule}");
+        }
+    }
+    Ok(())
+}
+
+fn bss_flag(
+    flags: &HashMap<&str, &str>,
+    window: Option<usize>,
+) -> Result<BlockSelector, String> {
+    match flags.get("bss") {
+        None => Ok(BlockSelector::all()),
+        Some(bits) => {
+            let parsed: Vec<bool> = bits
+                .chars()
+                .map(|c| match c {
+                    '1' => Ok(true),
+                    '0' => Ok(false),
+                    other => Err(format!("--bss: invalid bit {other:?}")),
+                })
+                .collect::<Result<_, _>>()?;
+            match window {
+                Some(w) if parsed.len() == w => {
+                    Ok(BlockSelector::WindowRelative(WrBss::new(parsed)))
+                }
+                Some(w) => Err(format!("--bss length {} ≠ window {w}", parsed.len())),
+                None => Ok(BlockSelector::WindowIndependent(WiBss::Periodic {
+                    pattern: parsed,
+                })),
+            }
+        }
+    }
+}
+
+fn monitor(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let store = load(positional)?;
+    let minsup = minsup_flag(flags)?;
+    let counter = counter_flag(flags)?;
+    let window: Option<usize> = match flags.get("window") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| "--window: bad number".to_string())?),
+    };
+    let selector = bss_flag(flags, window)?;
+    let maintainer = ItemsetMaintainer::new(store.n_items(), minsup, counter);
+
+    println!("block     txs  absorbed  response  |L|");
+    let replay = |stats: Vec<(BlockId, usize, bool, std::time::Duration, usize)>| {
+        for (id, txs, absorbed, rt, l) in stats {
+            println!(
+                "{id:<6} {txs:>6}  {:>8}  {:>7.2}ms  {l}",
+                if absorbed { "yes" } else { "no" },
+                rt.as_secs_f64() * 1e3
+            );
+        }
+    };
+
+    let mut rows = Vec::new();
+    match window {
+        Some(w) => {
+            let mut gemm = Gemm::new(maintainer, w, selector).map_err(|e| e.to_string())?;
+            for id in store.block_ids() {
+                let block = store.block(id).expect("listed").clone();
+                let n = block.len();
+                let s = gemm.add_block(block).map_err(|e| e.to_string())?;
+                let l = gemm.current_model().map_or(0, |m| m.n_frequent());
+                rows.push((id, n, s.absorbed_into_current, s.response_time, l));
+            }
+            replay(rows);
+            let model = gemm.current_model().ok_or("no blocks replayed")?;
+            println!(
+                "\nfinal window model: {} frequent itemsets over blocks {:?}",
+                model.n_frequent(),
+                model.included_blocks()
+            );
+        }
+        None => {
+            let wi = match bss_flag(flags, None)? {
+                BlockSelector::WindowIndependent(wi) => wi,
+                BlockSelector::WindowRelative(_) => unreachable!("window is None"),
+            };
+            let mut engine = UwEngine::new(maintainer, wi);
+            for id in store.block_ids() {
+                let block = store.block(id).expect("listed").clone();
+                let n = block.len();
+                let s = engine.add_block(block).map_err(|e| e.to_string())?;
+                rows.push((id, n, s.absorbed, s.response_time, engine.model().n_frequent()));
+            }
+            replay(rows);
+            println!(
+                "\nfinal model: {} frequent itemsets over {} transactions",
+                engine.model().n_frequent(),
+                engine.model().n_transactions()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn patterns(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let store = load(positional)?;
+    let alpha: f64 = flag_parse(flags, "alpha", 0.12)?;
+    let min_len: usize = flag_parse(flags, "min-len", 4)?;
+    let minsup = minsup_flag(flags)?;
+    let oracle = || {
+        ItemsetSimilarity::new(store.n_items(), minsup, SimilarityConfig::Threshold { alpha })
+    };
+    let ids = store.block_ids();
+    let intervals: HashMap<BlockId, _> = ids
+        .iter()
+        .filter_map(|id| store.block(*id).and_then(|b| b.interval()).map(|iv| (*id, iv)))
+        .collect();
+
+    let describe = |seq: &[BlockId]| -> String {
+        let ivs: Option<Vec<_>> = seq.iter().map(|id| intervals.get(id).copied()).collect();
+        match ivs {
+            Some(ivs) if !ivs.is_empty() => report::describe(&ivs).description,
+            _ => format!("{seq:?}"),
+        }
+    };
+
+    let window: Option<usize> = match flags.get("window") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| "--window: bad number".to_string())?),
+    };
+    let mut rows: Vec<(usize, String)> = Vec::new();
+    match window {
+        None => {
+            let mut miner = CompactSequenceMiner::new(oracle());
+            for id in &ids {
+                miner.add_block(store.block(*id).expect("listed").clone());
+            }
+            for seq in miner.maximal_sequences() {
+                if seq.len() >= min_len {
+                    rows.push((seq.len(), describe(&seq)));
+                }
+            }
+        }
+        Some(w) => {
+            let mut miner = WindowedCompactMiner::new(oracle(), w);
+            for id in &ids {
+                miner.add_block(store.block(*id).expect("listed").clone());
+            }
+            for seq in miner.sequences() {
+                if seq.len() >= min_len {
+                    rows.push((seq.len(), describe(&seq)));
+                }
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    rows.dedup_by(|a, b| a.1 == b.1);
+    println!("compact sequences (≥ {min_len} blocks, α={alpha}):");
+    for (len, desc) in rows.iter().take(20) {
+        println!("  {len:>3} blocks  {desc}");
+    }
+    if rows.is_empty() {
+        println!("  (none)");
+    }
+    Ok(())
+}

@@ -1,0 +1,169 @@
+//! Integration tests of the `demon-cli` binary: generate → inspect →
+//! mine → monitor → patterns, end to end through the on-disk store.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_demon-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("demon-cli-test-{name}-{}", std::process::id()))
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed: {:?}\nstdout: {}\nstderr: {}",
+        cmd,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn quest_pipeline_generate_inspect_mine_monitor() {
+    let dir = tmp("quest");
+    let store = dir.join("store");
+    let out = run_ok(cli().args([
+        "generate",
+        "quest",
+        "--out",
+        store.to_str().unwrap(),
+        "--spec",
+        "40K.8L.1I.1pats.3plen",
+        "--scale",
+        "0.05",
+        "--blocks",
+        "3",
+    ]));
+    assert!(stdout(&out).contains("wrote 3 blocks"));
+
+    let out = run_ok(cli().args(["inspect", store.to_str().unwrap()]));
+    let text = stdout(&out);
+    assert!(text.contains("blocks: 3"));
+    assert!(text.contains("D2"));
+
+    let out = run_ok(cli().args([
+        "mine",
+        store.to_str().unwrap(),
+        "--minsup",
+        "0.02",
+        "--rules",
+        "0.3",
+        "--top",
+        "5",
+    ]));
+    let text = stdout(&out);
+    assert!(text.contains("frequent itemsets over"), "{text}");
+
+    let out = run_ok(cli().args([
+        "monitor",
+        store.to_str().unwrap(),
+        "--minsup",
+        "0.02",
+        "--window",
+        "2",
+        "--counter",
+        "ecut+",
+    ]));
+    let text = stdout(&out);
+    assert!(text.contains("final window model"), "{text}");
+    assert!(text.contains("[D2, D3]"), "{text}");
+
+    // Window-relative BSS through the CLI.
+    let out = run_ok(cli().args([
+        "monitor",
+        store.to_str().unwrap(),
+        "--minsup",
+        "0.02",
+        "--window",
+        "2",
+        "--bss",
+        "01",
+    ]));
+    let text = stdout(&out);
+    assert!(text.contains("[D3]"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn webtrace_pipeline_patterns() {
+    let dir = tmp("trace");
+    let store = dir.join("trace");
+    run_ok(cli().args([
+        "generate",
+        "webtrace",
+        "--out",
+        store.to_str().unwrap(),
+        "--days",
+        "7",
+        "--rate",
+        "120",
+        "--granularity",
+        "12",
+    ]));
+    let out = run_ok(cli().args(["patterns", store.to_str().unwrap(), "--min-len", "3"]));
+    let text = stdout(&out);
+    assert!(text.contains("compact sequences"), "{text}");
+    assert!(text.contains("blocks"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn windowed_patterns_through_cli() {
+    let dir = tmp("wintrace");
+    let store = dir.join("trace");
+    run_ok(cli().args([
+        "generate",
+        "webtrace",
+        "--out",
+        store.to_str().unwrap(),
+        "--days",
+        "7",
+        "--rate",
+        "100",
+        "--granularity",
+        "24",
+    ]));
+    let out = run_ok(cli().args([
+        "patterns",
+        store.to_str().unwrap(),
+        "--min-len",
+        "2",
+        "--window",
+        "4",
+    ]));
+    assert!(stdout(&out).contains("compact sequences"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cli().args(["frobnicate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run_ok(cli().args(["help"]));
+    assert!(stdout(&out).contains("demon-cli"));
+}
+
+#[test]
+fn missing_store_reports_error() {
+    let out = cli()
+        .args(["mine", "/nonexistent/demon-store", "--minsup", "0.1"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

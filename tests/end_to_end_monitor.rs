@@ -1,0 +1,72 @@
+//! End-to-end test of the Figure-11 composition: one web-trace stream
+//! feeding model maintenance (GEMM over the most recent window) and
+//! pattern detection (compact sequences) simultaneously.
+
+use demon::core::bss::BlockSelector;
+use demon::core::engine::DataSpan;
+use demon::core::monitor::DemonMonitor;
+use demon::core::ItemsetMaintainer;
+use demon::datagen::webtrace::{self, WebTraceConfig, WebTraceGen};
+use demon::focus::{ItemsetSimilarity, SimilarityConfig};
+use demon::itemsets::{derive_rules, CounterKind};
+use demon::types::{BlockId, MinSupport, Timestamp};
+
+#[test]
+fn monitor_runs_the_full_demonic_view_over_the_trace() {
+    let mut gen = WebTraceGen::new(WebTraceConfig {
+        days: 10,
+        base_rate: 200.0,
+        ..WebTraceConfig::default()
+    });
+    let requests = gen.generate();
+    // Daily blocks aligned to midnight of day 1.
+    let blocks = webtrace::segment_into_blocks(&requests, 24, Timestamp::from_day_hour(1, 0));
+    assert_eq!(blocks.len(), 9);
+
+    let minsup = MinSupport::new(0.01).unwrap();
+    let maintainer = ItemsetMaintainer::new(webtrace::N_ITEMS, minsup, CounterKind::EcutPlus);
+    let oracle = ItemsetSimilarity::new(
+        webtrace::N_ITEMS,
+        minsup,
+        SimilarityConfig::Threshold { alpha: 0.12 },
+    );
+    let mut monitor = DemonMonitor::new(
+        maintainer,
+        DataSpan::MostRecent {
+            w: 5,
+            selector: BlockSelector::all(),
+        },
+        oracle,
+        None,
+    )
+    .unwrap();
+
+    let mut anomaly_flagged = false;
+    for block in blocks {
+        let day = block.interval().unwrap().start.day();
+        let stats = monitor.add_block(block).unwrap();
+        assert!(stats.maintenance.absorbed);
+        if day == webtrace::ANOMALY_DAY {
+            anomaly_flagged = stats.patterns.similar_pairs == 0;
+        }
+    }
+    assert!(anomaly_flagged, "the anomalous Monday matched earlier blocks");
+
+    // Model side: the window model covers the last 5 blocks and yields
+    // usable association rules.
+    let model = monitor.model().unwrap();
+    assert_eq!(model.included_blocks().len(), 5);
+    assert!(model.n_frequent() > 0);
+    let rules = derive_rules(model, 0.5);
+    assert!(!rules.is_empty(), "the trace's type→bucket structure yields rules");
+
+    // Pattern side: a working-day sequence exists and excludes the anomaly.
+    let seqs = monitor.sequences();
+    let longest = seqs.iter().max_by_key(|s| s.len()).expect("sequences exist");
+    assert!(longest.len() >= 4, "{seqs:?}");
+    // Block ids are 1-based over days 1..=9; the anomaly day 7 is block 7.
+    assert!(
+        !longest.contains(&BlockId(webtrace::ANOMALY_DAY)),
+        "anomalous block inside the dominant pattern: {longest:?}"
+    );
+}

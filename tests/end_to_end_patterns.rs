@@ -1,0 +1,136 @@
+//! End-to-end integration test of pattern detection: the synthetic web
+//! trace's planted calendar structure must be recovered by the compact
+//! sequence miner, and the anomalous Monday must be isolated.
+
+use demon::core::report;
+use demon::datagen::webtrace::{self, Regime, WebTraceConfig, WebTraceGen};
+use demon::focus::{CompactSequenceMiner, ItemsetSimilarity, SimilarityConfig};
+use demon::types::calendar::is_working_day;
+use demon::types::{BlockId, MinSupport, Timestamp};
+
+fn mine_trace(
+    granularity: u64,
+    days: u64,
+    segment_start: Timestamp,
+) -> (CompactSequenceMiner<ItemsetSimilarity>, Vec<demon::types::BlockInterval>) {
+    let mut gen = WebTraceGen::new(WebTraceConfig {
+        days,
+        base_rate: 300.0,
+        ..WebTraceConfig::default()
+    });
+    let requests = gen.generate();
+    let blocks = webtrace::segment_into_blocks(&requests, granularity, segment_start);
+    let intervals: Vec<_> = blocks.iter().map(|b| b.interval().unwrap()).collect();
+    let oracle = ItemsetSimilarity::new(
+        webtrace::N_ITEMS,
+        MinSupport::new(0.01).unwrap(),
+        SimilarityConfig::Threshold { alpha: 0.12 },
+    );
+    let mut miner = CompactSequenceMiner::new(oracle);
+    for b in blocks {
+        miner.add_block(b);
+    }
+    miner.check_invariants();
+    (miner, intervals)
+}
+
+#[test]
+fn daily_blocks_recover_working_day_pattern_excluding_anomaly() {
+    let (miner, intervals) = mine_trace(24, 21, Timestamp::from_day_hour(1, 0));
+    assert_eq!(intervals.len(), 20);
+    let descriptions: Vec<String> = miner
+        .maximal_sequences()
+        .into_iter()
+        .filter(|s| s.len() >= 4)
+        .map(|seq| {
+            let ivs: Vec<_> = seq.iter().map(|id| intervals[id.index()]).collect();
+            report::describe(&ivs).description
+        })
+        .collect();
+    assert!(
+        descriptions
+            .iter()
+            .any(|d| d.contains("all working days except 9-9-1996")),
+        "no working-day pattern excluding the anomaly; got {descriptions:?}"
+    );
+}
+
+#[test]
+fn anomalous_monday_is_similar_to_no_earlier_block() {
+    let (miner, intervals) = mine_trace(24, 14, Timestamp::from_day_hour(1, 0));
+    // Find the block covering day 7 (Monday 9-9-1996).
+    let idx = intervals
+        .iter()
+        .position(|iv| iv.start.day() == webtrace::ANOMALY_DAY)
+        .expect("anomaly day block exists");
+    for j in 0..intervals.len() {
+        if j != idx {
+            assert!(
+                !miner.is_similar(idx, j),
+                "anomalous block {idx} judged similar to block {j}"
+            );
+        }
+    }
+}
+
+#[test]
+fn weekend_and_holiday_blocks_group_together() {
+    let (miner, intervals) = mine_trace(24, 14, Timestamp::from_day_hour(1, 0));
+    let leisure: Vec<usize> = (0..intervals.len())
+        .filter(|&i| {
+            let day = intervals[i].start.day();
+            !is_working_day(day) && day != webtrace::ANOMALY_DAY
+        })
+        .collect();
+    assert!(leisure.len() >= 4, "need several leisure blocks");
+    for (a, &i) in leisure.iter().enumerate() {
+        for &j in &leisure[a + 1..] {
+            assert!(
+                miner.is_similar(i, j),
+                "leisure blocks {i} and {j} not similar"
+            );
+        }
+    }
+    // And a leisure block must differ from a mid-week working block.
+    let working = (0..intervals.len())
+        .find(|&i| {
+            let day = intervals[i].start.day();
+            is_working_day(day) && day != webtrace::ANOMALY_DAY
+        })
+        .unwrap();
+    assert!(!miner.is_similar(leisure[0], working));
+}
+
+#[test]
+fn regime_schedule_drives_block_similarity_at_fine_granularity() {
+    let (miner, intervals) = mine_trace(4, 7, Timestamp::from_day_hour(0, 12));
+    // Two business blocks on different working days are similar; a
+    // business block and a night block on the same day are not.
+    let business: Vec<usize> = (0..intervals.len())
+        .filter(|&i| {
+            let iv = intervals[i];
+            webtrace::regime(iv.start.day(), iv.start.hour()) == Regime::Business
+                && webtrace::regime(iv.start.day(), iv.start.hour() + 3) == Regime::Business
+        })
+        .collect();
+    assert!(business.len() >= 4);
+    assert!(miner.is_similar(business[0], business[1]));
+
+    let night = (0..intervals.len())
+        .find(|&i| {
+            let iv = intervals[i];
+            webtrace::regime(iv.start.day(), iv.start.hour()) == Regime::Night
+                && webtrace::regime(iv.start.day(), iv.start.hour() + 3) == Regime::Night
+        })
+        .unwrap();
+    assert!(!miner.is_similar(business[0], night));
+}
+
+#[test]
+fn block_ids_and_intervals_stay_aligned_through_mining() {
+    let (miner, intervals) = mine_trace(12, 7, Timestamp::from_day_hour(0, 12));
+    for (i, b) in miner.blocks().iter().enumerate() {
+        assert_eq!(b.id(), BlockId(i as u64 + 1));
+        assert_eq!(b.interval().unwrap(), intervals[i]);
+    }
+}

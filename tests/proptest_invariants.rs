@@ -1,0 +1,490 @@
+//! Property-based tests of the core invariants, across crates.
+
+use demon::clustering::cftree::CfTreeParams;
+use demon::clustering::{CfTree, ClusterFeature};
+use demon::core::bss::{BlockSelector, WrBss};
+use demon::core::{Gemm, ItemsetMaintainer};
+use demon::focus::compact::CompactSequenceMiner;
+use demon::focus::similarity::SimilarityOracle;
+use demon::itemsets::apriori;
+use demon::itemsets::counter::count_supports;
+use demon::itemsets::tidlist::intersect_all;
+use demon::itemsets::{CounterKind, FrequentItemsets, TxStore};
+use demon::types::{Block, BlockId, Item, ItemSet, MinSupport, Point, Tid, Transaction, TxBlock};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const UNIVERSE: u32 = 12;
+
+/// A strategy for a stream of small random blocks over a 12-item universe.
+fn blocks_strategy(max_blocks: usize) -> impl Strategy<Value = Vec<TxBlock>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec(0..UNIVERSE, 1..6),
+            5..40,
+        ),
+        1..=max_blocks,
+    )
+    .prop_map(|raw_blocks| {
+        let mut tid = 1u64;
+        raw_blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, txs)| {
+                let records: Vec<Transaction> = txs
+                    .into_iter()
+                    .map(|items| {
+                        let t = Transaction::new(Tid(tid), items.into_iter().map(Item).collect());
+                        tid += 1;
+                        t
+                    })
+                    .collect();
+                Block::new(BlockId(i as u64 + 1), records)
+            })
+            .collect()
+    })
+}
+
+fn minsup_strategy() -> impl Strategy<Value = MinSupport> {
+    (0.05f64..0.5).prop_map(|k| MinSupport::new(k).unwrap())
+}
+
+fn store_of(blocks: &[TxBlock]) -> TxStore {
+    let mut store = TxStore::new(UNIVERSE);
+    for b in blocks {
+        store.add_block(b.clone());
+    }
+    store
+}
+
+fn freq_of(m: &FrequentItemsets) -> Vec<(ItemSet, u64)> {
+    m.frequent_sorted()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BORDERS absorbing block-by-block reaches exactly the batch-mined
+    /// model, for every counter.
+    #[test]
+    fn incremental_equals_batch(blocks in blocks_strategy(4), minsup in minsup_strategy()) {
+        let store = store_of(&blocks);
+        let batch = FrequentItemsets::mine_from(&store, &store.block_ids(), minsup).unwrap();
+        for counter in [CounterKind::PtScan, CounterKind::Ecut] {
+            let mut inc = FrequentItemsets::empty(minsup, UNIVERSE);
+            for b in &blocks {
+                inc.absorb_block(&store, b.id(), counter).unwrap();
+            }
+            prop_assert_eq!(freq_of(&inc), freq_of(&batch));
+            inc.check_invariants(&store);
+        }
+    }
+
+    /// Absorbing then removing a block is the identity on the model.
+    #[test]
+    fn remove_inverts_absorb(blocks in blocks_strategy(3), minsup in minsup_strategy()) {
+        prop_assume!(blocks.len() >= 2);
+        let store = store_of(&blocks);
+        let mut model = FrequentItemsets::empty(minsup, UNIVERSE);
+        for b in blocks.iter().take(blocks.len() - 1) {
+            model.absorb_block(&store, b.id(), CounterKind::Ecut).unwrap();
+        }
+        let before = freq_of(&model);
+        let last = blocks.last().unwrap().id();
+        model.absorb_block(&store, last, CounterKind::Ecut).unwrap();
+        model.remove_block(&store, last, CounterKind::Ecut).unwrap();
+        prop_assert_eq!(freq_of(&model), before);
+        model.check_invariants(&store);
+    }
+
+    /// All three counters agree with naive counting on arbitrary candidates.
+    #[test]
+    fn counters_agree_with_naive(
+        blocks in blocks_strategy(3),
+        cands in prop::collection::vec(prop::collection::vec(0..UNIVERSE, 1..4), 1..10),
+    ) {
+        let mut store = store_of(&blocks);
+        let all_pairs: Vec<(Item, Item)> = (0..UNIVERSE)
+            .flat_map(|a| (a + 1..UNIVERSE).map(move |b| (Item(a), Item(b))))
+            .collect();
+        for b in &blocks {
+            store.materialize_pairs(b.id(), &all_pairs, None);
+        }
+        let ids = store.block_ids();
+        let candidates: Vec<ItemSet> = {
+            let mut seen = BTreeSet::new();
+            cands
+                .into_iter()
+                .map(|v| ItemSet::new(v.into_iter().map(Item).collect()))
+                .filter(|s| seen.insert(s.clone()))
+                .collect()
+        };
+        let refs: Vec<&TxBlock> = blocks.iter().collect();
+        for kind in [CounterKind::PtScan, CounterKind::Ecut, CounterKind::EcutPlus] {
+            let r = count_supports(kind, &store, &ids, &candidates);
+            for (cand, &got) in candidates.iter().zip(&r.counts) {
+                prop_assert_eq!(got, apriori::naive_support(cand, &refs), "{}", kind.name());
+            }
+        }
+    }
+
+    /// k-way TID-list intersection equals set intersection.
+    #[test]
+    fn intersection_equals_set_semantics(
+        lists in prop::collection::vec(prop::collection::btree_set(0u64..200, 0..40), 1..5),
+    ) {
+        let vecs: Vec<Vec<Tid>> = lists
+            .iter()
+            .map(|s| s.iter().map(|&v| Tid(v)).collect())
+            .collect();
+        let slices: Vec<&[Tid]> = vecs.iter().map(|v| v.as_slice()).collect();
+        let got: BTreeSet<u64> = intersect_all(&slices).into_iter().map(|t| t.0).collect();
+        let expected = lists
+            .iter()
+            .skip(1)
+            .fold(lists[0].clone(), |acc, s| acc.intersection(s).copied().collect());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// GEMM's current model matches scratch-mining the selected window,
+    /// for an arbitrary window-relative BSS.
+    #[test]
+    fn gemm_matches_scratch_for_random_wr_bss(
+        blocks in blocks_strategy(6),
+        bits in prop::collection::vec(any::<bool>(), 2..4),
+        minsup in minsup_strategy(),
+    ) {
+        prop_assume!(bits.iter().any(|&b| b));
+        let w = bits.len();
+        let selector = BlockSelector::WindowRelative(WrBss::new(bits));
+        let maintainer = ItemsetMaintainer::new(UNIVERSE, minsup, CounterKind::Ecut);
+        let mut gemm = Gemm::new(maintainer, w, selector.clone())
+            .unwrap()
+            .with_retirement(false);
+        let store = store_of(&blocks);
+        for b in &blocks {
+            gemm.add_block(b.clone()).unwrap();
+        }
+        let t = blocks.len() as u64;
+        let start = BlockId(t.saturating_sub(w as u64 - 1).max(1));
+        let selected = selector.selected_in_window(start, w, BlockId(t));
+        let batch = FrequentItemsets::mine_from(&store, &selected, minsup).unwrap();
+        prop_assert_eq!(
+            freq_of(gemm.current_model().unwrap()),
+            freq_of(&batch)
+        );
+    }
+
+    /// GEMM's current model matches scratch-mining under an arbitrary
+    /// *window-independent* periodic BSS too.
+    #[test]
+    fn gemm_matches_scratch_for_random_wi_bss(
+        blocks in blocks_strategy(6),
+        pattern in prop::collection::vec(any::<bool>(), 1..4),
+        w in 2usize..4,
+        minsup in minsup_strategy(),
+    ) {
+        use demon::core::bss::WiBss;
+        prop_assume!(pattern.iter().any(|&b| b));
+        let selector = BlockSelector::WindowIndependent(WiBss::Periodic {
+            pattern: pattern.clone(),
+        });
+        let maintainer = ItemsetMaintainer::new(UNIVERSE, minsup, CounterKind::Ecut);
+        let mut gemm = Gemm::new(maintainer, w, selector.clone())
+            .unwrap()
+            .with_retirement(false);
+        let store = store_of(&blocks);
+        for b in &blocks {
+            gemm.add_block(b.clone()).unwrap();
+        }
+        let t = blocks.len() as u64;
+        let start = BlockId(t.saturating_sub(w as u64 - 1).max(1));
+        let selected = selector.selected_in_window(start, w, BlockId(t));
+        let batch = FrequentItemsets::mine_from(&store, &selected, minsup).unwrap();
+        prop_assert_eq!(freq_of(gemm.current_model().unwrap()), freq_of(&batch));
+    }
+
+    /// GEMM and AuM agree on the maintained model for arbitrary
+    /// window-relative BSS — two very different algorithms, one result.
+    #[test]
+    fn gemm_and_aum_agree(
+        blocks in blocks_strategy(6),
+        bits in prop::collection::vec(any::<bool>(), 2..4),
+        minsup in minsup_strategy(),
+    ) {
+        use demon::core::aum::AumWindow;
+        prop_assume!(bits.iter().any(|&b| b));
+        let w = bits.len();
+        let selector = BlockSelector::WindowRelative(WrBss::new(bits));
+        let mut gemm = Gemm::new(
+            ItemsetMaintainer::new(UNIVERSE, minsup, CounterKind::Ecut),
+            w,
+            selector.clone(),
+        )
+        .unwrap();
+        let mut aum = AumWindow::new(
+            ItemsetMaintainer::new(UNIVERSE, minsup, CounterKind::Ecut),
+            w,
+            selector,
+        )
+        .unwrap();
+        for b in &blocks {
+            gemm.add_block(b.clone()).unwrap();
+            aum.add_block(b.clone()).unwrap();
+        }
+        prop_assert_eq!(
+            freq_of(gemm.current_model().unwrap()),
+            freq_of(aum.model())
+        );
+    }
+
+    /// The CF-tree conserves mass and keeps its summaries consistent under
+    /// arbitrary insertion orders.
+    #[test]
+    fn cftree_conserves_mass(
+        points in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 2), 1..120),
+        threshold2 in 0.0f64..25.0,
+    ) {
+        let params = CfTreeParams {
+            branching: 4,
+            leaf_capacity: 4,
+            threshold2,
+            max_leaf_entries: 64,
+            dim: 2,
+        };
+        let mut tree = CfTree::new(params);
+        let mut sum = [0.0f64; 2];
+        for p in &points {
+            tree.insert_point(&Point::new(p.clone()));
+            sum[0] += p[0];
+            sum[1] += p[1];
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.n_points(), points.len() as u64);
+        let total: ClusterFeature = {
+            let mut acc = ClusterFeature::empty(2);
+            for cf in tree.leaf_entries() {
+                acc.merge(&cf);
+            }
+            acc
+        };
+        // Linear sums survive arbitrary splits/rebuilds.
+        prop_assert!((total.linear_sum()[0] - sum[0]).abs() < 1e-6);
+        prop_assert!((total.linear_sum()[1] - sum[1]).abs() < 1e-6);
+    }
+
+    /// Compact-sequence mining keeps the Definition 4.1 invariants for an
+    /// arbitrary (deterministic) similarity relation.
+    #[test]
+    fn compact_sequences_respect_definition(seed in 0u64..5000, n in 2usize..12) {
+        struct HashOracle(u64);
+        impl SimilarityOracle for HashOracle {
+            fn similar(&mut self, a: &TxBlock, b: &TxBlock) -> (bool, f64) {
+                let (x, y) = (a.id().value().min(b.id().value()), a.id().value().max(b.id().value()));
+                // A fixed pseudo-random symmetric relation.
+                let h = x
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(y.wrapping_mul(0xD1B54A32D192ED03))
+                    .wrapping_add(self.0);
+                let sim = (h >> 7) % 3 == 0;
+                (sim, if sim { 0.0 } else { 1.0 })
+            }
+        }
+        let mut miner = CompactSequenceMiner::new(HashOracle(seed));
+        for id in 1..=n as u64 {
+            miner.add_block(TxBlock::new(BlockId(id), vec![]));
+        }
+        miner.check_invariants();
+        // One sequence per block, and each block belongs to at least one.
+        prop_assert_eq!(miner.sequences().len(), n);
+        let maximal = miner.maximal_sequences();
+        for id in 1..=n as u64 {
+            prop_assert!(
+                maximal.iter().any(|s| s.contains(&BlockId(id))),
+                "block {id} not covered by any maximal sequence"
+            );
+        }
+    }
+
+    /// FUP and BORDERS (all counters) agree with batch mining on arbitrary
+    /// block streams.
+    #[test]
+    fn fup_equals_borders_equals_batch(
+        blocks in blocks_strategy(3),
+        minsup in minsup_strategy(),
+    ) {
+        use demon::itemsets::FupModel;
+        let store = store_of(&blocks);
+        let batch = FrequentItemsets::mine_from(&store, &store.block_ids(), minsup).unwrap();
+        let mut fup = FupModel::empty(minsup, UNIVERSE);
+        for b in &blocks {
+            fup.absorb_block(&store, b.id()).unwrap();
+        }
+        prop_assert_eq!(fup.frequent(), batch.frequent());
+    }
+
+    /// Every derived association rule has exact statistics and respects
+    /// the confidence threshold; antecedent and consequent partition the
+    /// source itemset.
+    #[test]
+    fn rules_have_exact_statistics(
+        blocks in blocks_strategy(2),
+        minconf in 0.0f64..1.0,
+    ) {
+        use demon::itemsets::derive_rules;
+        let store = store_of(&blocks);
+        let minsup = MinSupport::new(0.1).unwrap();
+        let model = FrequentItemsets::mine_from(&store, &store.block_ids(), minsup).unwrap();
+        let refs: Vec<&TxBlock> = blocks.iter().collect();
+        let n = model.n_transactions();
+        for rule in derive_rules(&model, minconf) {
+            prop_assert!(rule.confidence >= minconf);
+            prop_assert!(rule.confidence <= 1.0 + 1e-12);
+            let z = rule.antecedent.union(&rule.consequent);
+            prop_assert_eq!(
+                z.len(),
+                rule.antecedent.len() + rule.consequent.len(),
+                "antecedent and consequent must be disjoint"
+            );
+            let sz = apriori::naive_support(&z, &refs);
+            let sa = apriori::naive_support(&rule.antecedent, &refs);
+            prop_assert!((rule.support - sz as f64 / n as f64).abs() < 1e-9);
+            prop_assert!((rule.confidence - sz as f64 / sa as f64).abs() < 1e-9);
+        }
+    }
+
+    /// The windowed compact miner over a full-history oracle agrees with
+    /// the unrestricted miner restricted to the window, for sequences
+    /// entirely inside the window.
+    #[test]
+    fn windowed_miner_bounds_live_blocks(seed in 0u64..2000, n in 3usize..14, w in 2usize..6) {
+        use demon::focus::similarity::SimilarityOracle;
+        use demon::focus::WindowedCompactMiner;
+        struct HashOracle(u64);
+        impl SimilarityOracle for HashOracle {
+            fn similar(&mut self, a: &TxBlock, b: &TxBlock) -> (bool, f64) {
+                let (x, y) = (
+                    a.id().value().min(b.id().value()),
+                    a.id().value().max(b.id().value()),
+                );
+                let h = x
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(y.wrapping_mul(0xD1B54A32D192ED03))
+                    .wrapping_add(self.0);
+                ((h >> 5) % 2 == 0, 0.5)
+            }
+        }
+        let mut miner = WindowedCompactMiner::new(HashOracle(seed), w);
+        for id in 1..=n as u64 {
+            miner.add_block(TxBlock::new(BlockId(id), vec![]));
+            miner.check_invariants();
+            prop_assert!(miner.n_live() <= w);
+        }
+        // Every live sequence references only in-window blocks.
+        let window_start = (n as u64).saturating_sub(w as u64 - 1).max(1);
+        for seq in miner.sequences() {
+            for b in seq {
+                prop_assert!(b.value() >= window_start);
+            }
+        }
+    }
+
+    /// The TID-list codec round-trips arbitrary sorted lists and its
+    /// streamed intersection equals the in-memory one.
+    #[test]
+    fn codec_roundtrip_and_intersection(
+        a in prop::collection::btree_set(0u64..100_000, 0..200),
+        b in prop::collection::btree_set(0u64..100_000, 0..200),
+    ) {
+        use demon::itemsets::codec;
+        let va: Vec<Tid> = a.iter().map(|&v| Tid(v)).collect();
+        let vb: Vec<Tid> = b.iter().map(|&v| Tid(v)).collect();
+        let (ea, eb) = (codec::encode(&va), codec::encode(&vb));
+        prop_assert_eq!(codec::decode(&ea), va.clone());
+        let expected: Vec<Tid> = a.intersection(&b).map(|&v| Tid(v)).collect();
+        prop_assert_eq!(codec::intersect_encoded(&ea, &eb), expected);
+    }
+
+    /// Store persistence round-trips arbitrary block streams.
+    #[test]
+    fn persistence_roundtrips(blocks in blocks_strategy(3), case in 0u64..1_000_000) {
+        use demon::itemsets::persist::{load_store, save_store};
+        let store = store_of(&blocks);
+        let dir = std::env::temp_dir().join(format!(
+            "demon-proptest-persist-{}-{case}",
+            std::process::id()
+        ));
+        save_store(&store, &dir).unwrap();
+        let back = load_store(&dir).unwrap();
+        prop_assert_eq!(back.block_ids(), store.block_ids());
+        for id in store.block_ids() {
+            prop_assert_eq!(
+                back.block(id).unwrap().records(),
+                store.block(id).unwrap().records()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Cyclic subsequences really are arithmetic and really are subsets.
+    #[test]
+    fn cyclic_subsequences_are_arithmetic_subsets(
+        ids in prop::collection::btree_set(1u64..60, 3..20),
+    ) {
+        use demon::focus::cyclic_subsequences;
+        let seq: Vec<BlockId> = ids.iter().map(|&v| BlockId(v)).collect();
+        for cyc in cyclic_subsequences(&seq, 3) {
+            prop_assert!(cyc.len() >= 3);
+            for w in cyc.blocks.windows(2) {
+                prop_assert_eq!(w[1].value() - w[0].value(), cyc.period);
+            }
+            for b in &cyc.blocks {
+                prop_assert!(seq.contains(b));
+            }
+        }
+    }
+
+    /// Negative-border definition holds for arbitrary data: every minimal
+    /// infrequent itemset (over sets of size ≤ 3) is tracked in the border.
+    #[test]
+    fn border_is_complete_for_small_itemsets(
+        blocks in blocks_strategy(2),
+        minsup in minsup_strategy(),
+    ) {
+        let store = store_of(&blocks);
+        let model = FrequentItemsets::mine_from(&store, &store.block_ids(), minsup).unwrap();
+        let refs: Vec<&TxBlock> = blocks.iter().collect();
+        let thresh = minsup.count_for(model.n_transactions());
+        // Enumerate all itemsets of size ≤ 3 and check the definition.
+        let items: Vec<u32> = (0..UNIVERSE).collect();
+        let mut all: Vec<ItemSet> = Vec::new();
+        for i in 0..items.len() {
+            all.push(ItemSet::from_ids(&[items[i]]));
+            for j in i + 1..items.len() {
+                all.push(ItemSet::from_ids(&[items[i], items[j]]));
+                for l in j + 1..items.len() {
+                    all.push(ItemSet::from_ids(&[items[i], items[j], items[l]]));
+                }
+            }
+        }
+        for set in &all {
+            let support = apriori::naive_support(set, &refs);
+            let infrequent = support < thresh;
+            let subsets_frequent = set
+                .proper_maximal_subsets()
+                .all(|s| s.is_empty() || model.is_frequent(&s));
+            if infrequent && subsets_frequent {
+                prop_assert!(
+                    model.border().contains_key(set),
+                    "minimal infrequent {set} missing from border"
+                );
+            }
+            if !infrequent {
+                prop_assert!(
+                    model.is_frequent(set) || !subsets_frequent,
+                    "frequent {set} with frequent subsets missing from L"
+                );
+            }
+        }
+    }
+}
