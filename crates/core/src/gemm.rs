@@ -15,12 +15,32 @@
 //!   updates may run in parallel and the models may live on disk — "main
 //!   memory is not a limitation as long as a single model fits");
 //! * a fresh model is started for the newest future window.
+//!
+//! ## Shelf durability
+//!
+//! Shelved models (`slot_<start>.model`) are written atomically as framed
+//! checksummed files ([`demon_types::durable`]), so a crash mid-shelving
+//! never leaves a torn model. Reads retry transient I/O errors a bounded
+//! number of times. A shelf file that is missing or fails its checksum is
+//! not fatal: GEMM **rebuilds** the model by replaying the window's block
+//! stream through the maintainer (every block a maintained window can
+//! reach is still registered), counts the event in
+//! [`GemmStats::models_rebuilt`] / [`Gemm::shelf_rebuilds`], and carries
+//! on.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::bss::BlockSelector;
 use crate::maintainer::ModelMaintainer;
+use demon_types::durable::{self, FrameClass};
 use demon_types::{Block, BlockId, DemonError, Result};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// How many times a shelf read retries a transient I/O error before the
+/// error is surfaced.
+const SHELF_READ_ATTEMPTS: u32 = 3;
 
 /// Where the off-line (non-current) models live between blocks.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,6 +64,9 @@ pub struct GemmStats {
     pub absorbed_into_current: bool,
     /// Number of off-line models that absorbed the block.
     pub offline_absorbed: usize,
+    /// Shelved models that were rebuilt from the block stream during this
+    /// step because their shelf file was missing or corrupt.
+    pub models_rebuilt: usize,
 }
 
 /// One maintained model slot: the future window it belongs to (identified
@@ -59,23 +82,43 @@ enum Stored<Model> {
 }
 
 impl<Model: serde::Serialize + serde::de::DeserializeOwned> Stored<Model> {
-    fn load(&self) -> Result<Model> {
-        match self {
-            Stored::Mem(_) => Err(DemonError::InvalidParameter(
-                "load called on in-memory model".into(),
-            )),
-            Stored::Disk(path) => {
-                let bytes = std::fs::read(path)?;
-                serde_json::from_slice(&bytes).map_err(|e| DemonError::Serde(e.to_string()))
-            }
-        }
+    /// Reads a shelved model: framed + checksummed, with a bounded retry
+    /// on transient I/O errors. A frame that validates but does not parse
+    /// is reported as corruption naming the file.
+    fn load_from(path: &Path) -> Result<Model> {
+        let (payload, _) =
+            durable::read_framed_with_retry(path, FrameClass::SHELF, SHELF_READ_ATTEMPTS)?;
+        serde_json::from_slice(&payload).map_err(|e| DemonError::Corrupt {
+            file: path.display().to_string(),
+            detail: format!("shelved model does not parse: {e}"),
+        })
     }
 
-    fn write(path: &PathBuf, model: &Model) -> Result<()> {
+    /// Shelves a model atomically as a framed file; a crash mid-write
+    /// leaves the previous file (or none), never a torn model.
+    fn write(path: &Path, model: &Model) -> Result<()> {
         let bytes =
             serde_json::to_vec(model).map_err(|e| DemonError::Serde(e.to_string()))?;
-        std::fs::write(path, bytes)?;
+        durable::write_framed(path, FrameClass::SHELF, &bytes)?;
         Ok(())
+    }
+}
+
+/// The shelf file of the future window starting at `start`.
+fn shelf_path(dir: &Path, start: BlockId) -> PathBuf {
+    dir.join(format!("slot_{}.model", start.value()))
+}
+
+/// Whether a shelf-load failure can be healed by replaying the block
+/// stream: corruption in any form, or the file simply being gone.
+/// Persistent I/O failures (permissions, exhausted retries) cannot.
+fn shelf_loss_is_recoverable(e: &DemonError) -> bool {
+    match e {
+        DemonError::Corrupt { .. } | DemonError::ChecksumMismatch { .. } | DemonError::Serde(_) => {
+            true
+        }
+        DemonError::Io(io) => io.kind() == std::io::ErrorKind::NotFound,
+        _ => false,
     }
 }
 
@@ -89,6 +132,9 @@ pub struct Gemm<M: ModelMaintainer> {
     retire: bool,
     slots: Vec<Slot<M::Model>>,
     latest: Option<BlockId>,
+    /// Lifetime count of shelved models rebuilt from the block stream
+    /// (atomic because [`Gemm::future_model`] rebuilds through `&self`).
+    rebuilds: AtomicU64,
 }
 
 impl<M: ModelMaintainer + Sync> Gemm<M> {
@@ -118,6 +164,7 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
             retire: true,
             slots: Vec::new(),
             latest: None,
+            rebuilds: AtomicU64::new(0),
         })
     }
 
@@ -159,6 +206,12 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
         self.latest
     }
 
+    /// Lifetime count of shelved models that had to be rebuilt from the
+    /// block stream because their shelf file was missing or corrupt.
+    pub fn shelf_rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
     /// Start of the current most-recent window.
     pub fn window_start(&self) -> Option<BlockId> {
         self.slots.first().map(|s| s.start)
@@ -187,8 +240,31 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
             .ok_or(DemonError::UnknownBlock(start.value()))?;
         match &slot.model {
             Stored::Mem(m) => Ok(m.clone()),
-            disk => disk.load(),
+            Stored::Disk(path) => match Stored::load_from(path) {
+                Ok(m) => Ok(m),
+                Err(e) if shelf_loss_is_recoverable(&e) => Ok(self.rebuild_model(start, self.latest)),
+                Err(e) => Err(e),
+            },
         }
+    }
+
+    /// Recomputes a slot's model by replaying the registered block stream
+    /// through the maintainer: absorb every block in `start..=upto` whose
+    /// BSS bit is set. Valid because retirement only drops blocks below
+    /// the oldest maintained window start.
+    fn rebuild_model(&self, start: BlockId, upto: Option<BlockId>) -> M::Model {
+        let mut model = self.maintainer.fresh();
+        if let Some(upto) = upto {
+            let mut id = start;
+            while id <= upto {
+                if self.bit_for(start, id) {
+                    self.maintainer.absorb(&mut model, id);
+                }
+                id = id.next();
+            }
+        }
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        model
     }
 
     /// Starts of all maintained future windows (ascending; the first is
@@ -209,6 +285,7 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
         self.maintainer.register_block(block);
         self.latest = Some(id);
         let mut stats = GemmStats::default();
+        let rebuilds_before = self.rebuilds.load(Ordering::Relaxed);
 
         // Slide: drop the outgoing current slot once the window is full.
         if self.slots.len() == self.w {
@@ -224,7 +301,8 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
         });
 
         // The new current slot must be in memory before its timed update.
-        self.unshelve_front()?;
+        // Its shelved state covers blocks up to the previous arrival.
+        self.unshelve_front(BlockId(id.value() - 1))?;
 
         // Time-critical update: the new current model.
         let current_bit = self.bit_for(self.slots[0].start, id);
@@ -248,19 +326,29 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
             self.maintainer
                 .retire_block(BlockId(self.slots[0].start.value() - 1));
         }
+        stats.models_rebuilt =
+            (self.rebuilds.load(Ordering::Relaxed) - rebuilds_before) as usize;
         Ok(stats)
     }
 
     /// Pulls the front slot into memory if it was shelved, removing its
-    /// now-stale shelf file.
-    fn unshelve_front(&mut self) -> Result<()> {
-        if let Some(slot) = self.slots.first_mut() {
-            if let Stored::Disk(path) = &slot.model {
-                let model = slot.model.load()?;
-                let _ = std::fs::remove_file(path);
-                slot.model = Stored::Mem(model);
-            }
-        }
+    /// now-stale shelf file. `upto` is the last block the shelved state
+    /// covered — the replay bound if the file turns out to be damaged.
+    fn unshelve_front(&mut self, upto: BlockId) -> Result<()> {
+        let Some(slot) = self.slots.first() else {
+            return Ok(());
+        };
+        let (start, path) = match &slot.model {
+            Stored::Disk(path) => (slot.start, path.clone()),
+            Stored::Mem(_) => return Ok(()),
+        };
+        let model = match Stored::load_from(&path) {
+            Ok(m) => m,
+            Err(e) if shelf_loss_is_recoverable(&e) => self.rebuild_model(start, Some(upto)),
+            Err(e) => return Err(e),
+        };
+        let _ = std::fs::remove_file(&path);
+        self.slots[0].model = Stored::Mem(model);
         Ok(())
     }
 
@@ -282,7 +370,9 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
             .collect();
         let absorbed = work.iter().filter(|&&(_, b)| b).count();
 
-        // Load shelved models, update, re-shelve.
+        // Load shelved models, update, re-shelve. A damaged shelf file is
+        // rebuilt from the block stream (state as of the previous arrival;
+        // this very loop then absorbs the new block where selected).
         let mut loaded: Vec<(usize, M::Model, bool)> = Vec::with_capacity(work.len());
         for &(i, bit) in &work {
             let model = match &self.slots[i].model {
@@ -295,21 +385,30 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
                         unreachable!()
                     }
                 }
-                disk => disk.load()?,
+                Stored::Disk(path) => match Stored::load_from(path) {
+                    Ok(m) => m,
+                    Err(e) if shelf_loss_is_recoverable(&e) => {
+                        self.rebuild_model(self.slots[i].start, Some(BlockId(id.value() - 1)))
+                    }
+                    Err(e) => return Err(e),
+                },
             };
             loaded.push((i, model, bit));
         }
 
         if self.parallel {
             let maintainer = &self.maintainer;
-            crossbeam::thread::scope(|scope| {
+            let scope_result = crossbeam::thread::scope(|scope| {
                 for (_, model, bit) in loaded.iter_mut() {
                     if *bit {
                         scope.spawn(move |_| maintainer.absorb(model, id));
                     }
                 }
-            })
-            .expect("offline update thread panicked");
+            });
+            if let Err(payload) = scope_result {
+                // A worker panicked; propagate it unchanged.
+                std::panic::resume_unwind(payload);
+            }
         } else {
             for (_, model, bit) in loaded.iter_mut() {
                 if *bit {
@@ -323,7 +422,7 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
             self.slots[i].model = match &self.shelf {
                 ShelfMode::Memory => Stored::Mem(model),
                 ShelfMode::Disk(dir) => {
-                    let path = dir.join(format!("slot_{}.json", self.slots[i].start.value()));
+                    let path = shelf_path(dir, self.slots[i].start);
                     Stored::write(&path, &model)?;
                     Stored::Disk(path)
                 }
@@ -334,6 +433,7 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::bss::{BlockSelector, WiBss, WrBss};
@@ -508,6 +608,98 @@ mod tests {
         // Shelf files exist for the off-line slots only.
         let files = std::fs::read_dir(&dir).unwrap().count();
         assert_eq!(files, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shelf_files_are_framed_with_no_tmp_residue() {
+        let dir = std::env::temp_dir().join(format!("demon-gemm-frame-{}", std::process::id()));
+        let maintainer = ItemsetMaintainer::new(16, k(0.05), CounterKind::Ecut);
+        let mut g = Gemm::new(maintainer, 3, BlockSelector::all())
+            .unwrap()
+            .with_shelf(ShelfMode::Disk(dir.clone()))
+            .unwrap();
+        for id in 1..=5u64 {
+            g.add_block(marker_block(id, 4)).unwrap();
+        }
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            assert!(!name.ends_with(".tmp"), "stray tmp file {name}");
+            let bytes = std::fs::read(&path).unwrap();
+            assert_eq!(&bytes[0..4], b"DMON", "{name} is not framed");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A memory-shelf twin fed the same blocks — the oracle for what a
+    /// rebuilt model must look like.
+    fn twin(upto: u64) -> Gemm<ItemsetMaintainer> {
+        let mut g = gemm_with(3, BlockSelector::all());
+        for id in 1..=upto {
+            g.add_block(marker_block(id, 4)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn corrupt_shelf_model_is_rebuilt_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("demon-gemm-corrupt-{}", std::process::id()));
+        let maintainer = ItemsetMaintainer::new(16, k(0.05), CounterKind::Ecut);
+        let mut g = Gemm::new(maintainer, 3, BlockSelector::all())
+            .unwrap()
+            .with_shelf(ShelfMode::Disk(dir.clone()))
+            .unwrap();
+        for id in 1..=5u64 {
+            g.add_block(marker_block(id, 4)).unwrap();
+        }
+        // Flip a payload byte of the shelved slot-4 model.
+        let path = dir.join("slot_4.model");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Reading it back degrades gracefully into a rebuild…
+        let rebuilt = g.future_model(BlockId(4)).unwrap();
+        let expected = twin(5).future_model(BlockId(4)).unwrap();
+        assert_eq!(rebuilt.frequent(), expected.frequent());
+        assert_eq!(g.shelf_rebuilds(), 1);
+
+        // …and GEMM keeps running: block 6 slides the window, so slot 4
+        // must be unshelved from the still-corrupt file — rebuilt once
+        // more and pinned in memory as the new current model.
+        let stats = g.add_block(marker_block(6, 4)).unwrap();
+        assert_eq!(stats.models_rebuilt, 1);
+        let healed = g.future_model(BlockId(4)).unwrap();
+        let expected = twin(6).future_model(BlockId(4)).unwrap();
+        assert_eq!(healed.frequent(), expected.frequent());
+        assert_eq!(g.shelf_rebuilds(), 2, "in-memory model needs no rebuild");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_shelf_model_is_rebuilt_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("demon-gemm-missing-{}", std::process::id()));
+        let maintainer = ItemsetMaintainer::new(16, k(0.05), CounterKind::Ecut);
+        let mut g = Gemm::new(maintainer, 3, BlockSelector::all())
+            .unwrap()
+            .with_shelf(ShelfMode::Disk(dir.clone()))
+            .unwrap();
+        for id in 1..=5u64 {
+            g.add_block(marker_block(id, 4)).unwrap();
+        }
+        std::fs::remove_file(dir.join("slot_4.model")).unwrap();
+        // Block 6 slides the window; slot 4 becomes current and must be
+        // unshelved — from a file that no longer exists.
+        let stats = g.add_block(marker_block(6, 4)).unwrap();
+        assert_eq!(stats.models_rebuilt, 1);
+        assert_eq!(g.window_start(), Some(BlockId(4)));
+        let expected = twin(6);
+        assert_eq!(
+            g.current_model().unwrap().frequent(),
+            expected.current_model().unwrap().frequent()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

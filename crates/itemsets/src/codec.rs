@@ -11,9 +11,16 @@
 //!
 //! Decoding streams: intersections can run over encoded segments without
 //! materializing them ([`DecodeIter`]).
+//!
+//! Every decoding entry point is **panic-free on untrusted input**:
+//! truncated, overlong, or overflowing varints surface as
+//! [`DemonError::Serde`], never as a panic — these bytes come straight
+//! off disk and the durability layer treats decoders as validators.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use bytes::{BufMut, Bytes, BytesMut};
-use demon_types::Tid;
+use demon_types::{DemonError, Result, Tid};
 
 /// Encodes a sorted TID-list as delta varints.
 ///
@@ -33,16 +40,29 @@ pub fn encode(list: &[Tid]) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes an encoded list back to TIDs.
-pub fn decode(bytes: &Bytes) -> Vec<Tid> {
-    DecodeIter::new(bytes.clone()).collect()
+/// Decodes an encoded list back to TIDs. Truncated or overlong input is
+/// an error, not a panic.
+pub fn decode(bytes: &Bytes) -> Result<Vec<Tid>> {
+    let mut out = Vec::new();
+    let mut iter = DecodeIter::new(bytes.clone());
+    for t in iter.by_ref() {
+        out.push(t);
+    }
+    match iter.take_error() {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
 }
 
 /// Streaming decoder over an encoded TID-list.
+///
+/// Iteration stops at the first malformed gap; [`DecodeIter::take_error`]
+/// reports whether the stream ended cleanly or on corrupt bytes.
 pub struct DecodeIter {
     bytes: Bytes,
     pos: usize,
     acc: u64,
+    error: Option<DemonError>,
 }
 
 impl DecodeIter {
@@ -52,7 +72,14 @@ impl DecodeIter {
             bytes,
             pos: 0,
             acc: 0,
+            error: None,
         }
+    }
+
+    /// The decoding error that terminated iteration, if any. `None` means
+    /// every byte so far decoded cleanly.
+    pub fn take_error(&mut self) -> Option<DemonError> {
+        self.error.take()
     }
 }
 
@@ -60,15 +87,32 @@ impl Iterator for DecodeIter {
     type Item = Tid;
 
     fn next(&mut self) -> Option<Tid> {
-        if self.pos >= self.bytes.len() {
+        if self.error.is_some() || self.pos >= self.bytes.len() {
             return None;
         }
-        let (gap, read) = get_varint(&self.bytes[self.pos..]);
+        let (gap, read) = match get_varint(&self.bytes[self.pos..]) {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.error = Some(e);
+                return None;
+            }
+        };
         self.pos += read;
-        self.acc += gap;
+        self.acc = match self.acc.checked_add(gap) {
+            Some(v) => v,
+            None => {
+                self.error = Some(DemonError::Serde(format!(
+                    "TID accumulator overflow at byte {}",
+                    self.pos
+                )));
+                return None;
+            }
+        };
         Some(Tid(self.acc))
     }
 }
+
+impl std::iter::FusedIterator for DecodeIter {}
 
 /// Appends one LEB128 varint to `buf`.
 pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
@@ -83,25 +127,46 @@ pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
+/// Maximum encoded length of a `u64` LEB128 varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
 /// Reads one LEB128 varint, returning `(value, bytes_consumed)`.
 ///
-/// Panics on truncated input (the persistence layer validates lengths
-/// before decoding).
-pub fn get_varint(bytes: &[u8]) -> (u64, usize) {
+/// Returns [`DemonError::Serde`] when the input ends mid-varint
+/// (truncation) or when the encoding runs past 10 bytes / overflows a
+/// `u64` (overlong) — corrupt bytes must never panic.
+pub fn get_varint(bytes: &[u8]) -> Result<(u64, usize)> {
     let mut v = 0u64;
     let mut shift = 0u32;
     for (i, &b) in bytes.iter().enumerate() {
-        v |= u64::from(b & 0x7F) << shift;
+        if i >= MAX_VARINT_LEN {
+            return Err(DemonError::Serde(
+                "overlong varint (more than 10 bytes)".into(),
+            ));
+        }
+        let low = u64::from(b & 0x7F);
+        if shift >= 64 || (shift == 63 && low > 1) {
+            return Err(DemonError::Serde(
+                "overlong varint (overflows u64)".into(),
+            ));
+        }
+        v |= low << shift;
         if b & 0x80 == 0 {
-            return (v, i + 1);
+            return Ok((v, i + 1));
         }
         shift += 7;
     }
-    panic!("truncated varint in encoded TID-list");
+    Err(DemonError::Serde(format!(
+        "truncated varint ({} continuation bytes, no terminator)",
+        bytes.len()
+    )))
 }
 
 /// Intersects two *encoded* lists by streaming both decoders — the
-/// disk-resident analogue of [`crate::tidlist::intersect_pair`].
+/// disk-resident analogue of [`crate::tidlist::intersect_pair`]. Corrupt
+/// tails simply end the affected stream (the callers intersect trusted
+/// in-memory encodings; the persistence layer validates checksums before
+/// bytes ever reach this point).
 pub fn intersect_encoded(a: &Bytes, b: &Bytes) -> Vec<Tid> {
     let mut out = Vec::new();
     let mut ia = DecodeIter::new(a.clone());
@@ -128,6 +193,7 @@ pub fn encoded_size(list: &[Tid]) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::tidlist::intersect_pair;
@@ -146,7 +212,7 @@ mod tests {
             tids(&[u64::MAX - 1, u64::MAX]),
         ] {
             let enc = encode(&list);
-            assert_eq!(decode(&enc), list);
+            assert_eq!(decode(&enc).unwrap(), list);
         }
     }
 
@@ -163,7 +229,7 @@ mod tests {
         let enc = encode(&list);
         assert!(enc.len() > 100, "million-sized gaps need multi-byte varints");
         assert!(enc.len() <= 100 * 10);
-        assert_eq!(decode(&enc), list);
+        assert_eq!(decode(&enc).unwrap(), list);
     }
 
     #[test]
@@ -171,7 +237,7 @@ mod tests {
         let list = tids(&[3, 7, 8, 4000, 4001, 9_999_999]);
         let enc = encode(&list);
         let streamed: Vec<Tid> = DecodeIter::new(enc.clone()).collect();
-        assert_eq!(streamed, decode(&enc));
+        assert_eq!(streamed, decode(&enc).unwrap());
     }
 
     #[test]
@@ -186,11 +252,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "truncated varint")]
-    fn truncated_input_is_detected() {
+    fn truncated_input_is_an_error_not_a_panic() {
         let enc = encode(&tids(&[1_000_000]));
         let cut = enc.slice(0..enc.len() - 1);
-        let _ = decode(&cut);
+        let err = decode(&cut).unwrap_err();
+        assert!(matches!(err, DemonError::Serde(_)), "got {err}");
+        assert!(err.to_string().contains("truncated varint"), "{err}");
+    }
+
+    #[test]
+    fn every_truncation_of_every_list_errors() {
+        for list in [tids(&[1]), tids(&[300, 70_000]), tids(&[u64::MAX])] {
+            let enc = encode(&list);
+            for cut in 0..enc.len() {
+                let sliced = enc.slice(0..cut);
+                match decode(&sliced) {
+                    Ok(shorter) => assert!(shorter.len() < list.len()),
+                    Err(e) => assert!(matches!(e, DemonError::Serde(_))),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlong_varints_are_rejected() {
+        // Eleven continuation bytes: too long for any u64.
+        let bytes = Bytes::from(vec![0x80u8; 11]);
+        let err = get_varint(&bytes).unwrap_err();
+        assert!(err.to_string().contains("overlong"), "{err}");
+        // Ten bytes whose top byte overflows 64 bits.
+        let mut overflow = vec![0xFFu8; 9];
+        overflow.push(0x7F);
+        let err = get_varint(&overflow).unwrap_err();
+        assert!(err.to_string().contains("overlong"), "{err}");
+        // u64::MAX itself still decodes: 9 × 0xFF then 0x01.
+        let mut max = vec![0xFFu8; 9];
+        max.push(0x01);
+        assert_eq!(get_varint(&max).unwrap(), (u64::MAX, 10));
+    }
+
+    #[test]
+    fn delta_overflow_is_an_error() {
+        // Two maximal gaps: the accumulator would exceed u64::MAX.
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, u64::MAX);
+        put_varint(&mut buf, u64::MAX);
+        let err = decode(&buf.freeze()).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
     }
 
     #[test]
@@ -204,7 +312,7 @@ mod tests {
             vals.dedup();
             let list: Vec<Tid> = vals.into_iter().map(Tid).collect();
             let enc = encode(&list);
-            assert_eq!(decode(&enc), list);
+            assert_eq!(decode(&enc).unwrap(), list);
             assert_eq!(encoded_size(&list), enc.len());
         }
     }

@@ -15,6 +15,9 @@
 //!   [`CounterKind::EcutPlus`];
 //! * [`store`] — [`TxStore`], the transactional + TID-list representation
 //!   of the evolving database;
+//! * [`persist`] — crash-safe on-disk persistence of the store (atomic
+//!   framed writes, checksummed manifest, [`RecoveryPolicy`] salvage and
+//!   the [`verify_store`] fsck);
 //! * [`model`] — [`FrequentItemsets`], the maintained model
 //!   (`L ∪ NB⁻` with exact supports), including the BORDERS **detection**
 //!   and **update** phases for block addition and the deletion-capable
@@ -76,6 +79,10 @@ pub use counter::CounterKind;
 pub use fup::{FupModel, FupStats};
 pub use hash_tree::HashTree;
 pub use model::{FrequentItemsets, MaintenanceStats};
+pub use persist::{
+    load_store, load_store_with, save_store, verify_store, RecoveryPolicy, RecoveryReport,
+    VerifyReport, STORE_FORMAT_VERSION,
+};
 pub use prefix_tree::PrefixTree;
 pub use rules::{derive_rules, Rule};
 pub use store::TxStore;

@@ -1,0 +1,363 @@
+//! Crash-safe file primitives shared by every persistence surface.
+//!
+//! DEMON's database is long-lived: blocks arrive forever and the on-disk
+//! store (plus GEMM's model shelf) must survive a process crash at any
+//! point between them. Two primitives make that tractable:
+//!
+//! * [`atomic_write`] — write-to-temp, fsync, rename, fsync-parent. A
+//!   crash leaves either the old file or the new file, never a torn mix;
+//!   a stray `*.tmp` is the only possible residue and loaders ignore it.
+//! * **Framed files** ([`write_framed`] / [`read_framed`]) — every binary
+//!   payload is wrapped in a small header carrying a magic, a format
+//!   version, a per-file-class tag, the payload length and a CRC32 of the
+//!   payload. Any truncation or bit flip anywhere in the file is detected
+//!   *before* the payload is decoded, so corruption surfaces as a typed
+//!   [`DemonError`] naming the file instead of a panic deep in a decoder.
+//!
+//! ## Frame layout (format version 2)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "DMON"
+//! 4       2     format version, u16 LE (currently 2)
+//! 6       2     file class tag (e.g. "TX", "TL", "SH")
+//! 8       8     payload length, u64 LE
+//! 16      4     CRC32 (IEEE) of the payload, u32 LE
+//! 20      …     payload
+//! ```
+//!
+//! The checksum is the same CRC32 used by gzip/zip (polynomial
+//! `0xEDB88320`), implemented here because the workspace's dependency
+//! budget is fixed.
+
+use crate::error::DemonError;
+use crate::Result;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every framed DEMON file.
+pub const FRAME_MAGIC: [u8; 4] = *b"DMON";
+
+/// Current on-disk format version, embedded in every frame header.
+pub const FRAME_VERSION: u16 = 2;
+
+/// Size in bytes of the frame header preceding the payload.
+pub const FRAME_HEADER_LEN: usize = 20;
+
+/// A two-byte tag identifying what kind of payload a frame carries, so a
+/// file cannot be mistaken for one of a different class (e.g. a shelf
+/// model copied over a block file).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameClass(pub [u8; 2]);
+
+impl FrameClass {
+    /// Raw transactions of one block (`block_<id>.txs`).
+    pub const TRANSACTIONS: FrameClass = FrameClass(*b"TX");
+    /// TID-lists of one block (`block_<id>.tid`).
+    pub const TIDLISTS: FrameClass = FrameClass(*b"TL");
+    /// A shelved GEMM model (`slot_<start>.model`).
+    pub const SHELF: FrameClass = FrameClass(*b"SH");
+}
+
+impl std::fmt::Display for FrameClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.0[0] as char, self.0[1] as char)
+    }
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE 802.3, the gzip/zip polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// The sibling temp path used by [`atomic_write`]: `<file>.tmp`.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` atomically: the data lands in `<path>.tmp`
+/// first, is fsynced, and is renamed over `path`; the parent directory is
+/// then fsynced so the rename itself survives a crash. Readers never see
+/// a torn file — at worst a stray `*.tmp` is left behind.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        // Directory fsync is best-effort: some filesystems (and Windows)
+        // refuse to open directories; the rename is still atomic.
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Wraps `payload` in a frame header; returns the full file contents and
+/// the payload checksum (also recorded inside the header).
+pub fn encode_frame(class: FrameClass, payload: &[u8]) -> (Vec<u8>, u32) {
+    let crc = crc32(payload);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.extend_from_slice(&class.0);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    (out, crc)
+}
+
+/// Validates the frame header of `bytes` and returns the payload together
+/// with its checksum. Every defect — short header, wrong magic, wrong
+/// version, wrong class, length disagreement, checksum mismatch — becomes
+/// a typed error naming `file` and the offending offset.
+pub fn decode_frame<'a>(class: FrameClass, bytes: &'a [u8], file: &str) -> Result<(&'a [u8], u32)> {
+    let corrupt = |detail: String| DemonError::Corrupt {
+        file: file.to_string(),
+        detail,
+    };
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(corrupt(format!(
+            "truncated frame header ({} of {FRAME_HEADER_LEN} bytes)",
+            bytes.len()
+        )));
+    }
+    if bytes[0..4] != FRAME_MAGIC {
+        return Err(corrupt(format!(
+            "bad magic at offset 0: expected {FRAME_MAGIC:02x?}, found {:02x?}",
+            &bytes[0..4]
+        )));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != FRAME_VERSION {
+        return Err(corrupt(format!(
+            "unsupported format version {version} at offset 4 (this build reads {FRAME_VERSION})"
+        )));
+    }
+    if bytes[6..8] != class.0 {
+        return Err(corrupt(format!(
+            "wrong file class at offset 6: expected {:02x?} ({class}), found {:02x?}",
+            class.0,
+            &bytes[6..8]
+        )));
+    }
+    let len = u64::from_le_bytes(
+        bytes[8..16]
+            .try_into()
+            .map_err(|_| corrupt("unreachable: 8-byte slice".into()))?,
+    );
+    let actual_len = (bytes.len() - FRAME_HEADER_LEN) as u64;
+    if len != actual_len {
+        return Err(corrupt(format!(
+            "payload length mismatch at offset 8: header says {len} bytes, file holds {actual_len}"
+        )));
+    }
+    let expected = u32::from_le_bytes(
+        bytes[16..20]
+            .try_into()
+            .map_err(|_| corrupt("unreachable: 4-byte slice".into()))?,
+    );
+    let payload = &bytes[FRAME_HEADER_LEN..];
+    let actual = crc32(payload);
+    if expected != actual {
+        return Err(DemonError::ChecksumMismatch {
+            file: file.to_string(),
+            expected,
+            actual,
+        });
+    }
+    Ok((payload, actual))
+}
+
+/// Atomically writes `payload` to `path` as a framed file; returns the
+/// payload checksum so callers can record it in a manifest.
+pub fn write_framed(path: &Path, class: FrameClass, payload: &[u8]) -> Result<u32> {
+    let (bytes, crc) = encode_frame(class, payload);
+    atomic_write(path, &bytes)?;
+    Ok(crc)
+}
+
+/// Reads and validates a framed file, returning the payload and its
+/// checksum. A missing file surfaces as [`DemonError::Io`].
+pub fn read_framed(path: &Path, class: FrameClass) -> Result<(Vec<u8>, u32)> {
+    let bytes = std::fs::read(path)?;
+    let name = path.display().to_string();
+    let (payload, crc) = decode_frame(class, &bytes, &name)?;
+    Ok((payload.to_vec(), crc))
+}
+
+/// Whether an I/O error is worth retrying (interrupted syscall or a
+/// transiently unavailable resource), as opposed to a persistent failure
+/// like `NotFound` or `PermissionDenied`.
+pub fn is_transient_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// [`read_framed`] with a bounded retry on transient I/O errors.
+/// Corruption and persistent I/O failures are returned immediately.
+pub fn read_framed_with_retry(
+    path: &Path,
+    class: FrameClass,
+    attempts: u32,
+) -> Result<(Vec<u8>, u32)> {
+    let mut last = None;
+    for _ in 0..attempts.max(1) {
+        match read_framed(path, class) {
+            Err(DemonError::Io(e)) if is_transient_io(&e) => last = Some(e),
+            other => return other,
+        }
+    }
+    Err(DemonError::Io(last.unwrap_or_else(|| {
+        std::io::Error::other("retry loop exhausted without an error")
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"demon"), crc32(b"demon"));
+        assert_ne!(crc32(b"demon"), crc32(b"demoN"));
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let payload = b"the quick brown fox";
+        let (bytes, crc) = encode_frame(FrameClass::TRANSACTIONS, payload);
+        assert_eq!(bytes.len(), FRAME_HEADER_LEN + payload.len());
+        let (back, crc2) = decode_frame(FrameClass::TRANSACTIONS, &bytes, "f").unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(crc, crc2);
+        // Empty payloads are legal frames.
+        let (bytes, _) = encode_frame(FrameClass::SHELF, b"");
+        let (back, _) = decode_frame(FrameClass::SHELF, &bytes, "f").unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let (bytes, _) = encode_frame(FrameClass::TIDLISTS, b"payload bytes");
+        for cut in 0..bytes.len() {
+            let err = decode_frame(FrameClass::TIDLISTS, &bytes[..cut], "f").unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DemonError::Corrupt { .. } | DemonError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: unexpected {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let (bytes, _) = encode_frame(FrameClass::TRANSACTIONS, b"payload bytes");
+        for i in 0..bytes.len() {
+            for mask in [0x01u8, 0xFF] {
+                let mut bad = bytes.clone();
+                bad[i] ^= mask;
+                let err = decode_frame(FrameClass::TRANSACTIONS, &bad, "f").unwrap_err();
+                assert!(
+                    matches!(
+                        err,
+                        DemonError::Corrupt { .. } | DemonError::ChecksumMismatch { .. }
+                    ),
+                    "flip at {i} (mask {mask:#x}): unexpected {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_class_is_rejected() {
+        let (bytes, _) = encode_frame(FrameClass::TRANSACTIONS, b"x");
+        let err = decode_frame(FrameClass::SHELF, &bytes, "f").unwrap_err();
+        assert!(err.to_string().contains("file class"), "{err}");
+    }
+
+    #[test]
+    fn errors_name_the_file() {
+        let err = decode_frame(FrameClass::SHELF, b"", "store/slot_3.model").unwrap_err();
+        assert!(err.to_string().contains("slot_3.model"), "{err}");
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_tmp() {
+        let dir = std::env::temp_dir().join(format!("demon-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!tmp_path(&path).exists(), "tmp file must not linger");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn framed_file_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("demon-durable-f-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let crc = write_framed(&path, FrameClass::SHELF, b"model state").unwrap();
+        let (payload, crc2) = read_framed(&path, FrameClass::SHELF).unwrap();
+        assert_eq!(payload, b"model state");
+        assert_eq!(crc, crc2);
+        // Missing file is an Io error (so shelf loaders can rebuild).
+        let missing = read_framed(&dir.join("gone.bin"), FrameClass::SHELF).unwrap_err();
+        assert!(matches!(missing, DemonError::Io(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_errors_are_classified() {
+        use std::io::{Error, ErrorKind};
+        assert!(is_transient_io(&Error::from(ErrorKind::Interrupted)));
+        assert!(is_transient_io(&Error::from(ErrorKind::TimedOut)));
+        assert!(!is_transient_io(&Error::from(ErrorKind::NotFound)));
+        assert!(!is_transient_io(&Error::from(ErrorKind::PermissionDenied)));
+    }
+}

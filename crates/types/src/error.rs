@@ -23,6 +23,23 @@ pub enum DemonError {
     Io(std::io::Error),
     /// A (de)serialization failure.
     Serde(String),
+    /// A persisted file failed structural validation (bad magic, version,
+    /// frame length, manifest inconsistency, …).
+    Corrupt {
+        /// The offending file (path or logical name).
+        file: String,
+        /// What exactly was wrong, including the offset when known.
+        detail: String,
+    },
+    /// A persisted file's payload does not match its recorded checksum.
+    ChecksumMismatch {
+        /// The offending file (path or logical name).
+        file: String,
+        /// The checksum recorded in the frame header or manifest.
+        expected: u32,
+        /// The checksum of the bytes actually on disk.
+        actual: u32,
+    },
 }
 
 impl fmt::Display for DemonError {
@@ -39,6 +56,17 @@ impl fmt::Display for DemonError {
             ),
             DemonError::Io(e) => write!(f, "i/o error: {e}"),
             DemonError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            DemonError::Corrupt { file, detail } => {
+                write!(f, "corrupt file {file}: {detail}")
+            }
+            DemonError::ChecksumMismatch {
+                file,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in {file}: expected {expected:#010x}, found {actual:#010x}"
+            ),
         }
     }
 }
@@ -73,6 +101,24 @@ mod tests {
             expected: 5,
         };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn corruption_messages_name_the_file() {
+        let e = DemonError::Corrupt {
+            file: "store/block_3.txs".into(),
+            detail: "truncated frame header (4 of 20 bytes)".into(),
+        };
+        assert!(e.to_string().contains("block_3.txs"));
+        assert!(e.to_string().contains("20 bytes"));
+        let e = DemonError::ChecksumMismatch {
+            file: "store/block_3.tid".into(),
+            expected: 0xDEADBEEF,
+            actual: 0x12345678,
+        };
+        assert!(e.to_string().contains("block_3.tid"));
+        assert!(e.to_string().contains("0xdeadbeef"));
+        assert!(e.to_string().contains("0x12345678"));
     }
 
     #[test]

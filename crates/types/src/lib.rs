@@ -13,7 +13,9 @@
 //! * [`Timestamp`] and the [`calendar`] helpers — wall-clock structure for
 //!   the web-trace experiments (day-of-week, hour-of-day, block granularity);
 //! * [`MinSupport`] — a validated minimum-support threshold `0 < κ < 1`;
-//! * [`DemonError`] — the shared error type.
+//! * [`DemonError`] — the shared error type;
+//! * [`durable`] — crash-safe file primitives (atomic writes, framed
+//!   checksummed files) shared by the store and GEMM's model shelf.
 //!
 //! Records are deliberately simple owned values: a block, once formed, is
 //! immutable (the paper's "systematic block evolution" — records are never
@@ -43,6 +45,7 @@
 
 mod block;
 pub mod calendar;
+pub mod durable;
 mod error;
 pub mod hash;
 mod item;

@@ -4,13 +4,17 @@
 //! demon-cli generate quest    --spec 2M.20L.1I.4pats.4plen --scale 0.01 --blocks 4 --out store/
 //! demon-cli generate webtrace --days 21 --rate 300 --granularity 6 --out trace/
 //! demon-cli inspect  <store>
-//! demon-cli mine     <store> --minsup 0.01 [--rules 0.8 --top 20]
-//! demon-cli monitor  <store> --minsup 0.01 [--window 4] [--bss 1011] [--counter ecut+]
+//! demon-cli verify   <store>
+//! demon-cli mine     <store> --minsup 0.01 [--rules 0.8 --top 20] [--salvage]
+//! demon-cli monitor  <store> --minsup 0.01 [--window 4] [--bss 1011] [--counter ecut+] [--salvage]
 //! demon-cli patterns <store> [--alpha 0.12] [--min-len 4] [--window N]
 //! ```
 //!
 //! Stores are directories in the `demon_itemsets::persist` layout;
-//! `generate` creates them, every other command replays them.
+//! `generate` creates them, every other command replays them. `verify`
+//! is the read-only fsck (exit status 1 when the store is damaged), and
+//! `--salvage` loads a damaged store by quarantining the broken tail
+//! instead of aborting.
 
 use demon::core::bss::{BlockSelector, WiBss, WrBss};
 use demon::core::engine::UwEngine;
@@ -21,7 +25,9 @@ use demon::datagen::{QuestGen, QuestParams};
 use demon::focus::{
     CompactSequenceMiner, ItemsetSimilarity, SimilarityConfig, WindowedCompactMiner,
 };
-use demon::itemsets::persist::{load_store, save_store};
+use demon::itemsets::persist::{
+    load_store, load_store_with, save_store, verify_store, RecoveryPolicy,
+};
 use demon::itemsets::{derive_rules, CounterKind, FrequentItemsets, TxStore};
 use demon::types::{Block, BlockId, MinSupport, Timestamp};
 use std::collections::HashMap;
@@ -35,19 +41,23 @@ USAGE:
   demon-cli generate quest    --out DIR [--spec S] [--scale F] [--blocks N] [--seed N]
   demon-cli generate webtrace --out DIR [--days N] [--rate F] [--granularity H] [--seed N]
   demon-cli inspect  STORE
-  demon-cli mine     STORE --minsup F [--rules F] [--top N]
-  demon-cli monitor  STORE --minsup F [--window N] [--bss BITS] [--counter KIND]
-  demon-cli patterns STORE [--alpha F] [--min-len N] [--window N]
+  demon-cli verify   STORE
+  demon-cli mine     STORE --minsup F [--rules F] [--top N] [--salvage]
+  demon-cli monitor  STORE --minsup F [--window N] [--bss BITS] [--counter KIND] [--salvage]
+  demon-cli patterns STORE [--alpha F] [--min-len N] [--window N] [--salvage]
 
 COUNTERS: ptscan | ecut | ecut+ | adaptive
 BSS:      a bit string like 1011; window-relative when --window is set,
           window-independent (periodic) otherwise.
+VERIFY:   re-checks every frame and checksum; exit status 1 on damage.
+SALVAGE:  --salvage loads a damaged store by quarantining corrupt files
+          and keeping the longest consistent block prefix.
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("\n{USAGE}");
@@ -56,18 +66,27 @@ fn main() -> ExitCode {
     }
 }
 
-/// Splits arguments into positionals and `--flag value` pairs.
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["salvage"];
+
+/// Splits arguments into positionals and `--flag value` pairs
+/// (boolean flags like `--salvage` take no value).
 fn parse(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("flag --{name} needs a value"))?;
-            flags.insert(name, value.as_str());
-            i += 2;
+            if BOOL_FLAGS.contains(&name) {
+                flags.insert(name, "true");
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name, value.as_str());
+                i += 2;
+            }
         } else {
             positional.push(args[i].as_str());
             i += 1;
@@ -89,17 +108,19 @@ fn flag_parse<T: std::str::FromStr>(
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let (positional, flags) = parse(args)?;
+    let ok = |()| ExitCode::SUCCESS;
     match positional.first().copied() {
-        Some("generate") => generate(&positional, &flags),
-        Some("inspect") => inspect(&positional),
-        Some("mine") => mine(&positional, &flags),
-        Some("monitor") => monitor(&positional, &flags),
-        Some("patterns") => patterns(&positional, &flags),
+        Some("generate") => generate(&positional, &flags).map(ok),
+        Some("inspect") => inspect(&positional, &flags).map(ok),
+        Some("verify") => verify(&positional),
+        Some("mine") => mine(&positional, &flags).map(ok),
+        Some("monitor") => monitor(&positional, &flags).map(ok),
+        Some("patterns") => patterns(&positional, &flags).map(ok),
         Some("help") | None => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown command {other:?}")),
     }
@@ -112,9 +133,63 @@ fn store_arg<'a>(positional: &[&'a str]) -> Result<&'a Path, String> {
         .ok_or_else(|| "missing STORE directory argument".to_string())
 }
 
-fn load(positional: &[&str]) -> Result<TxStore, String> {
+/// Loads the store named on the command line. With `--salvage`, a damaged
+/// store is recovered to its longest consistent prefix (what was dropped
+/// goes to stderr) instead of failing the command.
+fn load(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<TxStore, String> {
     let dir = store_arg(positional)?;
-    load_store(dir).map_err(|e| format!("loading {}: {e}", dir.display()))
+    if !flags.contains_key("salvage") {
+        return load_store(dir).map_err(|e| format!("loading {}: {e}", dir.display()));
+    }
+    let (store, report) = load_store_with(dir, RecoveryPolicy::SalvagePrefix)
+        .map_err(|e| format!("salvaging {}: {e}", dir.display()))?;
+    if !report.is_clean() {
+        if let Some(cause) = &report.first_error {
+            eprintln!("salvage: {cause}");
+        }
+        if !report.dropped_blocks.is_empty() {
+            eprintln!(
+                "salvage: kept blocks {:?}, dropped {:?}",
+                report.loaded_blocks, report.dropped_blocks
+            );
+        }
+        for q in &report.quarantined {
+            eprintln!("salvage: quarantined {}", q.display());
+        }
+        if report.intervals_lost {
+            eprintln!("salvage: manifest reconstructed from block files; intervals lost");
+        }
+    }
+    Ok(store)
+}
+
+/// The read-only fsck behind `demon-cli verify`.
+fn verify(positional: &[&str]) -> Result<ExitCode, String> {
+    let dir = store_arg(positional)?;
+    let report =
+        verify_store(dir).map_err(|e| format!("verifying {}: {e}", dir.display()))?;
+    println!("checked {} file(s)", report.checked.len());
+    if !report.stray_tmp.is_empty() {
+        println!(
+            "{} stray tmp file(s) (benign crash residue)",
+            report.stray_tmp.len()
+        );
+    }
+    if report.quarantined_files > 0 {
+        println!("{} file(s) in quarantine/", report.quarantined_files);
+    }
+    if report.is_clean() {
+        println!("store is clean");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for (file, detail) in &report.damaged {
+        println!("DAMAGED {}: {detail}", file.display());
+    }
+    println!(
+        "{} damaged file(s) — run a command with --salvage to recover",
+        report.damaged.len()
+    );
+    Ok(ExitCode::FAILURE)
 }
 
 fn generate(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
@@ -185,8 +260,8 @@ fn generate(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Stri
     }
 }
 
-fn inspect(positional: &[&str]) -> Result<(), String> {
-    let store = load(positional)?;
+fn inspect(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let store = load(positional, flags)?;
     println!("items:  {}", store.n_items());
     println!("blocks: {}", store.len());
     let ids = store.block_ids();
@@ -226,7 +301,7 @@ fn counter_flag(flags: &HashMap<&str, &str>) -> Result<CounterKind, String> {
 }
 
 fn mine(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
-    let store = load(positional)?;
+    let store = load(positional, flags)?;
     let minsup = minsup_flag(flags)?;
     let ids = store.block_ids();
     let model =
@@ -288,7 +363,7 @@ fn bss_flag(
 }
 
 fn monitor(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
-    let store = load(positional)?;
+    let store = load(positional, flags)?;
     let minsup = minsup_flag(flags)?;
     let counter = counter_flag(flags)?;
     let window: Option<usize> = match flags.get("window") {
@@ -352,7 +427,7 @@ fn monitor(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Strin
 }
 
 fn patterns(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
-    let store = load(positional)?;
+    let store = load(positional, flags)?;
     let alpha: f64 = flag_parse(flags, "alpha", 0.12)?;
     let min_len: usize = flag_parse(flags, "min-len", 4)?;
     let minsup = minsup_flag(flags)?;

@@ -159,6 +159,69 @@ fn help_prints_usage() {
 }
 
 #[test]
+fn verify_and_salvage_through_cli() {
+    let dir = tmp("verify");
+    let store = dir.join("store");
+    run_ok(cli().args([
+        "generate",
+        "quest",
+        "--out",
+        store.to_str().unwrap(),
+        "--spec",
+        "40K.8L.1I.1pats.3plen",
+        "--scale",
+        "0.05",
+        "--blocks",
+        "3",
+    ]));
+
+    // A freshly written store passes fsck with exit code 0.
+    let out = run_ok(cli().args(["verify", store.to_str().unwrap()]));
+    assert!(stdout(&out).contains("store is clean"), "{}", stdout(&out));
+
+    // Flip one byte in a block frame: verify must exit nonzero and name
+    // the damaged file.
+    let victim = store.join("block_2.tid");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&victim, &bytes).unwrap();
+    let out = cli()
+        .args(["verify", store.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "verify must fail on a damaged store");
+    let text = stdout(&out);
+    assert!(text.contains("DAMAGED"), "{text}");
+    assert!(text.contains("block_2.tid"), "{text}");
+    assert!(text.contains("--salvage"), "{text}");
+
+    // Strict commands refuse the damaged store…
+    let out = cli()
+        .args(["mine", store.to_str().unwrap(), "--minsup", "0.02"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "strict mine must refuse damage");
+
+    // …but --salvage recovers the intact prefix and reports what it did.
+    let out = run_ok(cli().args([
+        "mine",
+        store.to_str().unwrap(),
+        "--minsup",
+        "0.02",
+        "--salvage",
+    ]));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("salvage"), "{err}");
+    assert!(stdout(&out).contains("frequent itemsets over"), "{}", stdout(&out));
+
+    // After salvage the store is clean again: verify exits 0.
+    let out = run_ok(cli().args(["verify", store.to_str().unwrap()]));
+    assert!(stdout(&out).contains("store is clean"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn missing_store_reports_error() {
     let out = cli()
         .args(["mine", "/nonexistent/demon-store", "--minsup", "0.1"])

@@ -1,0 +1,372 @@
+//! Fault-injection harness for the crash-safe store and the GEMM shelf.
+//!
+//! Every test here follows the same discipline: take a known-good on-disk
+//! artifact, damage it in a systematic sweep (truncate at every length,
+//! flip bits at every offset, simulate a crash between `write` and
+//! `rename`), and assert the recovery contract:
+//!
+//! * a [`RecoveryPolicy::Strict`] load returns a typed error naming the
+//!   damaged file — it never panics and never returns silently-wrong data;
+//! * a [`RecoveryPolicy::SalvagePrefix`] load always lands on a store
+//!   that a subsequent strict load accepts and `verify_store` calls clean;
+//! * a damaged or missing GEMM shelf model is rebuilt from the block
+//!   stream, bit-for-bit equal to an in-memory twin, never a crash.
+
+use demon::core::bss::BlockSelector;
+use demon::core::{Gemm, ItemsetMaintainer, ShelfMode};
+use demon::itemsets::persist::{
+    load_store, load_store_with, save_store, verify_store, RecoveryPolicy,
+};
+use demon::itemsets::{CounterKind, FrequentItemsets, TxStore};
+use demon::types::{
+    Block, BlockId, BlockInterval, Item, ItemSet, MinSupport, Tid, Timestamp, Transaction,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const UNIVERSE: u32 = 6;
+
+fn tx(tid: u64, items: &[u32]) -> Transaction {
+    Transaction::new(Tid(tid), items.iter().map(|&i| Item(i)).collect())
+}
+
+/// A small store exercising every persisted feature: plain blocks, a
+/// block with a wall-clock interval, and materialized pair TID-lists.
+fn sample_store() -> TxStore {
+    let mut store = TxStore::new(UNIVERSE);
+    store.add_block(Block::new(
+        BlockId(1),
+        vec![tx(1, &[0, 1, 2]), tx(2, &[0, 1]), tx(3, &[3, 4])],
+    ));
+    store.add_block(Block::with_interval(
+        BlockId(2),
+        BlockInterval::new(Timestamp(100), Timestamp(200)),
+        vec![tx(4, &[0, 1, 5]), tx(5, &[2, 3])],
+    ));
+    store.add_block(Block::new(BlockId(3), vec![tx(6, &[1, 2]), tx(7, &[0])]));
+    store.materialize_pairs(BlockId(1), &[(Item(0), Item(1))], None);
+    store.materialize_pairs(BlockId(2), &[(Item(0), Item(1))], None);
+    store
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("demon-fault-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Regular files directly inside `dir`, sorted for deterministic sweeps.
+fn store_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    files.sort();
+    files
+}
+
+fn copy_store(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).unwrap();
+    for file in store_files(src) {
+        fs::copy(&file, dst.join(file.file_name().unwrap())).unwrap();
+    }
+}
+
+/// The recovery contract: after damage, salvage succeeds, and the
+/// salvaged directory passes both a strict load and the fsck.
+fn assert_salvage_heals(dir: &Path, what: &str) {
+    let salvaged = match load_store_with(dir, RecoveryPolicy::SalvagePrefix) {
+        Ok((store, _report)) => store,
+        Err(e) => panic!("salvage failed after {what}: {e}"),
+    };
+    let strict = match load_store(dir) {
+        Ok(store) => store,
+        Err(e) => panic!("strict load failed after salvaging {what}: {e}"),
+    };
+    assert_eq!(
+        strict.block_ids(),
+        salvaged.block_ids(),
+        "salvage and post-salvage strict load disagree after {what}"
+    );
+    let report = verify_store(dir).unwrap();
+    assert!(
+        report.is_clean(),
+        "store not clean after salvaging {what}: {report:?}"
+    );
+}
+
+/// Truncating any store file at any length is detected by a strict load
+/// and healed by salvage.
+#[test]
+fn every_truncation_of_every_file_is_detected_and_salvageable() {
+    let src = fresh_dir("trunc-src");
+    save_store(&sample_store(), &src).unwrap();
+    let work = fresh_dir("trunc-work");
+    for file in store_files(&src) {
+        let name = file.file_name().unwrap().to_string_lossy().into_owned();
+        let pristine = fs::read(&file).unwrap();
+        for cut in 0..pristine.len() {
+            let what = format!("{name} truncated to {cut} of {} bytes", pristine.len());
+            fs::remove_dir_all(&work).ok();
+            copy_store(&src, &work);
+            fs::write(work.join(&name), &pristine[..cut]).unwrap();
+            match load_store(&work) {
+                Ok(_) => panic!("strict load accepted {what}"),
+                Err(e) => assert!(
+                    e.to_string().contains(&name),
+                    "error for {what} does not name the file: {e}"
+                ),
+            }
+            assert_salvage_heals(&work, &what);
+        }
+    }
+    fs::remove_dir_all(&src).ok();
+    fs::remove_dir_all(&work).ok();
+}
+
+/// Flipping bits at any single offset of any store file is detected by a
+/// strict load (frame CRCs for block files, the self-checksum for the
+/// manifest) and healed by salvage.
+#[test]
+fn every_bit_flip_in_every_file_is_detected_and_salvageable() {
+    let src = fresh_dir("flip-src");
+    save_store(&sample_store(), &src).unwrap();
+    let work = fresh_dir("flip-work");
+    for file in store_files(&src) {
+        let name = file.file_name().unwrap().to_string_lossy().into_owned();
+        let pristine = fs::read(&file).unwrap();
+        for offset in 0..pristine.len() {
+            for mask in [0x01u8, 0xFF] {
+                let what = format!("{name} with byte {offset} xor {mask:#04x}");
+                fs::remove_dir_all(&work).ok();
+                copy_store(&src, &work);
+                let mut bytes = pristine.clone();
+                bytes[offset] ^= mask;
+                fs::write(work.join(&name), &bytes).unwrap();
+                assert!(
+                    load_store(&work).is_err(),
+                    "strict load accepted {what}"
+                );
+                assert_salvage_heals(&work, &what);
+            }
+        }
+    }
+    fs::remove_dir_all(&src).ok();
+    fs::remove_dir_all(&work).ok();
+}
+
+/// A writer that crashed *before* its rename leaves only a `*.tmp` file
+/// behind; the previous durable state still loads, fsck reports the
+/// litter, and salvage removes it.
+#[test]
+fn stray_tmp_files_from_crashed_writes_are_harmless_and_cleaned() {
+    let dir = fresh_dir("crash-tmp");
+    let store = sample_store();
+    save_store(&store, &dir).unwrap();
+    let files = store_files(&dir);
+    for file in &files {
+        let name = file.file_name().unwrap().to_string_lossy().into_owned();
+        fs::write(
+            dir.join(format!("{name}.tmp")),
+            b"half-written bytes from a crashed writer",
+        )
+        .unwrap();
+    }
+    // The last durable state wins: strict load ignores the tmp litter.
+    let loaded = load_store(&dir).unwrap();
+    assert_eq!(loaded.block_ids(), store.block_ids());
+    // fsck flags the residue without calling the store damaged.
+    let report = verify_store(&dir).unwrap();
+    assert!(report.is_clean());
+    assert_eq!(report.stray_tmp.len(), files.len());
+    assert!(report.damaged.is_empty());
+    // Salvage sweeps it away.
+    let (_, recovery) = load_store_with(&dir, RecoveryPolicy::SalvagePrefix).unwrap();
+    assert_eq!(recovery.removed_tmp.len(), files.len());
+    assert!(recovery.dropped_blocks.is_empty());
+    assert!(verify_store(&dir).unwrap().stray_tmp.is_empty());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A crash mid-replacement of a block file (tmp written, original gone):
+/// strict names the missing file, salvage keeps the intact prefix.
+#[test]
+fn crash_before_rename_of_a_block_file_is_recoverable() {
+    let dir = fresh_dir("crash-block");
+    save_store(&sample_store(), &dir).unwrap();
+    let victim = dir.join("block_3.txs");
+    let bytes = fs::read(&victim).unwrap();
+    fs::write(dir.join("block_3.txs.tmp"), &bytes[..bytes.len() / 2]).unwrap();
+    fs::remove_file(&victim).unwrap();
+    match load_store(&dir) {
+        Ok(_) => panic!("strict load accepted a store missing block_3.txs"),
+        Err(e) => assert!(
+            e.to_string().contains("block_3.txs"),
+            "error must name the missing file: {e}"
+        ),
+    }
+    let (salvaged, report) = load_store_with(&dir, RecoveryPolicy::SalvagePrefix).unwrap();
+    assert_eq!(salvaged.block_ids(), vec![BlockId(1), BlockId(2)]);
+    assert_eq!(report.loaded_blocks, vec![1, 2]);
+    assert_eq!(report.dropped_blocks, vec![3]);
+    assert!(report.first_error.is_some());
+    assert!(verify_store(&dir).unwrap().is_clean());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A crash mid-replacement of the manifest itself (meta.json.tmp written,
+/// meta.json gone): salvage reconstructs the manifest from the block
+/// files, losing only the wall-clock intervals.
+#[test]
+fn crash_before_rename_of_the_manifest_reconstructs_from_blocks() {
+    let dir = fresh_dir("crash-meta");
+    let store = sample_store();
+    save_store(&store, &dir).unwrap();
+    let meta = fs::read(dir.join("meta.json")).unwrap();
+    fs::write(dir.join("meta.json.tmp"), &meta[..meta.len() / 2]).unwrap();
+    fs::remove_file(dir.join("meta.json")).unwrap();
+    assert!(load_store(&dir).is_err());
+    let (salvaged, report) = load_store_with(&dir, RecoveryPolicy::SalvagePrefix).unwrap();
+    assert_eq!(salvaged.block_ids(), store.block_ids());
+    assert_eq!(salvaged.n_items(), store.n_items());
+    assert!(report.intervals_lost);
+    for id in store.block_ids() {
+        assert_eq!(
+            salvaged.block(id).unwrap().records(),
+            store.block(id).unwrap().records(),
+            "reconstructed block {id:?} differs"
+        );
+        assert!(
+            salvaged.block(id).unwrap().interval().is_none(),
+            "intervals cannot survive manifest reconstruction"
+        );
+    }
+    assert!(verify_store(&dir).unwrap().is_clean());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The salvaged prefix is *correct*, not merely loadable: mining the
+/// surviving blocks gives the same model as mining them in the original.
+#[test]
+fn salvaged_prefix_mines_identically_to_the_original_prefix() {
+    let dir = fresh_dir("salvage-mine");
+    let store = sample_store();
+    save_store(&store, &dir).unwrap();
+    // Destroy block 2's TID-list frame; blocks 2 and 3 must be dropped.
+    let tid = dir.join("block_2.tid");
+    let mut bytes = fs::read(&tid).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    fs::write(&tid, &bytes).unwrap();
+    let (salvaged, report) = load_store_with(&dir, RecoveryPolicy::SalvagePrefix).unwrap();
+    assert_eq!(salvaged.block_ids(), vec![BlockId(1)]);
+    assert_eq!(report.dropped_blocks, vec![2, 3]);
+    assert!(!report.quarantined.is_empty());
+    let minsup = MinSupport::new(0.3).unwrap();
+    let from_salvaged =
+        FrequentItemsets::mine_from(&salvaged, &[BlockId(1)], minsup).unwrap();
+    let from_original = FrequentItemsets::mine_from(&store, &[BlockId(1)], minsup).unwrap();
+    assert_eq!(from_salvaged.frequent(), from_original.frequent());
+    fs::remove_dir_all(&dir).ok();
+}
+
+fn freq(m: &FrequentItemsets) -> Vec<(ItemSet, u64)> {
+    m.frequent_sorted()
+}
+
+fn shelf_start_of(path: &Path) -> BlockId {
+    let name = path.file_name().unwrap().to_string_lossy().into_owned();
+    let digits: String = name.chars().filter(|c| c.is_ascii_digit()).collect();
+    BlockId(digits.parse().unwrap())
+}
+
+/// Damaging a shelved GEMM model in any way — truncation at every length,
+/// bit flips at every offset, or deleting the file — makes the next read
+/// rebuild the model from the block stream, matching an in-memory twin
+/// exactly. The shelf is a cache, never a single point of failure.
+#[test]
+fn gemm_shelf_damage_always_rebuilds_never_aborts() {
+    let dir = fresh_dir("gemm-shelf");
+    let minsup = MinSupport::new(0.2).unwrap();
+    let mk = || {
+        Gemm::new(
+            ItemsetMaintainer::new(UNIVERSE, minsup, CounterKind::Ecut),
+            3,
+            BlockSelector::all(),
+        )
+        .unwrap()
+        .with_retirement(false)
+    };
+    let blocks: Vec<_> = (1..=5u64)
+        .map(|id| {
+            Block::new(
+                BlockId(id),
+                vec![
+                    tx(id * 10, &[0, 1]),
+                    tx(id * 10 + 1, &[(id % u64::from(UNIVERSE)) as u32]),
+                    tx(id * 10 + 2, &[2, 3, 4]),
+                ],
+            )
+        })
+        .collect();
+    let mut disk = mk().with_shelf(ShelfMode::Disk(dir.clone())).unwrap();
+    let mut twin = mk(); // memory-shelf oracle: same stream, no disk
+    for b in &blocks {
+        disk.add_block(b.clone()).unwrap();
+        twin.add_block(b.clone()).unwrap();
+    }
+    let shelf_files = store_files(&dir);
+    assert!(
+        !shelf_files.is_empty(),
+        "the disk shelf should hold shelved future models"
+    );
+    let mut mutations = 0u64;
+    for file in &shelf_files {
+        let start = shelf_start_of(file);
+        let pristine = fs::read(file).unwrap();
+        let expected = freq(&twin.future_model(start).unwrap());
+        for cut in 0..pristine.len() {
+            fs::write(file, &pristine[..cut]).unwrap();
+            let got = disk
+                .future_model(start)
+                .unwrap_or_else(|e| panic!("shelf truncated to {cut} bytes was fatal: {e}"));
+            assert_eq!(freq(&got), expected, "rebuild after truncation to {cut}");
+            mutations += 1;
+        }
+        for offset in 0..pristine.len() {
+            for mask in [0x01u8, 0xFF] {
+                let mut bytes = pristine.clone();
+                bytes[offset] ^= mask;
+                fs::write(file, &bytes).unwrap();
+                let got = disk.future_model(start).unwrap_or_else(|e| {
+                    panic!("shelf byte {offset} xor {mask:#04x} was fatal: {e}")
+                });
+                assert_eq!(
+                    freq(&got),
+                    expected,
+                    "rebuild after flipping byte {offset} with {mask:#04x}"
+                );
+                mutations += 1;
+            }
+        }
+        // A missing shelf file (crashed before rename) rebuilds too.
+        fs::remove_file(file).unwrap();
+        let got = disk
+            .future_model(start)
+            .unwrap_or_else(|e| panic!("missing shelf file was fatal: {e}"));
+        assert_eq!(freq(&got), expected, "rebuild after deleting the shelf file");
+        mutations += 1;
+        fs::write(file, &pristine).unwrap();
+        // With the pristine bytes restored, the load is a plain read again.
+        let reread = disk.future_model(start).unwrap();
+        assert_eq!(freq(&reread), expected);
+    }
+    assert_eq!(
+        disk.shelf_rebuilds(),
+        mutations,
+        "every damaged read rebuilds; intact reads never do"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
