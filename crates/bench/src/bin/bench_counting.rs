@@ -1,0 +1,114 @@
+//! `BENCH_counting.json` — the support-counting point of the repo's
+//! machine-readable perf trajectory.
+//!
+//! Counts the full (size ≥ 2) negative border of a mined Quest dataset
+//! against the whole store with every counting backend, sweeping the
+//! thread count 1/2/4/8 and reporting the **median** wall time of each
+//! configuration. Counts are asserted bit-identical across backends and
+//! thread counts on every run, so the numbers always describe the same
+//! answer.
+//!
+//! Knobs: `DEMON_SCALE` (dataset size, default 0.02) and
+//! `DEMON_BENCH_REPEATS` (timed repeats per configuration, default 5).
+//! The JSON is written to `BENCH_counting.json` in the working directory
+//! (the repo root, when run via `cargo run`).
+
+use demon_bench::{bench_repeats, median_ms, quest_block, scale, write_bench_json};
+use demon_itemsets::{count_supports_with, CounterKind, FrequentItemsets, TxStore};
+use demon_types::{BlockId, ItemSet, MinSupport, Parallelism};
+use serde_json::json;
+use std::time::Instant;
+
+const SPEC: &str = "2M.20L.1I.4pats.4plen";
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let minsup = MinSupport::new(0.01).unwrap();
+    let repeats = bench_repeats();
+    let (store, ids, candidates) = prepare(minsup);
+    println!(
+        "# BENCH counting: {} candidates, {} blocks, scale={}, repeats={}",
+        candidates.len(),
+        ids.len(),
+        scale(),
+        repeats
+    );
+
+    let kinds = [CounterKind::PtScan, CounterKind::Ecut, CounterKind::EcutPlus];
+    // Reference counts at one thread; every other configuration must match.
+    let reference =
+        count_supports_with(CounterKind::Ecut, &store, &ids, &candidates, Parallelism::serial());
+
+    let mut sweep = Vec::new();
+    for &t in &THREADS {
+        let par = Parallelism::new(t);
+        let mut medians = serde_json::Map::new();
+        for kind in kinds {
+            let mut samples = Vec::with_capacity(repeats);
+            for _ in 0..repeats {
+                let t0 = Instant::now();
+                let r = count_supports_with(kind, &store, &ids, &candidates, par);
+                samples.push(t0.elapsed());
+                assert_eq!(
+                    reference.counts,
+                    r.counts,
+                    "{} at {} threads disagrees with the serial reference",
+                    kind.name(),
+                    t
+                );
+            }
+            medians.insert(kind.name().to_string(), json!(median_ms(&mut samples)));
+        }
+        println!("# threads={t}: {medians:?}");
+        sweep.push(json!({ "threads": t, "median_ms": medians }));
+    }
+
+    write_bench_json(
+        "BENCH_counting.json",
+        json!({
+            "bench": "counting",
+            "spec": SPEC,
+            "scale": scale(),
+            "repeats": repeats,
+            "n_candidates": candidates.len(),
+            "n_blocks": ids.len(),
+            "threads": sweep,
+        }),
+    );
+}
+
+/// Four Quest blocks, the mined model's negative border as candidates,
+/// and materialized frequent pairs so ECUT+ exercises its fast path.
+fn prepare(minsup: MinSupport) -> (TxStore, Vec<BlockId>, Vec<ItemSet>) {
+    let n_items = 1000;
+    let mut store = TxStore::new(n_items);
+    let mut tid = 1u64;
+    let mut ids = Vec::new();
+    for b in 1..=4u64 {
+        let block = quest_block(&quarter(SPEC), b, BlockId(b), tid);
+        tid += block.len() as u64;
+        ids.push(block.id());
+        store.add_block(block);
+    }
+    let model = FrequentItemsets::mine_from(&store, &ids, minsup).unwrap();
+    let pairs = model.frequent_pairs_by_support();
+    for &id in &ids {
+        store.materialize_pairs(id, &pairs, None);
+    }
+    let mut candidates: Vec<ItemSet> = model
+        .border()
+        .keys()
+        .filter(|s| s.len() >= 2)
+        .cloned()
+        .collect();
+    candidates.sort();
+    (store, ids, candidates)
+}
+
+/// Divides the spec's transaction count by 4 (loaded as 4 blocks).
+fn quarter(spec: &str) -> String {
+    let mut parts: Vec<String> = spec.split('.').map(str::to_string).collect();
+    let m: f64 = parts[0].trim_end_matches('M').parse().unwrap();
+    parts[0] = format!("{}K", (m * 1000.0 / 4.0).round() as u64);
+    parts.join(".")
+}

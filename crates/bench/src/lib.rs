@@ -7,6 +7,27 @@
 //! Only absolute times change with the scale; the *shapes* the paper
 //! argues from (who wins, by what factor, where crossovers fall) are
 //! scale-stable because every algorithm sees the same data.
+//!
+//! # Paper → binary map
+//!
+//! | Paper figure | Experiment | Binary |
+//! |---|---|---|
+//! | Fig. 2 | counting time vs number of itemsets | `fig2` |
+//! | Fig. 3 | counting time vs minimum support | `fig3` |
+//! | Figs. 4–7 | BORDERS response time vs block size | `fig4to7` |
+//! | Fig. 8 | BIRCH vs BIRCH+ | `fig8` |
+//! | Fig. 9 | GEMM window maintenance | `fig9` |
+//! | Fig. 10 | compact-sequence update cost | `fig10` |
+//! | — | ablations (FUP, AuM, dilution, budgets) | `ablation_*` |
+//!
+//! # Perf trajectory
+//!
+//! Two additional binaries emit machine-readable JSON at the repo root —
+//! the perf points tracked across releases (see DESIGN.md,
+//! "Benchmarking & perf trajectory"): `bench_counting` writes
+//! `BENCH_counting.json` and `bench_maintenance` writes
+//! `BENCH_maintenance.json`, each a 1/2/4/8 thread sweep of median wall
+//! times with the knobs `DEMON_SCALE` and `DEMON_BENCH_REPEATS`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -62,6 +83,38 @@ fn renumber(txs: Vec<Transaction>, tid_start: u64) -> Vec<Transaction> {
 /// Milliseconds with two decimals — the unit every table prints.
 pub fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// Timed repeats per configuration for the `BENCH_*.json` binaries, from
+/// `DEMON_BENCH_REPEATS` (default 5).
+pub fn bench_repeats() -> usize {
+    std::env::var("DEMON_BENCH_REPEATS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(5)
+}
+
+/// The median of a set of timing samples, in milliseconds. Sorts the
+/// slice; for an even count, returns the mean of the two middle samples.
+pub fn median_ms(samples: &mut [Duration]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_unstable();
+    let n = samples.len();
+    if n % 2 == 1 {
+        ms(samples[n / 2])
+    } else {
+        (ms(samples[n / 2 - 1]) + ms(samples[n / 2])) / 2.0
+    }
+}
+
+/// Writes one point of the perf trajectory as pretty-printed JSON to
+/// `path` (relative to the working directory — the repo root when run via
+/// `cargo run`), replacing any previous run's file.
+pub fn write_bench_json(path: &str, value: serde_json::Value) {
+    let body = serde_json::to_string_pretty(&value).expect("bench JSON serializes");
+    std::fs::write(path, body + "\n").expect("bench JSON written");
+    println!("# wrote {path}");
 }
 
 /// A result table that tees rows to stdout and to `results/<name>.csv`.
@@ -148,5 +201,27 @@ mod tests {
     #[test]
     fn ms_converts() {
         assert_eq!(ms(Duration::from_millis(250)), 250.0);
+    }
+
+    #[test]
+    fn median_handles_odd_and_even_counts() {
+        let mut odd = vec![
+            Duration::from_millis(30),
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+        ];
+        assert_eq!(median_ms(&mut odd), 20.0);
+        let mut even = vec![
+            Duration::from_millis(10),
+            Duration::from_millis(40),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ];
+        assert_eq!(median_ms(&mut even), 25.0);
+    }
+
+    #[test]
+    fn bench_repeats_defaults_positive() {
+        assert!(bench_repeats() > 0);
     }
 }

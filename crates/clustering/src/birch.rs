@@ -116,9 +116,14 @@ impl BirchModel {
             .expect("model has at least one cluster")
     }
 
-    /// Labels every point of a block by nearest cluster.
+    /// Labels every point of a block by nearest cluster, sharding the
+    /// scan across the process-wide default thread count. Each point's
+    /// label is an independent fixed-order argmin, so the labeling is
+    /// bit-identical at any thread count.
     pub fn label_block(&self, block: &PointBlock) -> Vec<usize> {
-        block.records().iter().map(|p| self.assign_point(p)).collect()
+        demon_types::parallel::par_map(demon_types::parallel::global(), block.records(), |p| {
+            self.assign_point(p)
+        })
     }
 }
 

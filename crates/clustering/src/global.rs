@@ -8,6 +8,7 @@
 //! **agglomerative** alternative used as a cross-check in tests.
 
 use crate::cf::ClusterFeature;
+use demon_types::parallel::{self, par_map};
 use demon_types::Point;
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -92,22 +93,31 @@ pub fn kmeans_once(
     let mut centroids = centroids0;
     let mut assignment = vec![0usize; features.len()];
 
+    let par = parallel::global();
     for _ in 0..max_iters {
-        let mut changed = false;
-        for &i in &nonempty {
+        // Assignment scan — the hot part of phase 2. Each feature's
+        // argmin is independent, so the scan shards across threads; the
+        // per-feature argmin itself is a fixed-order `total_cmp` fold, so
+        // the result is bit-identical at any thread count.
+        let best_of = par_map(par, &nonempty, |&i| {
             let c = features[i].centroid();
-            let best = centroids
+            centroids
                 .iter()
                 .enumerate()
                 .map(|(j, cen)| (j, cen.dist2(&c)))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(j, _)| j)
-                .expect("k >= 1");
+                .expect("k >= 1")
+        });
+        let mut changed = false;
+        for (&i, &best) in nonempty.iter().zip(&best_of) {
             if assignment[i] != best {
                 assignment[i] = best;
                 changed = true;
             }
         }
+        // The centroid recompute below stays sequential on purpose:
+        // float accumulation order must not depend on the thread count.
         // Recompute weighted centroids.
         let mut sums = vec![vec![0.0; dim]; centroids.len()];
         let mut weights = vec![0.0f64; centroids.len()];

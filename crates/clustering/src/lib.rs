@@ -13,7 +13,22 @@
 //! * [`dbscan`] — DBSCAN and incremental DBSCAN (Ester et al. '98), the
 //!   comparator whose insert/delete cost asymmetry motivates GEMM
 //!   (paper §3.2.4).
-
+//!
+//! # Paper → module map
+//!
+//! | Paper section | Concept | Module / type |
+//! |---|---|---|
+//! | §3.1.2 | BIRCH phase 1 (CF-tree scan) | [`cf`], [`cftree`] |
+//! | §3.1.2 | BIRCH phase 2 (global clustering) | [`global`] |
+//! | §3.1.2 | BIRCH+ suspend/resume maintenance | [`birch::BirchPlus`] |
+//! | §3.1.2 | "second scan" labeling | [`birch::BirchModel::label_block`] |
+//! | §3.2.4 | incremental-DBSCAN comparator | [`dbscan`] |
+//! | Fig. 8 | BIRCH vs BIRCH+ response time | [`birch::BirchStats`] |
+//!
+//! The phase-2 assignment scan and the labeling scan shard across the
+//! process-wide default thread count (`demon_types::parallel`); results
+//! are bit-identical at any thread count because each point's argmin is
+//! independent and float reductions stay sequential.
 //!
 //! # Example
 //!

@@ -33,7 +33,8 @@
 use crate::bss::BlockSelector;
 use crate::maintainer::ModelMaintainer;
 use demon_types::durable::{self, FrameClass};
-use demon_types::{Block, BlockId, DemonError, Result};
+use demon_types::parallel::{self, par_for_each_mut};
+use demon_types::{Block, BlockId, DemonError, Parallelism, Result};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -128,7 +129,7 @@ pub struct Gemm<M: ModelMaintainer> {
     selector: BlockSelector,
     w: usize,
     shelf: ShelfMode,
-    parallel: bool,
+    par: Parallelism,
     retire: bool,
     slots: Vec<Slot<M::Model>>,
     latest: Option<BlockId>,
@@ -160,7 +161,7 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
             selector,
             w,
             shelf: ShelfMode::Memory,
-            parallel: false,
+            par: Parallelism::serial(),
             retire: true,
             slots: Vec::new(),
             latest: None,
@@ -178,9 +179,24 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
     }
 
     /// Updates the off-line models in parallel (they are independent; the
-    /// paper notes they are not time-critical).
-    pub fn with_parallel_offline(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
+    /// paper notes they are not time-critical). `true` uses the
+    /// process-wide default thread count
+    /// ([`demon_types::parallel::global`]); see [`Gemm::with_parallelism`]
+    /// for an explicit count.
+    pub fn with_parallel_offline(self, parallel: bool) -> Self {
+        self.with_parallelism(if parallel {
+            parallel::global()
+        } else {
+            Parallelism::serial()
+        })
+    }
+
+    /// Sets the exact [`Parallelism`] of the off-line fan-out over the
+    /// `w−1` future-window models. Each model is absorbed by exactly one
+    /// worker and models are re-shelved in slot order afterwards, so the
+    /// maintained models are bit-identical at any thread count.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
         self
     }
 
@@ -396,26 +412,15 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
             loaded.push((i, model, bit));
         }
 
-        if self.parallel {
-            let maintainer = &self.maintainer;
-            let scope_result = crossbeam::thread::scope(|scope| {
-                for (_, model, bit) in loaded.iter_mut() {
-                    if *bit {
-                        scope.spawn(move |_| maintainer.absorb(model, id));
-                    }
-                }
-            });
-            if let Err(payload) = scope_result {
-                // A worker panicked; propagate it unchanged.
-                std::panic::resume_unwind(payload);
+        // Each selected model is absorbed by exactly one worker and the
+        // models are independent, so the result is bit-identical to the
+        // sequential loop at any thread count.
+        let maintainer = &self.maintainer;
+        par_for_each_mut(self.par, &mut loaded, |_, (_, model, bit)| {
+            if *bit {
+                maintainer.absorb(model, id);
             }
-        } else {
-            for (_, model, bit) in loaded.iter_mut() {
-                if *bit {
-                    self.maintainer.absorb(model, id);
-                }
-            }
-        }
+        });
 
         // Put models back (to memory or to the shelf).
         for (i, model, _) in loaded {
@@ -710,19 +715,24 @@ mod tests {
             Gemm::new(maintainer, 4, BlockSelector::all()).unwrap()
         };
         let mut seq = mk();
-        let mut par = mk().with_parallel_offline(true);
         for id in 1..=6u64 {
             seq.add_block(marker_block(id, 4)).unwrap();
-            par.add_block(marker_block(id, 4)).unwrap();
         }
-        assert_eq!(
-            seq.current_model().unwrap().frequent(),
-            par.current_model().unwrap().frequent()
-        );
-        for start in seq.slot_starts() {
-            let a = seq.future_model(start).unwrap();
-            let b = par.future_model(start).unwrap();
-            assert_eq!(a.frequent(), b.frequent());
+        for threads in [2usize, 3, 8] {
+            let mut par = mk().with_parallelism(Parallelism::new(threads));
+            for id in 1..=6u64 {
+                par.add_block(marker_block(id, 4)).unwrap();
+            }
+            assert_eq!(
+                seq.current_model().unwrap().frequent(),
+                par.current_model().unwrap().frequent(),
+                "current model diverged at {threads} threads"
+            );
+            for start in seq.slot_starts() {
+                let a = seq.future_model(start).unwrap();
+                let b = par.future_model(start).unwrap();
+                assert_eq!(a.frequent(), b.frequent(), "slot {start:?} at {threads} threads");
+            }
         }
     }
 

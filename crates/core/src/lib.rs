@@ -25,6 +25,19 @@
 //! * [`monitor`] — the full Figure-11 composition: model maintenance and
 //!   pattern detection over one stream.
 //!
+//! # Paper → module map
+//!
+//! | Paper section | Concept | Module / type |
+//! |---|---|---|
+//! | §2 | block selection sequences, projection, right-shift | [`bss`] |
+//! | §3.1 | model maintenance substrate | [`maintainer`] |
+//! | §3.2 | GEMM, future-window models, off-line updates | [`gemm`] |
+//! | §3.2 ("main memory is a premium") | disk shelf | [`gemm::ShelfMode`] |
+//! | §3.2 ("may run in parallel") | parallel off-line fan-out | [`Gemm::with_parallelism`] |
+//! | §3.2.4 | AuM add/delete ablation baseline | [`aum`] |
+//! | §5 | calendar-style reporting | [`report`] |
+//! | Fig. 11 | the full framework composition | [`engine`], [`monitor`] |
+//!
 //! # Example
 //!
 //! GEMM over a window of two blocks, with the window-relative BSS ⟨01⟩

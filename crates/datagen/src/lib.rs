@@ -18,6 +18,15 @@
 //!
 //! Every generator is deterministic given its seed.
 //!
+//! # Paper → module map
+//!
+//! | Paper section | Concept | Module / type |
+//! |---|---|---|
+//! | §6.1 | Quest datasets (`2M.20L.1I.4pats.4plen` notation) | [`quest`] |
+//! | §6.1 | Gaussian-cluster datasets | [`clusters`] |
+//! | §5 | DEC web-proxy traces (synthetic stand-in) | [`webtrace`] |
+//! | §1 (motivation) | drifting regimes | [`drift`] |
+//!
 //! # Example
 //!
 //! ```

@@ -93,10 +93,13 @@ where
         let mut stats = CompactStats::default();
         let t = self.blocks.len();
 
+        // One batched oracle call for all `t` pairs: parallel oracles
+        // (e.g. `ItemsetSimilarity`) evaluate them concurrently while
+        // returning verdicts in arrival order.
+        let verdicts = self.oracle.similar_to_many(&self.blocks, &block);
         let mut sim_row = Vec::with_capacity(t);
         let mut dev_row = Vec::with_capacity(t);
-        for earlier in &self.blocks {
-            let (similar, deviation) = self.oracle.similar(earlier, &block);
+        for (similar, deviation) in verdicts {
             stats.pairs_evaluated += 1;
             stats.similar_pairs += usize::from(similar);
             sim_row.push(similar);

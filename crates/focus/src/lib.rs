@@ -20,6 +20,24 @@
 //!   Definition 4.1, with model caching;
 //! * [`compact`] — the incremental **compact sequence** miner of §4.
 //!
+//! # Paper → module map
+//!
+//! | Paper section | Concept | Module / type |
+//! |---|---|---|
+//! | §4 (FOCUS) | deviation through a model class | [`deviation`] |
+//! | §4 | bootstrap significance of a deviation | [`significance`] |
+//! | Def. 4.1 | binary block-similarity predicate | [`similarity`] |
+//! | §4 | compact sequences `G₁ … G_t` | [`compact`] |
+//! | §4 | windowed pattern detection | [`windowed`] |
+//! | §5 | block-granularity selection | [`granularity`] |
+//! | §5 | cyclic sub-sequence reporting | [`postprocess`] |
+//!
+//! Bootstrap resamples and the miner's per-arrival pairwise deviations
+//! shard across threads via `demon_types::parallel`; resample `i` is
+//! seeded from `(seed, i)`, so scores are bit-identical at any thread
+//! count ([`bootstrap_significance_with`],
+//! [`similarity::SimilarityOracle::similar_to_many`]).
+//!
 //! # Example
 //!
 //! Mine compact sequences over an alternating block stream:
@@ -62,6 +80,6 @@ pub use compact::{CompactSequenceMiner, CompactStats};
 pub use deviation::{cluster_deviation, itemset_deviation, tree_deviation, DeviationResult};
 pub use granularity::{evaluate_granularities, select_granularity, GranularityReport};
 pub use postprocess::{cyclic_subsequences, CyclicSequence};
-pub use significance::bootstrap_significance;
+pub use significance::{bootstrap_significance, bootstrap_significance_with};
 pub use similarity::{ClusterSimilarity, ItemsetSimilarity, SimilarityConfig, SimilarityOracle, TreeSimilarity};
 pub use windowed::WindowedCompactMiner;

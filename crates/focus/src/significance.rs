@@ -11,15 +11,26 @@
 //! the null — the blocks are genuinely *different* (the paper reports
 //! "statistical significance of the deviation values as high as 99%" for
 //! the anomalous Monday block).
+//!
+//! # Parallelism
+//!
+//! Resamples are independent, so [`bootstrap_significance_with`] shards
+//! them across threads. Each resample `i` draws its permutation from a
+//! dedicated RNG seeded from `(seed, i)` — not from a thread-local RNG
+//! stream — so resample `i` is the same permutation no matter which
+//! shard computes it, and the estimate is bit-identical at any thread
+//! count.
 
 use crate::deviation::itemset_deviation;
 use demon_itemsets::FrequentItemsets;
-use demon_types::{BlockId, MinSupport, Transaction, TxBlock};
+use demon_types::parallel::{self, par_ranges};
+use demon_types::{BlockId, MinSupport, Parallelism, Transaction, TxBlock};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
 /// Estimates the significance of the deviation between blocks `a` and `b`
-/// through frequent-itemset models at threshold `minsup`.
+/// through frequent-itemset models at threshold `minsup`, using the
+/// process-wide default [`Parallelism`].
 ///
 /// Returns `(observed_deviation, significance)` where significance is the
 /// fraction of `n_resamples` null re-splits whose deviation is strictly
@@ -32,6 +43,20 @@ pub fn bootstrap_significance(
     n_resamples: usize,
     seed: u64,
 ) -> (f64, f64) {
+    bootstrap_significance_with(a, b, n_items, minsup, n_resamples, seed, parallel::global())
+}
+
+/// [`bootstrap_significance`] with an explicit [`Parallelism`]. The
+/// result is bit-identical at any thread count (see the module docs).
+pub fn bootstrap_significance_with(
+    a: &TxBlock,
+    b: &TxBlock,
+    n_items: u32,
+    minsup: MinSupport,
+    n_resamples: usize,
+    seed: u64,
+    par: Parallelism,
+) -> (f64, f64) {
     let ma = FrequentItemsets::mine_blocks(&[a], n_items, minsup);
     let mb = FrequentItemsets::mine_blocks(&[b], n_items, minsup);
     let observed = itemset_deviation(a, &ma, b, &mb).deviation;
@@ -39,22 +64,43 @@ pub fn bootstrap_significance(
         return (observed, if observed > 0.0 { 1.0 } else { 0.0 });
     }
 
-    let mut pool: Vec<&Transaction> = a.records().iter().chain(b.records()).collect();
+    let base_pool: Vec<&Transaction> = a.records().iter().chain(b.records()).collect();
     let na = a.len();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut below = 0usize;
-    for _ in 0..n_resamples {
-        pool.shuffle(&mut rng);
-        let half_a = TxBlock::new(BlockId(1), pool[..na].iter().map(|t| (*t).clone()).collect());
-        let half_b = TxBlock::new(BlockId(2), pool[na..].iter().map(|t| (*t).clone()).collect());
-        let ha = FrequentItemsets::mine_blocks(&[&half_a], n_items, minsup);
-        let hb = FrequentItemsets::mine_blocks(&[&half_b], n_items, minsup);
-        let d = itemset_deviation(&half_a, &ha, &half_b, &hb).deviation;
-        if d < observed {
-            below += 1;
+    let below: usize = par_ranges(par, n_resamples, |range| {
+        let mut pool = base_pool.clone();
+        let mut below = 0usize;
+        for i in range {
+            // Reset the pool and seed the RNG from the global resample
+            // index: resample `i` is the same permutation of the same
+            // ordering regardless of which shard computes it.
+            pool.copy_from_slice(&base_pool);
+            let mut rng = StdRng::seed_from_u64(resample_seed(seed, i as u64));
+            pool.shuffle(&mut rng);
+            let half_a =
+                TxBlock::new(BlockId(1), pool[..na].iter().map(|t| (*t).clone()).collect());
+            let half_b =
+                TxBlock::new(BlockId(2), pool[na..].iter().map(|t| (*t).clone()).collect());
+            let ha = FrequentItemsets::mine_blocks(&[&half_a], n_items, minsup);
+            let hb = FrequentItemsets::mine_blocks(&[&half_b], n_items, minsup);
+            let d = itemset_deviation(&half_a, &ha, &half_b, &hb).deviation;
+            if d < observed {
+                below += 1;
+            }
         }
-    }
+        below
+    })
+    .into_iter()
+    .sum();
     (observed, below as f64 / n_resamples as f64)
+}
+
+/// Mixes the user seed with a resample index (SplitMix64 finalizer) so
+/// consecutive indices give well-separated RNG states.
+fn resample_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -119,6 +165,36 @@ mod tests {
             bootstrap_significance(&a, &b, 2, MinSupport::new(0.1).unwrap(), 0, 0);
         assert!(obs > 0.0);
         assert_eq!(sig, 1.0);
+    }
+
+    #[test]
+    fn bootstrap_is_thread_count_invariant() {
+        let raw_a = repeated(&[&[0, 1], &[0], &[1, 2]], 8);
+        let raw_b = repeated(&[&[0, 1], &[1, 2], &[0]], 8);
+        let a = block(1, &raw_a.iter().map(|v| v.as_slice()).collect::<Vec<_>>());
+        let b = block(2, &raw_b.iter().map(|v| v.as_slice()).collect::<Vec<_>>());
+        let minsup = MinSupport::new(0.1).unwrap();
+        let serial = bootstrap_significance_with(
+            &a,
+            &b,
+            4,
+            minsup,
+            12,
+            99,
+            demon_types::Parallelism::serial(),
+        );
+        for t in [2usize, 3, 8] {
+            let par = bootstrap_significance_with(
+                &a,
+                &b,
+                4,
+                minsup,
+                12,
+                99,
+                demon_types::Parallelism::new(t),
+            );
+            assert_eq!(serial, par, "thread count {t}");
+        }
     }
 
     #[test]

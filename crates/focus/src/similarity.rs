@@ -10,8 +10,9 @@
 //! experiments) or by the full bootstrap.
 
 use crate::deviation::itemset_deviation;
-use crate::significance::bootstrap_significance;
+use crate::significance::{bootstrap_significance, bootstrap_significance_with};
 use demon_itemsets::FrequentItemsets;
+use demon_types::parallel::{self, par_map};
 use demon_types::{Block, BlockId, MinSupport, Transaction, TxBlock};
 use std::collections::HashMap;
 
@@ -42,6 +43,18 @@ pub enum SimilarityConfig {
 pub trait SimilarityOracle<R = Transaction> {
     /// Judges a pair, returning `(is_similar, deviation)`.
     fn similar(&mut self, a: &Block<R>, b: &Block<R>) -> (bool, f64);
+
+    /// Judges `new` against every block of `earlier`, returning the
+    /// verdicts in `earlier` order — the hot loop of the compact-sequence
+    /// miner's `add_block` (one call per arriving block, `t` pairs).
+    ///
+    /// The default evaluates pairs sequentially via
+    /// [`SimilarityOracle::similar`]; implementations may parallelize as
+    /// long as the returned vector is bit-identical to the sequential
+    /// one.
+    fn similar_to_many(&mut self, earlier: &[Block<R>], new: &Block<R>) -> Vec<(bool, f64)> {
+        earlier.iter().map(|e| self.similar(e, new)).collect()
+    }
 }
 
 /// The frequent-itemset instantiation of the oracle.
@@ -111,6 +124,58 @@ impl SimilarityOracle for ItemsetSimilarity {
                 );
                 (sig <= max_significance, d)
             }
+        }
+    }
+
+    /// Parallel batch evaluation: uncached models (including `new`'s) are
+    /// mined concurrently and cached in block order, then the `t`
+    /// pairwise deviations are computed concurrently with [`par_map`] at
+    /// the process-wide default [`parallel::global`]. Order-preserving
+    /// sharding keeps the verdicts bit-identical to the sequential loop
+    /// at any thread count; under the bootstrap config each pair's
+    /// resamples are seeded from the pair ids, so they too are
+    /// layout-independent.
+    fn similar_to_many(&mut self, earlier: &[TxBlock], new: &TxBlock) -> Vec<(bool, f64)> {
+        let par = parallel::global();
+        let mut to_mine: Vec<&TxBlock> = Vec::new();
+        for b in earlier.iter().chain(std::iter::once(new)) {
+            if !self.models.contains_key(&b.id()) && to_mine.iter().all(|m| m.id() != b.id()) {
+                to_mine.push(b);
+            }
+        }
+        let (n_items, minsup) = (self.n_items, self.minsup);
+        let mined = par_map(par, &to_mine, |b| {
+            FrequentItemsets::mine_blocks(&[*b], n_items, minsup)
+        });
+        for (b, m) in to_mine.iter().zip(mined) {
+            self.models.insert(b.id(), m);
+        }
+
+        let models = &self.models;
+        let mb = &models[&new.id()];
+        match self.config {
+            SimilarityConfig::Threshold { alpha } => par_map(par, earlier, |a| {
+                let d = itemset_deviation(a, &models[&a.id()], new, mb).deviation;
+                (d < alpha, d)
+            }),
+            SimilarityConfig::Bootstrap {
+                n_resamples,
+                max_significance,
+                seed,
+            } => par_map(par, earlier, |a| {
+                let pair_seed = seed ^ (a.id().value().wrapping_mul(0x9E3779B97F4A7C15))
+                    ^ new.id().value();
+                let (d, sig) = bootstrap_significance_with(
+                    a,
+                    new,
+                    n_items,
+                    minsup,
+                    n_resamples,
+                    pair_seed,
+                    par,
+                );
+                (sig <= max_significance, d)
+            }),
         }
     }
 }

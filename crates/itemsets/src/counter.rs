@@ -15,11 +15,24 @@
 //! Besides wall-clock time (measured by the benches), every backend
 //! reports `units_read` — the number of item/TID units fetched — which is
 //! the hardware-independent cost model the paper argues from.
+//!
+//! # Parallelism
+//!
+//! [`count_supports_with`] shards the work over a [`Parallelism`]: ECUT
+//! and ECUT+ over contiguous **candidate chunks** (each worker owns a
+//! disjoint slice of the output counts), PT-Scan over contiguous
+//! **transaction ranges** of the selected blocks (each worker probes its
+//! own prefix tree, and the per-candidate counts are summed in shard
+//! order). Both reductions are exact integer sums in a thread-count
+//! independent order, so results are bit-identical at any thread count.
+//! [`count_supports`] uses the process-wide default
+//! ([`demon_types::parallel::global`]).
 
 use crate::prefix_tree::PrefixTree;
 use crate::store::TxStore;
-use crate::tidlist::{intersect_all, BlockTidLists};
-use demon_types::{BlockId, Item, ItemSet};
+use crate::tidlist::{intersect_sorted_into, BlockTidLists};
+use demon_types::parallel::{self, par_ranges};
+use demon_types::{BlockId, Item, ItemSet, Parallelism, Tid, TxBlock};
 use serde::{Deserialize, Serialize};
 
 /// Which counting backend the update phase uses.
@@ -67,26 +80,39 @@ pub struct CountResult {
 }
 
 /// Counts the supports of `candidates` over the blocks `ids` of `store`
-/// using the chosen backend. Blocks missing from the store contribute
-/// nothing (they have been retired).
+/// using the chosen backend and the process-wide default parallelism.
+/// Blocks missing from the store contribute nothing (they have been
+/// retired).
 pub fn count_supports(
     kind: CounterKind,
     store: &TxStore,
     ids: &[BlockId],
     candidates: &[ItemSet],
 ) -> CountResult {
+    count_supports_with(kind, store, ids, candidates, parallel::global())
+}
+
+/// [`count_supports`] with an explicit [`Parallelism`]. Results are
+/// bit-identical at any thread count (see the module docs).
+pub fn count_supports_with(
+    kind: CounterKind,
+    store: &TxStore,
+    ids: &[BlockId],
+    candidates: &[ItemSet],
+    par: Parallelism,
+) -> CountResult {
     if candidates.is_empty() {
         return CountResult::default();
     }
     match kind {
-        CounterKind::PtScan => pt_scan(store, ids, candidates),
-        CounterKind::Ecut => tid_count(store, ids, candidates, false),
-        CounterKind::EcutPlus => tid_count(store, ids, candidates, true),
+        CounterKind::PtScan => pt_scan(store, ids, candidates, par),
+        CounterKind::Ecut => tid_count(store, ids, candidates, false, par),
+        CounterKind::EcutPlus => tid_count(store, ids, candidates, true, par),
         CounterKind::Adaptive => {
             if tid_cost_estimate(store, ids, candidates) <= scan_cost_estimate(store, ids) {
-                tid_count(store, ids, candidates, true)
+                tid_count(store, ids, candidates, true, par)
             } else {
-                pt_scan(store, ids, candidates)
+                pt_scan(store, ids, candidates, par)
             }
         }
     }
@@ -115,49 +141,113 @@ fn scan_cost_estimate(store: &TxStore, ids: &[BlockId]) -> u64 {
     store.item_space(ids)
 }
 
-fn pt_scan(store: &TxStore, ids: &[BlockId], candidates: &[ItemSet]) -> CountResult {
-    let mut tree = PrefixTree::build(candidates);
-    let mut units = 0u64;
-    let mut fetched = 0u64;
-    for id in ids {
-        if let Some(block) = store.block(*id) {
-            fetched += 1;
-            for tx in block.records() {
+/// PT-Scan, sharded over contiguous transaction ranges of the selected
+/// blocks. Every worker probes its own prefix tree over the full
+/// candidate set; the per-candidate counts (exact `u64`s) are summed in
+/// shard order, which makes the result independent of the thread count.
+fn pt_scan(store: &TxStore, ids: &[BlockId], candidates: &[ItemSet], par: Parallelism) -> CountResult {
+    let blocks: Vec<&TxBlock> = ids.iter().filter_map(|id| store.block(*id)).collect();
+    let fetched = blocks.len() as u64;
+    // Prefix sums of block lengths: shard the *global* transaction index.
+    let mut starts = Vec::with_capacity(blocks.len() + 1);
+    starts.push(0usize);
+    for b in &blocks {
+        starts.push(starts.last().copied().unwrap_or(0) + b.len());
+    }
+    let total_tx = *starts.last().unwrap_or(&0);
+
+    let shards = par_ranges(par, total_tx, |range| {
+        let mut tree = PrefixTree::build(candidates);
+        let mut units = 0u64;
+        // First block overlapping the range.
+        let mut bi = match starts.binary_search(&range.start) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let mut at = range.start;
+        while at < range.end && bi < blocks.len() {
+            let block_end = starts[bi + 1].min(range.end);
+            for tx in &blocks[bi].records()[at - starts[bi]..block_end - starts[bi]] {
                 units += tx.len() as u64;
                 tree.add_transaction(tx.items());
             }
+            at = block_end;
+            bi += 1;
         }
+        (tree.into_counts(), units)
+    });
+
+    let mut counts = vec![0u64; candidates.len()];
+    let mut units = 0u64;
+    for (shard_counts, shard_units) in shards {
+        for (total, c) in counts.iter_mut().zip(shard_counts) {
+            *total += c;
+        }
+        units += shard_units;
     }
     CountResult {
-        counts: tree.into_counts(),
+        counts,
         units_read: units,
         lists_fetched: fetched,
     }
 }
 
+/// Reusable per-worker buffers for the TID-list counting inner loop —
+/// one set per shard, reused across every (block, candidate) pair, so
+/// the loop performs no per-call allocations.
+#[derive(Default)]
+struct CountScratch<'s> {
+    /// The TID-lists chosen to intersect for the current candidate.
+    lists: Vec<&'s [Tid]>,
+    /// Candidate-internal pairs with materialized lists, by list length.
+    pairs: Vec<(usize, Item, Item)>,
+    /// Items already covered by a chosen pair list.
+    covered: Vec<Item>,
+    /// Running intersection and its ping-pong twin.
+    acc: Vec<Tid>,
+    tmp: Vec<Tid>,
+}
+
+/// ECUT / ECUT+, sharded over contiguous candidate chunks: each worker
+/// owns a disjoint slice of the output counts and walks all selected
+/// blocks for its candidates, accumulating into per-worker scratch.
 fn tid_count(
     store: &TxStore,
     ids: &[BlockId],
     candidates: &[ItemSet],
     use_pairs: bool,
+    par: Parallelism,
 ) -> CountResult {
-    let mut counts = vec![0u64; candidates.len()];
+    let shards = par_ranges(par, candidates.len(), |range| {
+        let mut counts = vec![0u64; range.len()];
+        let mut units = 0u64;
+        let mut fetched = 0u64;
+        let mut scratch = CountScratch::default();
+        for id in ids {
+            let Some(lists) = store.tidlists().block(*id) else {
+                continue;
+            };
+            for (ci, cand) in candidates[range.clone()].iter().enumerate() {
+                let (support, read, n_lists) = if use_pairs {
+                    count_in_block_with_pairs(lists, cand, &mut scratch)
+                } else {
+                    count_in_block_items(lists, cand, &mut scratch)
+                };
+                counts[ci] += support;
+                units += read;
+                fetched += n_lists;
+            }
+        }
+        (counts, units, fetched)
+    });
+
+    let mut counts = Vec::with_capacity(candidates.len());
     let mut units = 0u64;
     let mut fetched = 0u64;
-    for id in ids {
-        let Some(lists) = store.tidlists().block(*id) else {
-            continue;
-        };
-        for (ci, cand) in candidates.iter().enumerate() {
-            let (support, read, n_lists) = if use_pairs {
-                count_in_block_with_pairs(lists, cand)
-            } else {
-                count_in_block_items(lists, cand)
-            };
-            counts[ci] += support;
-            units += read;
-            fetched += n_lists;
-        }
+    for (shard_counts, shard_units, shard_fetched) in shards {
+        counts.extend(shard_counts);
+        units += shard_units;
+        fetched += shard_fetched;
     }
     CountResult {
         counts,
@@ -168,16 +258,17 @@ fn tid_count(
 
 /// ECUT: intersect the single-item lists of the candidate within one block.
 /// Returns `(support, units_read, lists_fetched)`.
-fn count_in_block_items(lists: &BlockTidLists, cand: &ItemSet) -> (u64, u64, u64) {
+fn count_in_block_items<'s>(
+    lists: &'s BlockTidLists,
+    cand: &ItemSet,
+    scratch: &mut CountScratch<'s>,
+) -> (u64, u64, u64) {
     debug_assert!(!cand.is_empty());
-    let fetched: Vec<&[demon_types::Tid]> =
-        cand.items().iter().map(|&i| lists.item_list(i)).collect();
-    let read: u64 = fetched.iter().map(|l| l.len() as u64).sum();
-    let n_lists = fetched.len() as u64;
-    if fetched.len() == 1 {
-        return (fetched[0].len() as u64, read, n_lists);
-    }
-    (intersect_all(&fetched).len() as u64, read, n_lists)
+    scratch.lists.clear();
+    scratch
+        .lists
+        .extend(cand.items().iter().map(|&i| lists.item_list(i)));
+    finish_intersection(scratch)
 }
 
 /// ECUT+: greedily cover the candidate with materialized pair lists
@@ -187,49 +278,65 @@ fn count_in_block_items(lists: &BlockTidLists, cand: &ItemSet) -> (u64, u64, u64
 /// support when their TID-lists are intersected (paper §3.1.1, ECUT+);
 /// pair lists are never longer than either member's item list, so every
 /// pair substitution reduces the data fetched.
-fn count_in_block_with_pairs(lists: &BlockTidLists, cand: &ItemSet) -> (u64, u64, u64) {
+fn count_in_block_with_pairs<'s>(
+    lists: &'s BlockTidLists,
+    cand: &ItemSet,
+    scratch: &mut CountScratch<'s>,
+) -> (u64, u64, u64) {
     debug_assert!(!cand.is_empty());
     if cand.len() == 1 {
-        return count_in_block_items(lists, cand);
+        return count_in_block_items(lists, cand, scratch);
     }
     // Collect available pairs inside the candidate, with their list lengths.
-    let mut pairs: Vec<(usize, Item, Item)> = cand
-        .pairs()
-        .filter_map(|(a, b)| lists.pair_list(a, b).map(|l| (l.len(), a, b)))
-        .collect();
-    if pairs.is_empty() {
-        return count_in_block_items(lists, cand);
+    scratch.pairs.clear();
+    scratch.pairs.extend(
+        cand.pairs()
+            .filter_map(|(a, b)| lists.pair_list(a, b).map(|l| (l.len(), a, b))),
+    );
+    if scratch.pairs.is_empty() {
+        return count_in_block_items(lists, cand, scratch);
     }
-    pairs.sort_unstable();
-    let mut covered: Vec<Item> = Vec::with_capacity(cand.len());
-    let mut chosen: Vec<&[demon_types::Tid]> = Vec::new();
-    for (_, a, b) in &pairs {
-        let new_a = !covered.contains(a);
-        let new_b = !covered.contains(b);
+    scratch.pairs.sort_unstable();
+    scratch.covered.clear();
+    scratch.lists.clear();
+    for pi in 0..scratch.pairs.len() {
+        let (_, a, b) = scratch.pairs[pi];
+        let new_a = !scratch.covered.contains(&a);
+        let new_b = !scratch.covered.contains(&b);
         if new_a || new_b {
-            chosen.push(lists.pair_list(*a, *b).expect("pair was listed"));
+            scratch
+                .lists
+                .push(lists.pair_list(a, b).expect("pair was listed"));
             if new_a {
-                covered.push(*a);
+                scratch.covered.push(a);
             }
             if new_b {
-                covered.push(*b);
+                scratch.covered.push(b);
             }
-            if covered.len() == cand.len() {
+            if scratch.covered.len() == cand.len() {
                 break;
             }
         }
     }
     for &item in cand.items() {
-        if !covered.contains(&item) {
-            chosen.push(lists.item_list(item));
+        if !scratch.covered.contains(&item) {
+            scratch.lists.push(lists.item_list(item));
         }
     }
-    let read: u64 = chosen.iter().map(|l| l.len() as u64).sum();
-    let n_lists = chosen.len() as u64;
-    if chosen.len() == 1 {
-        return (chosen[0].len() as u64, read, n_lists);
+    finish_intersection(scratch)
+}
+
+/// Intersects `scratch.lists`, returning `(support, units_read,
+/// lists_fetched)`; the single-list fast path reads no TIDs beyond the
+/// list length.
+fn finish_intersection(scratch: &mut CountScratch<'_>) -> (u64, u64, u64) {
+    let read: u64 = scratch.lists.iter().map(|l| l.len() as u64).sum();
+    let n_lists = scratch.lists.len() as u64;
+    if scratch.lists.len() == 1 {
+        return (scratch.lists[0].len() as u64, read, n_lists);
     }
-    (intersect_all(&chosen).len() as u64, read, n_lists)
+    let support = intersect_sorted_into(&mut scratch.lists, &mut scratch.acc, &mut scratch.tmp);
+    (support, read, n_lists)
 }
 
 #[cfg(test)]
@@ -389,6 +496,41 @@ mod tests {
         let r_many = count_supports(CounterKind::Adaptive, &store, &ids, &many);
         let r_scan = count_supports(CounterKind::PtScan, &store, &ids, &many);
         assert_eq!(r_many.units_read, r_scan.units_read, "should scan");
+    }
+
+    #[test]
+    fn every_backend_is_thread_count_invariant() {
+        let (mut store, _) = sample_store();
+        let all_pairs: Vec<(Item, Item)> = (0..4u32)
+            .flat_map(|a| (a + 1..4).map(move |b| (Item(a), Item(b))))
+            .collect();
+        store.materialize_pairs(BlockId(1), &all_pairs, None);
+        store.materialize_pairs(BlockId(2), &all_pairs, None);
+        let ids = [BlockId(1), BlockId(2)];
+        for kind in [
+            CounterKind::PtScan,
+            CounterKind::Ecut,
+            CounterKind::EcutPlus,
+            CounterKind::Adaptive,
+        ] {
+            let serial = count_supports_with(
+                kind,
+                &store,
+                &ids,
+                &candidates(),
+                Parallelism::serial(),
+            );
+            for threads in [2usize, 3, 8] {
+                let par = count_supports_with(
+                    kind,
+                    &store,
+                    &ids,
+                    &candidates(),
+                    Parallelism::new(threads),
+                );
+                assert_eq!(serial, par, "{} at {threads} threads", kind.name());
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,25 @@
 //!   (`L ∪ NB⁻` with exact supports), including the BORDERS **detection**
 //!   and **update** phases for block addition and the deletion-capable
 //!   variant (`AuM`) used in the GEMM ablation.
-
+//!
+//! # Paper → module map
+//!
+//! | Paper section | Concept | Module / type |
+//! |---|---|---|
+//! | §3.1.1 | BORDERS detection + update phases | [`model`] |
+//! | §3.1.1 | negative border `NB⁻(D, κ)` | [`model::FrequentItemsets::border`] |
+//! | §3.1.1 | PT-Scan counting (Mueller '95 tree) | [`prefix_tree`], [`counter`] |
+//! | §3.1.1 | ECUT / ECUT+ TID-list counting | [`tidlist`], [`counter`] |
+//! | §3.1.1 | FUP comparator (Cheung et al. '96) | [`fup`] |
+//! | §5 | calendric association rules | [`calendric`], [`rules`] |
+//! | §6.1 | level-wise mining from scratch | [`apriori`] |
+//! | — (engineering) | crash-safe store persistence | [`persist`], [`codec`] |
+//!
+//! Support counting shards across threads (candidate ranges for
+//! ECUT/ECUT+, transaction ranges for PT-Scan) via
+//! `demon_types::parallel`; counts are exact integer sums merged in
+//! shard order, so every backend returns bit-identical results at any
+//! thread count ([`count_supports_with`]).
 //!
 //! # Example
 //!
@@ -75,7 +93,7 @@ pub mod store;
 pub mod tidlist;
 
 pub use calendric::{calendric_rules, Calendar, CalendricRule};
-pub use counter::CounterKind;
+pub use counter::{count_supports, count_supports_with, CountResult, CounterKind};
 pub use fup::{FupModel, FupStats};
 pub use hash_tree::HashTree;
 pub use model::{FrequentItemsets, MaintenanceStats};

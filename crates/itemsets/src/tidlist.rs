@@ -174,11 +174,21 @@ impl TidListStore {
 /// lists are very skewed — the common case when intersecting a rare item
 /// with a popular one.
 pub fn intersect_pair(a: &[Tid], b: &[Tid]) -> Vec<Tid> {
+    let mut out = Vec::new();
+    intersect_pair_into(a, b, &mut out);
+    out
+}
+
+/// [`intersect_pair`] writing into a caller-provided buffer (cleared
+/// first), so the counting inner loop can reuse one allocation across
+/// candidates and blocks instead of allocating per intersection.
+pub fn intersect_pair_into(a: &[Tid], b: &[Tid], out: &mut Vec<Tid>) {
+    out.clear();
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if short.is_empty() {
-        return Vec::new();
+        return;
     }
-    let mut out = Vec::with_capacity(short.len());
+    out.reserve(short.len());
     let mut lo = 0usize;
     for &t in short {
         // Gallop forward in the long list until long[hi] ≥ t (or the end).
@@ -204,7 +214,6 @@ pub fn intersect_pair(a: &[Tid], b: &[Tid]) -> Vec<Tid> {
             break;
         }
     }
-    out
 }
 
 /// Intersects any number of sorted TID-lists. Lists are processed shortest
@@ -217,17 +226,35 @@ pub fn intersect_all(lists: &[&[Tid]]) -> Vec<Tid> {
         1 => lists[0].to_vec(),
         _ => {
             let mut order: Vec<&[Tid]> = lists.to_vec();
-            order.sort_by_key(|l| l.len());
-            let mut acc = intersect_pair(order[0], order[1]);
-            for l in &order[2..] {
-                if acc.is_empty() {
-                    break;
-                }
-                acc = intersect_pair(&acc, l);
-            }
+            let mut acc = Vec::new();
+            let mut tmp = Vec::new();
+            intersect_sorted_into(&mut order, &mut acc, &mut tmp);
             acc
         }
     }
+}
+
+/// Allocation-free multiway intersection for the counting inner loop:
+/// sorts `lists` shortest-first in place and leaves the conjunction's
+/// TID-list in `acc`, using `tmp` as the ping-pong buffer. Returns the
+/// support (i.e. `acc.len()`).
+///
+/// `lists` must hold at least two lists; the single- and zero-list cases
+/// are the caller's fast paths (no intersection to perform).
+pub fn intersect_sorted_into(lists: &mut [&[Tid]], acc: &mut Vec<Tid>, tmp: &mut Vec<Tid>) -> u64 {
+    debug_assert!(lists.len() >= 2, "multiway intersection needs ≥ 2 lists");
+    // Tie order among equal-length lists cannot affect the (set-valued)
+    // intersection, so the unstable sort keeps results deterministic.
+    lists.sort_unstable_by_key(|l| l.len());
+    intersect_pair_into(lists[0], lists[1], acc);
+    for l in &lists[2..] {
+        if acc.is_empty() {
+            break;
+        }
+        intersect_pair_into(acc, l, tmp);
+        std::mem::swap(acc, tmp);
+    }
+    acc.len() as u64
 }
 
 #[cfg(test)]
@@ -284,6 +311,33 @@ mod tests {
         assert_eq!(intersect_all(&[&a, &b, &c]), tids(&[4, 6]));
         assert_eq!(intersect_all(&[&a]), a);
         assert_eq!(intersect_all(&[]), tids(&[]));
+    }
+
+    #[test]
+    fn intersect_sorted_into_matches_intersect_all_with_reused_buffers() {
+        let a = tids(&[1, 2, 3, 4, 5, 6]);
+        let b = tids(&[2, 4, 6, 8]);
+        let c = tids(&[4, 5, 6, 7]);
+        let mut acc = Vec::new();
+        let mut tmp = Vec::new();
+        // Same buffers reused across calls with different list families.
+        let mut lists: Vec<&[Tid]> = vec![&a, &b, &c];
+        let n = intersect_sorted_into(&mut lists, &mut acc, &mut tmp);
+        assert_eq!(acc, intersect_all(&[&a, &b, &c]));
+        assert_eq!(n, acc.len() as u64);
+        let mut lists2: Vec<&[Tid]> = vec![&a, &b];
+        let n2 = intersect_sorted_into(&mut lists2, &mut acc, &mut tmp);
+        assert_eq!(acc, intersect_pair(&a, &b));
+        assert_eq!(n2, acc.len() as u64);
+    }
+
+    #[test]
+    fn intersect_pair_into_clears_previous_contents() {
+        let mut out = tids(&[9, 9, 9]);
+        intersect_pair_into(&tids(&[1, 3]), &tids(&[3, 5]), &mut out);
+        assert_eq!(out, tids(&[3]));
+        intersect_pair_into(&tids(&[1]), &tids(&[2]), &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //! (Incremental decision-tree *maintenance* is the authors' separate BOAT
 //! line of work, which the paper explicitly does not revisit; here the
 //! tree is the model FOCUS compares across blocks.)
+//!
+//! # Paper → module map
+//!
+//! | Paper section | Concept | Module / type |
+//! |---|---|---|
+//! | §4 (FOCUS model classes) | decision-tree model | [`DecisionTree`] |
+//! | §4 | structural component (leaf regions) | [`Region`] |
+//! | §4 | labeled numeric records | [`LabeledPoint`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -15,11 +15,26 @@
 //! * [`MinSupport`] — a validated minimum-support threshold `0 < κ < 1`;
 //! * [`DemonError`] — the shared error type;
 //! * [`durable`] — crash-safe file primitives (atomic writes, framed
-//!   checksummed files) shared by the store and GEMM's model shelf.
+//!   checksummed files) shared by the store and GEMM's model shelf;
+//! * [`parallel`] — the deterministic parallel-execution layer
+//!   ([`Parallelism`] plus order-preserving sharding primitives) used by
+//!   every hot mining path.
 //!
 //! Records are deliberately simple owned values: a block, once formed, is
 //! immutable (the paper's "systematic block evolution" — records are never
 //! updated in place, only whole blocks are added or retired).
+//!
+//! # Paper → module map
+//!
+//! | Paper section | Concept | Module / type |
+//! |---|---|---|
+//! | §2 | systematic block evolution | [`Block`], [`BlockId`] |
+//! | §2 | market-basket records | [`Item`], [`Tid`], [`Transaction`], [`ItemSet`] |
+//! | §2 | minimum support κ | [`MinSupport`] |
+//! | §3.1.2 | numeric records for BIRCH | [`Point`] |
+//! | §5 | web-trace calendar structure | [`Timestamp`], [`calendar`] |
+//! | §3.2 ("may run in parallel") | off-line update parallelism | [`parallel`] |
+//! | — (engineering) | crash-safe persistence primitives | [`durable`] |
 //!
 //! # Example
 //!
@@ -50,12 +65,14 @@ mod error;
 pub mod hash;
 mod item;
 mod itemset;
+pub mod parallel;
 mod point;
 mod support;
 pub mod timestamp;
 mod transaction;
 
 pub use block::{Block, BlockId, PointBlock, TxBlock};
+pub use parallel::Parallelism;
 pub use error::DemonError;
 pub use hash::{FastMap, FastSet};
 pub use item::Item;

@@ -15,6 +15,10 @@
 //! is the read-only fsck (exit status 1 when the store is damaged), and
 //! `--salvage` loads a damaged store by quarantining the broken tail
 //! instead of aborting.
+//!
+//! `--threads N` (any command) sets the process-wide thread count of the
+//! parallel mining paths; `0` or omitting it means one thread per core.
+//! Results are bit-identical at any thread count.
 
 use demon::core::bss::{BlockSelector, WiBss, WrBss};
 use demon::core::engine::UwEngine;
@@ -52,6 +56,9 @@ BSS:      a bit string like 1011; window-relative when --window is set,
 VERIFY:   re-checks every frame and checksum; exit status 1 on damage.
 SALVAGE:  --salvage loads a damaged store by quarantining corrupt files
           and keeping the longest consistent block prefix.
+THREADS:  --threads N (any command) sets the thread count of the
+          parallel mining paths; 0 = one per core (the default).
+          Results are bit-identical at any thread count.
 ";
 
 fn main() -> ExitCode {
@@ -110,6 +117,8 @@ fn flag_parse<T: std::str::FromStr>(
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (positional, flags) = parse(args)?;
+    let threads: usize = flag_parse(&flags, "threads", 0)?;
+    demon::types::parallel::set_global(demon::types::Parallelism::new(threads));
     let ok = |()| ExitCode::SUCCESS;
     match positional.first().copied() {
         Some("generate") => generate(&positional, &flags).map(ok),

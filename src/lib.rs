@@ -61,6 +61,29 @@
 //! # Ok::<(), demon::types::DemonError>(())
 //! ```
 //!
+//! ## Paper → crate map
+//!
+//! | Paper section | Concept | Crate |
+//! |---|---|---|
+//! | §2 | vocabulary: blocks, records, κ, BSS | [`types`] |
+//! | §3.1.1 | BORDERS, ECUT/ECUT+, PT-Scan | [`itemsets`] |
+//! | §3.1.2 | BIRCH, BIRCH+ | [`clustering`] |
+//! | §3.2 | GEMM, data span dimension | [`core`] |
+//! | §4 | FOCUS deviation, compact sequences | [`focus`] |
+//! | §4 | decision-tree model class | [`trees`] |
+//! | §5–6 | data generators for the experiments | [`datagen`] |
+//!
+//! Each crate's own docs carry a finer-grained section-to-module table.
+//!
+//! ## Parallelism
+//!
+//! The hot paths — support counting, GEMM's off-line fan-out, bootstrap
+//! resampling, BIRCH phase 2 — shard across threads via
+//! [`types::parallel`]. The thread count comes from
+//! [`types::parallel::set_global`] (the CLI's `--threads` flag) or the
+//! explicit `*_with` entry points, and results are **bit-identical at
+//! any thread count**.
+//!
 //! See the `examples/` directory for complete scenarios: a quickstart, a
 //! retail trend monitor, web-trace pattern detection, and incremental
 //! document clustering.

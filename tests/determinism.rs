@@ -1,0 +1,241 @@
+//! Determinism under parallelism: the same block stream, processed at 1,
+//! 2 and 8 threads, must produce **byte-identical** results everywhere —
+//! support counts, maintained itemset models, GEMM's disk shelf, FOCUS
+//! deviation/significance scores and cluster labelings.
+//!
+//! Everything lives in one `#[test]` because some paths read the
+//! process-wide default thread count (`demon::types::parallel::global`),
+//! and Rust runs tests of one binary concurrently: a single test is the
+//! simplest way to keep `set_global` sweeps race-free.
+
+use demon::core::bss::BlockSelector;
+use demon::core::{Gemm, ItemsetMaintainer, ShelfMode};
+use demon::datagen::{QuestGen, QuestParams};
+use demon::focus::{
+    bootstrap_significance_with, CompactSequenceMiner, ItemsetSimilarity, SimilarityConfig,
+};
+use demon::itemsets::{count_supports_with, CounterKind, FrequentItemsets, TxStore};
+use demon::types::parallel::set_global;
+use demon::types::{Block, BlockId, ItemSet, MinSupport, Parallelism, Tid, Transaction, TxBlock};
+
+const N_ITEMS: u32 = 120;
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn quest_stream(n_blocks: u64, per_block: usize, seed: u64) -> Vec<TxBlock> {
+    let params = QuestParams {
+        n_transactions: 0,
+        avg_tx_len: 6.0,
+        n_items: N_ITEMS,
+        n_patterns: 40,
+        avg_pattern_len: 3.0,
+        ..QuestParams::default()
+    };
+    let mut gen = QuestGen::new(params, seed);
+    let mut tid = 1u64;
+    (1..=n_blocks)
+        .map(|id| {
+            let txs: Vec<Transaction> = gen
+                .take_transactions(per_block)
+                .into_iter()
+                .map(|t| {
+                    let tx = Transaction::from_sorted(Tid(tid), t.items().to_vec());
+                    tid += 1;
+                    tx
+                })
+                .collect();
+            Block::new(BlockId(id), txs)
+        })
+        .collect()
+}
+
+fn k(v: f64) -> MinSupport {
+    MinSupport::new(v).unwrap()
+}
+
+#[test]
+fn pipeline_is_bit_identical_at_any_thread_count() {
+    let blocks = quest_stream(4, 300, 23);
+    counting_is_invariant(&blocks);
+    gemm_shelf_is_invariant(&blocks);
+    focus_scores_are_invariant(&blocks);
+    patterns_are_invariant(&blocks);
+    clustering_is_invariant();
+    // Leave the process default as other code expects it.
+    set_global(Parallelism::new(0));
+}
+
+/// Every counting backend returns the same `CountResult` (counts AND cost
+/// accounting) at every thread count.
+fn counting_is_invariant(blocks: &[TxBlock]) {
+    let mut store = TxStore::new(N_ITEMS);
+    let mut ids = Vec::new();
+    for b in blocks {
+        ids.push(b.id());
+        store.add_block(b.clone());
+    }
+    let model = FrequentItemsets::mine_from(&store, &ids, k(0.02)).unwrap();
+    let pairs = model.frequent_pairs_by_support();
+    for &id in &ids {
+        store.materialize_pairs(id, &pairs, None);
+    }
+    let mut candidates: Vec<ItemSet> = model
+        .border()
+        .keys()
+        .filter(|s| s.len() >= 2)
+        .cloned()
+        .collect();
+    candidates.sort();
+    assert!(candidates.len() >= 10, "workload too small to be meaningful");
+
+    for kind in [
+        CounterKind::PtScan,
+        CounterKind::Ecut,
+        CounterKind::EcutPlus,
+        CounterKind::Adaptive,
+    ] {
+        let reference =
+            count_supports_with(kind, &store, &ids, &candidates, Parallelism::serial());
+        for &t in &THREADS[1..] {
+            let r = count_supports_with(kind, &store, &ids, &candidates, Parallelism::new(t));
+            assert_eq!(reference, r, "{} diverged at {t} threads", kind.name());
+        }
+    }
+}
+
+/// GEMM's maintained models — current, every future-window slot, and the
+/// bytes shelved to disk — are identical at every thread count.
+fn gemm_shelf_is_invariant(blocks: &[TxBlock]) {
+    let run = |threads: usize| -> (String, Vec<String>, Vec<(String, Vec<u8>)>) {
+        set_global(Parallelism::new(threads));
+        let dir = std::env::temp_dir().join(format!("demon_determinism_shelf_{threads}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let maintainer = ItemsetMaintainer::new(N_ITEMS, k(0.02), CounterKind::Ecut);
+        let mut gemm = Gemm::new(maintainer, 3, BlockSelector::all())
+            .unwrap()
+            .with_parallelism(Parallelism::new(threads))
+            .with_shelf(ShelfMode::Disk(dir.clone()))
+            .unwrap();
+        for b in blocks {
+            gemm.add_block(b.clone()).unwrap();
+        }
+        let current = serde_json::to_string(gemm.current_model().unwrap()).unwrap();
+        let futures: Vec<String> = gemm
+            .slot_starts()
+            .into_iter()
+            .map(|s| serde_json::to_string(&gemm.future_model(s).unwrap()).unwrap())
+            .collect();
+        let mut shelf: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        shelf.sort();
+        let _ = std::fs::remove_dir_all(&dir);
+        (current, futures, shelf)
+    };
+
+    let reference = run(THREADS[0]);
+    for &t in &THREADS[1..] {
+        let got = run(t);
+        assert_eq!(reference.0, got.0, "current model diverged at {t} threads");
+        assert_eq!(reference.1, got.1, "future models diverged at {t} threads");
+        assert_eq!(
+            reference.2, got.2,
+            "shelf file contents diverged at {t} threads"
+        );
+    }
+}
+
+/// Bootstrap deviation and significance are bit-identical floats at every
+/// thread count.
+fn focus_scores_are_invariant(blocks: &[TxBlock]) {
+    let (a, b) = (&blocks[0], &blocks[1]);
+    let reference =
+        bootstrap_significance_with(a, b, N_ITEMS, k(0.05), 16, 77, Parallelism::serial());
+    for &t in &THREADS[1..] {
+        let got =
+            bootstrap_significance_with(a, b, N_ITEMS, k(0.05), 16, 77, Parallelism::new(t));
+        assert_eq!(
+            reference.0.to_bits(),
+            got.0.to_bits(),
+            "deviation diverged at {t} threads"
+        );
+        assert_eq!(
+            reference.1.to_bits(),
+            got.1.to_bits(),
+            "significance diverged at {t} threads"
+        );
+    }
+}
+
+/// The compact-sequence miner — whose oracle batches pairwise deviations
+/// through the parallel layer at the process default — produces the same
+/// deviation matrix and sequences at every thread count.
+fn patterns_are_invariant(blocks: &[TxBlock]) {
+    let run = |threads: usize| -> (Vec<u64>, Vec<Vec<BlockId>>) {
+        set_global(Parallelism::new(threads));
+        let oracle =
+            ItemsetSimilarity::new(N_ITEMS, k(0.05), SimilarityConfig::Threshold { alpha: 0.3 });
+        let mut miner = CompactSequenceMiner::new(oracle);
+        for b in blocks {
+            miner.add_block(b.clone());
+        }
+        let n = miner.n_blocks();
+        let mut devs = Vec::new();
+        for i in 0..n {
+            for j in 0..i {
+                devs.push(miner.deviation(i, j).unwrap().to_bits());
+            }
+        }
+        (devs, miner.maximal_sequences())
+    };
+    let reference = run(THREADS[0]);
+    for &t in &THREADS[1..] {
+        let got = run(t);
+        assert_eq!(
+            reference.0, got.0,
+            "deviation matrix diverged at {t} threads"
+        );
+        assert_eq!(reference.1, got.1, "sequences diverged at {t} threads");
+    }
+}
+
+/// BIRCH phase 2 (parallel assignment scan) and block labeling are
+/// identical at every thread count.
+fn clustering_is_invariant() {
+    use demon::clustering::{Birch, BirchParams};
+    use demon::types::{Point, PointBlock};
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(5);
+    let points: Vec<Point> = (0..400)
+        .map(|i| {
+            let c = f64::from(i % 3) * 25.0;
+            Point::new(vec![
+                c + rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ])
+        })
+        .collect();
+    let block = PointBlock::new(BlockId(1), points.clone());
+    let mut params = BirchParams::new(2, 3);
+    params.tree.threshold2 = 1.0;
+
+    let run = |threads: usize| -> (String, Vec<usize>) {
+        set_global(Parallelism::new(threads));
+        let (model, _) = Birch::new(params).cluster_points(&points);
+        let labels = model.label_block(&block);
+        (serde_json::to_string(&model).unwrap(), labels)
+    };
+    let reference = run(THREADS[0]);
+    for &t in &THREADS[1..] {
+        let got = run(t);
+        assert_eq!(reference.0, got.0, "cluster model diverged at {t} threads");
+        assert_eq!(reference.1, got.1, "labels diverged at {t} threads");
+    }
+}
