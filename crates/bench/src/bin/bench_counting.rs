@@ -15,7 +15,7 @@
 
 use demon_bench::{bench_repeats, median_ms, quest_block, scale, write_bench_json};
 use demon_itemsets::{count_supports_with, CounterKind, FrequentItemsets, TxStore};
-use demon_types::{BlockId, ItemSet, MinSupport, Parallelism};
+use demon_types::{obs, BlockId, ItemSet, MinSupport, Parallelism};
 use serde_json::json;
 use std::time::Instant;
 
@@ -63,6 +63,24 @@ fn main() {
         sweep.push(json!({ "threads": t, "median_ms": medians }));
     }
 
+    // Operation counts per backend: one extra serial pass with the
+    // recorder on. The timed loops above run with it off, so the medians
+    // are untouched by instrumentation.
+    let mut op_counts = serde_json::Map::new();
+    for kind in kinds {
+        obs::reset();
+        obs::enable();
+        let _ = count_supports_with(kind, &store, &ids, &candidates, Parallelism::serial());
+        obs::disable();
+        let mut section = serde_json::Map::new();
+        for (name, value) in obs::snapshot().counters {
+            if value > 0 {
+                section.insert(name.to_string(), json!(value));
+            }
+        }
+        op_counts.insert(kind.name().to_string(), json!(section));
+    }
+
     write_bench_json(
         "BENCH_counting.json",
         json!({
@@ -73,6 +91,7 @@ fn main() {
             "n_candidates": candidates.len(),
             "n_blocks": ids.len(),
             "threads": sweep,
+            "op_counts": op_counts,
         }),
     );
 }

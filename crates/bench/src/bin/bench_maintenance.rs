@@ -17,7 +17,7 @@
 use demon_bench::{bench_repeats, median_ms, quest_block, scale, write_bench_json};
 use demon_core::{BlockSelector, Gemm, ItemsetMaintainer};
 use demon_itemsets::CounterKind;
-use demon_types::{BlockId, MinSupport, Parallelism, TxBlock};
+use demon_types::{obs, BlockId, MinSupport, Parallelism, TxBlock};
 use serde_json::json;
 use std::time::Instant;
 
@@ -69,6 +69,19 @@ fn main() {
         sweep.push(json!({ "threads": t, "median_ms": { "gemm_stream": median } }));
     }
 
+    // Operation counts for one full stream: an extra serial pass with the
+    // recorder on, so the timed medians above stay instrumentation-free.
+    obs::reset();
+    obs::enable();
+    let _ = run(Parallelism::serial());
+    obs::disable();
+    let mut op_counts = serde_json::Map::new();
+    for (name, value) in obs::snapshot().counters {
+        if value > 0 {
+            op_counts.insert(name.to_string(), json!(value));
+        }
+    }
+
     write_bench_json(
         "BENCH_maintenance.json",
         json!({
@@ -79,6 +92,7 @@ fn main() {
             "window": W,
             "n_blocks": N_BLOCKS,
             "threads": sweep,
+            "op_counts": op_counts,
         }),
     );
 }

@@ -10,7 +10,7 @@
 //! summary level).
 
 use crate::cf::ClusterFeature;
-use demon_types::Point;
+use demon_types::{obs, Point};
 use serde::{Deserialize, Serialize};
 
 /// Tuning parameters of the CF-tree.
@@ -123,6 +123,7 @@ impl CfTree {
         if cf.is_empty() {
             return;
         }
+        obs::incr(obs::Counter::CfInserts);
         self.n_points += cf.n();
         self.insert_cf_inner(cf);
         if self.n_leaf_entries > self.params.max_leaf_entries {
@@ -218,6 +219,7 @@ impl CfTree {
     /// Splits an overflowing leaf on its farthest entry pair; the node
     /// keeps one group, the returned sibling takes the other.
     fn split_leaf(&mut self, node: NodeId) -> InsertOutcome {
+        obs::incr(obs::Counter::CfSplits);
         let entries = match &mut self.nodes[node] {
             Node::Leaf { entries } => std::mem::take(entries),
             Node::Internal { .. } => unreachable!(),
@@ -231,6 +233,7 @@ impl CfTree {
 
     /// Splits an overflowing internal node on its farthest child pair.
     fn split_internal(&mut self, node: NodeId) -> InsertOutcome {
+        obs::incr(obs::Counter::CfSplits);
         let children = match &mut self.nodes[node] {
             Node::Internal { children } => std::mem::take(children),
             Node::Leaf { .. } => unreachable!(),
@@ -294,6 +297,7 @@ impl CfTree {
         let mut threshold2 = next_threshold2(&entries, self.params.threshold2);
         loop {
             self.rebuilds += 1;
+            obs::incr(obs::Counter::CfRebuilds);
             let mut params = self.params;
             params.threshold2 = threshold2;
             let mut fresh = CfTree::new(params);

@@ -9,7 +9,7 @@
 
 use crate::cf::ClusterFeature;
 use demon_types::parallel::{self, par_map};
-use demon_types::Point;
+use demon_types::{obs, Point};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -95,6 +95,7 @@ pub fn kmeans_once(
 
     let par = parallel::global();
     for _ in 0..max_iters {
+        obs::incr(obs::Counter::Phase2Iterations);
         // Assignment scan — the hot part of phase 2. Each feature's
         // argmin is independent, so the scan shards across threads; the
         // per-feature argmin itself is a fixed-order `total_cmp` fold, so

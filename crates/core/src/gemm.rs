@@ -34,7 +34,7 @@ use crate::bss::BlockSelector;
 use crate::maintainer::ModelMaintainer;
 use demon_types::durable::{self, FrameClass};
 use demon_types::parallel::{self, par_for_each_mut};
-use demon_types::{Block, BlockId, DemonError, Parallelism, Result};
+use demon_types::{obs, Block, BlockId, DemonError, Parallelism, Result};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -89,6 +89,8 @@ impl<Model: serde::Serialize + serde::de::DeserializeOwned> Stored<Model> {
     fn load_from(path: &Path) -> Result<Model> {
         let (payload, _) =
             durable::read_framed_with_retry(path, FrameClass::SHELF, SHELF_READ_ATTEMPTS)?;
+        obs::incr(obs::Counter::ShelfHits);
+        obs::add(obs::Counter::ShelfBytesRead, payload.len() as u64);
         serde_json::from_slice(&payload).map_err(|e| DemonError::Corrupt {
             file: path.display().to_string(),
             detail: format!("shelved model does not parse: {e}"),
@@ -100,6 +102,7 @@ impl<Model: serde::Serialize + serde::de::DeserializeOwned> Stored<Model> {
     fn write(path: &Path, model: &Model) -> Result<()> {
         let bytes =
             serde_json::to_vec(model).map_err(|e| DemonError::Serde(e.to_string()))?;
+        obs::add(obs::Counter::ShelfBytesWritten, bytes.len() as u64);
         durable::write_framed(path, FrameClass::SHELF, &bytes)?;
         Ok(())
     }
@@ -280,6 +283,8 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
             }
         }
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        // A rebuild happens exactly when a shelf read could not be served.
+        obs::incr(obs::Counter::ShelfMisses);
         model
     }
 
@@ -385,6 +390,13 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
             .map(|(i, s)| (i, selector.selects_arriving(id, s.start, w)))
             .collect();
         let absorbed = work.iter().filter(|&&(_, b)| b).count();
+        // Off-line absorbs follow the BSS projected onto each future
+        // window (window-independent) or right-shifted (window-relative).
+        let op = match &self.selector {
+            BlockSelector::WindowIndependent(_) => obs::Counter::GemmProjections,
+            BlockSelector::WindowRelative(_) => obs::Counter::GemmShifts,
+        };
+        obs::add(op, absorbed as u64);
 
         // Load shelved models, update, re-shelve. A damaged shelf file is
         // rebuilt from the block stream (state as of the previous arrival;

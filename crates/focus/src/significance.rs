@@ -24,7 +24,7 @@
 use crate::deviation::itemset_deviation;
 use demon_itemsets::FrequentItemsets;
 use demon_types::parallel::{self, par_ranges};
-use demon_types::{BlockId, MinSupport, Parallelism, Transaction, TxBlock};
+use demon_types::{obs, BlockId, MinSupport, Parallelism, Transaction, TxBlock};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -66,6 +66,7 @@ pub fn bootstrap_significance_with(
 
     let base_pool: Vec<&Transaction> = a.records().iter().chain(b.records()).collect();
     let na = a.len();
+    obs::add(obs::Counter::BootstrapResamples, n_resamples as u64);
     let below: usize = par_ranges(par, n_resamples, |range| {
         let mut pool = base_pool.clone();
         let mut below = 0usize;

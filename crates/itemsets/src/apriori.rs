@@ -8,7 +8,7 @@
 //! single mining pass yields both with exact supports.
 
 use crate::prefix_tree::PrefixTree;
-use demon_types::{Item, ItemSet, MinSupport, TxBlock};
+use demon_types::{obs, Item, ItemSet, MinSupport, TxBlock};
 use std::collections::HashSet;
 
 /// Output of [`mine`]: the frequent itemsets, the negative border, and the
@@ -137,8 +137,10 @@ fn shares_prefix(a: &[Item], b: &[Item]) -> bool {
 
 /// Counts candidate supports by one PT-Scan over the blocks.
 pub fn count_with_prefix_tree(candidates: &[ItemSet], blocks: &[&TxBlock]) -> Vec<u64> {
+    obs::add(obs::Counter::CandidatesProbed, candidates.len() as u64);
     let mut tree = PrefixTree::build(candidates);
     for block in blocks {
+        obs::add(obs::Counter::TxScanned, block.len() as u64);
         tree.count_block(block);
     }
     tree.into_counts()

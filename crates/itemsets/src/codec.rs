@@ -20,7 +20,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use bytes::{BufMut, Bytes, BytesMut};
-use demon_types::{DemonError, Result, Tid};
+use demon_types::{obs, DemonError, Result, Tid};
 
 /// Encodes a sorted TID-list as delta varints.
 ///
@@ -37,12 +37,14 @@ pub fn encode(list: &[Tid]) -> Bytes {
         put_varint(&mut buf, gap);
         prev = t.0;
     }
+    obs::add(obs::Counter::CodecBytes, buf.len() as u64);
     buf.freeze()
 }
 
 /// Decodes an encoded list back to TIDs. Truncated or overlong input is
 /// an error, not a panic.
 pub fn decode(bytes: &Bytes) -> Result<Vec<Tid>> {
+    obs::add(obs::Counter::CodecBytes, bytes.len() as u64);
     let mut out = Vec::new();
     let mut iter = DecodeIter::new(bytes.clone());
     for t in iter.by_ref() {

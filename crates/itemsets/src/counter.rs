@@ -32,7 +32,7 @@ use crate::prefix_tree::PrefixTree;
 use crate::store::TxStore;
 use crate::tidlist::{intersect_sorted_into, BlockTidLists};
 use demon_types::parallel::{self, par_ranges};
-use demon_types::{BlockId, Item, ItemSet, Parallelism, Tid, TxBlock};
+use demon_types::{obs, BlockId, Item, ItemSet, Parallelism, Tid, TxBlock};
 use serde::{Deserialize, Serialize};
 
 /// Which counting backend the update phase uses.
@@ -104,18 +104,29 @@ pub fn count_supports_with(
     if candidates.is_empty() {
         return CountResult::default();
     }
-    match kind {
+    let resolved = match kind {
+        CounterKind::Adaptive => {
+            if tid_cost_estimate(store, ids, candidates) <= scan_cost_estimate(store, ids) {
+                CounterKind::EcutPlus
+            } else {
+                CounterKind::PtScan
+            }
+        }
+        fixed => fixed,
+    };
+    let result = match resolved {
         CounterKind::PtScan => pt_scan(store, ids, candidates, par),
         CounterKind::Ecut => tid_count(store, ids, candidates, false, par),
         CounterKind::EcutPlus => tid_count(store, ids, candidates, true, par),
-        CounterKind::Adaptive => {
-            if tid_cost_estimate(store, ids, candidates) <= scan_cost_estimate(store, ids) {
-                tid_count(store, ids, candidates, true, par)
-            } else {
-                pt_scan(store, ids, candidates, par)
-            }
-        }
-    }
+        CounterKind::Adaptive => unreachable!("resolved above"),
+    };
+    obs::add(obs::Counter::CandidatesProbed, candidates.len() as u64);
+    let units = match resolved {
+        CounterKind::PtScan => obs::Counter::TxScanned,
+        _ => obs::Counter::TidsScanned,
+    };
+    obs::add(units, result.units_read);
+    result
 }
 
 /// Units ECUT+ would read: Σ over blocks and candidates of the item-list
@@ -335,6 +346,8 @@ fn finish_intersection(scratch: &mut CountScratch<'_>) -> (u64, u64, u64) {
     if scratch.lists.len() == 1 {
         return (scratch.lists[0].len() as u64, read, n_lists);
     }
+    // One pairwise merge per extra list; totals are sharding-independent.
+    obs::add(obs::Counter::Intersections, n_lists - 1);
     let support = intersect_sorted_into(&mut scratch.lists, &mut scratch.acc, &mut scratch.tmp);
     (support, read, n_lists)
 }

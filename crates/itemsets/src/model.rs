@@ -18,7 +18,9 @@ use crate::apriori;
 use crate::counter::{count_supports, CounterKind};
 use crate::prefix_tree::PrefixTree;
 use crate::store::TxStore;
-use demon_types::{BlockId, DemonError, FastMap, FastSet, Item, ItemSet, MinSupport, Result};
+use demon_types::{
+    obs, BlockId, DemonError, FastMap, FastSet, Item, ItemSet, MinSupport, Result,
+};
 use serde::{Deserialize, Serialize};
 
 use std::time::{Duration, Instant};
@@ -65,21 +67,17 @@ impl MaintenanceStats {
 /// map keys must be strings.
 mod map_serde {
     use super::*;
-    use serde::{Deserializer, Serializer};
 
-    pub fn serialize<S: Serializer>(
-        map: &FastMap<ItemSet, u64>,
-        s: S,
-    ) -> std::result::Result<S::Ok, S::Error> {
+    pub fn to_value(map: &FastMap<ItemSet, u64>) -> serde::Value {
         let mut pairs: Vec<(&ItemSet, &u64)> = map.iter().collect();
         pairs.sort();
-        s.collect_seq(pairs)
+        serde::Value::Array(pairs.iter().map(serde::Serialize::to_value).collect())
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
-    ) -> std::result::Result<FastMap<ItemSet, u64>, D::Error> {
-        let pairs = Vec::<(ItemSet, u64)>::deserialize(d)?;
+    pub fn from_value(
+        v: &serde::Value,
+    ) -> std::result::Result<FastMap<ItemSet, u64>, serde::de::Error> {
+        let pairs: Vec<(ItemSet, u64)> = serde::Deserialize::from_value(v)?;
         Ok(pairs.into_iter().collect())
     }
 }
@@ -427,6 +425,7 @@ impl FrequentItemsets {
             .collect();
         if !demoted.is_empty() {
             stats.demoted += demoted.len();
+            obs::add(obs::Counter::BorderDemotions, demoted.len() as u64);
             for set in &demoted {
                 if let Some(c) = self.freq.remove(set) {
                     self.border.insert(set.clone(), c);
@@ -451,6 +450,7 @@ impl FrequentItemsets {
                 break;
             }
             stats.promoted += promoted.len();
+            obs::add(obs::Counter::BorderPromotions, promoted.len() as u64);
             for set in &promoted {
                 if let Some(c) = self.border.remove(set) {
                     self.freq.insert(set.clone(), c);

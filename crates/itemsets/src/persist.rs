@@ -64,6 +64,7 @@ const META_FILE: &str = "meta.json";
 const QUARANTINE_DIR: &str = "quarantine";
 
 #[derive(Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 struct Meta {
     #[serde(default)]
     format_version: u32,
@@ -77,6 +78,7 @@ struct Meta {
 }
 
 #[derive(Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 struct BlockMeta {
     id: u64,
     n_transactions: u64,
@@ -363,6 +365,10 @@ fn load_blocks(dir: &Path, meta: &Meta, policy: RecoveryPolicy) -> Result<(TxSto
     if let Some((index, e)) = failure {
         salvage_tail(dir, meta, index, &e, &mut report)?;
     }
+    // Salvage always sweeps crash litter, even when every block loaded.
+    if policy == RecoveryPolicy::SalvagePrefix {
+        remove_stray_tmp(dir, &mut report);
+    }
     Ok((store, report))
 }
 
@@ -424,7 +430,6 @@ fn salvage_tail(
         meta_crc: None,
     };
     write_meta(dir, &mut truncated)?;
-    remove_stray_tmp(dir, report);
     Ok(())
 }
 

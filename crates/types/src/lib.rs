@@ -18,7 +18,10 @@
 //!   checksummed files) shared by the store and GEMM's model shelf;
 //! * [`parallel`] — the deterministic parallel-execution layer
 //!   ([`Parallelism`] plus order-preserving sharding primitives) used by
-//!   every hot mining path.
+//!   every hot mining path;
+//! * [`obs`] — the observability layer (operation counters, histograms,
+//!   span timers, JSONL event log) threaded through every hot path and
+//!   surfaced by `demon-cli --stats` / `--trace-out`.
 //!
 //! Records are deliberately simple owned values: a block, once formed, is
 //! immutable (the paper's "systematic block evolution" — records are never
@@ -35,6 +38,7 @@
 //! | §5 | web-trace calendar structure | [`Timestamp`], [`calendar`] |
 //! | §3.2 ("may run in parallel") | off-line update parallelism | [`parallel`] |
 //! | — (engineering) | crash-safe persistence primitives | [`durable`] |
+//! | — (engineering) | metrics, spans, event log | [`obs`] |
 //!
 //! # Example
 //!
@@ -65,6 +69,7 @@ mod error;
 pub mod hash;
 mod item;
 mod itemset;
+pub mod obs;
 pub mod parallel;
 mod point;
 mod support;

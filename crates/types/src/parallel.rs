@@ -131,7 +131,11 @@ thread_local! {
     static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
 }
 
-fn in_parallel_region() -> bool {
+/// Whether the current thread is a shard worker of a parallel region.
+/// The observability layer uses this to suppress event emission from
+/// workers (event order must not depend on thread interleaving); nested
+/// primitives use it to degrade to serial execution.
+pub fn in_parallel_region() -> bool {
     IN_PARALLEL_REGION.with(Cell::get)
 }
 
@@ -151,15 +155,17 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let region = RegionStats::open(n);
     let threads = par.effective_threads(n);
     let bounds = split_points(n, threads);
     if threads <= 1 {
-        return bounds
-            .windows(2)
-            .map(|w| f(w[0]..w[1]))
-            .collect();
+        // Serial execution still marks the thread as inside a region so
+        // nested-region accounting is identical at every thread count.
+        let results = with_region_flag(|| bounds.windows(2).map(|w| f(w[0]..w[1])).collect());
+        region.close(&bounds);
+        return results;
     }
-    std::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let handles: Vec<_> = bounds
             .windows(2)
             .map(|w| {
@@ -178,7 +184,49 @@ where
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect()
-    })
+    });
+    region.close(&bounds);
+    results
+}
+
+/// Runs `f` with [`IN_PARALLEL_REGION`] set, restoring the prior value.
+fn with_region_flag<R>(f: impl FnOnce() -> R) -> R {
+    let prior = IN_PARALLEL_REGION.with(Cell::get);
+    IN_PARALLEL_REGION.with(|c| c.set(true));
+    let result = f();
+    IN_PARALLEL_REGION.with(|c| c.set(prior));
+    result
+}
+
+/// Observability bookkeeping for one parallel region. Only top-level
+/// regions record (nested ones degrade to serial and would make the
+/// `parallel_regions` counter depend on the shard count).
+struct RegionStats {
+    start: Option<std::time::Instant>,
+}
+
+impl RegionStats {
+    fn open(_n: usize) -> RegionStats {
+        let top_level =
+            crate::obs::is_enabled() && !IN_PARALLEL_REGION.with(Cell::get);
+        if top_level {
+            crate::obs::incr(crate::obs::Counter::ParallelRegions);
+        }
+        RegionStats {
+            start: top_level.then(std::time::Instant::now),
+        }
+    }
+
+    fn close(self, bounds: &[usize]) {
+        let Some(start) = self.start else { return };
+        for w in bounds.windows(2) {
+            crate::obs::observe(crate::obs::Hist::ShardItems, (w[1] - w[0]) as u64);
+        }
+        crate::obs::observe(
+            crate::obs::Hist::RegionMicros,
+            start.elapsed().as_micros() as u64,
+        );
+    }
 }
 
 /// `start` offsets of `threads` near-equal contiguous shards of `0..n`,
@@ -228,11 +276,18 @@ where
     F: Fn(usize, &mut T) + Sync,
 {
     let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let region = RegionStats::open(n);
     let threads = par.effective_threads(n);
     if threads <= 1 {
-        for (i, item) in items.iter_mut().enumerate() {
-            f(i, item);
-        }
+        with_region_flag(|| {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+        });
+        region.close(&split_points(n, 1));
         return;
     }
     let bounds = split_points(n, threads);
@@ -260,6 +315,7 @@ where
             }
         }
     });
+    region.close(&bounds);
 }
 
 #[cfg(test)]

@@ -19,6 +19,11 @@
 //! `--threads N` (any command) sets the process-wide thread count of the
 //! parallel mining paths; `0` or omitting it means one thread per core.
 //! Results are bit-identical at any thread count.
+//!
+//! `--stats` (any command) prints the operation-counter table to stderr
+//! after the command runs; `--trace-out FILE` writes the structured JSONL
+//! event log (span timings plus a final `counters` event). Counter totals
+//! are identical at any `--threads` setting.
 
 use demon::core::bss::{BlockSelector, WiBss, WrBss};
 use demon::core::engine::UwEngine;
@@ -33,6 +38,7 @@ use demon::itemsets::persist::{
     load_store, load_store_with, save_store, verify_store, RecoveryPolicy,
 };
 use demon::itemsets::{derive_rules, CounterKind, FrequentItemsets, TxStore};
+use demon::types::obs;
 use demon::types::{Block, BlockId, MinSupport, Timestamp};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -59,6 +65,9 @@ SALVAGE:  --salvage loads a damaged store by quarantining corrupt files
 THREADS:  --threads N (any command) sets the thread count of the
           parallel mining paths; 0 = one per core (the default).
           Results are bit-identical at any thread count.
+STATS:    --stats (any command) prints operation counters to stderr;
+          --trace-out FILE writes the JSONL event log. Counter totals
+          do not depend on --threads.
 ";
 
 fn main() -> ExitCode {
@@ -74,7 +83,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["salvage"];
+const BOOL_FLAGS: &[&str] = &["salvage", "stats"];
 
 /// Splits arguments into positionals and `--flag value` pairs
 /// (boolean flags like `--salvage` take no value).
@@ -119,8 +128,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let (positional, flags) = parse(args)?;
     let threads: usize = flag_parse(&flags, "threads", 0)?;
     demon::types::parallel::set_global(demon::types::Parallelism::new(threads));
+    let stats = flags.contains_key("stats");
+    let trace_out = flags.get("trace-out").map(PathBuf::from);
+    if stats || trace_out.is_some() {
+        obs::reset();
+        obs::enable();
+    }
     let ok = |()| ExitCode::SUCCESS;
-    match positional.first().copied() {
+    let result = match positional.first().copied() {
         Some("generate") => generate(&positional, &flags).map(ok),
         Some("inspect") => inspect(&positional, &flags).map(ok),
         Some("verify") => verify(&positional),
@@ -132,7 +147,29 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown command {other:?}")),
+    };
+    // Flush observability output even when the command failed: a partial
+    // trace of the work done before the error is still useful.
+    finish_obs(stats, trace_out.as_deref())?;
+    result
+}
+
+/// Renders `--stats` to stderr and writes the `--trace-out` JSONL file,
+/// then disables the recorder.
+fn finish_obs(stats: bool, trace_out: Option<&Path>) -> Result<(), String> {
+    if !obs::is_enabled() {
+        return Ok(());
     }
+    obs::emit_counters_event();
+    if let Some(path) = trace_out {
+        std::fs::write(path, obs::events_jsonl())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    if stats {
+        eprint!("{}", obs::render_table(&obs::snapshot()));
+    }
+    obs::disable();
+    Ok(())
 }
 
 fn store_arg<'a>(positional: &[&'a str]) -> Result<&'a Path, String> {
@@ -313,8 +350,10 @@ fn mine(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> 
     let store = load(positional, flags)?;
     let minsup = minsup_flag(flags)?;
     let ids = store.block_ids();
-    let model =
-        FrequentItemsets::mine_from(&store, &ids, minsup).map_err(|e| e.to_string())?;
+    let model = {
+        let _sp = obs::span("mine");
+        FrequentItemsets::mine_from(&store, &ids, minsup).map_err(|e| e.to_string())?
+    };
     println!(
         "{} frequent itemsets over {} transactions ({}, border {})",
         model.n_frequent(),
@@ -400,6 +439,7 @@ fn monitor(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Strin
             for id in store.block_ids() {
                 let block = store.block(id).expect("listed").clone();
                 let n = block.len();
+                let _sp = obs::span("add_block");
                 let s = gemm.add_block(block).map_err(|e| e.to_string())?;
                 let l = gemm.current_model().map_or(0, |m| m.n_frequent());
                 rows.push((id, n, s.absorbed_into_current, s.response_time, l));
@@ -421,6 +461,7 @@ fn monitor(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Strin
             for id in store.block_ids() {
                 let block = store.block(id).expect("listed").clone();
                 let n = block.len();
+                let _sp = obs::span("add_block");
                 let s = engine.add_block(block).map_err(|e| e.to_string())?;
                 rows.push((id, n, s.absorbed, s.response_time, engine.model().n_frequent()));
             }

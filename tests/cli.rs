@@ -221,6 +221,152 @@ fn verify_and_salvage_through_cli() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Generates a small shared store for the observability tests.
+fn small_store(name: &str) -> (PathBuf, PathBuf) {
+    let dir = tmp(name);
+    let store = dir.join("store");
+    run_ok(cli().args([
+        "generate",
+        "quest",
+        "--out",
+        store.to_str().unwrap(),
+        "--spec",
+        "40K.8L.1I.1pats.3plen",
+        "--scale",
+        "0.05",
+        "--blocks",
+        "3",
+    ]));
+    (dir, store)
+}
+
+/// The counter block of a `--stats` stderr dump (between the counters
+/// header and the histogram header — histograms carry wall times and are
+/// run-dependent, counters must not be).
+fn counters_section(stderr: &str) -> String {
+    stderr
+        .lines()
+        .skip_while(|l| !l.starts_with("--- obs counters ---"))
+        .take_while(|l| !l.starts_with("--- obs histograms"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn stats_and_trace_out_on_mine() {
+    let (dir, store) = small_store("stats");
+
+    // Without --stats, stderr stays free of the counter table.
+    let out = run_ok(cli().args(["mine", store.to_str().unwrap(), "--minsup", "0.02"]));
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("obs counters"));
+
+    let trace = dir.join("trace.jsonl");
+    let out = run_ok(cli().args([
+        "mine",
+        store.to_str().unwrap(),
+        "--minsup",
+        "0.02",
+        "--stats",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--- obs counters ---"), "{err}");
+    assert!(err.contains("candidates_probed"), "{err}");
+    assert!(err.contains("tx_scanned"), "{err}");
+
+    let jsonl = std::fs::read_to_string(&trace).unwrap();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert!(lines.len() >= 3, "expected span + counters events: {jsonl}");
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+    }
+    assert!(lines[0].contains("\"type\":\"span_begin\"") && lines[0].contains("\"name\":\"mine\""));
+    let last = lines.last().unwrap();
+    assert!(last.contains("\"type\":\"counters\""), "{last}");
+    assert!(last.contains("\"candidates_probed\":"), "{last}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_counters_are_thread_count_invariant() {
+    let (dir, store) = small_store("stats-threads");
+    let run_at = |threads: &str| -> String {
+        let out = run_ok(cli().args([
+            "monitor",
+            store.to_str().unwrap(),
+            "--minsup",
+            "0.02",
+            "--window",
+            "2",
+            "--counter",
+            "ecut+",
+            "--stats",
+            "--threads",
+            threads,
+        ]));
+        counters_section(&String::from_utf8_lossy(&out.stderr))
+    };
+    let reference = run_at("1");
+    assert!(reference.contains("candidates_probed"), "{reference}");
+    for threads in ["2", "8"] {
+        let got = run_at(threads);
+        assert_eq!(reference, got, "--stats counters diverged at {threads} threads");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_out_on_monitor_records_per_block_spans() {
+    let (dir, store) = small_store("trace-monitor");
+    let trace = dir.join("monitor.jsonl");
+    run_ok(cli().args([
+        "monitor",
+        store.to_str().unwrap(),
+        "--minsup",
+        "0.02",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]));
+    let jsonl = std::fs::read_to_string(&trace).unwrap();
+    let begins = jsonl
+        .lines()
+        .filter(|l| l.contains("\"type\":\"span_begin\"") && l.contains("\"name\":\"add_block\""))
+        .count();
+    let ends = jsonl
+        .lines()
+        .filter(|l| l.contains("\"type\":\"span_end\"") && l.contains("\"name\":\"add_block\""))
+        .count();
+    assert_eq!(begins, 3, "one span per replayed block:\n{jsonl}");
+    assert_eq!(begins, ends, "unbalanced spans:\n{jsonl}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_salvage_exits_zero_on_clean_store() {
+    let (dir, store) = small_store("verify-clean");
+    // `verify` is read-only; combining it with --salvage on a clean store
+    // must stay exit 0 and report cleanliness, not mutate anything.
+    let before: Vec<String> = std::fs::read_dir(&store)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    let out = run_ok(cli().args(["verify", store.to_str().unwrap(), "--salvage"]));
+    assert!(stdout(&out).contains("store is clean"), "{}", stdout(&out));
+    let after: Vec<String> = std::fs::read_dir(&store)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    let (mut b, mut a) = (before, after);
+    b.sort();
+    a.sort();
+    assert_eq!(b, a, "verify --salvage must not touch a clean store");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn missing_store_reports_error() {
     let out = cli()

@@ -60,8 +60,69 @@ fn pipeline_is_bit_identical_at_any_thread_count() {
     focus_scores_are_invariant(&blocks);
     patterns_are_invariant(&blocks);
     clustering_is_invariant();
+    obs_counters_are_invariant(&blocks);
     // Leave the process default as other code expects it.
     set_global(Parallelism::new(0));
+}
+
+/// Every obs counter totals the same at any thread count. (Histograms
+/// deliberately hold the thread-dependent quantities — shard sizes,
+/// region/span wall times — and are excluded from this invariant.)
+fn obs_counters_are_invariant(blocks: &[TxBlock]) {
+    use demon::types::obs;
+    let run = |threads: usize| -> Vec<(&'static str, u64)> {
+        set_global(Parallelism::new(threads));
+        obs::reset();
+        obs::enable();
+        // A representative slice of every instrumented subsystem.
+        let mut store = TxStore::new(N_ITEMS);
+        let mut ids = Vec::new();
+        for b in blocks {
+            ids.push(b.id());
+            store.add_block(b.clone());
+        }
+        let model = FrequentItemsets::mine_from(&store, &ids, k(0.02)).unwrap();
+        let mut candidates: Vec<ItemSet> = model
+            .border()
+            .keys()
+            .filter(|s| s.len() >= 2)
+            .cloned()
+            .collect();
+        candidates.sort();
+        for kind in [CounterKind::PtScan, CounterKind::EcutPlus] {
+            let _ =
+                count_supports_with(kind, &store, &ids, &candidates, Parallelism::new(threads));
+        }
+        let maintainer = ItemsetMaintainer::new(N_ITEMS, k(0.02), CounterKind::Ecut);
+        let mut gemm = Gemm::new(maintainer, 3, BlockSelector::all())
+            .unwrap()
+            .with_parallelism(Parallelism::new(threads));
+        for b in blocks {
+            gemm.add_block(b.clone()).unwrap();
+        }
+        let _ = bootstrap_significance_with(
+            &blocks[0],
+            &blocks[1],
+            N_ITEMS,
+            k(0.05),
+            8,
+            3,
+            Parallelism::new(threads),
+        );
+        obs::disable();
+        let counters = obs::snapshot().counters;
+        obs::reset();
+        counters
+    };
+    let reference = run(THREADS[0]);
+    assert!(
+        reference.iter().any(|&(_, v)| v > 0),
+        "recorder captured nothing"
+    );
+    for &t in &THREADS[1..] {
+        let got = run(t);
+        assert_eq!(reference, got, "obs counters diverged at {t} threads");
+    }
 }
 
 /// Every counting backend returns the same `CountResult` (counts AND cost
@@ -105,7 +166,8 @@ fn counting_is_invariant(blocks: &[TxBlock]) {
 /// GEMM's maintained models — current, every future-window slot, and the
 /// bytes shelved to disk — are identical at every thread count.
 fn gemm_shelf_is_invariant(blocks: &[TxBlock]) {
-    let run = |threads: usize| -> (String, Vec<String>, Vec<(String, Vec<u8>)>) {
+    type ShelfRun = (String, Vec<String>, Vec<(String, Vec<u8>)>);
+    let run = |threads: usize| -> ShelfRun {
         set_global(Parallelism::new(threads));
         let dir = std::env::temp_dir().join(format!("demon_determinism_shelf_{threads}"));
         let _ = std::fs::remove_dir_all(&dir);

@@ -583,3 +583,155 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Observability-layer properties.
+//
+// The recorder is process-global, so these tests serialize on OBS_LOCK:
+// at most one of them has the recorder enabled at a time. Counter
+// assertions only read counters no *other* test in this binary touches
+// (bootstrap resamples, phase-2 iterations), so the concurrent mining
+// proptests above cannot pollute them.
+// ---------------------------------------------------------------------
+
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Builds `depth` nested spans, then unwinds them.
+fn nested_spans(names: &[&'static str], depth: usize) {
+    if depth == 0 {
+        return;
+    }
+    let _span = demon::types::obs::span(names[depth % names.len()]);
+    nested_spans(names, depth - 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Obs counter totals are identical at 1, 2 and 8 threads.
+    #[test]
+    fn obs_counter_totals_thread_invariant(
+        blocks in blocks_strategy(2),
+        n_resamples in 1usize..12,
+        kseed in 0u64..1000,
+    ) {
+        use demon::clustering::global::kmeans;
+        use demon::clustering::ClusterFeature;
+        use demon::focus::bootstrap_significance_with;
+        use demon::types::obs::{self, Counter};
+        use demon::types::{Parallelism, Point};
+        prop_assume!(blocks.len() >= 2);
+
+        let features: Vec<ClusterFeature> = (0..20)
+            .map(|i| {
+                ClusterFeature::from_point(&Point::new(vec![
+                    f64::from(i % 4) * 10.0,
+                    f64::from(i / 4),
+                ]))
+            })
+            .collect();
+
+        let guard = obs_guard();
+        let mut deltas = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let before = (
+                obs::counter_value(Counter::BootstrapResamples),
+                obs::counter_value(Counter::Phase2Iterations),
+            );
+            obs::enable();
+            let _ = bootstrap_significance_with(
+                &blocks[0],
+                &blocks[1],
+                UNIVERSE,
+                MinSupport::new(0.2).unwrap(),
+                n_resamples,
+                7,
+                Parallelism::new(threads),
+            );
+            demon::types::parallel::set_global(Parallelism::new(threads));
+            let _ = kmeans(&features, 3, kseed, 16);
+            demon::types::parallel::set_global(Parallelism::new(0));
+            obs::disable();
+            let after = (
+                obs::counter_value(Counter::BootstrapResamples),
+                obs::counter_value(Counter::Phase2Iterations),
+            );
+            deltas.push((after.0 - before.0, after.1 - before.1));
+        }
+        drop(guard);
+        prop_assert_eq!(deltas[0].0, n_resamples as u64);
+        prop_assert!(deltas[0].1 > 0, "k-means never iterated");
+        prop_assert_eq!(deltas[0], deltas[1], "totals diverged at 2 threads");
+        prop_assert_eq!(deltas[0], deltas[2], "totals diverged at 8 threads");
+    }
+
+    /// Arbitrary span nestings render as well-formed JSONL: every line
+    /// parses, `seq` is dense from 0, and begin/end pairs nest like a
+    /// Dyck word with matching names.
+    #[test]
+    fn obs_span_nesting_is_well_formed(
+        shape in prop::collection::vec(0usize..5, 1..6),
+    ) {
+        use demon::types::obs;
+        const NAMES: [&str; 3] = ["load", "count", "merge"];
+
+        let guard = obs_guard();
+        let _ = obs::drain_events();
+        obs::enable();
+        for &depth in &shape {
+            nested_spans(&NAMES, depth);
+        }
+        obs::emit_counters_event();
+        obs::disable();
+        let jsonl = obs::events_jsonl();
+        let events = obs::drain_events();
+        drop(guard);
+
+        let expected = 2 * shape.iter().sum::<usize>() + 1;
+        prop_assert_eq!(events.len(), expected);
+        prop_assert_eq!(jsonl.lines().count(), expected);
+
+        let mut stack: Vec<String> = Vec::new();
+        for (i, line) in jsonl.lines().enumerate() {
+            let v: serde_json::Value =
+                serde_json::from_str(line).expect("every event line is valid JSON");
+            prop_assert_eq!(v.get("seq").and_then(|s| s.as_u64()), Some(i as u64));
+            let kind = v.get("type").and_then(|t| t.as_str()).unwrap_or("");
+            match kind {
+                "span_begin" => {
+                    stack.push(v.get("name").and_then(|n| n.as_str()).unwrap().to_string());
+                }
+                "span_end" => {
+                    let name = v.get("name").and_then(|n| n.as_str()).unwrap();
+                    prop_assert_eq!(stack.pop().as_deref(), Some(name), "mismatched span end");
+                    prop_assert!(v.get("us").and_then(|u| u.as_u64()).is_some());
+                }
+                "counters" => prop_assert!(stack.is_empty(), "counters event inside a span"),
+                other => prop_assert!(false, "unexpected event type {:?}", other),
+            }
+        }
+        prop_assert!(stack.is_empty(), "unclosed spans: {:?}", stack);
+    }
+
+    /// With the recorder disabled, arbitrary instrumented work emits no
+    /// events and moves no counters.
+    #[test]
+    fn obs_disabled_records_nothing(blocks in blocks_strategy(2), depth in 1usize..5) {
+        use demon::types::obs;
+        let guard = obs_guard();
+        let _ = obs::drain_events();
+        let before = obs::snapshot();
+        nested_spans(&["idle"], depth);
+        let refs: Vec<&TxBlock> = blocks.iter().collect();
+        let _ = FrequentItemsets::mine_blocks(&refs, UNIVERSE, MinSupport::new(0.2).unwrap());
+        let events = obs::drain_events();
+        let after = obs::snapshot();
+        drop(guard);
+        prop_assert!(events.is_empty(), "disabled recorder buffered {} events", events.len());
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,208 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate, covering the
+//! API surface the DEMON workspace uses: cheaply-cloneable immutable
+//! [`Bytes`], a growable [`BytesMut`] builder, and the [`BufMut`] write
+//! trait. See `third_party/README.md` for why this is vendored.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply-cloneable, immutable, contiguous byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// The empty buffer.
+    pub fn new() -> Bytes {
+        Bytes { data: Arc::from(&[][..]) }
+    }
+
+    /// Copies a static slice into a buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: Arc::from(data) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A `Vec` copy of the contents.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+
+    /// A copy of the sub-range (the real crate shares storage; this stub
+    /// copies, which is fine for the sizes the workspace slices).
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.data.len(),
+        };
+        Bytes::copy_from_slice(&self.data[start..end])
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::from(v.into_boxed_slice()) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+impl Eq for Bytes {}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.data
+    }
+}
+
+/// Write-side trait: append fixed-width values and slices.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u8(1);
+        b.put_slice(&[2, 3]);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[1, 2, 3]);
+        let clone = frozen.clone();
+        assert_eq!(clone, frozen);
+    }
+}

@@ -1,0 +1,18 @@
+//! Boolean strategies.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+
+/// The fair-coin strategy type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any;
+
+/// A fair coin.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}

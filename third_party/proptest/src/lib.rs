@@ -1,0 +1,112 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! Covers the API surface the DEMON workspace uses: the [`proptest!`]
+//! macro (with `#![proptest_config(...)]`), range and collection
+//! strategies, `any::<T>()`, `prop_map`, and the `prop_assume!` /
+//! `prop_assert*!` macros. Each test case is generated from a
+//! deterministic per-case seed; there is **no shrinking** — on failure
+//! the harness reports the case index and seed so the case can be
+//! replayed, then re-raises the panic. See `third_party/README.md`.
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `ProptestConfig::cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let __seed = $crate::test_runner::case_seed(__case);
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            let mut __rng =
+                                $crate::strategy::TestRng::from_seed_u64(__seed);
+                            $(
+                                let $arg = $crate::strategy::Strategy::generate(
+                                    &($strat),
+                                    &mut __rng,
+                                );
+                            )*
+                            $body
+                        }),
+                    );
+                    if let ::std::result::Result::Err(__e) = __outcome {
+                        if __e
+                            .downcast_ref::<$crate::test_runner::Reject>()
+                            .is_some()
+                        {
+                            continue;
+                        }
+                        ::std::eprintln!(
+                            "proptest: {} failed at case {} (seed {:#x}); \
+                             no shrinking in the vendored stub",
+                            ::std::stringify!($name),
+                            __case,
+                            __seed
+                        );
+                        ::std::panic::resume_unwind(__e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::test_runner::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::test_runner::Reject);
+        }
+    };
+}
+
+/// Asserts within a property body (fails the whole test; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { ::std::assert!($($tt)+) };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { ::std::assert_eq!($($tt)+) };
+}
+
+/// Inequality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)+) => { ::std::assert_ne!($($tt)+) };
+}

@@ -1,0 +1,12 @@
+//! The common imports: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+/// Namespaced strategy modules, mirroring real proptest's `prop::*`.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}

@@ -1,0 +1,35 @@
+//! Test-harness configuration and case seeding.
+
+/// Per-`proptest!` configuration (only `cases` is honored by the stub).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Panic payload used by `prop_assume!` rejections; the harness skips
+/// the case instead of failing the test.
+#[derive(Clone, Copy, Debug)]
+pub struct Reject;
+
+/// The deterministic seed for one case index (SplitMix64 finalizer, so
+/// consecutive cases get decorrelated generator states).
+pub fn case_seed(case: u32) -> u64 {
+    let mut z = (u64::from(case) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

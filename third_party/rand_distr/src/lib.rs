@@ -1,0 +1,198 @@
+//! Minimal, dependency-free stand-in for the `rand_distr` crate:
+//! `Normal` (Box–Muller), `Poisson` (Knuth for small λ, normal
+//! approximation for large λ), `Exp` and `Exp1` (inversion). Sampling
+//! streams are deterministic but do not match the real crate's. See
+//! `third_party/README.md`.
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // (0, 1]: safe to pass to ln().
+    ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Gaussian with the given mean and standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// Rejected construction parameters (non-finite or negative scale).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid Normal parameters")
+    }
+}
+impl std::error::Error for NormalError {}
+
+impl Normal<f64> {
+    /// A normal distribution, or an error if `std_dev` is negative or
+    /// either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal<f64>, NormalError> {
+        if mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0 {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; the sine half is discarded to keep sampling stateless.
+    let u1 = unit_open(rng);
+    let u2 = unit_open(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Poisson with the given mean.
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson<F> {
+    lambda: F,
+}
+
+/// Rejected construction parameters (λ must be finite positive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoissonError;
+
+impl std::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid Poisson parameter")
+    }
+}
+impl std::error::Error for PoissonError {}
+
+impl Poisson<f64> {
+    /// A Poisson distribution, or an error unless `lambda` is finite
+    /// and positive.
+    pub fn new(lambda: f64) -> Result<Poisson<f64>, PoissonError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Poisson { lambda })
+        } else {
+            Err(PoissonError)
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method.
+            let limit = (-self.lambda).exp();
+            let mut product = unit_open(rng);
+            let mut count = 0u64;
+            while product > limit {
+                product *= unit_open(rng);
+                count += 1;
+            }
+            count as f64
+        } else {
+            // Normal approximation, adequate for generator workloads.
+            let draw = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            draw.round().max(0.0)
+        }
+    }
+}
+
+/// Exponential with rate λ.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp<F> {
+    lambda: F,
+}
+
+/// Rejected construction parameters (rate must be finite positive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpError;
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid Exp parameter")
+    }
+}
+impl std::error::Error for ExpError {}
+
+impl Exp<f64> {
+    /// An exponential distribution, or an error unless `lambda` is
+    /// finite and positive.
+    pub fn new(lambda: f64) -> Result<Exp<f64>, ExpError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.lambda
+    }
+}
+
+/// The unit exponential (λ = 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Exp1;
+
+impl Distribution<f64> for Exp1 {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_roughly_matches_small_and_large_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for lambda in [3.0, 80.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let n = 20_000;
+            let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda * 0.05 + 0.2,
+                "λ={lambda} mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn exp1_mean_roughly_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean = (0..n).map(|_| Exp1.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Value-based deserialization: rebuild a type from a JSON [`Value`].
+
+use crate::value::{Map, Value};
+use std::fmt;
+
+/// A deserialization (or JSON parse) failure.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with an arbitrary message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types rebuildable from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Owned deserialization marker (all stub deserialization is owned).
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+fn expected(what: &str, v: &Value) -> Error {
+    let kind = match v {
+        Value::Null => "null",
+        Value::Bool(_) => "a boolean",
+        Value::Number(_) => "a number",
+        Value::String(_) => "a string",
+        Value::Array(_) => "an array",
+        Value::Object(_) => "an object",
+    };
+    Error::custom(format!("expected {what}, found {kind}"))
+}
+
+macro_rules! de_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| expected("an unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| expected("an integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            // Null round-trips the non-finite floats Serialize wrote out.
+            Value::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or_else(|| expected("a number", v)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| expected("a boolean", v))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| expected("a string", v))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| expected("a string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| expected("an array", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| expected("an array", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+// Mirrors the map encoding in `ser`: a sorted array of `[key, value]`
+// pairs (JSON objects only admit string keys).
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize
+    for std::collections::BTreeMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| expected("an array", v))?;
+        items.iter().map(<(K, V)>::from_value).collect()
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| expected("an array", v))?;
+        items.iter().map(<(K, V)>::from_value).collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal, $($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| expected("an array", v))?;
+                if items.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected an array of {}, found {} elements",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+de_tuple! {
+    (1, A.0)
+    (2, A.0, B.1)
+    (3, A.0, B.1, C.2)
+    (4, A.0, B.1, C.2, D.3)
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for Map {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object().cloned().ok_or_else(|| expected("an object", v))
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(())
+        } else {
+            Err(expected("null", v))
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Minimal, dependency-free stand-in for the `serde` crate.
+//!
+//! Unlike real serde's visitor architecture, this stub is **value-based**:
+//! [`Serialize`] renders a type to a JSON [`Value`] tree and
+//! [`Deserialize`] reads one back. The derive macros (re-exported from
+//! the vendored `serde_derive`) generate impls against these traits and
+//! understand the `#[serde(...)]` attributes this workspace uses:
+//! `transparent`, `default`, `skip`, and `with = "module"` (where the
+//! module provides `to_value`/`from_value`). The JSON text format —
+//! printing and parsing — also lives here so `serde_json` can stay a
+//! thin facade. See `third_party/README.md` for why this is vendored.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use value::{Map, Number, Value};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Builds the externally-tagged enum encoding `{"tag": value}`.
+/// Used by derive-generated code; not part of the public API.
+#[doc(hidden)]
+pub fn __tag(tag: &str, value: Value) -> Value {
+    let mut m = Map::new();
+    m.insert(tag.to_string(), value);
+    Value::Object(m)
+}

@@ -1,0 +1,696 @@
+//! Minimal offline stand-in for `serde_derive`, written without
+//! `syn`/`quote`: the input `TokenStream` is walked by hand into a small
+//! structural model, and the generated impls are rendered as strings and
+//! re-parsed. Targets the vendored value-based `serde` stub: derived
+//! `Serialize` emits `fn to_value(&self) -> Value`, derived
+//! `Deserialize` emits `fn from_value(&Value) -> Result<Self, Error>`.
+//!
+//! Supported shapes (everything this workspace uses):
+//! * structs with named fields → JSON objects
+//! * newtype / transparent structs → the inner value
+//! * multi-field tuple structs → JSON arrays
+//! * enums → externally tagged (unit → `"Variant"`, data →
+//!   `{"Variant": ...}`)
+//! * generic parameters (each gains a `Serialize`/`Deserialize` bound)
+//! * `#[serde(transparent|default|skip|with = "module")]`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct Attrs {
+    transparent: bool,
+    default: bool,
+    skip: bool,
+    deny_unknown_fields: bool,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: Attrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Generic parameter declarations, e.g. `["T"]` or `["'a", "T: Clone"]`.
+    generic_decls: Vec<String>,
+    attrs: Attrs,
+    kind: Kind,
+}
+
+/// Derives value-based `Serialize` (see the crate docs).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let model = parse(input);
+    render_serialize(&model).parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives value-based `Deserialize` (see the crate docs).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let model = parse(input);
+    render_deserialize(&model).parse().expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Input {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let attrs = take_attrs(&tts, &mut i);
+    skip_visibility(&tts, &mut i);
+
+    let keyword = match &tts[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tts[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    let generic_decls = take_generics(&tts, &mut i);
+
+    // Skip a where-clause if present (none in this workspace, but cheap).
+    while i < tts.len() {
+        match &tts[i] {
+            TokenTree::Group(g)
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let kind = if keyword == "enum" {
+        let body = expect_brace(&tts, i);
+        Kind::Enum(parse_variants(body))
+    } else {
+        match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::Unit,
+        }
+    };
+
+    Input { name, generic_decls, attrs, kind }
+}
+
+fn expect_brace(tts: &[TokenTree], i: usize) -> TokenStream {
+    match tts.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: expected braced body, found {other:?}"),
+    }
+}
+
+/// Consumes leading `#[...]` attributes, folding any `#[serde(...)]`
+/// contents into the returned `Attrs`.
+fn take_attrs(tts: &[TokenTree], i: &mut usize) -> Attrs {
+    let mut attrs = Attrs::default();
+    while let Some(TokenTree::Punct(p)) = tts.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        // Inner attributes (`#![...]`) can't appear here; next is `[...]`.
+        if let Some(TokenTree::Group(g)) = tts.get(*i) {
+            if g.delimiter() == Delimiter::Bracket {
+                merge_serde_attr(&mut attrs, g.stream());
+                *i += 1;
+                continue;
+            }
+        }
+        panic!("serde_derive: malformed attribute");
+    }
+    attrs
+}
+
+fn merge_serde_attr(attrs: &mut Attrs, attr_body: TokenStream) {
+    let tts: Vec<TokenTree> = attr_body.into_iter().collect();
+    match (tts.first(), tts.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                match &inner[j] {
+                    TokenTree::Ident(word) => match word.to_string().as_str() {
+                        "transparent" => attrs.transparent = true,
+                        "default" => attrs.default = true,
+                        "deny_unknown_fields" => attrs.deny_unknown_fields = true,
+                        "skip" | "skip_serializing" | "skip_deserializing" => {
+                            attrs.skip = true
+                        }
+                        "with" => {
+                            // with = "module::path"
+                            if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                                let text = lit.to_string();
+                                attrs.with =
+                                    Some(text.trim_matches('"').to_string());
+                                j += 2;
+                            }
+                        }
+                        other => panic!(
+                            "serde_derive stub: unsupported serde attribute `{other}`"
+                        ),
+                    },
+                    TokenTree::Punct(_) => {}
+                    other => panic!(
+                        "serde_derive stub: unsupported serde attribute token {other}"
+                    ),
+                }
+                j += 1;
+            }
+        }
+        _ => {} // non-serde attribute (doc comment, derive, repr, ...)
+    }
+}
+
+fn skip_visibility(tts: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tts.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tts.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consumes `<...>` after the type name, returning the comma-separated
+/// parameter declarations.
+fn take_generics(tts: &[TokenTree], i: &mut usize) -> Vec<String> {
+    match tts.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut segments = Vec::new();
+    let mut current = String::new();
+    while depth > 0 {
+        let tt = tts
+            .get(*i)
+            .unwrap_or_else(|| panic!("serde_derive: unterminated generics"));
+        *i += 1;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push('<');
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth > 0 {
+                    current.push('>');
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                segments.push(current.trim().to_string());
+                current.clear();
+            }
+            other => {
+                current.push_str(&other.to_string());
+                current.push(' ');
+            }
+        }
+    }
+    if !current.trim().is_empty() {
+        segments.push(current.trim().to_string());
+    }
+    segments
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tts: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tts.len() {
+        let attrs = take_attrs(&tts, &mut i);
+        if i >= tts.len() {
+            break;
+        }
+        skip_visibility(&tts, &mut i);
+        let name = match &tts[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tts[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected ':' after field, found {other}"),
+        }
+        skip_type(&tts, &mut i);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Skips one type, stopping after the top-level `,` (or at end).
+fn skip_type(tts: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    let mut prev_dash = false;
+    while let Some(tt) = tts.get(*i) {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    *i += 1;
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' && !prev_dash {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tts: Vec<TokenTree> = body.into_iter().collect();
+    if tts.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tts.len() {
+        // Field: attrs, visibility, then a type up to the top-level comma.
+        let _ = take_attrs(&tts, &mut i);
+        if i >= tts.len() {
+            break;
+        }
+        skip_visibility(&tts, &mut i);
+        skip_type(&tts, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tts: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tts.len() {
+        let _attrs = take_attrs(&tts, &mut i);
+        if i >= tts.len() {
+            break;
+        }
+        let name = match &tts[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the variant separator (also skips discriminants).
+        while let Some(tt) = tts.get(i) {
+            i += 1;
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- rendering
+
+/// `impl<...>` generics with the given trait bound added to every type
+/// parameter, plus the bare `<...>` for the type position.
+fn generics(input: &Input, bound: &str) -> (String, String) {
+    if input.generic_decls.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut impl_parts = Vec::new();
+    let mut ty_parts = Vec::new();
+    for decl in &input.generic_decls {
+        let head = decl.split([':', '=']).next().unwrap().trim().to_string();
+        ty_parts.push(head.clone());
+        if head.starts_with('\'') || decl.trim_start().starts_with("const ") {
+            impl_parts.push(decl.clone());
+        } else if decl.contains(':') {
+            impl_parts.push(format!("{decl} + {bound}"));
+        } else {
+            impl_parts.push(format!("{decl}: {bound}"));
+        }
+    }
+    (
+        format!("<{}>", impl_parts.join(", ")),
+        format!("<{}>", ty_parts.join(", ")),
+    )
+}
+
+fn ser_field_expr(field: &Field, access: &str) -> String {
+    match &field.attrs.with {
+        Some(path) => format!("{path}::to_value({access})"),
+        None => format!("::serde::Serialize::to_value({access})"),
+    }
+}
+
+fn render_serialize(input: &Input) -> String {
+    let (impl_gen, ty_gen) = generics(input, "::serde::Serialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Tuple(1) => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Named(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.attrs.skip).collect();
+            if input.attrs.transparent {
+                let f = live
+                    .first()
+                    .expect("serde(transparent) needs one unskipped field");
+                ser_field_expr(f, &format!("&self.{}", f.name))
+            } else {
+                let mut s = String::from("{ let mut __m = ::serde::Map::new();\n");
+                for f in live {
+                    s.push_str(&format!(
+                        "__m.insert(::std::string::String::from(\"{}\"), {});\n",
+                        f.name,
+                        ser_field_expr(f, &format!("&self.{}", f.name))
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__m) }");
+                s
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> =
+                            (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::Value::Array(::std::vec![{}])",
+                                items.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::__tag(\"{vname}\", {inner}),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "{ let mut __m = ::serde::Map::new();\n",
+                        );
+                        for f in fields {
+                            if f.attrs.skip {
+                                continue;
+                            }
+                            inner.push_str(&format!(
+                                "__m.insert(::std::string::String::from(\"{0}\"), {1});\n",
+                                f.name,
+                                ser_field_expr(f, &f.name)
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(__m) }");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => \
+                             ::serde::__tag(\"{vname}\", {inner}),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_gen} ::serde::Serialize for {name}{ty_gen} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn de_field_expr(field: &Field, value: &str) -> String {
+    match &field.attrs.with {
+        Some(path) => format!("{path}::from_value({value})?"),
+        None => format!("::serde::Deserialize::from_value({value})?"),
+    }
+}
+
+/// The `match obj.get("f")` expression for one named field.
+fn de_named_field(struct_name: &str, f: &Field) -> String {
+    if f.attrs.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    let missing = if f.attrs.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::de::Error::custom(\
+             \"missing field `{}` in {}\"))",
+            f.name, struct_name
+        )
+    };
+    format!(
+        "match __o.get(\"{0}\") {{\n\
+         ::std::option::Option::Some(__x) => {1},\n\
+         ::std::option::Option::None => {missing},\n}}",
+        f.name,
+        de_field_expr(f, "__x")
+    )
+}
+
+fn render_deserialize(input: &Input) -> String {
+    let (impl_gen, ty_gen) = generics(input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Unit => format!(
+            "if __v.is_null() {{ ::std::result::Result::Ok({name}) }} else {{ \
+             ::std::result::Result::Err(::serde::de::Error::custom(\
+             \"expected null for unit struct {name}\")) }}"
+        ),
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::Deserialize::from_value(__v)?))"
+        ),
+        Kind::Tuple(n) => {
+            let mut s = format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::de::Error::custom(\"wrong tuple arity for {name}\")); }}\n"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                .collect();
+            s.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            ));
+            s
+        }
+        Kind::Named(fields) => {
+            if input.attrs.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.attrs.skip)
+                    .expect("serde(transparent) needs one unskipped field");
+                let mut inits = Vec::new();
+                for g in fields {
+                    if g.name == f.name {
+                        inits.push(format!("{}: {}", f.name, de_field_expr(f, "__v")));
+                    } else {
+                        inits.push(format!(
+                            "{}: ::std::default::Default::default()",
+                            g.name
+                        ));
+                    }
+                }
+                format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            } else {
+                let mut s = format!(
+                    "let __o = __v.as_object().ok_or_else(|| \
+                     ::serde::de::Error::custom(\"expected object for {name}\"))?;\n"
+                );
+                if input.attrs.deny_unknown_fields {
+                    let mut known: Vec<String> = fields
+                        .iter()
+                        .filter(|f| !f.attrs.skip)
+                        .map(|f| format!("\"{}\"", f.name))
+                        .collect();
+                    if known.is_empty() {
+                        // `matches!(x,)` is ill-formed; no field is known.
+                        known.push("\"\" if false".to_string());
+                    }
+                    s.push_str(&format!(
+                        "for (__k, _) in __o.iter() {{\n\
+                         if !matches!(__k.as_str(), {}) {{\n\
+                         return ::std::result::Result::Err(::serde::de::Error::custom(\
+                         ::std::format!(\"unknown field `{{}}` in {name}\", __k)));\n\
+                         }}\n}}\n",
+                        known.join(" | ")
+                    ));
+                }
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{}: {}", f.name, de_named_field(name, f)))
+                    .collect();
+                s.push_str(&format!(
+                    "::std::result::Result::Ok({name} {{\n{}\n}})",
+                    inits.join(",\n")
+                ));
+                s
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{ let __a = __inner.as_array()\
+                             .ok_or_else(|| ::serde::de::Error::custom(\
+                             \"expected array for {name}::{vname}\"))?;\n\
+                             if __a.len() != {n} {{ return \
+                             ::std::result::Result::Err(::serde::de::Error::custom(\
+                             \"wrong arity for {name}::{vname}\")); }}\n"
+                        );
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("::serde::Deserialize::from_value(&__a[{k}])?")
+                            })
+                            .collect();
+                        arm.push_str(&format!(
+                            "::std::result::Result::Ok({name}::{vname}({})) }}\n",
+                            items.join(", ")
+                        ));
+                        data_arms.push_str(&arm);
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{ let __o = __inner.as_object()\
+                             .ok_or_else(|| ::serde::de::Error::custom(\
+                             \"expected object for {name}::{vname}\"))?;\n"
+                        );
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{}: {}",
+                                    f.name,
+                                    de_named_field(&format!("{name}::{vname}"), f)
+                                )
+                            })
+                            .collect();
+                        arm.push_str(&format!(
+                            "::std::result::Result::Ok({name}::{vname} {{\n{}\n}}) }}\n",
+                            inits.join(",\n")
+                        ));
+                        data_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = __m.iter().next().unwrap();\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"expected string or single-key object for enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_gen} ::serde::Deserialize for {name}{ty_gen} {{\n\
+         fn from_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,185 @@
+//! Minimal offline stand-in for the `serde_json` crate: a thin facade
+//! over the vendored value-based `serde` stub, which owns the [`Value`]
+//! tree, the JSON printer and the parser. This crate adds the
+//! `to_*`/`from_*` entry points and the [`json!`] macro. See
+//! `third_party/README.md`.
+
+pub use serde::value::{Map, Number, Value};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// A serialization or deserialization failure.
+pub type Error = serde::de::Error;
+
+/// Result alias matching real serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.to_value().write_json(&mut out);
+    Ok(out)
+}
+
+/// Pretty JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.to_value().write_json_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Pretty JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let value = Value::parse_json(s)?;
+    T::from_value(&value)
+}
+
+/// Parses a value from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| Error::custom(format!("invalid UTF-8 in JSON: {e}")))?;
+    from_str(s)
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T> {
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax. Supports objects with
+/// string-literal keys, arrays, `null`, and arbitrary serializable
+/// expressions in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __arr: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::__json_arr_val!(__arr [] $($tt)*);
+        $crate::Value::Array(__arr)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $crate::__json_entries!(__map $($tt)*);
+        $crate::Value::Object(__map)
+    }};
+    ($expr:expr) => { $crate::to_value(&$expr) };
+}
+
+/// Internal: evaluates one munched value-token run to a `Value`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_value_of {
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => { $crate::json!({ $($tt)* }) };
+    ([ $($tt:tt)* ]) => { $crate::json!([ $($tt)* ]) };
+    ($($expr:tt)+) => { $crate::to_value(&($($expr)+)) };
+}
+
+/// Internal: object-entry driver — expects `"key": <value tts> , ...`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_entries {
+    ($map:ident) => {};
+    ($map:ident $key:literal : $($rest:tt)*) => {
+        $crate::__json_obj_val!($map $key [] $($rest)*)
+    };
+}
+
+/// Internal: munches value tokens for one object entry until a
+/// top-level comma (or end), then recurses into the entry driver.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_obj_val {
+    ($map:ident $key:literal [$($acc:tt)+] , $($rest:tt)*) => {{
+        $map.insert(
+            ::std::string::ToString::to_string(&$key),
+            $crate::__json_value_of!($($acc)+),
+        );
+        $crate::__json_entries!($map $($rest)*);
+    }};
+    ($map:ident $key:literal [$($acc:tt)+]) => {
+        $map.insert(
+            ::std::string::ToString::to_string(&$key),
+            $crate::__json_value_of!($($acc)+),
+        );
+    };
+    ($map:ident $key:literal [$($acc:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_obj_val!($map $key [$($acc)* $next] $($rest)*)
+    };
+}
+
+/// Internal: munches array elements until top-level commas.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_arr_val {
+    ($arr:ident []) => {};
+    ($arr:ident [$($acc:tt)+] , $($rest:tt)*) => {{
+        $arr.push($crate::__json_value_of!($($acc)+));
+        $crate::__json_arr_val!($arr [] $($rest)*);
+    }};
+    ($arr:ident [$($acc:tt)+]) => {
+        $arr.push($crate::__json_value_of!($($acc)+));
+    };
+    ($arr:ident [$($acc:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_arr_val!($arr [$($acc)* $next] $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let n = 3u64;
+        let v = json!({
+            "a": 1,
+            "b": [1, null, "x"],
+            "c": { "nested": n },
+            "d": n + 1,
+            "e": "lit",
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"a":1,"b":[1,null,"x"],"c":{"nested":3},"d":4,"e":"lit"}"#
+        );
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([]).to_string(), "[]");
+        assert_eq!(json!({}).to_string(), "{}");
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let v: Vec<(String, u64)> = vec![("a".into(), 1), ("b".into(), 2)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"[["a",1],["b",2]]"#);
+        let back: Vec<(String, u64)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn option_and_floats() {
+        let s = to_string(&Some(1.5f64)).unwrap();
+        assert_eq!(s, "1.5");
+        let none: Option<f64> = from_str("null").unwrap();
+        assert_eq!(none, None);
+    }
+}
