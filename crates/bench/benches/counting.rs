@@ -45,6 +45,7 @@ fn bench_prefix_vs_hash_tree(c: &mut Criterion) {
         .collect();
     cands.sort();
     let block = store.block(BlockId(1)).unwrap();
+    let block = &*block;
 
     let mut group = c.benchmark_group("candidate_structures");
     group.bench_function("prefix_tree_scan", |b| {

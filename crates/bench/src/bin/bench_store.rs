@@ -1,0 +1,181 @@
+//! `BENCH_store.json` — the block-storage-engine point of the repo's
+//! machine-readable perf trajectory.
+//!
+//! Replays a Quest stream into a `TxStore` and mines the frequent
+//! itemsets under four residency configurations: fully in-memory and
+//! three spill budgets (1/2, 1/8, and a near-zero fraction of the
+//! unbounded footprint). Every configuration's mined model is asserted
+//! byte-identical to the in-memory serial reference on every run, so
+//! the timings always describe the same answer; the spill
+//! configurations are additionally asserted to have actually evicted.
+//!
+//! Knobs: `DEMON_SCALE` (dataset size, default 0.02) and
+//! `DEMON_BENCH_REPEATS` (timed repeats per configuration, default 5).
+//! The JSON is written to `BENCH_store.json` in the working directory
+//! (the repo root, when run via `cargo run`).
+
+use demon_bench::{bench_repeats, median_ms, quest_block, scale, write_bench_json};
+use demon_itemsets::{FrequentItemsets, TxStore};
+use demon_store::StoreConfig;
+use demon_types::{obs, BlockId, MinSupport, TxBlock};
+use serde_json::json;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const SPEC: &str = "1M.12L.1I.4pats.4plen";
+const N_ITEMS: u32 = 1000;
+const N_BLOCKS: u64 = 4;
+/// A budget far below any single block: every fetch cycles the disk.
+const TINY_BUDGET: u64 = 4096;
+
+fn main() {
+    let minsup = MinSupport::new(0.01).unwrap();
+    let repeats = bench_repeats();
+    let blocks = prepare();
+    let n_txs: usize = blocks.iter().map(|b| b.len()).sum();
+
+    // In-memory serial reference: the model every configuration must
+    // reproduce, and the unbounded footprint the budgets divide.
+    let (unbounded_bytes, reference) = {
+        let mut store = TxStore::new(N_ITEMS);
+        for b in &blocks {
+            store.add_block(b.clone());
+        }
+        let ids: Vec<BlockId> = store.block_ids().to_vec();
+        let model = FrequentItemsets::mine_from(&store, &ids, minsup).unwrap();
+        (
+            store.resident_bytes(),
+            serde_json::to_string(&model).unwrap(),
+        )
+    };
+    println!(
+        "# BENCH store: {n_txs} txs in {N_BLOCKS} blocks, {unbounded_bytes} bytes unbounded, \
+         scale={}, repeats={repeats}",
+        scale()
+    );
+
+    let configs: Vec<(&str, Option<u64>)> = vec![
+        ("in_memory", None),
+        ("budget_half", Some(unbounded_bytes / 2)),
+        ("budget_eighth", Some(unbounded_bytes / 8)),
+        ("budget_tiny", Some(TINY_BUDGET)),
+    ];
+
+    let mut sweep = Vec::new();
+    let mut op_counts = serde_json::Map::new();
+    for (name, budget) in &configs {
+        let config = store_config(name, *budget);
+        let mut replay_samples = Vec::with_capacity(repeats);
+        let mut mine_samples = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let (replay, mine, model) = run(&config, &blocks, minsup);
+            assert_eq!(
+                model, reference,
+                "{name}: mined model disagrees with the in-memory serial reference"
+            );
+            replay_samples.push(replay);
+            mine_samples.push(mine);
+        }
+        let medians = json!({
+            "replay": median_ms(&mut replay_samples),
+            "mine": median_ms(&mut mine_samples),
+        });
+        println!("# {name}: {medians}");
+        sweep.push(json!({
+            "config": name,
+            "budget_bytes": budget,
+            "median_ms": medians,
+        }));
+
+        // One extra pass with the recorder on — the timed loops above run
+        // with it off, so the medians are untouched by instrumentation.
+        obs::reset();
+        obs::enable();
+        let (_, _, model) = run(&config, &blocks, minsup);
+        obs::disable();
+        assert_eq!(model, reference, "{name}: instrumented pass diverged");
+        let mut section = serde_json::Map::new();
+        for (counter, value) in obs::snapshot().counters {
+            if value > 0 {
+                section.insert(counter.to_string(), json!(value));
+            }
+        }
+        if budget.is_some() {
+            for required in ["store.evictions", "store.bytes_spilled"] {
+                assert!(
+                    section.get(required).is_some(),
+                    "{name}: budgeted replay never touched the disk ({required} is zero)"
+                );
+            }
+        }
+        op_counts.insert(name.to_string(), json!(section));
+    }
+
+    write_bench_json(
+        "BENCH_store.json",
+        json!({
+            "bench": "store",
+            "spec": SPEC,
+            "scale": scale(),
+            "repeats": repeats,
+            "n_blocks": N_BLOCKS,
+            "n_transactions": n_txs,
+            "unbounded_resident_bytes": unbounded_bytes,
+            "configs": sweep,
+            "op_counts": op_counts,
+        }),
+    );
+}
+
+/// The Quest stream, loaded as `N_BLOCKS` equal slices of the spec.
+fn prepare() -> Vec<TxBlock> {
+    let mut tid = 1u64;
+    (1..=N_BLOCKS)
+        .map(|b| {
+            let block = quest_block(&slice(SPEC), b, BlockId(b), tid);
+            tid += block.len() as u64;
+            block
+        })
+        .collect()
+}
+
+/// Divides the spec's transaction count by `N_BLOCKS`.
+fn slice(spec: &str) -> String {
+    let mut parts: Vec<String> = spec.split('.').map(str::to_string).collect();
+    let m: f64 = parts[0].trim_end_matches('M').parse().unwrap();
+    parts[0] = format!("{}K", (m * 1000.0 / N_BLOCKS as f64).round() as u64);
+    parts.join(".")
+}
+
+fn store_config(name: &str, budget: Option<u64>) -> StoreConfig {
+    match budget {
+        None => StoreConfig::InMemory,
+        Some(bytes) => StoreConfig::budget(spill_dir(name), bytes),
+    }
+}
+
+fn spill_dir(name: &str) -> PathBuf {
+    std::env::temp_dir()
+        .join(format!("demon-bench-store-{}", std::process::id()))
+        .join(name)
+}
+
+/// Replays the stream into a fresh store under `config` and mines it,
+/// returning the two phase timings and the mined model's JSON.
+fn run(
+    config: &StoreConfig,
+    blocks: &[TxBlock],
+    minsup: MinSupport,
+) -> (Duration, Duration, String) {
+    let mut store = TxStore::with_config(N_ITEMS, config).expect("store builds");
+    let t0 = Instant::now();
+    for b in blocks {
+        store.add_block(b.clone());
+    }
+    let replay = t0.elapsed();
+    let ids: Vec<BlockId> = store.block_ids().to_vec();
+    let t1 = Instant::now();
+    let model = FrequentItemsets::mine_from(&store, &ids, minsup).unwrap();
+    let mine = t1.elapsed();
+    (replay, mine, serde_json::to_string(&model).unwrap())
+}

@@ -66,8 +66,10 @@ pub mod cf;
 pub mod dbscan;
 pub mod cftree;
 pub mod global;
+pub mod spill;
 
 pub use birch::{Birch, BirchModel, BirchParams, BirchPlus, Cluster};
 pub use cf::ClusterFeature;
 pub use dbscan::IncrementalDbscan;
 pub use cftree::CfTree;
+pub use spill::PointBlockEntry;

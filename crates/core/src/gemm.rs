@@ -32,10 +32,11 @@
 
 use crate::bss::BlockSelector;
 use crate::maintainer::ModelMaintainer;
-use demon_types::durable::{self, FrameClass};
+use demon_store::{BlockStore, Spillable, SpillPolicy};
+use demon_types::durable::FrameClass;
 use demon_types::parallel::{self, par_for_each_mut};
 use demon_types::{obs, Block, BlockId, DemonError, Parallelism, Result};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -70,47 +71,43 @@ pub struct GemmStats {
     pub models_rebuilt: usize,
 }
 
-/// One maintained model slot: the future window it belongs to (identified
-/// by that window's start block) and the model of its overlap prefix.
-struct Slot<Model> {
-    start: BlockId,
-    model: Stored<Model>,
-}
+/// One off-line model as held by the shelf's storage engine, keyed by
+/// its future window's start block. On disk it is the same framed JSON
+/// `slot_<start>.model` file the shelf has always written — the engine
+/// supplies the atomic writes, checksums and residency tracking.
+struct ShelfModel<T>(T);
 
-enum Stored<Model> {
-    Mem(Model),
-    Disk(PathBuf),
-}
-
-impl<Model: serde::Serialize + serde::de::DeserializeOwned> Stored<Model> {
-    /// Reads a shelved model: framed + checksummed, with a bounded retry
-    /// on transient I/O errors. A frame that validates but does not parse
-    /// is reported as corruption naming the file.
-    fn load_from(path: &Path) -> Result<Model> {
-        let (payload, _) =
-            durable::read_framed_with_retry(path, FrameClass::SHELF, SHELF_READ_ATTEMPTS)?;
-        obs::incr(obs::Counter::ShelfHits);
-        obs::add(obs::Counter::ShelfBytesRead, payload.len() as u64);
-        serde_json::from_slice(&payload).map_err(|e| DemonError::Corrupt {
-            file: path.display().to_string(),
-            detail: format!("shelved model does not parse: {e}"),
-        })
+impl<T: Clone + Send + Sync + serde::Serialize + serde::de::DeserializeOwned> Spillable
+    for ShelfModel<T>
+{
+    fn frame_class() -> FrameClass {
+        FrameClass::SHELF
     }
 
-    /// Shelves a model atomically as a framed file; a crash mid-write
-    /// leaves the previous file (or none), never a torn model.
-    fn write(path: &Path, model: &Model) -> Result<()> {
-        let bytes =
-            serde_json::to_vec(model).map_err(|e| DemonError::Serde(e.to_string()))?;
+    fn spill_file_name(id: BlockId) -> String {
+        format!("slot_{}.model", id.value())
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        let bytes = serde_json::to_vec(&self.0).map_err(|e| DemonError::Serde(e.to_string()))?;
         obs::add(obs::Counter::ShelfBytesWritten, bytes.len() as u64);
-        durable::write_framed(path, FrameClass::SHELF, &bytes)?;
-        Ok(())
+        Ok(bytes)
     }
-}
 
-/// The shelf file of the future window starting at `start`.
-fn shelf_path(dir: &Path, start: BlockId) -> PathBuf {
-    dir.join(format!("slot_{}.model", start.value()))
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        obs::incr(obs::Counter::ShelfHits);
+        obs::add(obs::Counter::ShelfBytesRead, bytes.len() as u64);
+        serde_json::from_slice(bytes)
+            .map(ShelfModel)
+            .map_err(|e| DemonError::Serde(format!("shelved model does not parse: {e}")))
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        // Shelved models are not block data; the disk shelf evicts them
+        // unconditionally (SpillPolicy::Always), so they contribute
+        // nothing to the block-residency gauge.
+        0
+    }
 }
 
 /// Whether a shelf-load failure can be healed by replaying the block
@@ -126,15 +123,29 @@ fn shelf_loss_is_recoverable(e: &DemonError) -> bool {
     }
 }
 
+/// An I/O failure worth retrying a bounded number of times (anything
+/// but a plainly-missing file, which the rebuild path handles instead).
+fn shelf_loss_is_transient(e: &DemonError) -> bool {
+    matches!(e, DemonError::Io(io) if io.kind() != std::io::ErrorKind::NotFound)
+}
+
 /// The generic most-recent-window maintainer.
 pub struct Gemm<M: ModelMaintainer> {
     maintainer: M,
     selector: BlockSelector,
     w: usize,
     shelf: ShelfMode,
+    /// The off-line models (every slot but the current one), held in a
+    /// block storage engine: in-memory for [`ShelfMode::Memory`], spill
+    /// with [`SpillPolicy::Always`] for [`ShelfMode::Disk`].
+    store: BlockStore<ShelfModel<M::Model>>,
     par: Parallelism,
     retire: bool,
-    slots: Vec<Slot<M::Model>>,
+    /// Starts of the maintained future windows, ascending; the first is
+    /// the current window.
+    starts: Vec<BlockId>,
+    /// The current window's model — always pinned in memory.
+    current: Option<M::Model>,
     latest: Option<BlockId>,
     /// Lifetime count of shelved models rebuilt from the block stream
     /// (atomic because [`Gemm::future_model`] rebuilds through `&self`).
@@ -164,19 +175,25 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
             selector,
             w,
             shelf: ShelfMode::Memory,
+            store: BlockStore::in_memory(),
             par: Parallelism::serial(),
             retire: true,
-            slots: Vec::new(),
+            starts: Vec::new(),
+            current: None,
             latest: None,
             rebuilds: AtomicU64::new(0),
         })
     }
 
-    /// Moves the off-line models to a disk shelf.
+    /// Moves the off-line models to a disk shelf (call before the first
+    /// block; switching modes discards any off-line models held so far).
     pub fn with_shelf(mut self, shelf: ShelfMode) -> Result<Self> {
-        if let ShelfMode::Disk(dir) = &shelf {
-            std::fs::create_dir_all(dir)?;
-        }
+        self.store = match &shelf {
+            ShelfMode::Memory => BlockStore::in_memory(),
+            ShelfMode::Disk(dir) => {
+                BlockStore::spill(dir.clone(), SpillPolicy::Always, false)?
+            }
+        };
         self.shelf = shelf;
         Ok(self)
     }
@@ -233,37 +250,77 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
 
     /// Start of the current most-recent window.
     pub fn window_start(&self) -> Option<BlockId> {
-        self.slots.first().map(|s| s.start)
+        self.starts.first().copied()
     }
 
     /// The model on the current window w.r.t. the BSS — always held in
     /// memory. `None` before the first block.
     pub fn current_model(&self) -> Option<&M::Model> {
-        match self.slots.first().map(|s| &s.model) {
-            Some(Stored::Mem(m)) => Some(m),
-            Some(Stored::Disk(_)) => unreachable!("current model is pinned in memory"),
-            None => None,
-        }
+        self.current.as_ref()
     }
 
     /// Loads (a clone of) the prefix model of the future window starting
-    /// at `start` — test/diagnostic access to the whole collection.
+    /// at `start` — test/diagnostic access to the whole collection. A
+    /// shelf entry whose bytes are lost or damaged is rebuilt from the
+    /// block stream (the entry itself is left for the next slide to
+    /// repair in place).
     pub fn future_model(&self, start: BlockId) -> Result<M::Model>
     where
         M::Model: Clone,
     {
-        let slot = self
-            .slots
-            .iter()
-            .find(|s| s.start == start)
-            .ok_or(DemonError::UnknownBlock(start.value()))?;
-        match &slot.model {
-            Stored::Mem(m) => Ok(m.clone()),
-            Stored::Disk(path) => match Stored::load_from(path) {
-                Ok(m) => Ok(m),
-                Err(e) if shelf_loss_is_recoverable(&e) => Ok(self.rebuild_model(start, self.latest)),
-                Err(e) => Err(e),
-            },
+        if !self.starts.contains(&start) {
+            return Err(DemonError::UnknownBlock(start.value()));
+        }
+        if self.starts.first() == Some(&start) {
+            return match &self.current {
+                Some(m) => Ok(m.clone()),
+                None => unreachable!("current model exists while windows do"),
+            };
+        }
+        match self.shelf_get(start) {
+            Ok(Some(m)) => Ok(m),
+            Ok(None) => Ok(self.rebuild_model(start, self.latest)),
+            Err(e) if shelf_loss_is_recoverable(&e) => Ok(self.rebuild_model(start, self.latest)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads an off-line model through the storage engine with a bounded
+    /// retry on transient I/O errors, leaving the entry in place.
+    fn shelf_get(&self, start: BlockId) -> Result<Option<M::Model>> {
+        let mut attempt = 1;
+        loop {
+            match self.store.get(start) {
+                Ok(opt) => return Ok(opt.map(|p| p.0.clone())),
+                Err(e) if shelf_loss_is_transient(&e) && attempt < SHELF_READ_ATTEMPTS => {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Takes an off-line model out of the shelf store (dropping its slot
+    /// file), rebuilding it from the block stream when its shelved bytes
+    /// are lost or damaged. `upto` is the last block the shelved state
+    /// covered — the replay bound for a rebuild.
+    fn take_or_rebuild(&self, start: BlockId, upto: BlockId) -> Result<M::Model> {
+        let mut attempt = 1;
+        loop {
+            match self.store.take(start) {
+                Ok(Some(m)) => return Ok(m.0),
+                Ok(None) => return Ok(self.rebuild_model(start, Some(upto))),
+                Err(e) if shelf_loss_is_transient(&e) && attempt < SHELF_READ_ATTEMPTS => {
+                    attempt += 1;
+                }
+                Err(e) if shelf_loss_is_recoverable(&e) => {
+                    // Drop the damaged entry (and its file) so the rebuilt
+                    // model re-shelves cleanly.
+                    self.store.remove(start);
+                    return Ok(self.rebuild_model(start, Some(upto)));
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -291,7 +348,7 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
     /// Starts of all maintained future windows (ascending; the first is
     /// the current window).
     pub fn slot_starts(&self) -> Vec<BlockId> {
-        self.slots.iter().map(|s| s.start).collect()
+        self.starts.clone()
     }
 
     /// Processes the next arriving block (ids must be contiguous).
@@ -309,68 +366,55 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
         let rebuilds_before = self.rebuilds.load(Ordering::Relaxed);
 
         // Slide: drop the outgoing current slot once the window is full.
-        if self.slots.len() == self.w {
-            let gone = self.slots.remove(0);
-            if let Stored::Disk(path) = &gone.model {
-                let _ = std::fs::remove_file(path);
-            }
+        // Its model lives in `current`, never in the shelf store, so
+        // there is no entry or file to clean up.
+        if self.starts.len() == self.w {
+            self.starts.remove(0);
+            self.current = None;
         }
         // New future window starting at the arriving block.
-        self.slots.push(Slot {
-            start: id,
-            model: Stored::Mem(self.maintainer.fresh()),
-        });
+        self.starts.push(id);
+        let mut fresh = Some(self.maintainer.fresh());
 
-        // The new current slot must be in memory before its timed update.
-        // Its shelved state covers blocks up to the previous arrival.
-        self.unshelve_front(BlockId(id.value() - 1))?;
+        // The new current model must be in memory before its timed
+        // update. Its shelved state covers blocks up to the previous
+        // arrival — the replay bound if the shelf turns out damaged.
+        if self.current.is_none() {
+            let front = self.starts[0];
+            self.current = Some(if front == id {
+                match fresh.take() {
+                    Some(m) => m,
+                    None => unreachable!("fresh model created this call"),
+                }
+            } else {
+                self.take_or_rebuild(front, BlockId(id.value() - 1))?
+            });
+        }
 
         // Time-critical update: the new current model.
-        let current_bit = self.bit_for(self.slots[0].start, id);
+        let current_bit = self.bit_for(self.starts[0], id);
         let t0 = Instant::now();
         if current_bit {
-            let Stored::Mem(model) = &mut self.slots[0].model else {
-                unreachable!("front slot unshelved above");
-            };
-            self.maintainer.absorb(model, id);
+            if let Some(model) = self.current.as_mut() {
+                self.maintainer.absorb(model, id);
+            }
         }
         stats.response_time = t0.elapsed();
         stats.absorbed_into_current = current_bit;
 
         // Off-line updates of the remaining slots.
         let t1 = Instant::now();
-        stats.offline_absorbed = self.update_offline(id)?;
+        stats.offline_absorbed = self.update_offline(id, fresh)?;
         stats.offline_time = t1.elapsed();
 
         // Retire data no maintained window can reach.
-        if self.retire && self.slots[0].start.value() > 1 {
+        if self.retire && self.starts[0].value() > 1 {
             self.maintainer
-                .retire_block(BlockId(self.slots[0].start.value() - 1));
+                .retire_block(BlockId(self.starts[0].value() - 1));
         }
         stats.models_rebuilt =
             (self.rebuilds.load(Ordering::Relaxed) - rebuilds_before) as usize;
         Ok(stats)
-    }
-
-    /// Pulls the front slot into memory if it was shelved, removing its
-    /// now-stale shelf file. `upto` is the last block the shelved state
-    /// covered — the replay bound if the file turns out to be damaged.
-    fn unshelve_front(&mut self, upto: BlockId) -> Result<()> {
-        let Some(slot) = self.slots.first() else {
-            return Ok(());
-        };
-        let (start, path) = match &slot.model {
-            Stored::Disk(path) => (slot.start, path.clone()),
-            Stored::Mem(_) => return Ok(()),
-        };
-        let model = match Stored::load_from(&path) {
-            Ok(m) => m,
-            Err(e) if shelf_loss_is_recoverable(&e) => self.rebuild_model(start, Some(upto)),
-            Err(e) => return Err(e),
-        };
-        let _ = std::fs::remove_file(&path);
-        self.slots[0].model = Stored::Mem(model);
-        Ok(())
     }
 
     fn bit_for(&self, slot_start: BlockId, arriving: BlockId) -> bool {
@@ -378,16 +422,18 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
             .selects_arriving(arriving, slot_start, self.w)
     }
 
-    fn update_offline(&mut self, id: BlockId) -> Result<usize> {
+    /// Updates every off-line model for arriving block `id`. `fresh` is
+    /// the brand-new model of the window starting at `id`, unless the
+    /// timed current-slot path already consumed it (w = 1).
+    fn update_offline(&mut self, id: BlockId, mut fresh: Option<M::Model>) -> Result<usize> {
         let w = self.w;
         let selector = self.selector.clone();
-        // Collect the work: (slot index, absorb?).
-        let work: Vec<(usize, bool)> = self
-            .slots
+        // Collect the work: (window start, absorb?).
+        let work: Vec<(BlockId, bool)> = self
+            .starts
             .iter()
-            .enumerate()
             .skip(1)
-            .map(|(i, s)| (i, selector.selects_arriving(id, s.start, w)))
+            .map(|&s| (s, selector.selects_arriving(id, s, w)))
             .collect();
         let absorbed = work.iter().filter(|&&(_, b)| b).count();
         // Off-line absorbs follow the BSS projected onto each future
@@ -398,30 +444,22 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
         };
         obs::add(op, absorbed as u64);
 
-        // Load shelved models, update, re-shelve. A damaged shelf file is
-        // rebuilt from the block stream (state as of the previous arrival;
-        // this very loop then absorbs the new block where selected).
-        let mut loaded: Vec<(usize, M::Model, bool)> = Vec::with_capacity(work.len());
-        for &(i, bit) in &work {
-            let model = match &self.slots[i].model {
-                Stored::Mem(_) => {
-                    if let Stored::Mem(m) =
-                        std::mem::replace(&mut self.slots[i].model, Stored::Disk(PathBuf::new()))
-                    {
-                        m
-                    } else {
-                        unreachable!()
-                    }
+        // Take every off-line model out of the store serially (loads,
+        // counters and rebuilds happen outside the parallel region). A
+        // damaged shelf entry is rebuilt from the block stream (state as
+        // of the previous arrival; this very loop then absorbs the new
+        // block where selected).
+        let mut loaded: Vec<(BlockId, M::Model, bool)> = Vec::with_capacity(work.len());
+        for &(start, bit) in &work {
+            let model = if start == id {
+                match fresh.take() {
+                    Some(m) => m,
+                    None => unreachable!("new slot model created once per arrival"),
                 }
-                Stored::Disk(path) => match Stored::load_from(path) {
-                    Ok(m) => m,
-                    Err(e) if shelf_loss_is_recoverable(&e) => {
-                        self.rebuild_model(self.slots[i].start, Some(BlockId(id.value() - 1)))
-                    }
-                    Err(e) => return Err(e),
-                },
+            } else {
+                self.take_or_rebuild(start, BlockId(id.value() - 1))?
             };
-            loaded.push((i, model, bit));
+            loaded.push((start, model, bit));
         }
 
         // Each selected model is absorbed by exactly one worker and the
@@ -434,16 +472,11 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
             }
         });
 
-        // Put models back (to memory or to the shelf).
-        for (i, model, _) in loaded {
-            self.slots[i].model = match &self.shelf {
-                ShelfMode::Memory => Stored::Mem(model),
-                ShelfMode::Disk(dir) => {
-                    let path = shelf_path(dir, self.slots[i].start);
-                    Stored::write(&path, &model)?;
-                    Stored::Disk(path)
-                }
-            };
+        // Put the models back in slot order; a disk shelf spills each one
+        // to its `slot_<start>.model` file as it is inserted
+        // ([`SpillPolicy::Always`]).
+        for (start, model, _) in loaded {
+            self.store.insert(start, ShelfModel(model));
         }
         Ok(absorbed)
     }

@@ -12,12 +12,13 @@
 //! * `retire_block` — drop the stored data of blocks no maintained window
 //!   can ever need again.
 
-use demon_clustering::{BirchModel, BirchParams, CfTree};
+use demon_clustering::{BirchModel, BirchParams, CfTree, PointBlockEntry};
 use demon_itemsets::{CounterKind, FrequentItemsets, TxStore};
-use demon_types::{BlockId, MinSupport, PointBlock, TxBlock};
+use demon_store::{BlockStore, StoreConfig};
+use demon_trees::LabeledBlockEntry;
+use demon_types::{BlockId, MinSupport, PointBlock, Result, TxBlock};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
-use std::collections::BTreeMap;
 
 /// An incremental model maintenance algorithm for the unrestricted window
 /// option, as consumed by GEMM.
@@ -25,9 +26,9 @@ pub trait ModelMaintainer {
     /// The record type of the blocks this maintainer consumes.
     type Record;
     /// The maintained model. `Clone` for the collection bookkeeping,
-    /// serde for GEMM's on-disk model shelf, `Send` for parallel off-line
-    /// updates.
-    type Model: Clone + Send + Serialize + DeserializeOwned;
+    /// serde for GEMM's on-disk model shelf, `Send + Sync` for parallel
+    /// off-line updates and the shelf's storage-engine entries.
+    type Model: Clone + Send + Sync + Serialize + DeserializeOwned;
 
     /// A model of the empty dataset.
     fn fresh(&self) -> Self::Model;
@@ -76,20 +77,41 @@ pub struct ItemsetMaintainer {
 
 impl ItemsetMaintainer {
     /// A maintainer over an `n_items` universe, mining at `minsup`, with
-    /// the given update-phase counter.
+    /// the given update-phase counter. Blocks stay resident in memory;
+    /// see [`ItemsetMaintainer::with_store_config`] for a bounded store.
     pub fn new(n_items: u32, minsup: MinSupport, counter: CounterKind) -> Self {
-        let materialization = match counter {
-            CounterKind::EcutPlus => PairMaterialization::BlockLocal {
-                budget_fraction: None,
-            },
-            _ => PairMaterialization::None,
-        };
         ItemsetMaintainer {
             store: TxStore::new(n_items),
             minsup,
             counter,
-            materialization,
+            materialization: Self::default_materialization(counter),
             pair_minsup: minsup,
+        }
+    }
+
+    /// [`ItemsetMaintainer::new`] over a storage engine built from
+    /// `config` — blocks spill to disk under a memory budget.
+    pub fn with_store_config(
+        n_items: u32,
+        minsup: MinSupport,
+        counter: CounterKind,
+        config: &StoreConfig,
+    ) -> Result<Self> {
+        Ok(ItemsetMaintainer {
+            store: TxStore::with_config(n_items, config)?,
+            minsup,
+            counter,
+            materialization: Self::default_materialization(counter),
+            pair_minsup: minsup,
+        })
+    }
+
+    fn default_materialization(counter: CounterKind) -> PairMaterialization {
+        match counter {
+            CounterKind::EcutPlus => PairMaterialization::BlockLocal {
+                budget_fraction: None,
+            },
+            _ => PairMaterialization::None,
         }
     }
 
@@ -144,11 +166,15 @@ impl ModelMaintainer for ItemsetMaintainer {
         let id = block.id();
         self.store.add_block(block);
         if let PairMaterialization::BlockLocal { budget_fraction } = self.materialization {
-            // Mine the block's own frequent 2-itemsets as the priority list.
-            let blk = self.store.block(id).expect("block just added");
-            let local =
-                FrequentItemsets::mine_blocks(&[blk], self.store.n_items(), self.pair_minsup);
-            let pairs = local.frequent_pairs_by_support();
+            // Mine the block's own frequent 2-itemsets as the priority
+            // list. The pin on the block must end before
+            // `materialize_pairs` mutates the store.
+            let pairs = {
+                let blk = self.store.block(id).expect("block just added");
+                let local =
+                    FrequentItemsets::mine_blocks(&[&blk], self.store.n_items(), self.pair_minsup);
+                local.frequent_pairs_by_support()
+            };
             let budget = budget_fraction
                 .map(|f| (self.store.item_space(&[id]) as f64 * f).round() as u64);
             self.store.materialize_pairs(id, &pairs, budget);
@@ -166,24 +192,40 @@ impl ModelMaintainer for ItemsetMaintainer {
     }
 }
 
-/// The clustering maintainer: BIRCH+ phase-1 trees as models.
+/// The clustering maintainer: BIRCH+ phase-1 trees as models, over
+/// point blocks held in the block storage engine.
 pub struct ClusterMaintainer {
     params: BirchParams,
-    blocks: BTreeMap<BlockId, PointBlock>,
+    blocks: BlockStore<PointBlockEntry>,
 }
 
 impl ClusterMaintainer {
-    /// A maintainer with the given BIRCH parameters.
+    /// A maintainer with the given BIRCH parameters; blocks stay
+    /// resident in memory.
     pub fn new(params: BirchParams) -> Self {
         ClusterMaintainer {
             params,
-            blocks: BTreeMap::new(),
+            blocks: BlockStore::in_memory(),
         }
+    }
+
+    /// [`ClusterMaintainer::new`] over a storage engine built from
+    /// `config` — blocks spill to disk under a memory budget.
+    pub fn with_store_config(params: BirchParams, config: &StoreConfig) -> Result<Self> {
+        Ok(ClusterMaintainer {
+            params,
+            blocks: config.build("points")?,
+        })
     }
 
     /// The BIRCH parameters.
     pub fn params(&self) -> &BirchParams {
         &self.params
+    }
+
+    /// The block storage engine holding the registered point blocks.
+    pub fn store(&self) -> &BlockStore<PointBlockEntry> {
+        &self.blocks
     }
 
     /// Runs phase 2 on a maintained tree, yielding the cluster model.
@@ -231,21 +273,22 @@ impl ModelMaintainer for ClusterMaintainer {
     }
 
     fn register_block(&mut self, block: PointBlock) {
-        self.blocks.insert(block.id(), block);
+        self.blocks.insert(block.id(), PointBlockEntry(block));
     }
 
     fn absorb(&self, model: &mut CfTree, id: BlockId) {
-        let block = self
+        let entry = self
             .blocks
-            .get(&id)
+            .get(id)
+            .expect("registered block readable")
             .expect("absorb of registered block");
-        for p in block.records() {
+        for p in entry.0.records() {
             model.insert_point(p);
         }
     }
 
     fn retire_block(&mut self, id: BlockId) {
-        self.blocks.remove(&id);
+        self.blocks.remove(id);
     }
 }
 
@@ -263,7 +306,7 @@ impl ModelMaintainer for ClusterMaintainer {
 pub struct TreeMaintainer {
     params: demon_trees::TreeParams,
     dim: usize,
-    blocks: BTreeMap<BlockId, demon_types::Block<demon_trees::LabeledPoint>>,
+    blocks: BlockStore<LabeledBlockEntry>,
 }
 
 /// The tree model GEMM maintains: the fitted tree plus the ids of the
@@ -277,13 +320,33 @@ pub struct WindowedTree {
 }
 
 impl TreeMaintainer {
-    /// A maintainer fitting `dim`-dimensional labeled points.
+    /// A maintainer fitting `dim`-dimensional labeled points; blocks
+    /// stay resident in memory.
     pub fn new(dim: usize, params: demon_trees::TreeParams) -> Self {
         TreeMaintainer {
             params,
             dim,
-            blocks: BTreeMap::new(),
+            blocks: BlockStore::in_memory(),
         }
+    }
+
+    /// [`TreeMaintainer::new`] over a storage engine built from
+    /// `config` — blocks spill to disk under a memory budget.
+    pub fn with_store_config(
+        dim: usize,
+        params: demon_trees::TreeParams,
+        config: &StoreConfig,
+    ) -> Result<Self> {
+        Ok(TreeMaintainer {
+            params,
+            dim,
+            blocks: config.build("labeled")?,
+        })
+    }
+
+    /// The block storage engine holding the registered labeled blocks.
+    pub fn store(&self) -> &BlockStore<LabeledBlockEntry> {
+        &self.blocks
     }
 }
 
@@ -299,7 +362,7 @@ impl ModelMaintainer for TreeMaintainer {
     }
 
     fn register_block(&mut self, block: demon_types::Block<demon_trees::LabeledPoint>) {
-        self.blocks.insert(block.id(), block);
+        self.blocks.insert(block.id(), LabeledBlockEntry(block));
     }
 
     fn absorb(&self, model: &mut WindowedTree, id: BlockId) {
@@ -308,8 +371,8 @@ impl ModelMaintainer for TreeMaintainer {
         let records: Vec<demon_trees::LabeledPoint> = model
             .covers
             .iter()
-            .filter_map(|b| self.blocks.get(b))
-            .flat_map(|b| b.records().iter().cloned())
+            .filter_map(|&b| self.blocks.get(b).expect("registered block readable"))
+            .flat_map(|entry| entry.0.records().to_vec())
             .collect();
         model.tree = Some(demon_trees::DecisionTree::fit(
             &records,
@@ -319,7 +382,7 @@ impl ModelMaintainer for TreeMaintainer {
     }
 
     fn retire_block(&mut self, id: BlockId) {
-        self.blocks.remove(&id);
+        self.blocks.remove(id);
     }
 }
 

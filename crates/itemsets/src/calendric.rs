@@ -111,10 +111,10 @@ pub fn calendric_rules(
 
 fn block_model(store: &TxStore, id: BlockId, minsup: MinSupport) -> Result<FrequentItemsets> {
     let block = store
-        .block(id)
+        .try_block(id)?
         .ok_or(DemonError::UnknownBlock(id.value()))?;
     Ok(FrequentItemsets::mine_blocks(
-        &[block],
+        &[&block],
         store.n_items(),
         minsup,
     ))

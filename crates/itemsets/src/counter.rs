@@ -29,8 +29,9 @@
 //! ([`demon_types::parallel::global`]).
 
 use crate::prefix_tree::PrefixTree;
-use crate::store::TxStore;
+use crate::store::{TxEntry, TxStore};
 use crate::tidlist::{intersect_sorted_into, BlockTidLists};
+use demon_store::Pinned;
 use demon_types::parallel::{self, par_ranges};
 use demon_types::{obs, BlockId, Item, ItemSet, Parallelism, Tid, TxBlock};
 use serde::{Deserialize, Serialize};
@@ -104,9 +105,15 @@ pub fn count_supports_with(
     if candidates.is_empty() {
         return CountResult::default();
     }
+    // Pin every selected block up front, serially and in selection
+    // order: any storage-engine loads (and their `store.*` counters)
+    // happen before the parallel region, so the shards below never
+    // touch the engine and results stay thread-count invariant even
+    // under a memory budget. Retired blocks are skipped, as before.
+    let pinned = store.pin_entries(ids);
     let resolved = match kind {
         CounterKind::Adaptive => {
-            if tid_cost_estimate(store, ids, candidates) <= scan_cost_estimate(store, ids) {
+            if tid_cost_estimate(&pinned, candidates) <= scan_cost_estimate(&pinned) {
                 CounterKind::EcutPlus
             } else {
                 CounterKind::PtScan
@@ -115,9 +122,9 @@ pub fn count_supports_with(
         fixed => fixed,
     };
     let result = match resolved {
-        CounterKind::PtScan => pt_scan(store, ids, candidates, par),
-        CounterKind::Ecut => tid_count(store, ids, candidates, false, par),
-        CounterKind::EcutPlus => tid_count(store, ids, candidates, true, par),
+        CounterKind::PtScan => pt_scan(&pinned, candidates, par),
+        CounterKind::Ecut => tid_count(&pinned, candidates, false, par),
+        CounterKind::EcutPlus => tid_count(&pinned, candidates, true, par),
         CounterKind::Adaptive => unreachable!("resolved above"),
     };
     obs::add(obs::Counter::CandidatesProbed, candidates.len() as u64);
@@ -131,33 +138,32 @@ pub fn count_supports_with(
 
 /// Units ECUT+ would read: Σ over blocks and candidates of the item-list
 /// lengths (pair covers only shrink this, so it is an upper bound).
-fn tid_cost_estimate(store: &TxStore, ids: &[BlockId], candidates: &[ItemSet]) -> u64 {
+fn tid_cost_estimate(entries: &[Pinned<'_, TxEntry>], candidates: &[ItemSet]) -> u64 {
     let mut cost = 0u64;
-    for id in ids {
-        if let Some(lists) = store.tidlists().block(*id) {
-            for cand in candidates {
-                cost += cand
-                    .items()
-                    .iter()
-                    .map(|&i| lists.item_support(i))
-                    .sum::<u64>();
-            }
+    for entry in entries {
+        let lists = &entry.lists;
+        for cand in candidates {
+            cost += cand
+                .items()
+                .iter()
+                .map(|&i| lists.item_support(i))
+                .sum::<u64>();
         }
     }
     cost
 }
 
 /// Units PT-Scan would read: the transactional size of the selection.
-fn scan_cost_estimate(store: &TxStore, ids: &[BlockId]) -> u64 {
-    store.item_space(ids)
+fn scan_cost_estimate(entries: &[Pinned<'_, TxEntry>]) -> u64 {
+    entries.iter().map(|e| e.lists.item_space()).sum()
 }
 
 /// PT-Scan, sharded over contiguous transaction ranges of the selected
 /// blocks. Every worker probes its own prefix tree over the full
 /// candidate set; the per-candidate counts (exact `u64`s) are summed in
 /// shard order, which makes the result independent of the thread count.
-fn pt_scan(store: &TxStore, ids: &[BlockId], candidates: &[ItemSet], par: Parallelism) -> CountResult {
-    let blocks: Vec<&TxBlock> = ids.iter().filter_map(|id| store.block(*id)).collect();
+fn pt_scan(entries: &[Pinned<'_, TxEntry>], candidates: &[ItemSet], par: Parallelism) -> CountResult {
+    let blocks: Vec<&TxBlock> = entries.iter().map(|e| &e.block).collect();
     let fetched = blocks.len() as u64;
     // Prefix sums of block lengths: shard the *global* transaction index.
     let mut starts = Vec::with_capacity(blocks.len() + 1);
@@ -223,8 +229,7 @@ struct CountScratch<'s> {
 /// owns a disjoint slice of the output counts and walks all selected
 /// blocks for its candidates, accumulating into per-worker scratch.
 fn tid_count(
-    store: &TxStore,
-    ids: &[BlockId],
+    entries: &[Pinned<'_, TxEntry>],
     candidates: &[ItemSet],
     use_pairs: bool,
     par: Parallelism,
@@ -234,10 +239,8 @@ fn tid_count(
         let mut units = 0u64;
         let mut fetched = 0u64;
         let mut scratch = CountScratch::default();
-        for id in ids {
-            let Some(lists) = store.tidlists().block(*id) else {
-                continue;
-            };
+        for entry in entries {
+            let lists = &entry.lists;
             for (ci, cand) in candidates[range.clone()].iter().enumerate() {
                 let (support, read, n_lists) = if use_pairs {
                     count_in_block_with_pairs(lists, cand, &mut scratch)

@@ -88,7 +88,7 @@ impl FupModel {
             )));
         }
         let inc = store
-            .block(id)
+            .try_block(id)?
             .ok_or(DemonError::UnknownBlock(id.value()))?;
         let t0 = Instant::now();
         let mut stats = FupStats::default();
@@ -143,7 +143,7 @@ impl FupModel {
                 let mut tree = PrefixTree::build(&sets);
                 for bid in &old_blocks {
                     let block = store
-                        .block(*bid)
+                        .try_block(*bid)?
                         .ok_or(DemonError::UnknownBlock(bid.value()))?;
                     for tx in block.records() {
                         stats.units_read += tx.len() as u64;
@@ -297,7 +297,7 @@ mod tests {
                 fup.absorb_block(&store, BlockId(id)).unwrap();
             }
             let batch =
-                FrequentItemsets::mine_from(&store, &store.block_ids(), k(0.15)).unwrap();
+                FrequentItemsets::mine_from(&store, store.block_ids(), k(0.15)).unwrap();
             assert_eq!(fup.frequent(), batch.frequent(), "trial {trial}");
         }
     }

@@ -103,5 +103,5 @@ pub use persist::{
 };
 pub use prefix_tree::PrefixTree;
 pub use rules::{derive_rules, Rule};
-pub use store::TxStore;
+pub use store::{BlockRef, ListsRef, MaterializeStats, TidListsView, TxStore};
 pub use tidlist::{intersect_all, BlockTidLists, TidListStore};

@@ -19,7 +19,7 @@ use crate::counter::{count_supports, CounterKind};
 use crate::prefix_tree::PrefixTree;
 use crate::store::TxStore;
 use demon_types::{
-    obs, BlockId, DemonError, FastMap, FastSet, Item, ItemSet, MinSupport, Result,
+    obs, BlockId, DemonError, FastMap, FastSet, Item, ItemSet, MinSupport, Result, TxBlock,
 };
 use serde::{Deserialize, Serialize};
 
@@ -171,14 +171,17 @@ impl FrequentItemsets {
     /// Batch-mines the model over the given blocks of `store` with Apriori
     /// (faster than absorbing block-by-block when history is available).
     pub fn mine_from(store: &TxStore, ids: &[BlockId], minsup: MinSupport) -> Result<Self> {
-        let mut blocks = Vec::with_capacity(ids.len());
-        for id in ids {
-            blocks.push(
+        // Pin every block for the duration of the mine (pinned blocks
+        // cannot be evicted by a memory-bounded store).
+        let mut guards = Vec::with_capacity(ids.len());
+        for &id in ids {
+            guards.push(
                 store
-                    .block(*id)
+                    .try_block(id)?
                     .ok_or(DemonError::UnknownBlock(id.value()))?,
             );
         }
+        let blocks: Vec<&TxBlock> = guards.iter().map(|g| &**g).collect();
         let mined = apriori::mine(&blocks, store.n_items(), minsup);
         let mut included: Vec<BlockId> = ids.to_vec();
         included.sort_unstable();
@@ -291,7 +294,7 @@ impl FrequentItemsets {
             )));
         }
         let block = store
-            .block(id)
+            .try_block(id)?
             .ok_or(DemonError::UnknownBlock(id.value()))?;
 
         let mut stats = MaintenanceStats::default();
@@ -299,11 +302,13 @@ impl FrequentItemsets {
         // Detection phase: scan only the new block over all tracked sets,
         // using the long-lived prefix tree.
         let t0 = Instant::now();
-        self.detect(block, &mut stats, 1);
+        self.detect(&block, &mut stats, 1);
         self.n += block.len() as u64;
         let pos = self.included.partition_point(|&b| b < id);
         self.included.insert(pos, id);
         stats.detection_time = t0.elapsed();
+        // Release the pin before the update phase re-pins the selection.
+        drop(block);
 
         // Update phase.
         let t1 = Instant::now();
@@ -327,15 +332,16 @@ impl FrequentItemsets {
             )));
         }
         let block = store
-            .block(id)
+            .try_block(id)?
             .ok_or(DemonError::UnknownBlock(id.value()))?;
 
         let mut stats = MaintenanceStats::default();
         let t0 = Instant::now();
-        self.detect(block, &mut stats, -1);
+        self.detect(&block, &mut stats, -1);
         self.n -= block.len() as u64;
         self.included.retain(|&b| b != id);
         stats.detection_time = t0.elapsed();
+        drop(block);
 
         let t1 = Instant::now();
         self.cascade(store, counter, &mut stats);
@@ -508,11 +514,12 @@ impl FrequentItemsets {
     /// Test-support; panics with a description on violation.
     pub fn check_invariants(&self, store: &TxStore) {
         let thresh = self.threshold();
-        let blocks: Vec<_> = self
+        let guards: Vec<_> = self
             .included
             .iter()
             .map(|id| store.block(*id).expect("included block in store"))
             .collect();
+        let blocks: Vec<&TxBlock> = guards.iter().map(|g| &**g).collect();
         let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
         assert_eq!(total, self.n, "transaction count drifted");
         for (set, &c) in &self.freq {

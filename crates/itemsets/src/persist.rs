@@ -49,6 +49,7 @@ use crate::codec::{get_varint, put_varint};
 use crate::store::TxStore;
 use crate::tidlist::BlockTidLists;
 use bytes::BytesMut;
+use demon_store::StoreConfig;
 use demon_types::durable::{self, FrameClass};
 use demon_types::{Block, BlockId, DemonError, Item, Result, Tid, Transaction, TxBlock};
 use serde::{Deserialize, Serialize};
@@ -229,28 +230,28 @@ pub fn save_store(store: &TxStore, dir: &Path) -> Result<()> {
         blocks: Vec::new(),
         meta_crc: None,
     };
-    for id in store.block_ids() {
-        let block = store
-            .block(id)
+    for &id in store.block_ids() {
+        // One pin covers both representations of the block.
+        let entry = store
+            .pin_entry(id)?
             .ok_or(DemonError::UnknownBlock(id.value()))?;
-        let lists = store
-            .tidlists()
-            .block(id)
-            .ok_or_else(|| corrupt(&tid_path(dir, id.value()), "TID-lists missing for listed block"))?;
         let txs_crc = durable::write_framed(
             &txs_path(dir, id.value()),
             FrameClass::TRANSACTIONS,
-            &encode_txs(block),
+            &encode_txs(&entry.block),
         )?;
         let tid_crc = durable::write_framed(
             &tid_path(dir, id.value()),
             FrameClass::TIDLISTS,
-            &encode_lists(lists, store.n_items()),
+            &encode_lists(&entry.lists, store.n_items()),
         )?;
         meta.blocks.push(BlockMeta {
             id: id.value(),
-            n_transactions: block.len() as u64,
-            interval: block.interval().map(|iv| (iv.start.secs(), iv.end.secs())),
+            n_transactions: entry.block.len() as u64,
+            interval: entry
+                .block
+                .interval()
+                .map(|iv| (iv.start.secs(), iv.end.secs())),
             txs_crc: Some(txs_crc),
             tid_crc: Some(tid_crc),
         });
@@ -267,11 +268,23 @@ pub fn load_store(dir: &Path) -> Result<TxStore> {
 /// Loads a store under the given [`RecoveryPolicy`], returning the store
 /// together with a [`RecoveryReport`] of anything salvage had to do.
 pub fn load_store_with(dir: &Path, policy: RecoveryPolicy) -> Result<(TxStore, RecoveryReport)> {
+    load_store_configured(dir, policy, &StoreConfig::InMemory)
+}
+
+/// Loads a store like [`load_store_with`], but builds the in-process
+/// [`TxStore`] on the given storage-engine configuration — e.g. a
+/// [`StoreConfig::budget`] so the replayed blocks spill back to disk
+/// instead of all staying resident.
+pub fn load_store_configured(
+    dir: &Path,
+    policy: RecoveryPolicy,
+    config: &StoreConfig,
+) -> Result<(TxStore, RecoveryReport)> {
     match read_meta(dir) {
-        Ok(meta) => load_blocks(dir, &meta, policy),
+        Ok(meta) => load_blocks(dir, &meta, policy, config),
         Err(e) => match policy {
             RecoveryPolicy::Strict => Err(e),
-            RecoveryPolicy::SalvagePrefix => reconstruct_store(dir, e),
+            RecoveryPolicy::SalvagePrefix => reconstruct_store(dir, e, config),
         },
     }
 }
@@ -340,8 +353,13 @@ fn check_entry(dir: &Path, prev_id: Option<u64>, bm: &BlockMeta, index: usize) -
     Ok(())
 }
 
-fn load_blocks(dir: &Path, meta: &Meta, policy: RecoveryPolicy) -> Result<(TxStore, RecoveryReport)> {
-    let mut store = TxStore::new(meta.n_items);
+fn load_blocks(
+    dir: &Path,
+    meta: &Meta,
+    policy: RecoveryPolicy,
+    config: &StoreConfig,
+) -> Result<(TxStore, RecoveryReport)> {
+    let mut store = TxStore::with_config(meta.n_items, config)?;
     let mut report = RecoveryReport::default();
     let mut prev_id = None;
     let mut failure: Option<(usize, DemonError)> = None;
@@ -398,12 +416,7 @@ fn load_one_block(dir: &Path, bm: &BlockMeta, n_items: u32, store: &mut TxStore)
     // add_block; pairs carry the ECUT+ investment across restarts).
     let pairs = decode_pairs(&tid_payload, n_items).map_err(|e| in_file(&tid_file, e))?;
 
-    store.add_block(block);
-    if let Some(lists) = store.tidlists_mut_for_persist(BlockId(bm.id)) {
-        for (a, b, list) in pairs {
-            lists.insert_pair(a, b, list);
-        }
-    }
+    store.add_block_with_pairs(block, pairs);
     Ok(())
 }
 
@@ -466,7 +479,11 @@ fn remove_stray_tmp(dir: &Path, report: &mut RecoveryReport) {
 /// checksum-valid block files, keeps the longest contiguous run starting
 /// at the smallest id, and writes a fresh manifest. Intervals (stored
 /// only in the manifest) are lost; the report records that.
-fn reconstruct_store(dir: &Path, cause: DemonError) -> Result<(TxStore, RecoveryReport)> {
+fn reconstruct_store(
+    dir: &Path,
+    cause: DemonError,
+    config: &StoreConfig,
+) -> Result<(TxStore, RecoveryReport)> {
     // A store directory that simply does not exist is an I/O error, not
     // a salvageable corruption.
     if !dir.is_dir() {
@@ -528,7 +545,7 @@ fn reconstruct_store(dir: &Path, cause: DemonError) -> Result<(TxStore, Recovery
         return Ok((TxStore::new(1), report));
     };
 
-    let mut store = TxStore::new(n_items);
+    let mut store = TxStore::with_config(n_items, config)?;
     let mut meta = Meta {
         format_version: STORE_FORMAT_VERSION,
         n_items,
@@ -580,12 +597,7 @@ fn recover_block(
         txs_crc: Some(txs_crc),
         tid_crc: Some(tid_crc),
     });
-    store.add_block(block);
-    if let Some(lists) = store.tidlists_mut_for_persist(BlockId(id)) {
-        for (a, b, list) in pairs {
-            lists.insert_pair(a, b, list);
-        }
-    }
+    store.add_block_with_pairs(block, pairs);
     Ok(())
 }
 
@@ -646,7 +658,7 @@ pub fn verify_store(dir: &Path) -> Result<VerifyReport> {
     Ok(report)
 }
 
-fn encode_txs(block: &TxBlock) -> Vec<u8> {
+pub(crate) fn encode_txs(block: &TxBlock) -> Vec<u8> {
     let mut buf = BytesMut::new();
     put_varint(&mut buf, block.len() as u64);
     for tx in block.records() {
@@ -696,7 +708,12 @@ fn read_count(bytes: &[u8], pos: &mut usize, min_bytes: usize, what: &str) -> Re
 /// transaction count when loading normally; `None` trusts the embedded
 /// count (manifest reconstruction, where the frame checksum already
 /// vouched for the bytes).
-fn decode_txs(bytes: &[u8], id: BlockId, expect: Option<u64>, n_items: u32) -> Result<TxBlock> {
+pub(crate) fn decode_txs(
+    bytes: &[u8],
+    id: BlockId,
+    expect: Option<u64>,
+    n_items: u32,
+) -> Result<TxBlock> {
     let mut pos = 0usize;
     let n = read_count(bytes, &mut pos, 2, "transaction")?;
     if let Some(expect) = expect {
@@ -737,7 +754,7 @@ fn decode_txs(bytes: &[u8], id: BlockId, expect: Option<u64>, n_items: u32) -> R
     Ok(Block::new(id, records))
 }
 
-fn encode_lists(lists: &BlockTidLists, n_items: u32) -> Vec<u8> {
+pub(crate) fn encode_lists(lists: &BlockTidLists, n_items: u32) -> Vec<u8> {
     let mut buf = BytesMut::new();
     // Item lists, in item order.
     put_varint(&mut buf, u64::from(n_items));
@@ -770,7 +787,7 @@ fn encode_lists(lists: &BlockTidLists, n_items: u32) -> Vec<u8> {
 /// Decodes the pair-list section of a `.tid` payload (the item-list
 /// section is skipped — item lists are rebuilt by `add_block`). Pure:
 /// nothing is applied to any store until the whole payload validated.
-fn decode_pairs(bytes: &[u8], n_items: u32) -> Result<Vec<(Item, Item, Vec<Tid>)>> {
+pub(crate) fn decode_pairs(bytes: &[u8], n_items: u32) -> Result<Vec<(Item, Item, Vec<Tid>)>> {
     let mut pos = 0usize;
     let n = read_varint(bytes, &mut pos)?;
     if n != u64::from(n_items) {
@@ -869,7 +886,7 @@ mod tests {
         let back = load_store(&dir).unwrap();
         assert_eq!(back.n_items(), 6);
         assert_eq!(back.block_ids(), store.block_ids());
-        for id in store.block_ids() {
+        for &id in store.block_ids() {
             let (a, b) = (store.block(id).unwrap(), back.block(id).unwrap());
             assert_eq!(a.records(), b.records());
             let (la, lb) = (
@@ -906,8 +923,8 @@ mod tests {
         save_store(&store, &dir).unwrap();
         let back = load_store(&dir).unwrap();
         let k = MinSupport::new(0.2).unwrap();
-        let a = crate::FrequentItemsets::mine_from(&store, &store.block_ids(), k).unwrap();
-        let b = crate::FrequentItemsets::mine_from(&back, &back.block_ids(), k).unwrap();
+        let a = crate::FrequentItemsets::mine_from(&store, store.block_ids(), k).unwrap();
+        let b = crate::FrequentItemsets::mine_from(&back, back.block_ids(), k).unwrap();
         assert_eq!(a.frequent(), b.frequent());
         std::fs::remove_dir_all(&dir).ok();
     }

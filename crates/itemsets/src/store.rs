@@ -5,10 +5,24 @@
 //! (read selectively by ECUT/ECUT+). In the paper the TID-lists *replace*
 //! the transactional format; we keep both because the experiments compare
 //! counting procedures head-to-head on the same data.
+//!
+//! Since the memory-bounded storage engine landed, both representations
+//! of one block live in a single record (`TxEntry`) inside a
+//! [`demon_store::BlockStore`]. Under `--memory-budget` cold blocks are
+//! spilled to disk in the framed [`demon_types::durable`] format and
+//! transparently re-pinned on access; per-block summary statistics
+//! (transaction counts, item/pair space) stay resident so selector and
+//! cost-model queries never touch the disk.
 
-use crate::tidlist::{intersect_pair, TidListStore};
-use demon_types::{BlockId, Item, TxBlock};
+use crate::codec::{get_varint, put_varint};
+use crate::persist::{decode_pairs, decode_txs, encode_lists, encode_txs};
+use crate::tidlist::{intersect_pair, BlockTidLists};
+use bytes::{BufMut, BytesMut};
+use demon_store::{BlockStore, Pinned, Spillable, StoreConfig};
+use demon_types::durable::FrameClass;
+use demon_types::{Block, BlockId, BlockInterval, DemonError, Item, Result, Timestamp, TxBlock};
 use std::collections::BTreeMap;
+use std::ops::Deref;
 
 /// Result of an ECUT+ pair-materialization pass over one block.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -21,22 +35,202 @@ pub struct MaterializeStats {
     pub pair_space: u64,
 }
 
-/// The evolving database: raw blocks plus their TID-lists.
-#[derive(Debug, Default)]
+/// Both representations of one block, stored (and spilled) together:
+/// the raw transactions plus the per-item/pair TID-lists.
+#[derive(Clone, Debug)]
+pub(crate) struct TxEntry {
+    /// The raw transactional block.
+    pub block: TxBlock,
+    /// The block's TID-lists (items + materialized pairs).
+    pub lists: BlockTidLists,
+    /// Size of the item universe (needed to re-encode the lists).
+    pub n_items: u32,
+}
+
+impl Spillable for TxEntry {
+    fn frame_class() -> FrameClass {
+        FrameClass::TXENTRY
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, self.block.id().value());
+        match self.block.interval() {
+            None => buf.put_u8(0),
+            Some(iv) => {
+                buf.put_u8(1);
+                put_varint(&mut buf, iv.start.secs());
+                put_varint(&mut buf, iv.end.secs());
+            }
+        }
+        put_varint(&mut buf, u64::from(self.n_items));
+        let txs = encode_txs(&self.block);
+        put_varint(&mut buf, txs.len() as u64);
+        buf.extend_from_slice(&txs);
+        buf.extend_from_slice(&encode_lists(&self.lists, self.n_items));
+        Ok(buf.to_vec())
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut pos = 0usize;
+        let varint = |pos: &mut usize| -> Result<u64> {
+            let (v, read) =
+                get_varint(&bytes[*pos..]).map_err(|e| DemonError::Serde(e.to_string()))?;
+            *pos += read;
+            Ok(v)
+        };
+        let id = BlockId(varint(&mut pos)?);
+        let tag = *bytes
+            .get(pos)
+            .ok_or_else(|| DemonError::Serde("truncated interval tag".into()))?;
+        pos += 1;
+        let interval = match tag {
+            0 => None,
+            1 => {
+                let start = varint(&mut pos)?;
+                let end = varint(&mut pos)?;
+                Some(BlockInterval::new(Timestamp(start), Timestamp(end)))
+            }
+            other => {
+                return Err(DemonError::Serde(format!("invalid interval tag {other}")));
+            }
+        };
+        let n_items_raw = varint(&mut pos)?;
+        let n_items = u32::try_from(n_items_raw)
+            .map_err(|_| DemonError::Serde(format!("item universe {n_items_raw} overflows u32")))?;
+        let txs_len = usize::try_from(varint(&mut pos)?)
+            .map_err(|_| DemonError::Serde("transaction payload length overflows usize".into()))?;
+        let txs_end = pos
+            .checked_add(txs_len)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| {
+                DemonError::Serde("transaction payload extends past the frame".into())
+            })?;
+        let mut block = decode_txs(&bytes[pos..txs_end], id, None, n_items)?;
+        if let Some(iv) = interval {
+            block = Block::with_interval(block.id(), iv, block.into_records());
+        }
+        // Item lists are rebuilt deterministically from the transactions;
+        // only the ECUT+ pair investment travels in the payload.
+        let mut lists = BlockTidLists::materialize(&block, n_items);
+        for (a, b, list) in decode_pairs(&bytes[txs_end..], n_items)? {
+            lists.insert_pair(a, b, list);
+        }
+        Ok(TxEntry {
+            block,
+            lists,
+            n_items,
+        })
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        // Deterministic content-based footprint: per-transaction headers,
+        // item occurrences in both representations, pair-list TIDs, and
+        // the per-item list headers.
+        64 + 48 * self.block.len() as u64
+            + 12 * self.lists.item_space()
+            + 8 * self.lists.pair_space()
+            + 32 * u64::from(self.n_items)
+    }
+}
+
+/// Always-resident summary of one block, kept outside the engine so
+/// space accounting and selector queries never fault a spilled block in.
+#[derive(Clone, Copy, Debug)]
+struct BlockInfo {
+    n_transactions: u64,
+    item_space: u64,
+    pair_space: u64,
+}
+
+/// A pinned view of one block's raw transactions. While alive, the block
+/// stays resident in the storage engine. Dereferences to [`TxBlock`].
+pub struct BlockRef<'s> {
+    entry: Pinned<'s, TxEntry>,
+}
+
+impl Deref for BlockRef<'_> {
+    type Target = TxBlock;
+    fn deref(&self) -> &TxBlock {
+        &self.entry.block
+    }
+}
+
+/// A pinned view of one block's TID-lists. Dereferences to
+/// [`BlockTidLists`].
+pub struct ListsRef<'s> {
+    entry: Pinned<'s, TxEntry>,
+}
+
+impl Deref for ListsRef<'_> {
+    type Target = BlockTidLists;
+    fn deref(&self) -> &BlockTidLists {
+        &self.entry.lists
+    }
+}
+
+/// The TID-list side of the store, scoped per block. Obtained from
+/// [`TxStore::tidlists`]; mirrors the old `TidListStore` read API.
+pub struct TidListsView<'s> {
+    store: &'s TxStore,
+}
+
+impl<'s> TidListsView<'s> {
+    /// The lists of one block, pinned while the returned view is alive.
+    ///
+    /// # Panics
+    /// If the block is spilled and its file cannot be read (see
+    /// [`TxStore::block`]).
+    pub fn block(&self, id: BlockId) -> Option<ListsRef<'s>> {
+        self.store
+            .pin_entry(id)
+            .unwrap_or_else(|e| spill_panic(id, &e))
+            .map(|entry| ListsRef { entry })
+    }
+
+    /// Size of the item universe.
+    pub fn n_items(&self) -> u32 {
+        self.store.n_items
+    }
+}
+
+#[cold]
+fn spill_panic(id: BlockId, e: &DemonError) -> ! {
+    panic!("block {id}: spilled data unreadable: {e}")
+}
+
+/// The evolving database: raw blocks plus their TID-lists, held in a
+/// memory-bounded [`BlockStore`].
+#[derive(Debug)]
 pub struct TxStore {
-    blocks: BTreeMap<BlockId, TxBlock>,
-    tidlists: TidListStore,
+    engine: BlockStore<TxEntry>,
+    infos: BTreeMap<BlockId, BlockInfo>,
+    /// Cached ascending id list backing [`TxStore::block_ids`].
+    ids: Vec<BlockId>,
     n_items: u32,
 }
 
 impl TxStore {
-    /// An empty store over an item universe of size `n_items`.
+    /// An empty in-memory store over an item universe of size `n_items`
+    /// (the historical unbounded behavior).
     pub fn new(n_items: u32) -> Self {
         TxStore {
-            blocks: BTreeMap::new(),
-            tidlists: TidListStore::new(n_items),
+            engine: BlockStore::in_memory(),
+            infos: BTreeMap::new(),
+            ids: Vec::new(),
             n_items,
         }
+    }
+
+    /// An empty store whose blocks live in a store built from `config` —
+    /// in-memory, or disk-spilled under a byte budget.
+    pub fn with_config(n_items: u32, config: &StoreConfig) -> Result<Self> {
+        Ok(TxStore {
+            engine: config.build("tx")?,
+            infos: BTreeMap::new(),
+            ids: Vec::new(),
+            n_items,
+        })
     }
 
     /// Size of the item universe.
@@ -47,73 +241,146 @@ impl TxStore {
     /// Adds a block: stores the raw transactions and materializes the
     /// per-item TID-lists in one scan.
     pub fn add_block(&mut self, block: TxBlock) {
-        self.tidlists.add_block(&block);
-        self.blocks.insert(block.id(), block);
+        let lists = BlockTidLists::materialize(&block, self.n_items);
+        self.insert_entry(block, lists);
     }
 
-    /// Retires a block entirely (raw data and TID-lists).
+    /// Adds a reloaded block together with its persisted ECUT+ pair
+    /// lists in one engine insert (the persistence layer's path).
+    pub(crate) fn add_block_with_pairs(
+        &mut self,
+        block: TxBlock,
+        pairs: Vec<(Item, Item, Vec<demon_types::Tid>)>,
+    ) {
+        let mut lists = BlockTidLists::materialize(&block, self.n_items);
+        for (a, b, list) in pairs {
+            lists.insert_pair(a, b, list);
+        }
+        self.insert_entry(block, lists);
+    }
+
+    fn insert_entry(&mut self, block: TxBlock, lists: BlockTidLists) {
+        let id = block.id();
+        let info = BlockInfo {
+            n_transactions: block.len() as u64,
+            item_space: lists.item_space(),
+            pair_space: lists.pair_space(),
+        };
+        if self.infos.insert(id, info).is_none() {
+            let pos = self.ids.partition_point(|&b| b < id);
+            self.ids.insert(pos, id);
+        }
+        self.engine.insert(
+            id,
+            TxEntry {
+                block,
+                lists,
+                n_items: self.n_items,
+            },
+        );
+    }
+
+    /// Retires a block entirely (raw data, TID-lists and any spill file).
     pub fn remove_block(&mut self, id: BlockId) -> bool {
-        self.tidlists.remove_block(id);
-        self.blocks.remove(&id).is_some()
+        if self.infos.remove(&id).is_none() {
+            return false;
+        }
+        if let Ok(pos) = self.ids.binary_search(&id) {
+            self.ids.remove(pos);
+        }
+        self.engine.remove(id);
+        true
     }
 
-    /// The raw block, if present.
-    pub fn block(&self, id: BlockId) -> Option<&TxBlock> {
-        self.blocks.get(&id)
+    /// The raw block, if present, pinned while the returned view is
+    /// alive (a pinned block cannot be evicted mid-read).
+    ///
+    /// # Panics
+    /// If the block is spilled and its file cannot be read or decoded.
+    /// Use [`TxStore::try_block`] where the error must be surfaced.
+    pub fn block(&self, id: BlockId) -> Option<BlockRef<'_>> {
+        self.try_block(id).unwrap_or_else(|e| spill_panic(id, &e))
     }
 
-    /// All stored block ids, ascending.
-    pub fn block_ids(&self) -> Vec<BlockId> {
-        self.blocks.keys().copied().collect()
+    /// [`TxStore::block`] surfacing spill-read failures as errors.
+    pub fn try_block(&self, id: BlockId) -> Result<Option<BlockRef<'_>>> {
+        Ok(self.pin_entry(id)?.map(|entry| BlockRef { entry }))
+    }
+
+    /// Pins the combined entry of one block (counting paths read both
+    /// representations under a single pin).
+    pub(crate) fn pin_entry(&self, id: BlockId) -> Result<Option<Pinned<'_, TxEntry>>> {
+        if !self.infos.contains_key(&id) {
+            return Ok(None);
+        }
+        self.engine.get(id)
+    }
+
+    /// Pins the entries of `ids` in the given order, skipping retired
+    /// blocks. Counting passes call this *before* entering a parallel
+    /// region, so loads (and their `store.*` counters) are serial and
+    /// deterministic, and shards never touch the engine.
+    ///
+    /// # Panics
+    /// If a spilled entry cannot be read (counting cannot proceed
+    /// without the data).
+    pub(crate) fn pin_entries(&self, ids: &[BlockId]) -> Vec<Pinned<'_, TxEntry>> {
+        ids.iter()
+            .filter_map(|&id| self.pin_entry(id).unwrap_or_else(|e| spill_panic(id, &e)))
+            .collect()
+    }
+
+    /// All stored block ids, ascending. Returns a cached slice — no
+    /// allocation per call.
+    pub fn block_ids(&self) -> &[BlockId] {
+        &self.ids
     }
 
     /// Number of stored blocks.
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.infos.len()
     }
 
     /// Whether the store holds no blocks.
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.infos.is_empty()
     }
 
-    /// Total transactions across the given blocks.
+    /// Total transactions across the given blocks (summary data; never
+    /// faults spilled blocks in).
     pub fn n_transactions(&self, ids: &[BlockId]) -> u64 {
         ids.iter()
-            .filter_map(|id| self.blocks.get(id))
-            .map(|b| b.len() as u64)
+            .filter_map(|id| self.infos.get(id))
+            .map(|info| info.n_transactions)
             .sum()
     }
 
-    /// The TID-list store.
-    pub fn tidlists(&self) -> &TidListStore {
-        &self.tidlists
-    }
-
-    /// Mutable per-block list access for the persistence layer (pair
-    /// lists are re-applied after reload).
-    pub(crate) fn tidlists_mut_for_persist(
-        &mut self,
-        id: BlockId,
-    ) -> Option<&mut crate::tidlist::BlockTidLists> {
-        self.tidlists.block_mut(id)
+    /// The TID-list side of the store.
+    pub fn tidlists(&self) -> TidListsView<'_> {
+        TidListsView { store: self }
     }
 
     /// Space (in TIDs) of the per-item lists of the given blocks — equal to
     /// the transactional size of those blocks.
     pub fn item_space(&self, ids: &[BlockId]) -> u64 {
         ids.iter()
-            .filter_map(|id| self.tidlists.block(*id))
-            .map(|b| b.item_space())
+            .filter_map(|id| self.infos.get(id))
+            .map(|info| info.item_space)
             .sum()
     }
 
     /// Extra space (in TIDs) of materialized pair lists of the given blocks.
     pub fn pair_space(&self, ids: &[BlockId]) -> u64 {
         ids.iter()
-            .filter_map(|id| self.tidlists.block(*id))
-            .map(|b| b.pair_space())
+            .filter_map(|id| self.infos.get(id))
+            .map(|info| info.pair_space)
             .sum()
+    }
+
+    /// Deterministic footprint of the blocks currently resident in
+    /// memory, in bytes (test and `--stats` support).
+    pub fn resident_bytes(&self) -> u64 {
+        self.engine.resident_bytes()
     }
 
     /// ECUT+ materialization for a newly added block: writes TID-lists for
@@ -121,6 +388,9 @@ impl TxStore {
     /// overall support first) until `budget` TIDs have been written.
     /// `budget = None` materializes everything (the paper's Figure 2/3
     /// setting: "all 2-frequent itemsets in each block materialized").
+    ///
+    /// # Panics
+    /// If the block is spilled and its file cannot be read.
     pub fn materialize_pairs(
         &mut self,
         id: BlockId,
@@ -128,25 +398,37 @@ impl TxStore {
         budget: Option<u64>,
     ) -> MaterializeStats {
         let mut stats = MaterializeStats::default();
-        let Some(lists) = self.tidlists.block_mut(id) else {
+        if !self.infos.contains_key(&id) {
             stats.pairs_skipped = pairs.len();
             return stats;
-        };
+        }
         let budget = budget.unwrap_or(u64::MAX);
-        for &(a, b) in pairs {
-            debug_assert!(a < b, "pairs must be ordered");
-            let list = intersect_pair(lists.item_list(a), lists.item_list(b));
-            let extra = list.len() as u64;
-            if stats.pair_space + extra > budget {
-                // Higher-priority pairs come first; once the budget is hit,
-                // everything after is skipped too (the paper picks by
-                // descending overall support).
-                stats.pairs_skipped = pairs.len() - stats.pairs_materialized;
-                break;
-            }
-            lists.insert_pair(a, b, list);
-            stats.pairs_materialized += 1;
-            stats.pair_space += extra;
+        // `&mut self` guarantees no live pins, so the mutation can only
+        // fail on spill I/O.
+        let applied = self
+            .engine
+            .with_mut(id, |entry| {
+                let lists = &mut entry.lists;
+                for &(a, b) in pairs {
+                    debug_assert!(a < b, "pairs must be ordered");
+                    let list = intersect_pair(lists.item_list(a), lists.item_list(b));
+                    let extra = list.len() as u64;
+                    if stats.pair_space + extra > budget {
+                        // Higher-priority pairs come first; once the budget
+                        // is hit, everything after is skipped too (the paper
+                        // picks by descending overall support).
+                        stats.pairs_skipped = pairs.len() - stats.pairs_materialized;
+                        break;
+                    }
+                    lists.insert_pair(a, b, list);
+                    stats.pairs_materialized += 1;
+                    stats.pair_space += extra;
+                }
+                lists.pair_space()
+            })
+            .unwrap_or_else(|e| spill_panic(id, &e));
+        if let (Some(total_pair_space), Some(info)) = (applied, self.infos.get_mut(&id)) {
+            info.pair_space = total_pair_space;
         }
         stats
     }
@@ -234,5 +516,75 @@ mod tests {
         let st = s.materialize_pairs(BlockId(9), &[(Item(0), Item(1))], None);
         assert_eq!(st.pairs_materialized, 0);
         assert_eq!(st.pairs_skipped, 1);
+    }
+
+    #[test]
+    fn spilled_blocks_reload_identically() {
+        use demon_store::SpillPolicy;
+        let dir = std::env::temp_dir().join(format!("demon-txstore-{}", std::process::id()));
+        let config = StoreConfig::Spill {
+            dir: dir.clone(),
+            policy: SpillPolicy::Always,
+            cleanup: true,
+        };
+        let mut spilled = TxStore::with_config(4, &config).unwrap();
+        let mut reference = TxStore::new(4);
+        for s in [&mut spilled, &mut reference] {
+            s.add_block(block(1, &[(1, &[0, 1, 2]), (2, &[0, 1]), (3, &[2, 3])]));
+            s.add_block(block(2, &[(4, &[0, 1]), (5, &[1, 2])]));
+            s.materialize_pairs(BlockId(1), &[(Item(0), Item(1))], None);
+        }
+        // Everything unpinned was evicted to disk.
+        assert_eq!(spilled.resident_bytes(), 0);
+        for id in [BlockId(1), BlockId(2)] {
+            let (a, b) = (spilled.block(id).unwrap(), reference.block(id).unwrap());
+            assert_eq!(a.records(), b.records());
+            let (la, lb) = (
+                spilled.tidlists().block(id).unwrap(),
+                reference.tidlists().block(id).unwrap(),
+            );
+            for i in 0..4u32 {
+                assert_eq!(la.item_list(Item(i)), lb.item_list(Item(i)));
+            }
+        }
+        // The ECUT+ pair investment survives the spill round-trip.
+        assert_eq!(
+            spilled
+                .tidlists()
+                .block(BlockId(1))
+                .unwrap()
+                .pair_list(Item(0), Item(1)),
+            reference
+                .tidlists()
+                .block(BlockId(1))
+                .unwrap()
+                .pair_list(Item(0), Item(1))
+        );
+        assert_eq!(spilled.pair_space(&[BlockId(1)]), 2);
+    }
+
+    #[test]
+    fn entry_roundtrips_with_interval() {
+        let b = Block::with_interval(
+            BlockId(7),
+            BlockInterval::new(Timestamp(100), Timestamp(200)),
+            vec![Transaction::new(Tid(1), vec![Item(0), Item(2)])],
+        );
+        let mut lists = BlockTidLists::materialize(&b, 3);
+        lists.insert_pair(Item(0), Item(2), vec![Tid(1)]);
+        let entry = TxEntry {
+            block: b,
+            lists,
+            n_items: 3,
+        };
+        let bytes = entry.encode().unwrap();
+        let back = TxEntry::decode(&bytes).unwrap();
+        assert_eq!(back.block.records(), entry.block.records());
+        assert_eq!(back.block.interval(), entry.block.interval());
+        assert_eq!(
+            back.lists.pair_list(Item(0), Item(2)),
+            entry.lists.pair_list(Item(0), Item(2))
+        );
+        assert_eq!(back.resident_bytes(), entry.resident_bytes());
     }
 }

@@ -24,4 +24,7 @@
 
 mod tree;
 
+pub mod spill;
+
+pub use spill::LabeledBlockEntry;
 pub use tree::{DecisionTree, LabeledPoint, Region, TreeParams};

@@ -1,0 +1,157 @@
+//! Storage-engine adapter: lets labeled-point blocks live in a
+//! memory-bounded [`demon_store::BlockStore`], spilling to disk in the
+//! framed [`demon_types::durable`] format when a `--memory-budget` is
+//! set.
+
+use crate::LabeledPoint;
+use demon_store::Spillable;
+use demon_types::durable::FrameClass;
+use demon_types::{Block, BlockId, BlockInterval, DemonError, Point, Result, Timestamp};
+
+/// A labeled-point block wrapped for the block storage engine.
+#[derive(Clone, Debug)]
+pub struct LabeledBlockEntry(pub Block<LabeledPoint>);
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let end = pos
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| DemonError::Serde(format!("truncated u64 at offset {pos}")))?;
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Ok(u64::from_le_bytes(raw))
+}
+
+impl Spillable for LabeledBlockEntry {
+    fn frame_class() -> FrameClass {
+        FrameClass::LABELED
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        let block = &self.0;
+        let mut buf = Vec::new();
+        put_u64(&mut buf, block.id().value());
+        match block.interval() {
+            None => buf.push(0),
+            Some(iv) => {
+                buf.push(1);
+                put_u64(&mut buf, iv.start.secs());
+                put_u64(&mut buf, iv.end.secs());
+            }
+        }
+        let dim = block
+            .records()
+            .first()
+            .map_or(0, |r| r.point.coords().len());
+        put_u64(&mut buf, dim as u64);
+        put_u64(&mut buf, block.len() as u64);
+        for r in block.records() {
+            if r.point.coords().len() != dim {
+                return Err(DemonError::Serde(format!(
+                    "block {}: mixed point dimensions {} and {dim}",
+                    block.id(),
+                    r.point.coords().len()
+                )));
+            }
+            put_u64(&mut buf, u64::from(r.label));
+            for &c in r.point.coords() {
+                put_u64(&mut buf, c.to_bits());
+            }
+        }
+        Ok(buf)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut pos = 0usize;
+        let id = BlockId(read_u64(bytes, &mut pos)?);
+        let tag = *bytes
+            .get(pos)
+            .ok_or_else(|| DemonError::Serde("truncated interval tag".into()))?;
+        pos += 1;
+        let interval = match tag {
+            0 => None,
+            1 => {
+                let start = read_u64(bytes, &mut pos)?;
+                let end = read_u64(bytes, &mut pos)?;
+                Some(BlockInterval::new(Timestamp(start), Timestamp(end)))
+            }
+            other => return Err(DemonError::Serde(format!("invalid interval tag {other}"))),
+        };
+        let dim = usize::try_from(read_u64(bytes, &mut pos)?)
+            .map_err(|_| DemonError::Serde("point dimension overflows usize".into()))?;
+        let count = read_u64(bytes, &mut pos)?;
+        let need = count
+            .checked_mul(1 + dim as u64)
+            .and_then(|w| w.checked_mul(8));
+        if need != Some((bytes.len() - pos) as u64) {
+            return Err(DemonError::Serde(format!(
+                "labeled payload size mismatch: {count} records of dim {dim}"
+            )));
+        }
+        let mut records = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let label_raw = read_u64(bytes, &mut pos)?;
+            let label = u32::try_from(label_raw)
+                .map_err(|_| DemonError::Serde(format!("label {label_raw} overflows u32")))?;
+            let mut coords = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                coords.push(f64::from_bits(read_u64(bytes, &mut pos)?));
+            }
+            records.push(LabeledPoint {
+                point: Point::new(coords),
+                label,
+            });
+        }
+        let block = match interval {
+            Some(iv) => Block::with_interval(id, iv, records),
+            None => Block::new(id, records),
+        };
+        Ok(LabeledBlockEntry(block))
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        let dim = self
+            .0
+            .records()
+            .first()
+            .map_or(0, |r| r.point.coords().len());
+        64 + self.0.len() as u64 * (40 + 8 * dim as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_block_roundtrips() {
+        let block = Block::with_interval(
+            BlockId(9),
+            BlockInterval::new(Timestamp(5), Timestamp(6)),
+            vec![
+                LabeledPoint::new(vec![0.5, -1.5], 0),
+                LabeledPoint::new(vec![2.0, 3.0], 1),
+            ],
+        );
+        let entry = LabeledBlockEntry(block);
+        let back = LabeledBlockEntry::decode(&entry.encode().unwrap()).unwrap();
+        assert_eq!(back.0.id(), entry.0.id());
+        assert_eq!(back.0.interval(), entry.0.interval());
+        assert_eq!(back.0.records(), entry.0.records());
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let entry = LabeledBlockEntry(Block::new(
+            BlockId(1),
+            vec![LabeledPoint::new(vec![1.0], 0)],
+        ));
+        let bytes = entry.encode().unwrap();
+        assert!(LabeledBlockEntry::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -58,6 +58,12 @@ impl FrameClass {
     pub const TIDLISTS: FrameClass = FrameClass(*b"TL");
     /// A shelved GEMM model (`slot_<start>.model`).
     pub const SHELF: FrameClass = FrameClass(*b"SH");
+    /// A spilled transaction-store entry (block + TID-lists).
+    pub const TXENTRY: FrameClass = FrameClass(*b"TE");
+    /// A spilled block of numeric points.
+    pub const POINTS: FrameClass = FrameClass(*b"PB");
+    /// A spilled block of labeled points.
+    pub const LABELED: FrameClass = FrameClass(*b"LB");
 }
 
 impl std::fmt::Display for FrameClass {

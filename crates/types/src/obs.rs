@@ -92,11 +92,22 @@ pub enum Counter {
     BootstrapResamples,
     /// Parallel regions entered (`par_ranges` / `par_for_each_mut`).
     ParallelRegions,
+    /// Block-store reads answered from the resident set.
+    StoreHits,
+    /// Block-store reads that had to load a spilled block from disk.
+    StoreMisses,
+    /// Blocks evicted from a block store's resident set.
+    StoreEvictions,
+    /// Bytes written to block-store spill files.
+    StoreBytesSpilled,
+    /// High-water mark of resident block-store bytes (recorded with
+    /// [`record_max`], not accumulated).
+    StoreBytesResident,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 24] = [
         Counter::CandidatesProbed,
         Counter::Intersections,
         Counter::TidsScanned,
@@ -116,6 +127,11 @@ impl Counter {
         Counter::Phase2Iterations,
         Counter::BootstrapResamples,
         Counter::ParallelRegions,
+        Counter::StoreHits,
+        Counter::StoreMisses,
+        Counter::StoreEvictions,
+        Counter::StoreBytesSpilled,
+        Counter::StoreBytesResident,
     ];
 
     /// The snake_case name used in `--stats` tables, JSONL events and
@@ -141,6 +157,11 @@ impl Counter {
             Counter::Phase2Iterations => "phase2_iterations",
             Counter::BootstrapResamples => "bootstrap_resamples",
             Counter::ParallelRegions => "parallel_regions",
+            Counter::StoreHits => "store.hits",
+            Counter::StoreMisses => "store.misses",
+            Counter::StoreEvictions => "store.evictions",
+            Counter::StoreBytesSpilled => "store.bytes_spilled",
+            Counter::StoreBytesResident => "store.bytes_resident",
         }
     }
 }
@@ -241,6 +262,18 @@ pub fn add(counter: Counter, n: u64) {
 #[inline]
 pub fn incr(counter: Counter) {
     add(counter, 1);
+}
+
+/// Raises a counter to `value` if `value` is larger — a monotone gauge
+/// (used for high-water marks like `store.bytes_resident`). `fetch_max`
+/// commutes, so the determinism contract holds as long as the recorded
+/// values themselves are sharding-independent.
+#[inline]
+pub fn record_max(counter: Counter, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    COUNTERS[counter as usize].fetch_max(value, Ordering::Relaxed);
 }
 
 /// Records one observation into a histogram.

@@ -20,6 +20,11 @@
 //! parallel mining paths; `0` or omitting it means one thread per core.
 //! Results are bit-identical at any thread count.
 //!
+//! `--memory-budget BYTES` (any command that holds blocks) bounds the
+//! bytes of block data kept resident per in-process store; the rest
+//! spills to a per-process temp directory and is faulted back on demand.
+//! Models are bit-identical to an unbounded run.
+//!
 //! `--stats` (any command) prints the operation-counter table to stderr
 //! after the command runs; `--trace-out FILE` writes the structured JSONL
 //! event log (span timings plus a final `counters` event). Counter totals
@@ -35,11 +40,12 @@ use demon::focus::{
     CompactSequenceMiner, ItemsetSimilarity, SimilarityConfig, WindowedCompactMiner,
 };
 use demon::itemsets::persist::{
-    load_store, load_store_with, save_store, verify_store, RecoveryPolicy,
+    load_store_configured, save_store, verify_store, RecoveryPolicy,
 };
-use demon::itemsets::{derive_rules, CounterKind, FrequentItemsets, TxStore};
+use demon::itemsets::{derive_rules, BlockRef, CounterKind, FrequentItemsets, TxStore};
+use demon::store::StoreConfig;
 use demon::types::obs;
-use demon::types::{Block, BlockId, MinSupport, Timestamp};
+use demon::types::{Block, BlockId, MinSupport, Timestamp, TxBlock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -65,6 +71,9 @@ SALVAGE:  --salvage loads a damaged store by quarantining corrupt files
 THREADS:  --threads N (any command) sets the thread count of the
           parallel mining paths; 0 = one per core (the default).
           Results are bit-identical at any thread count.
+MEMORY:   --memory-budget BYTES bounds resident block bytes per store;
+          excess blocks spill to a temp directory and are faulted back
+          on demand. Models are identical to an unbounded run.
 STATS:    --stats (any command) prints operation counters to stderr;
           --trace-out FILE writes the JSONL event log. Counter totals
           do not depend on --threads.
@@ -151,6 +160,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     // Flush observability output even when the command failed: a partial
     // trace of the work done before the error is still useful.
     finish_obs(stats, trace_out.as_deref())?;
+    // Every engine store has dropped by now and removed its own spill
+    // files; sweep the per-process scaffolding directories they sat in.
+    if flags.contains_key("memory-budget") {
+        let _ = std::fs::remove_dir_all(spill_base());
+    }
     result
 }
 
@@ -179,15 +193,51 @@ fn store_arg<'a>(positional: &[&'a str]) -> Result<&'a Path, String> {
         .ok_or_else(|| "missing STORE directory argument".to_string())
 }
 
+/// The storage-engine config behind `--memory-budget BYTES`: block data
+/// beyond the budget spills to a per-process temp directory (removed on
+/// exit) and is faulted back on demand. Each in-process store gets its
+/// own subdirectory named by `label`. Omitting the flag keeps every
+/// block in memory, as before.
+fn store_config(flags: &HashMap<&str, &str>, label: &str) -> Result<StoreConfig, String> {
+    match flags.get("memory-budget") {
+        None => Ok(StoreConfig::InMemory),
+        Some(v) => {
+            let bytes: u64 = v
+                .parse()
+                .map_err(|_| format!("--memory-budget: cannot parse {v:?}"))?;
+            Ok(StoreConfig::budget(spill_base().join(label), bytes))
+        }
+    }
+}
+
+/// The per-process root under which every `--memory-budget` store
+/// spills; removed wholesale at the end of `run`.
+fn spill_base() -> PathBuf {
+    std::env::temp_dir().join(format!("demon-spill-{}", std::process::id()))
+}
+
+/// Fetches a block the store listed. A failure to fault it back in (a
+/// damaged or missing spill file) is a CLI error, not a panic.
+fn block_ref<'s>(store: &'s TxStore, id: BlockId) -> Result<BlockRef<'s>, String> {
+    match store.try_block(id) {
+        Ok(Some(b)) => Ok(b),
+        Ok(None) => Err(format!("block {id} is listed but missing from the store")),
+        Err(e) => Err(format!("reading block {id}: {e}")),
+    }
+}
+
 /// Loads the store named on the command line. With `--salvage`, a damaged
 /// store is recovered to its longest consistent prefix (what was dropped
 /// goes to stderr) instead of failing the command.
 fn load(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<TxStore, String> {
     let dir = store_arg(positional)?;
+    let config = store_config(flags, "replay")?;
     if !flags.contains_key("salvage") {
-        return load_store(dir).map_err(|e| format!("loading {}: {e}", dir.display()));
+        return load_store_configured(dir, RecoveryPolicy::Strict, &config)
+            .map(|(store, _)| store)
+            .map_err(|e| format!("loading {}: {e}", dir.display()));
     }
-    let (store, report) = load_store_with(dir, RecoveryPolicy::SalvagePrefix)
+    let (store, report) = load_store_configured(dir, RecoveryPolicy::SalvagePrefix, &config)
         .map_err(|e| format!("salvaging {}: {e}", dir.display()))?;
     if !report.is_clean() {
         if let Some(cause) = &report.first_error {
@@ -254,7 +304,8 @@ fn generate(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Stri
             let per_block = (params.n_transactions / n_blocks as usize).max(1);
             let n_items = params.n_items;
             let mut gen = QuestGen::new(params, seed);
-            let mut store = TxStore::new(n_items);
+            let mut store = TxStore::with_config(n_items, &store_config(flags, "generate")?)
+                .map_err(|e| e.to_string())?;
             for id in 1..=n_blocks {
                 store.add_block(Block::new(BlockId(id), gen.take_transactions(per_block)));
             }
@@ -285,7 +336,9 @@ fn generate(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Stri
                 granularity,
                 Timestamp::from_day_hour(0, 12),
             );
-            let mut store = TxStore::new(webtrace::N_ITEMS);
+            let mut store =
+                TxStore::with_config(webtrace::N_ITEMS, &store_config(flags, "generate")?)
+                    .map_err(|e| e.to_string())?;
             let n_blocks = blocks.len();
             for b in blocks {
                 store.add_block(b);
@@ -311,12 +364,9 @@ fn inspect(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Strin
     println!("items:  {}", store.n_items());
     println!("blocks: {}", store.len());
     let ids = store.block_ids();
-    println!(
-        "transactions: {}",
-        store.n_transactions(&ids)
-    );
-    for id in &ids {
-        let b = store.block(*id).expect("listed");
+    println!("transactions: {}", store.n_transactions(ids));
+    for &id in ids {
+        let b = block_ref(&store, id)?;
         let span = b
             .interval()
             .map(|iv| format!("  [{} .. {})", iv.start, iv.end))
@@ -325,8 +375,8 @@ fn inspect(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Strin
     }
     println!(
         "base space: {} TIDs; pair space: {} TIDs",
-        store.item_space(&ids),
-        store.pair_space(&ids)
+        store.item_space(ids),
+        store.pair_space(ids)
     );
     Ok(())
 }
@@ -349,7 +399,7 @@ fn counter_flag(flags: &HashMap<&str, &str>) -> Result<CounterKind, String> {
 fn mine(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
     let store = load(positional, flags)?;
     let minsup = minsup_flag(flags)?;
-    let ids = store.block_ids();
+    let ids = store.block_ids().to_vec();
     let model = {
         let _sp = obs::span("mine");
         FrequentItemsets::mine_from(&store, &ids, minsup).map_err(|e| e.to_string())?
@@ -410,6 +460,29 @@ fn bss_flag(
     }
 }
 
+/// The shared monitor replay loop: feeds every listed block of `store`
+/// through `step` (one of the two data-span engines) and prints a table
+/// row per block. `step` absorbs the block and reports
+/// `(absorbed?, response time, current model size)`.
+fn replay_blocks<F>(store: &TxStore, mut step: F) -> Result<(), String>
+where
+    F: FnMut(TxBlock) -> Result<(bool, std::time::Duration, usize), String>,
+{
+    println!("block     txs  absorbed  response  |L|");
+    for &id in store.block_ids() {
+        let block = (*block_ref(store, id)?).clone();
+        let n = block.len();
+        let _sp = obs::span("add_block");
+        let (absorbed, rt, l) = step(block)?;
+        println!(
+            "{id:<6} {n:>6}  {:>8}  {:>7.2}ms  {l}",
+            if absorbed { "yes" } else { "no" },
+            rt.as_secs_f64() * 1e3
+        );
+    }
+    Ok(())
+}
+
 fn monitor(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
     let store = load(positional, flags)?;
     let minsup = minsup_flag(flags)?;
@@ -419,32 +492,22 @@ fn monitor(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Strin
         Some(v) => Some(v.parse().map_err(|_| "--window: bad number".to_string())?),
     };
     let selector = bss_flag(flags, window)?;
-    let maintainer = ItemsetMaintainer::new(store.n_items(), minsup, counter);
+    let maintainer = ItemsetMaintainer::with_store_config(
+        store.n_items(),
+        minsup,
+        counter,
+        &store_config(flags, "model")?,
+    )
+    .map_err(|e| e.to_string())?;
 
-    println!("block     txs  absorbed  response  |L|");
-    let replay = |stats: Vec<(BlockId, usize, bool, std::time::Duration, usize)>| {
-        for (id, txs, absorbed, rt, l) in stats {
-            println!(
-                "{id:<6} {txs:>6}  {:>8}  {:>7.2}ms  {l}",
-                if absorbed { "yes" } else { "no" },
-                rt.as_secs_f64() * 1e3
-            );
-        }
-    };
-
-    let mut rows = Vec::new();
     match window {
         Some(w) => {
             let mut gemm = Gemm::new(maintainer, w, selector).map_err(|e| e.to_string())?;
-            for id in store.block_ids() {
-                let block = store.block(id).expect("listed").clone();
-                let n = block.len();
-                let _sp = obs::span("add_block");
+            replay_blocks(&store, |block| {
                 let s = gemm.add_block(block).map_err(|e| e.to_string())?;
                 let l = gemm.current_model().map_or(0, |m| m.n_frequent());
-                rows.push((id, n, s.absorbed_into_current, s.response_time, l));
-            }
-            replay(rows);
+                Ok((s.absorbed_into_current, s.response_time, l))
+            })?;
             let model = gemm.current_model().ok_or("no blocks replayed")?;
             println!(
                 "\nfinal window model: {} frequent itemsets over blocks {:?}",
@@ -458,14 +521,10 @@ fn monitor(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Strin
                 BlockSelector::WindowRelative(_) => unreachable!("window is None"),
             };
             let mut engine = UwEngine::new(maintainer, wi);
-            for id in store.block_ids() {
-                let block = store.block(id).expect("listed").clone();
-                let n = block.len();
-                let _sp = obs::span("add_block");
+            replay_blocks(&store, |block| {
                 let s = engine.add_block(block).map_err(|e| e.to_string())?;
-                rows.push((id, n, s.absorbed, s.response_time, engine.model().n_frequent()));
-            }
-            replay(rows);
+                Ok((s.absorbed, s.response_time, engine.model().n_frequent()))
+            })?;
             println!(
                 "\nfinal model: {} frequent itemsets over {} transactions",
                 engine.model().n_frequent(),
@@ -484,11 +543,13 @@ fn patterns(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Stri
     let oracle = || {
         ItemsetSimilarity::new(store.n_items(), minsup, SimilarityConfig::Threshold { alpha })
     };
-    let ids = store.block_ids();
-    let intervals: HashMap<BlockId, _> = ids
-        .iter()
-        .filter_map(|id| store.block(*id).and_then(|b| b.interval()).map(|iv| (*id, iv)))
-        .collect();
+    let ids = store.block_ids().to_vec();
+    let mut intervals = HashMap::new();
+    for &id in &ids {
+        if let Some(iv) = block_ref(&store, id)?.interval() {
+            intervals.insert(id, iv);
+        }
+    }
 
     let describe = |seq: &[BlockId]| -> String {
         let ivs: Option<Vec<_>> = seq.iter().map(|id| intervals.get(id).copied()).collect();
@@ -506,8 +567,8 @@ fn patterns(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Stri
     match window {
         None => {
             let mut miner = CompactSequenceMiner::new(oracle());
-            for id in &ids {
-                miner.add_block(store.block(*id).expect("listed").clone());
+            for &id in &ids {
+                miner.add_block((*block_ref(&store, id)?).clone());
             }
             for seq in miner.maximal_sequences() {
                 if seq.len() >= min_len {
@@ -517,8 +578,8 @@ fn patterns(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Stri
         }
         Some(w) => {
             let mut miner = WindowedCompactMiner::new(oracle(), w);
-            for id in &ids {
-                miner.add_block(store.block(*id).expect("listed").clone());
+            for &id in &ids {
+                miner.add_block((*block_ref(&store, id)?).clone());
             }
             for seq in miner.sequences() {
                 if seq.len() >= min_len {

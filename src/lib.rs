@@ -96,6 +96,7 @@ pub use demon_core as core;
 pub use demon_datagen as datagen;
 pub use demon_focus as focus;
 pub use demon_itemsets as itemsets;
+pub use demon_store as store;
 pub use demon_trees as trees;
 pub use demon_types as types;
 
@@ -110,6 +111,7 @@ pub mod prelude {
         WindowedCompactMiner,
     };
     pub use demon_itemsets::{derive_rules, CounterKind, FrequentItemsets, Rule, TxStore};
+    pub use demon_store::{BlockStore, SpillPolicy, StoreConfig};
     pub use demon_trees::{DecisionTree, LabeledPoint, TreeParams};
     pub use demon_types::{
         Block, BlockId, DemonError, Item, ItemSet, MinSupport, Point, PointBlock, Tid,

@@ -81,7 +81,7 @@ fn incremental_uw_equals_batch_mining() {
         store.add_block(b.clone());
         engine.add_block(b).unwrap();
     }
-    let batch = FrequentItemsets::mine_from(&store, &store.block_ids(), k(0.03)).unwrap();
+    let batch = FrequentItemsets::mine_from(&store, store.block_ids(), k(0.03)).unwrap();
     assert_models_equal(engine.current_model().unwrap(), &batch, "UW vs batch");
 }
 
@@ -161,7 +161,7 @@ fn model_survives_serde_roundtrip_mid_stream() {
     revived
         .absorb_block(&store, BlockId(4), CounterKind::Ecut)
         .unwrap();
-    let batch = FrequentItemsets::mine_from(&store, &store.block_ids(), k(0.03)).unwrap();
+    let batch = FrequentItemsets::mine_from(&store, store.block_ids(), k(0.03)).unwrap();
     assert_models_equal(&revived, &batch, "post-serde maintenance");
 }
 
@@ -183,6 +183,6 @@ fn min_support_change_mid_stream_stays_consistent() {
     }
     drop(maintainer);
     model.check_invariants(&store);
-    let batch = FrequentItemsets::mine_from(&store, &store.block_ids(), k(0.02)).unwrap();
+    let batch = FrequentItemsets::mine_from(&store, store.block_ids(), k(0.02)).unwrap();
     assert_models_equal(&model, &batch, "κ change mid-stream");
 }

@@ -232,7 +232,7 @@ fn crash_before_rename_of_the_manifest_reconstructs_from_blocks() {
     assert_eq!(salvaged.block_ids(), store.block_ids());
     assert_eq!(salvaged.n_items(), store.n_items());
     assert!(report.intervals_lost);
-    for id in store.block_ids() {
+    for &id in store.block_ids() {
         assert_eq!(
             salvaged.block(id).unwrap().records(),
             store.block(id).unwrap().records(),

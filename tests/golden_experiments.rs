@@ -22,6 +22,7 @@ use demon::core::{Gemm, ItemsetMaintainer};
 use demon::datagen::{ClusterDataGen, ClusterParams, DriftingQuestGen, QuestGen, QuestParams};
 use demon::focus::{CompactSequenceMiner, ItemsetSimilarity, SimilarityConfig};
 use demon::itemsets::{count_supports_with, CounterKind, FrequentItemsets, TxStore};
+use demon::store::StoreConfig;
 use demon::types::{
     Block, BlockId, ItemSet, MinSupport, Parallelism, Point, PointBlock, Tid, Transaction,
     TxBlock,
@@ -144,9 +145,26 @@ fn top_sets(model: &FrequentItemsets, n: usize) -> Vec<String> {
 #[test]
 fn counting_backends_agree_on_border_counts() {
     maybe_enable_recorder();
+    counting_border_experiment(&StoreConfig::InMemory);
+}
+
+/// The same §6.1 experiment under a tight memory budget — every block
+/// spilled to disk and faulted back through the storage engine — must
+/// match the *same* blessed golden byte-for-byte.
+#[test]
+fn counting_border_matches_golden_under_tight_budget() {
+    maybe_enable_recorder();
+    let dir = std::env::temp_dir().join(format!(
+        "demon-golden-budget-counting-{}",
+        std::process::id()
+    ));
+    counting_border_experiment(&StoreConfig::budget(dir, 4096));
+}
+
+fn counting_border_experiment(config: &StoreConfig) {
     let n_items = 80;
     let blocks = quest_stream(3, 150, 11, n_items);
-    let mut store = TxStore::new(n_items);
+    let mut store = TxStore::with_config(n_items, config).unwrap();
     let mut ids = Vec::new();
     for b in &blocks {
         ids.push(b.id());
@@ -205,6 +223,22 @@ fn counting_backends_agree_on_border_counts() {
 #[test]
 fn gemm_window_model_matches_from_scratch() {
     maybe_enable_recorder();
+    gemm_window_experiment(&StoreConfig::InMemory);
+}
+
+/// The §4 GEMM experiment with the maintainer's block store under a
+/// tight memory budget — identical golden as the unbounded run.
+#[test]
+fn gemm_window_matches_golden_under_tight_budget() {
+    maybe_enable_recorder();
+    let dir = std::env::temp_dir().join(format!(
+        "demon-golden-budget-gemm-{}",
+        std::process::id()
+    ));
+    gemm_window_experiment(&StoreConfig::budget(dir, 4096));
+}
+
+fn gemm_window_experiment(config: &StoreConfig) {
     let n_items = 80;
     let blocks = quest_stream(6, 150, 29, n_items);
     let selectors: [(&str, BlockSelector); 2] = [
@@ -222,7 +256,9 @@ fn gemm_window_model_matches_from_scratch() {
 
     let mut sections = serde_json::Map::new();
     for (label, selector) in selectors {
-        let maintainer = ItemsetMaintainer::new(n_items, k(0.05), CounterKind::Ecut);
+        let maintainer =
+            ItemsetMaintainer::with_store_config(n_items, k(0.05), CounterKind::Ecut, config)
+                .unwrap();
         let mut gemm = Gemm::new(maintainer, 3, selector).unwrap();
         for b in &blocks {
             gemm.add_block(b.clone()).unwrap();

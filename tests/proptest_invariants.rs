@@ -69,7 +69,7 @@ proptest! {
     #[test]
     fn incremental_equals_batch(blocks in blocks_strategy(4), minsup in minsup_strategy()) {
         let store = store_of(&blocks);
-        let batch = FrequentItemsets::mine_from(&store, &store.block_ids(), minsup).unwrap();
+        let batch = FrequentItemsets::mine_from(&store, store.block_ids(), minsup).unwrap();
         for counter in [CounterKind::PtScan, CounterKind::Ecut] {
             let mut inc = FrequentItemsets::empty(minsup, UNIVERSE);
             for b in &blocks {
@@ -121,7 +121,7 @@ proptest! {
         };
         let refs: Vec<&TxBlock> = blocks.iter().collect();
         for kind in [CounterKind::PtScan, CounterKind::Ecut, CounterKind::EcutPlus] {
-            let r = count_supports(kind, &store, &ids, &candidates);
+            let r = count_supports(kind, &store, ids, &candidates);
             for (cand, &got) in candidates.iter().zip(&r.counts) {
                 prop_assert_eq!(got, apriori::naive_support(cand, &refs), "{}", kind.name());
             }
@@ -315,7 +315,7 @@ proptest! {
     ) {
         use demon::itemsets::FupModel;
         let store = store_of(&blocks);
-        let batch = FrequentItemsets::mine_from(&store, &store.block_ids(), minsup).unwrap();
+        let batch = FrequentItemsets::mine_from(&store, store.block_ids(), minsup).unwrap();
         let mut fup = FupModel::empty(minsup, UNIVERSE);
         for b in &blocks {
             fup.absorb_block(&store, b.id()).unwrap();
@@ -334,7 +334,7 @@ proptest! {
         use demon::itemsets::derive_rules;
         let store = store_of(&blocks);
         let minsup = MinSupport::new(0.1).unwrap();
-        let model = FrequentItemsets::mine_from(&store, &store.block_ids(), minsup).unwrap();
+        let model = FrequentItemsets::mine_from(&store, store.block_ids(), minsup).unwrap();
         let refs: Vec<&TxBlock> = blocks.iter().collect();
         let n = model.n_transactions();
         for rule in derive_rules(&model, minconf) {
@@ -440,7 +440,7 @@ proptest! {
         let back = load_store(&dir).unwrap();
         prop_assert_eq!(back.block_ids(), store.block_ids());
         prop_assert_eq!(back.n_items(), store.n_items());
-        for id in store.block_ids() {
+        for &id in store.block_ids() {
             prop_assert_eq!(
                 back.block(id).unwrap().records(),
                 store.block(id).unwrap().records()
@@ -547,7 +547,7 @@ proptest! {
         minsup in minsup_strategy(),
     ) {
         let store = store_of(&blocks);
-        let model = FrequentItemsets::mine_from(&store, &store.block_ids(), minsup).unwrap();
+        let model = FrequentItemsets::mine_from(&store, store.block_ids(), minsup).unwrap();
         let refs: Vec<&TxBlock> = blocks.iter().collect();
         let thresh = minsup.count_for(model.n_transactions());
         // Enumerate all itemsets of size ≤ 3 and check the definition.
