@@ -1,0 +1,223 @@
+//! `BENCH_serve.json` — the serving point of the repo's machine-readable
+//! perf trajectory.
+//!
+//! Stands up an in-process `demon-serve` daemon (8 workers, ephemeral
+//! port) and drives it with 1, 4 and 16 concurrent clients over a fixed
+//! script: one client streams the block sequence while the others
+//! interleave `query-model` and `stats` requests, the ingest-vs-query
+//! mix the daemon is built for. Reports per-configuration request
+//! throughput and the **median** ingest and query latencies across
+//! `DEMON_BENCH_REPEATS` fresh daemon runs.
+//!
+//! Every run asserts zero protocol errors and that the final served
+//! model is byte-identical to a batch `mine_from` over the same blocks —
+//! the numbers always describe a correct daemon.
+//!
+//! Knobs: `DEMON_SCALE` (block size, default 0.02) and
+//! `DEMON_BENCH_REPEATS` (timed repeats per configuration, default 5).
+//! The JSON is written to `BENCH_serve.json` in the working directory
+//! (the repo root, when run via `cargo run`).
+
+use demon_bench::{bench_repeats, median_ms, quest_block_sized, scale, write_bench_json};
+use demon_itemsets::{FrequentItemsets, TxStore};
+use demon_serve::{Client, ServeConfig, Server};
+use demon_types::{BlockId, MinSupport, TxBlock};
+use serde_json::json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const SPEC: &str = "2M.10L.1I.2pats.4plen";
+const CLIENTS: [usize; 3] = [1, 4, 16];
+const N_ITEMS: u32 = 1000;
+const N_BLOCKS: u64 = 12;
+/// Queries each non-ingesting client issues per run.
+const QUERIES_PER_CLIENT: usize = 24;
+
+fn main() {
+    let minsup = MinSupport::new(0.02).unwrap();
+    let repeats = bench_repeats();
+    let blocks = make_blocks();
+    let block_txs = blocks[0].len();
+    println!(
+        "# BENCH serve: {} blocks × {} transactions, scale={}, repeats={}",
+        N_BLOCKS,
+        block_txs,
+        scale(),
+        repeats
+    );
+
+    // The batch reference the served model must match byte-for-byte.
+    let reference = reference_model_json(&blocks, minsup);
+
+    let errors = AtomicU64::new(0);
+    let mut sweep = Vec::new();
+    for &n_clients in &CLIENTS {
+        let mut ingest_samples = Vec::new();
+        let mut query_samples = Vec::new();
+        let mut requests = 0u64;
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..repeats {
+            let run = drive(n_clients, &blocks, minsup, &reference, &errors);
+            ingest_samples.extend(run.ingest);
+            query_samples.extend(run.query);
+            requests += run.requests;
+            elapsed += run.elapsed;
+        }
+        let throughput = requests as f64 / elapsed.as_secs_f64();
+        let row = json!({
+            "clients": n_clients,
+            "requests": requests,
+            "throughput_rps": throughput,
+            "ingest_median_ms": median_ms(&mut ingest_samples),
+            "query_median_ms": median_ms(&mut query_samples),
+        });
+        println!("# clients={n_clients}: {row}");
+        sweep.push(row);
+    }
+
+    let n_errors = errors.load(Ordering::SeqCst);
+    assert_eq!(n_errors, 0, "protocol errors during the bench");
+    write_bench_json(
+        "BENCH_serve.json",
+        json!({
+            "bench": "serve",
+            "spec": SPEC,
+            "scale": scale(),
+            "repeats": repeats,
+            "blocks": N_BLOCKS,
+            "block_txs": block_txs,
+            "clients": sweep,
+            "errors": n_errors,
+        }),
+    );
+}
+
+/// The fixed block sequence every daemon run ingests: `N_BLOCKS` Quest
+/// blocks with globally monotonic TIDs.
+fn make_blocks() -> Vec<TxBlock> {
+    let per_block = ((scale() * 25_000.0) as usize).max(50);
+    let mut tid = 1u64;
+    let mut blocks = Vec::new();
+    for id in 1..=N_BLOCKS {
+        let b = quest_block_sized(SPEC, per_block, id, BlockId(id), tid);
+        tid += b.len() as u64;
+        blocks.push(b);
+    }
+    blocks
+}
+
+/// The batch model over the same blocks, as the server's canonical JSON.
+fn reference_model_json(blocks: &[TxBlock], minsup: MinSupport) -> String {
+    let mut store = TxStore::new(N_ITEMS);
+    for b in blocks {
+        store.add_block(b.clone());
+    }
+    let ids: Vec<BlockId> = blocks.iter().map(|b| b.id()).collect();
+    let model = FrequentItemsets::mine_from(&store, &ids, minsup).unwrap();
+    serde_json::to_string(&model).unwrap()
+}
+
+struct RunResult {
+    ingest: Vec<Duration>,
+    query: Vec<Duration>,
+    requests: u64,
+    elapsed: Duration,
+}
+
+/// One timed daemon run: fresh server, `n_clients` concurrent clients,
+/// the fixed ingest-vs-query script, graceful shutdown.
+fn drive(
+    n_clients: usize,
+    blocks: &[TxBlock],
+    minsup: MinSupport,
+    reference: &str,
+    errors: &AtomicU64,
+) -> RunResult {
+    let mut config = ServeConfig::new("127.0.0.1:0", N_ITEMS, minsup);
+    config.workers = 8;
+    let server = Server::bind(config).expect("bind ephemeral daemon");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Seed the model before the query clients start, so `query-model`
+    // is never answered with "no model yet".
+    let mut seed_client = Client::connect(addr).expect("connect ingester");
+    let t0 = Instant::now();
+    let mut ingest = Vec::with_capacity(blocks.len());
+    let first = Instant::now();
+    if seed_client.ingest(N_ITEMS, &blocks[0]).is_err() {
+        errors.fetch_add(1, Ordering::SeqCst);
+    }
+    ingest.push(first.elapsed());
+
+    let mut query = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 1..n_clients {
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect querier");
+                let mut samples = Vec::with_capacity(QUERIES_PER_CLIENT);
+                let mut failed = 0u64;
+                for q in 0..QUERIES_PER_CLIENT {
+                    let t = Instant::now();
+                    let ok = if (q + c) % 2 == 0 {
+                        client.query_model_json().is_ok()
+                    } else {
+                        client.stats_json().is_ok()
+                    };
+                    samples.push(t.elapsed());
+                    failed += u64::from(!ok);
+                }
+                (samples, failed)
+            }));
+        }
+        // The ingesting client streams the rest of the sequence while
+        // the query clients hammer the read path.
+        for b in &blocks[1..] {
+            let t = Instant::now();
+            if seed_client.ingest(N_ITEMS, b).is_err() {
+                errors.fetch_add(1, Ordering::SeqCst);
+            }
+            ingest.push(t.elapsed());
+        }
+        if n_clients == 1 {
+            // Solo configuration: the same client runs the query script
+            // sequentially, so every configuration reports both medians.
+            for q in 0..QUERIES_PER_CLIENT {
+                let t = Instant::now();
+                let ok = if q % 2 == 0 {
+                    seed_client.query_model_json().is_ok()
+                } else {
+                    seed_client.stats_json().is_ok()
+                };
+                query.push(t.elapsed());
+                errors.fetch_add(u64::from(!ok), Ordering::SeqCst);
+            }
+        }
+        for h in handles {
+            let (samples, failed) = h.join().expect("query client panicked");
+            query.extend(samples);
+            errors.fetch_add(failed, Ordering::SeqCst);
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    // Correctness gate: the served model matches the batch reference.
+    match seed_client.query_model_json() {
+        Ok(json) => assert_eq!(json, *reference, "served model diverged from batch mine"),
+        Err(_) => {
+            errors.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    seed_client.shutdown().expect("graceful shutdown");
+    handle.join().expect("server thread").expect("server run");
+
+    let requests =
+        (blocks.len() + 2 + n_clients.saturating_sub(1).max(1) * QUERIES_PER_CLIENT) as u64;
+    RunResult {
+        ingest,
+        query,
+        requests,
+        elapsed,
+    }
+}

@@ -28,6 +28,9 @@
 //! `BENCH_counting.json` and `bench_maintenance` writes
 //! `BENCH_maintenance.json`, each a 1/2/4/8 thread sweep of median wall
 //! times with the knobs `DEMON_SCALE` and `DEMON_BENCH_REPEATS`.
+//! `bench_serve` writes `BENCH_serve.json`, a 1/4/16-client sweep of the
+//! TCP daemon's request throughput and ingest/query latency medians
+//! under the same knobs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

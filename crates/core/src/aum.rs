@@ -83,15 +83,11 @@ impl AumWindow {
         BlockId(latest.value().saturating_sub(self.w as u64 - 1).max(1))
     }
 
-    /// Processes the next arriving block.
+    /// Processes the next arriving block. Replays and gaps are typed
+    /// errors, as in [`crate::engine::UwEngine::add_block`].
     pub fn add_block(&mut self, block: TxBlock) -> Result<AumStats> {
         let id = block.id();
-        let expected = self.latest.map_or(BlockId::FIRST, BlockId::next);
-        if id != expected {
-            return Err(demon_types::DemonError::InvalidParameter(format!(
-                "expected block {expected}, got {id}"
-            )));
-        }
+        crate::engine::check_sequential(id, self.latest)?;
         self.maintainer.register_block(block);
 
         // Selected sets before and after the slide.

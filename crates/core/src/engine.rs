@@ -74,15 +74,13 @@ impl<M: ModelMaintainer> UwEngine<M> {
         &self.maintainer
     }
 
-    /// Processes the next arriving block.
+    /// Processes the next arriving block. A replayed id (at or below the
+    /// latest consumed block) is a typed [`DemonError::DuplicateBlock`];
+    /// a gap is an [`DemonError::InvalidParameter`]. Either way the
+    /// engine is untouched: nothing was registered or absorbed.
     pub fn add_block(&mut self, block: Block<M::Record>) -> Result<EngineStats> {
         let id = block.id();
-        let expected = self.latest.map_or(BlockId::FIRST, BlockId::next);
-        if id != expected {
-            return Err(DemonError::InvalidParameter(format!(
-                "expected block {expected}, got {id}"
-            )));
-        }
+        check_sequential(id, self.latest)?;
         self.maintainer.register_block(block);
         self.latest = Some(id);
         let absorbed = self.bss.bit(id);
@@ -97,6 +95,29 @@ impl<M: ModelMaintainer> UwEngine<M> {
             offline_time: Duration::ZERO,
             absorbed,
         })
+    }
+}
+
+/// Enforces the paper's systematic-evolution contract: block `id` must
+/// be exactly the successor of `latest`. A replay of an id the engine
+/// already consumed is a [`DemonError::DuplicateBlock`] (benign and
+/// retryable for e.g. a recovering ingest pipeline); skipping ahead is
+/// an [`DemonError::InvalidParameter`]. Shared by [`UwEngine`] and
+/// [`crate::Gemm`], so both reject the block *before* touching any
+/// maintainer or store state.
+pub(crate) fn check_sequential(id: BlockId, latest: Option<BlockId>) -> Result<()> {
+    let expected = latest.map_or(BlockId::FIRST, BlockId::next);
+    if id == expected {
+        return Ok(());
+    }
+    match latest {
+        Some(latest) if id <= latest => Err(DemonError::DuplicateBlock {
+            id: id.value(),
+            latest: latest.value(),
+        }),
+        _ => Err(DemonError::InvalidParameter(format!(
+            "expected block {expected}, got {id}"
+        ))),
     }
 }
 

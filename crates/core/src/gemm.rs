@@ -351,15 +351,12 @@ impl<M: ModelMaintainer + Sync> Gemm<M> {
         self.starts.clone()
     }
 
-    /// Processes the next arriving block (ids must be contiguous).
+    /// Processes the next arriving block (ids must be contiguous). A
+    /// replayed id is a typed [`DemonError::DuplicateBlock`] and a gap an
+    /// [`DemonError::InvalidParameter`]; both leave the engine untouched.
     pub fn add_block(&mut self, block: Block<M::Record>) -> Result<GemmStats> {
         let id = block.id();
-        let expected = self.latest.map_or(BlockId::FIRST, BlockId::next);
-        if id != expected {
-            return Err(DemonError::InvalidParameter(format!(
-                "expected block {expected}, got {id}"
-            )));
-        }
+        crate::engine::check_sequential(id, self.latest)?;
         self.maintainer.register_block(block);
         self.latest = Some(id);
         let mut stats = GemmStats::default();

@@ -67,6 +67,14 @@ where
     }
 
     /// Processes the next arriving block through both dimensions.
+    ///
+    /// The engine validates the id *before* any state is touched, so a
+    /// replayed block (an id the monitor already consumed — e.g. an
+    /// ingest pipeline resending after a crash) returns a typed
+    /// [`demon_types::DemonError::DuplicateBlock`] and a gap returns an
+    /// [`demon_types::DemonError::InvalidParameter`]; in both cases
+    /// neither the model store nor the pattern miner sees the block, and
+    /// the monitor keeps accepting the correct next id.
     pub fn add_block(&mut self, block: Block<M::Record>) -> Result<MonitorStats> {
         let maintenance = self.engine.add_block(block.clone())?;
         let patterns = match &mut self.miner {
@@ -157,6 +165,41 @@ mod tests {
         let odds: Vec<BlockId> = [1u64, 3, 5].map(BlockId).to_vec();
         assert!(seqs.contains(&evens), "{seqs:?}");
         assert!(seqs.contains(&odds), "{seqs:?}");
+    }
+
+    /// Regression: replaying an already-consumed block id must surface as
+    /// a typed `DuplicateBlock` error — not a store panic — and must
+    /// leave both the model and the pattern state exactly as they were.
+    #[test]
+    fn replayed_block_is_a_typed_error_and_leaves_state_intact() {
+        use demon_types::DemonError;
+        let maintainer = ItemsetMaintainer::new(8, MinSupport::new(0.1).unwrap(), CounterKind::Ecut);
+        let mut monitor =
+            DemonMonitor::new(maintainer, DataSpan::Unrestricted(WiBss::All), oracle(), None)
+                .unwrap();
+        monitor.add_block(block(1, 0)).unwrap();
+        monitor.add_block(block(2, 1)).unwrap();
+        let model_before = monitor.model().unwrap().frequent_sorted();
+        let seqs_before = monitor.sequences();
+
+        // Replaying the latest block and an older block both fail typed.
+        for id in [2u64, 1] {
+            let err = monitor.add_block(block(id, 0)).unwrap_err();
+            assert!(
+                matches!(err, DemonError::DuplicateBlock { id: got, latest: 2 } if got == id),
+                "replay of D{id}: unexpected {err}"
+            );
+        }
+        // A gap is still rejected, but as an invalid parameter.
+        let err = monitor.add_block(block(9, 0)).unwrap_err();
+        assert!(matches!(err, DemonError::InvalidParameter(_)), "{err}");
+
+        // Nothing leaked into the model or the miner…
+        assert_eq!(monitor.model().unwrap().frequent_sorted(), model_before);
+        assert_eq!(monitor.sequences(), seqs_before);
+        // …and the correct next block is still accepted.
+        monitor.add_block(block(3, 0)).unwrap();
+        assert_eq!(monitor.model().unwrap().n_transactions(), 3 * 30);
     }
 
     #[test]

@@ -658,6 +658,22 @@ pub fn verify_store(dir: &Path) -> Result<VerifyReport> {
     Ok(report)
 }
 
+/// Encodes one block's transactions in the store's `.txs` payload format
+/// (varint TIDs + delta-encoded items, without the frame header). This
+/// is also the wire encoding `demon-serve` ships blocks in, so a block
+/// travels the socket in exactly the bytes it persists as.
+pub fn encode_block_txs(block: &TxBlock) -> Vec<u8> {
+    encode_txs(block)
+}
+
+/// Decodes a [`encode_block_txs`] payload back into a block, validating
+/// every varint and item id against the `n_items` universe. The inverse
+/// wire decoder for `demon-serve`; corruption is a typed error, never a
+/// panic (the caller has already CRC-checked the enclosing frame).
+pub fn decode_block_txs(bytes: &[u8], id: BlockId, n_items: u32) -> Result<TxBlock> {
+    decode_txs(bytes, id, None, n_items)
+}
+
 pub(crate) fn encode_txs(block: &TxBlock) -> Vec<u8> {
     let mut buf = BytesMut::new();
     put_varint(&mut buf, block.len() as u64);

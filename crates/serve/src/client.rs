@@ -1,0 +1,133 @@
+//! A blocking client for the daemon: one request/response per call over
+//! a persistent connection.
+
+use crate::protocol::{self, Request, Response};
+use demon_types::durable::FrameClass;
+use demon_types::{BlockId, DemonError, Result, TxBlock};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected client. Every method sends one request and blocks for
+/// the response; a server-side failure surfaces as
+/// [`DemonError::Remote`] carrying the daemon's message, transport
+/// damage as the usual typed I/O or corruption errors.
+pub struct Client {
+    stream: TcpStream,
+    source: String,
+}
+
+impl Client {
+    /// Connects with the default 30 s I/O timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Client::connect_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connects, bounding both the connect and every later read/write
+    /// by `timeout`.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Client> {
+        let mut last: Option<std::io::Error> = None;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        for a in &addrs {
+            match TcpStream::connect_timeout(a, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(timeout))?;
+                    stream.set_write_timeout(Some(timeout))?;
+                    let source = format!("server {a}");
+                    return Ok(Client { stream, source });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(DemonError::Io(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "no address to connect to")
+        })))
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        let payload = request.encode();
+        let mut writer = &self.stream;
+        protocol::write_message(&mut writer, FrameClass::REQUEST, &payload)?;
+        let mut reader = &self.stream;
+        match protocol::read_message(&mut reader, FrameClass::RESPONSE, &self.source)? {
+            Some((body, _)) => Response::decode(&body),
+            None => Err(DemonError::Corrupt {
+                file: self.source.clone(),
+                detail: "server closed the connection without responding".to_string(),
+            }),
+        }
+    }
+
+    /// A response of an unexpected shape for the verb that was sent.
+    fn unexpected(&self, what: &str, got: &Response) -> DemonError {
+        DemonError::Corrupt {
+            file: self.source.clone(),
+            detail: format!("expected {what} response, got {got:?}"),
+        }
+    }
+
+    /// Ingests one block; returns once the server has *applied* it, so
+    /// a subsequent query on any connection sees it. The server encodes
+    /// rejections (backpressure, duplicate id, universe mismatch) as
+    /// [`DemonError::Remote`].
+    pub fn ingest(&mut self, n_items: u32, block: &TxBlock) -> Result<()> {
+        match self.call(&Request::IngestBlock {
+            n_items,
+            block: block.clone(),
+        })? {
+            Response::Ok => Ok(()),
+            Response::Err(msg) => Err(DemonError::Remote(msg)),
+            other => Err(self.unexpected("Ok", &other)),
+        }
+    }
+
+    /// The current model as the server's canonical JSON — byte-stable,
+    /// so two equal models compare equal as strings.
+    pub fn query_model_json(&mut self) -> Result<String> {
+        match self.call(&Request::QueryModel)? {
+            Response::Model(json) => Ok(json),
+            Response::Err(msg) => Err(DemonError::Remote(msg)),
+            other => Err(self.unexpected("Model", &other)),
+        }
+    }
+
+    /// The current compact block sequences.
+    pub fn query_sequences(&mut self) -> Result<Vec<Vec<BlockId>>> {
+        match self.call(&Request::QuerySequences)? {
+            Response::Sequences(seqs) => Ok(seqs),
+            Response::Err(msg) => Err(DemonError::Remote(msg)),
+            other => Err(self.unexpected("Sequences", &other)),
+        }
+    }
+
+    /// The daemon's stats JSON (`{"blocks":…,"requests":…,`
+    /// `"queue_depth":…,"counters":{…}}`).
+    pub fn stats_json(&mut self) -> Result<String> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(json) => Ok(json),
+            Response::Err(msg) => Err(DemonError::Remote(msg)),
+            other => Err(self.unexpected("Stats", &other)),
+        }
+    }
+
+    /// Atomically persists the monitored store to `dir` on the server's
+    /// filesystem; returns the persisted block count.
+    pub fn snapshot(&mut self, dir: &str) -> Result<u64> {
+        match self.call(&Request::Snapshot {
+            dir: dir.to_string(),
+        })? {
+            Response::SnapshotDone(blocks) => Ok(blocks),
+            Response::Err(msg) => Err(DemonError::Remote(msg)),
+            other => Err(self.unexpected("SnapshotDone", &other)),
+        }
+    }
+
+    /// Asks the daemon to drain, flush and exit.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            Response::Err(msg) => Err(DemonError::Remote(msg)),
+            other => Err(self.unexpected("Ok", &other)),
+        }
+    }
+}

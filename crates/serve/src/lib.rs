@@ -1,0 +1,74 @@
+//! `demon-serve` — a concurrent TCP monitoring daemon over the DEMON
+//! engine.
+//!
+//! The paper frames DEMON as a system that *continuously* maintains
+//! models and detects patterns as blocks arrive; this crate is that
+//! long-running shape. A [`Server`] owns one
+//! [`DemonMonitor`](demon_core::monitor::DemonMonitor) behind a
+//! read/write lock and serves concurrent clients from a fixed worker
+//! pool: blocks stream in through a bounded ingest queue (backpressure,
+//! not unbounded buffering) while queries read the live model, the
+//! compact pattern sequences and the obs counter table, and a
+//! `Snapshot` verb persists the monitored store atomically through the
+//! durable writer.
+//!
+//! Std-only by design: the wire protocol reuses the workspace's
+//! framed, CRC32-checksummed durable codec ([`demon_types::durable`])
+//! and the store's own block codec, so no new dependencies and no
+//! second serialization format — a block crosses the socket in exactly
+//! the bytes it persists as.
+//!
+//! # Module map
+//!
+//! | module | what it owns |
+//! |---|---|
+//! | [`protocol`] | frame layout, verbs, request/response codecs |
+//! | [`server`] | worker pool, ingest queue, dispatch, shutdown |
+//! | [`client`] | blocking one-call-per-request client |
+//!
+//! # Quick taste
+//!
+//! ```no_run
+//! use demon_serve::{Client, ServeConfig, Server};
+//! use demon_types::{Block, BlockId, Item, MinSupport, Tid, Transaction};
+//!
+//! let config = ServeConfig::new("127.0.0.1:0", 16, MinSupport::new(0.1)?);
+//! let server = Server::bind(config)?;
+//! let addr = server.local_addr();
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr)?;
+//! let txs = (0..10)
+//!     .map(|i| Transaction::new(Tid(i), vec![Item(1), Item(2)]))
+//!     .collect();
+//! client.ingest(16, &Block::new(BlockId(1), txs))?;
+//! let model_json = client.query_model_json()?;
+//! assert!(model_json.contains("frequent"));
+//! client.shutdown()?;
+//! handle.join().unwrap()?;
+//! # Ok::<(), demon_types::DemonError>(())
+//! ```
+//!
+//! # Guarantees
+//!
+//! * An acknowledged `IngestBlock` is **applied**: any later query — on
+//!   any connection — sees the block.
+//! * Replayed or out-of-order blocks are typed protocol errors (the
+//!   engine's systematic-evolution contract); the daemon keeps serving.
+//! * The model answered over the socket is byte-identical to a batch
+//!   `demon-cli mine` over the same stream (asserted in
+//!   `tests/serve.rs`).
+//! * `Shutdown` drains the queue before the process exits, and a
+//!   `Snapshot` directory always loads under
+//!   [`RecoveryPolicy::Strict`](demon_itemsets::persist::RecoveryPolicy).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{Request, Response, MAX_PAYLOAD};
+pub use server::{ServeConfig, ServeSummary, ServedMonitor, Server};

@@ -1,0 +1,488 @@
+//! The wire protocol: framed, checksummed request/response messages.
+//!
+//! Every message is one frame in the workspace's durable file format
+//! ([`demon_types::durable`], format version 2): the 20-byte header
+//! (magic, version, class tag, payload length, CRC32) followed by the
+//! payload. Requests carry class `RQ`, responses class `RS` — a response
+//! replayed into a request socket is rejected by the class check before
+//! any payload decoding, exactly like a shelf model copied over a block
+//! file on disk.
+//!
+//! ## Payload layout
+//!
+//! The first payload byte is the verb (request) or status (response)
+//! tag; the rest is verb-specific. Numbers are fixed-width little-endian
+//! (the payloads are small; varint packing buys nothing on a socket that
+//! already frames). Blocks travel in the store's `.txs` codec
+//! ([`demon_itemsets::persist::encode_block_txs`]), so a block crosses
+//! the wire in exactly the bytes it persists as.
+//!
+//! | request | tag | body |
+//! |---|---|---|
+//! | `IngestBlock` | 1 | block id u64; interval flag u8 (+ start/end u64); n_items u32; `.txs` payload |
+//! | `QueryModel` | 2 | — |
+//! | `QuerySequences` | 3 | — |
+//! | `Stats` | 4 | — |
+//! | `Snapshot` | 5 | dir len u32; dir bytes (UTF-8) |
+//! | `Shutdown` | 6 | — |
+//!
+//! | response | tag | body |
+//! |---|---|---|
+//! | `Ok` | 0 | — |
+//! | `Model` | 1 | model JSON (UTF-8) |
+//! | `Sequences` | 2 | count u32; per sequence: len u32 + block ids u64 |
+//! | `Stats` | 3 | stats JSON (UTF-8) |
+//! | `SnapshotDone` | 4 | persisted block count u64 |
+//! | `Err` | 5 | message (UTF-8) |
+//!
+//! Either side reads a message by pulling the fixed-size header,
+//! validating magic/version/class ([`durable::decode_frame_header`]),
+//! bounding the promised length by [`MAX_PAYLOAD`], then pulling and
+//! CRC-checking the payload ([`durable::verify_frame_payload`]). A
+//! clean EOF at a frame boundary means the peer hung up.
+
+use demon_types::durable::{self, FrameClass, FRAME_HEADER_LEN};
+use demon_types::{Block, BlockId, BlockInterval, DemonError, Result, Timestamp, TxBlock};
+use std::io::{Read, Write};
+
+/// Upper bound on a single message payload (64 MiB). A header promising
+/// more is corruption (or a hostile peer), not a large block.
+pub const MAX_PAYLOAD: u64 = 64 << 20;
+
+/// A request verb, as decoded from one `RQ` frame.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Append one block to the monitored stream (through the server's
+    /// bounded ingest queue). Carries the item-universe size so the
+    /// server can validate the payload against its own universe.
+    IngestBlock {
+        /// The item-universe size the client encoded against.
+        n_items: u32,
+        /// The block, in store codec bytes.
+        block: TxBlock,
+    },
+    /// Fetch the current model as canonical JSON.
+    QueryModel,
+    /// Fetch the current compact block sequences.
+    QuerySequences,
+    /// Fetch the daemon's ingest count and obs counter table as JSON.
+    Stats,
+    /// Atomically persist the monitored store to a directory on the
+    /// server's filesystem.
+    Snapshot {
+        /// Target directory (server-side path).
+        dir: String,
+    },
+    /// Drain the ingest queue, stop accepting connections, exit cleanly.
+    Shutdown,
+}
+
+/// A response, as decoded from one `RS` frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The request succeeded and has no body.
+    Ok,
+    /// The current model, serialized as canonical JSON.
+    Model(String),
+    /// The current compact block sequences.
+    Sequences(Vec<Vec<BlockId>>),
+    /// Daemon stats as JSON (`{"blocks":…,"counters":{…}}`).
+    Stats(String),
+    /// A snapshot completed; the payload is the persisted block count.
+    SnapshotDone(u64),
+    /// The request failed; the payload is the daemon's error message.
+    Err(String),
+}
+
+// --- primitive readers over a positioned byte slice ---
+
+fn get_u8(bytes: &[u8], pos: &mut usize, what: &str) -> Result<u8> {
+    let b = *bytes
+        .get(*pos)
+        .ok_or_else(|| DemonError::Serde(format!("{what}: unexpected end of payload at {pos}")))?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn get_u32(bytes: &[u8], pos: &mut usize, what: &str) -> Result<u32> {
+    let end = pos
+        .checked_add(4)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| DemonError::Serde(format!("{what}: unexpected end of payload at {pos}")))?;
+    let v = u32::from_le_bytes(bytes[*pos..end].try_into().map_err(|_| {
+        DemonError::Serde(format!("{what}: unreachable 4-byte slice at {pos}"))
+    })?);
+    *pos = end;
+    Ok(v)
+}
+
+fn get_u64(bytes: &[u8], pos: &mut usize, what: &str) -> Result<u64> {
+    let end = pos
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| DemonError::Serde(format!("{what}: unexpected end of payload at {pos}")))?;
+    let v = u64::from_le_bytes(bytes[*pos..end].try_into().map_err(|_| {
+        DemonError::Serde(format!("{what}: unreachable 8-byte slice at {pos}"))
+    })?);
+    *pos = end;
+    Ok(v)
+}
+
+fn get_str(bytes: &[u8], pos: &mut usize, what: &str) -> Result<String> {
+    let len = get_u32(bytes, pos, what)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| DemonError::Serde(format!("{what}: length {len} exceeds payload")))?;
+    let s = std::str::from_utf8(&bytes[*pos..end])
+        .map_err(|e| DemonError::Serde(format!("{what}: invalid UTF-8: {e}")))?
+        .to_string();
+    *pos = end;
+    Ok(s)
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+impl Request {
+    /// Serializes the request into a frame payload (tag + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::IngestBlock { n_items, block } => {
+                buf.push(1);
+                buf.extend_from_slice(&block.id().value().to_le_bytes());
+                match block.interval() {
+                    Some(iv) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&iv.start.0.to_le_bytes());
+                        buf.extend_from_slice(&iv.end.0.to_le_bytes());
+                    }
+                    None => buf.push(0),
+                }
+                buf.extend_from_slice(&n_items.to_le_bytes());
+                buf.extend_from_slice(&demon_itemsets::persist::encode_block_txs(block));
+            }
+            Request::QueryModel => buf.push(2),
+            Request::QuerySequences => buf.push(3),
+            Request::Stats => buf.push(4),
+            Request::Snapshot { dir } => {
+                buf.push(5);
+                put_str(&mut buf, dir);
+            }
+            Request::Shutdown => buf.push(6),
+        }
+        buf
+    }
+
+    /// Decodes a frame payload into a request. Every defect is a typed
+    /// error naming the offending field.
+    pub fn decode(bytes: &[u8]) -> Result<Request> {
+        let mut pos = 0usize;
+        match get_u8(bytes, &mut pos, "request tag")? {
+            1 => {
+                let id = BlockId(get_u64(bytes, &mut pos, "block id")?);
+                let interval = match get_u8(bytes, &mut pos, "interval flag")? {
+                    0 => None,
+                    1 => {
+                        let start = Timestamp(get_u64(bytes, &mut pos, "interval start")?);
+                        let end = Timestamp(get_u64(bytes, &mut pos, "interval end")?);
+                        Some(BlockInterval { start, end })
+                    }
+                    other => {
+                        return Err(DemonError::Serde(format!(
+                            "interval flag must be 0 or 1, got {other}"
+                        )))
+                    }
+                };
+                let n_items = get_u32(bytes, &mut pos, "item universe")?;
+                let block =
+                    demon_itemsets::persist::decode_block_txs(&bytes[pos..], id, n_items)?;
+                let block = match interval {
+                    Some(iv) => Block::with_interval(id, iv, block.into_records()),
+                    None => block,
+                };
+                Ok(Request::IngestBlock { n_items, block })
+            }
+            2 => Ok(Request::QueryModel),
+            3 => Ok(Request::QuerySequences),
+            4 => Ok(Request::Stats),
+            5 => Ok(Request::Snapshot {
+                dir: get_str(bytes, &mut pos, "snapshot dir")?,
+            }),
+            6 => Ok(Request::Shutdown),
+            other => Err(DemonError::Serde(format!("unknown request tag {other}"))),
+        }
+    }
+}
+
+impl Response {
+    /// Serializes the response into a frame payload (tag + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Ok => buf.push(0),
+            Response::Model(json) => {
+                buf.push(1);
+                buf.extend_from_slice(json.as_bytes());
+            }
+            Response::Sequences(seqs) => {
+                buf.push(2);
+                buf.extend_from_slice(&(seqs.len() as u32).to_le_bytes());
+                for seq in seqs {
+                    buf.extend_from_slice(&(seq.len() as u32).to_le_bytes());
+                    for id in seq {
+                        buf.extend_from_slice(&id.value().to_le_bytes());
+                    }
+                }
+            }
+            Response::Stats(json) => {
+                buf.push(3);
+                buf.extend_from_slice(json.as_bytes());
+            }
+            Response::SnapshotDone(blocks) => {
+                buf.push(4);
+                buf.extend_from_slice(&blocks.to_le_bytes());
+            }
+            Response::Err(msg) => {
+                buf.push(5);
+                buf.extend_from_slice(msg.as_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decodes a frame payload into a response.
+    pub fn decode(bytes: &[u8]) -> Result<Response> {
+        let text = |bytes: &[u8]| -> Result<String> {
+            String::from_utf8(bytes.to_vec())
+                .map_err(|e| DemonError::Serde(format!("response body: invalid UTF-8: {e}")))
+        };
+        let mut pos = 0usize;
+        match get_u8(bytes, &mut pos, "response tag")? {
+            0 => Ok(Response::Ok),
+            1 => Ok(Response::Model(text(&bytes[1..])?)),
+            2 => {
+                let n = get_u32(bytes, &mut pos, "sequence count")? as usize;
+                let mut seqs = Vec::new();
+                for _ in 0..n {
+                    let len = get_u32(bytes, &mut pos, "sequence length")? as usize;
+                    let mut seq = Vec::new();
+                    for _ in 0..len {
+                        seq.push(BlockId(get_u64(bytes, &mut pos, "sequence block id")?));
+                    }
+                    seqs.push(seq);
+                }
+                Ok(Response::Sequences(seqs))
+            }
+            3 => Ok(Response::Stats(text(&bytes[1..])?)),
+            4 => Ok(Response::SnapshotDone(get_u64(bytes, &mut pos, "block count")?)),
+            5 => Ok(Response::Err(text(&bytes[1..])?)),
+            other => Err(DemonError::Serde(format!("unknown response tag {other}"))),
+        }
+    }
+}
+
+/// Writes one framed message; returns the total bytes written (header
+/// included), for the `serve.bytes_*` counters.
+pub fn write_message(w: &mut impl Write, class: FrameClass, payload: &[u8]) -> Result<usize> {
+    let (bytes, _) = durable::encode_frame(class, payload);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Reads one framed message of the given class. Returns the validated
+/// payload plus the total bytes read, or `None` on a clean EOF at a
+/// frame boundary (the peer hung up between messages). `source` names
+/// the peer in error messages.
+pub fn read_message(
+    r: &mut impl Read,
+    class: FrameClass,
+    source: &str,
+) -> Result<Option<(Vec<u8>, usize)>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    // Distinguish "no next message" (clean close) from a mid-header cut.
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(DemonError::Corrupt {
+                    file: source.to_string(),
+                    detail: format!(
+                        "connection closed mid-header ({filled} of {FRAME_HEADER_LEN} bytes)"
+                    ),
+                })
+            }
+            n => filled += n,
+        }
+    }
+    let parsed = durable::decode_frame_header(class, &header, source)?;
+    if parsed.payload_len > MAX_PAYLOAD {
+        return Err(DemonError::Corrupt {
+            file: source.to_string(),
+            detail: format!(
+                "frame promises {} payload bytes (limit {MAX_PAYLOAD})",
+                parsed.payload_len
+            ),
+        });
+    }
+    let mut payload = vec![0u8; parsed.payload_len as usize];
+    r.read_exact(&mut payload).map_err(|e| DemonError::Corrupt {
+        file: source.to_string(),
+        detail: format!("connection closed mid-payload: {e}"),
+    })?;
+    durable::verify_frame_payload(&parsed, &payload, source)?;
+    let total = FRAME_HEADER_LEN + payload.len();
+    Ok(Some((payload, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demon_types::{Item, Tid, Transaction};
+
+    fn sample_block(id: u64) -> TxBlock {
+        TxBlock::new(
+            BlockId(id),
+            (0..5)
+                .map(|i| Transaction::new(Tid(id * 100 + i), vec![Item(1), Item(3), Item(7)]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn ingest_requests_roundtrip() {
+        let plain = sample_block(1);
+        let with_interval = Block::with_interval(
+            BlockId(2),
+            BlockInterval {
+                start: Timestamp(100),
+                end: Timestamp(200),
+            },
+            sample_block(2).into_records(),
+        );
+        for block in [plain, with_interval] {
+            let req = Request::IngestBlock {
+                n_items: 16,
+                block: block.clone(),
+            };
+            match Request::decode(&req.encode()).unwrap() {
+                Request::IngestBlock { n_items, block: back } => {
+                    assert_eq!(n_items, 16);
+                    assert_eq!(back.id(), block.id());
+                    assert_eq!(back.interval(), block.interval());
+                    assert_eq!(back.records(), block.records());
+                }
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bodyless_requests_roundtrip() {
+        assert!(matches!(
+            Request::decode(&Request::QueryModel.encode()).unwrap(),
+            Request::QueryModel
+        ));
+        assert!(matches!(
+            Request::decode(&Request::QuerySequences.encode()).unwrap(),
+            Request::QuerySequences
+        ));
+        assert!(matches!(
+            Request::decode(&Request::Stats.encode()).unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            Request::decode(&Request::Shutdown.encode()).unwrap(),
+            Request::Shutdown
+        ));
+        let snap = Request::Snapshot {
+            dir: "/tmp/snap".into(),
+        };
+        assert!(matches!(
+            Request::decode(&snap.encode()).unwrap(),
+            Request::Snapshot { dir } if dir == "/tmp/snap"
+        ));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = vec![
+            Response::Ok,
+            Response::Model("{\"x\":1}".into()),
+            Response::Sequences(vec![vec![BlockId(1), BlockId(3)], vec![]]),
+            Response::Stats("{\"blocks\":4}".into()),
+            Response::SnapshotDone(9),
+            Response::Err("queue full".into()),
+        ];
+        for resp in cases {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn messages_roundtrip_through_a_stream() {
+        let payload = Request::Stats.encode();
+        let mut wire = Vec::new();
+        let written = write_message(&mut wire, FrameClass::REQUEST, &payload).unwrap();
+        assert_eq!(written, wire.len());
+        let mut cursor = &wire[..];
+        let (back, read) = read_message(&mut cursor, FrameClass::REQUEST, "test")
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(read, written);
+        // The stream is drained: the next read is a clean EOF.
+        assert!(read_message(&mut cursor, FrameClass::REQUEST, "test")
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn wrong_class_truncation_and_flips_are_rejected() {
+        let payload = Request::QueryModel.encode();
+        let mut wire = Vec::new();
+        write_message(&mut wire, FrameClass::REQUEST, &payload).unwrap();
+        // A response frame is not a request.
+        assert!(read_message(&mut &wire[..], FrameClass::RESPONSE, "t").is_err());
+        // Any truncation inside the message is detected.
+        for cut in 1..wire.len() {
+            assert!(
+                read_message(&mut &wire[..cut], FrameClass::REQUEST, "t").is_err(),
+                "cut at {cut} must not parse"
+            );
+        }
+        // A flipped payload bit fails the CRC.
+        let mut bad = wire.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x10;
+        assert!(read_message(&mut &bad[..], FrameClass::REQUEST, "t").is_err());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let (mut wire, _) = durable::encode_frame(FrameClass::REQUEST, b"x");
+        // Forge a pathological length; the reader must refuse before
+        // trying to allocate it.
+        wire[8..16].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let err = read_message(&mut &wire[..], FrameClass::REQUEST, "t").unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+        assert!(Request::decode(&[1, 1]).is_err()); // truncated ingest
+        assert!(Response::decode(&[99]).is_err());
+        // Snapshot dir length pointing past the payload.
+        let mut bad = vec![5u8];
+        bad.extend_from_slice(&1000u32.to_le_bytes());
+        bad.extend_from_slice(b"abc");
+        assert!(Request::decode(&bad).is_err());
+    }
+}

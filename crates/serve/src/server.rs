@@ -1,0 +1,519 @@
+//! The daemon: a fixed pool of worker threads serving framed requests
+//! over TCP, one writer applying ingested blocks in arrival order.
+//!
+//! ## Concurrency shape
+//!
+//! ```text
+//!  client sockets ──▶ worker threads (N, accept + serve)
+//!                        │ queries            │ IngestBlock
+//!                        ▼                    ▼
+//!                  RwLock<DemonMonitor>   bounded ingest queue
+//!                        ▲                    │
+//!                        └── ingester thread ◀┘  (single writer)
+//! ```
+//!
+//! * **Queries** (`QueryModel`, `QuerySequences`, `Stats`, `Snapshot`)
+//!   take the monitor read lock, so any number run concurrently with
+//!   each other and block only while a block is being applied.
+//! * **Ingest** is serialized through a bounded queue drained by one
+//!   ingester thread holding the write lock per block. The worker that
+//!   accepted the request blocks on a completion slot, so a successful
+//!   `IngestBlock` acknowledgment means the block is *applied* — a
+//!   query on the same connection afterwards sees it. When the queue
+//!   stays full past the backpressure deadline the request is rejected
+//!   with a typed error (`serve.rejects`), never buffered unboundedly.
+//! * **Shutdown** closes the queue (already-queued blocks still apply),
+//!   wakes every worker out of `accept`, and `run` returns after the
+//!   drain — the graceful exit the `Shutdown` verb promises.
+//!
+//! Per-connection read/write timeouts bound how long a dead peer can
+//! pin a worker. The recorder is enabled at bind time so the `Stats`
+//! verb always reports live `serve.*` counters.
+
+use crate::protocol::{self, Request, Response};
+use demon_core::bss::{BlockSelector, WiBss};
+use demon_core::engine::DataSpan;
+use demon_core::monitor::DemonMonitor;
+use demon_core::ItemsetMaintainer;
+use demon_focus::similarity::{ItemsetSimilarity, SimilarityConfig};
+use demon_itemsets::persist::save_store;
+use demon_itemsets::CounterKind;
+use demon_store::StoreConfig;
+use demon_types::durable::FrameClass;
+use demon_types::obs::{self, Counter};
+use demon_types::{MinSupport, Result, TxBlock};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// The monitor type the daemon owns: frequent itemsets + compact
+/// sequences over one evolving transaction stream.
+pub type ServedMonitor = DemonMonitor<ItemsetMaintainer, ItemsetSimilarity>;
+
+/// Everything that shapes a daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Item-universe size of the monitored stream.
+    pub n_items: u32,
+    /// Minimum support κ of the maintained model.
+    pub minsup: MinSupport,
+    /// Update-phase counting backend.
+    pub counter: CounterKind,
+    /// Model data span: `None` = unrestricted window, `Some(w)` = the
+    /// `w` most recent blocks (GEMM).
+    pub window: Option<usize>,
+    /// Pattern-detection window (`None` = unrestricted).
+    pub pattern_window: Option<usize>,
+    /// FOCUS similarity threshold α for the compact-sequence miner.
+    pub alpha: f64,
+    /// Worker threads accepting and serving connections.
+    pub workers: usize,
+    /// Ingest-queue capacity (blocks buffered but not yet applied).
+    pub queue_capacity: usize,
+    /// How long an `IngestBlock` waits on a full queue before it is
+    /// rejected (backpressure deadline).
+    pub queue_timeout: Duration,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+    /// Storage-engine config of the monitored store (`--memory-budget`).
+    pub store_config: StoreConfig,
+}
+
+impl ServeConfig {
+    /// A config with the documented defaults: 4 workers, a 64-block
+    /// queue, 5 s backpressure deadline, 30 s connection timeouts, an
+    /// unrestricted window and an in-memory store.
+    pub fn new(addr: impl Into<String>, n_items: u32, minsup: MinSupport) -> ServeConfig {
+        ServeConfig {
+            addr: addr.into(),
+            n_items,
+            minsup,
+            counter: CounterKind::Ecut,
+            window: None,
+            pattern_window: None,
+            alpha: 0.12,
+            workers: 4,
+            queue_capacity: 64,
+            queue_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+            store_config: StoreConfig::InMemory,
+        }
+    }
+}
+
+/// What a completed daemon run did, returned by [`Server::run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeSummary {
+    /// Requests served across all connections and verbs.
+    pub requests: u64,
+    /// Blocks ingested into the monitor.
+    pub blocks: u64,
+}
+
+type IngestResult = std::result::Result<(), String>;
+
+/// The completion slot an ingesting worker parks on until the ingester
+/// thread has applied (or rejected) its block.
+#[derive(Default)]
+struct DoneSlot {
+    result: Mutex<Option<IngestResult>>,
+    cv: Condvar,
+}
+
+impl DoneSlot {
+    fn fill(&self, r: IngestResult) {
+        let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(r);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> IngestResult {
+        let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = slot.clone() {
+                return r;
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct Job {
+    block: TxBlock,
+    done: Arc<DoneSlot>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+/// The bounded ingest queue: writers wait up to the backpressure
+/// deadline for a slot, then get a typed rejection (`serve.rejects`).
+struct IngestQueue {
+    capacity: usize,
+    timeout: Duration,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl IngestQueue {
+    fn new(capacity: usize, timeout: Duration) -> IngestQueue {
+        IngestQueue {
+            capacity: capacity.max(1),
+            timeout,
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a block, waiting out backpressure; returns the slot the
+    /// caller parks on, or the rejection message.
+    fn submit(&self, block: TxBlock) -> std::result::Result<Arc<DoneSlot>, String> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = Instant::now() + self.timeout;
+        while state.jobs.len() >= self.capacity && state.open {
+            let now = Instant::now();
+            if now >= deadline {
+                obs::incr(Counter::ServeRejects);
+                return Err(format!(
+                    "ingest queue full ({} blocks) past the backpressure deadline",
+                    self.capacity
+                ));
+            }
+            let (guard, _) = self
+                .not_full
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+        if !state.open {
+            obs::incr(Counter::ServeRejects);
+            return Err("server is shutting down".to_string());
+        }
+        let done = Arc::new(DoneSlot::default());
+        state.jobs.push_back(Job {
+            block,
+            done: Arc::clone(&done),
+        });
+        obs::record_max(Counter::ServeQueueDepth, state.jobs.len() as u64);
+        self.not_empty.notify_one();
+        Ok(done)
+    }
+
+    /// The ingester's blocking pop. `None` only after [`close`], once
+    /// every queued job has been drained — the graceful-shutdown drain.
+    fn next_job(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.open = false;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).jobs.len()
+    }
+}
+
+struct Shared {
+    monitor: RwLock<ServedMonitor>,
+    queue: IngestQueue,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    blocks: AtomicU64,
+    addr: SocketAddr,
+    n_items: u32,
+    io_timeout: Duration,
+    workers: usize,
+}
+
+/// A bound daemon, ready to [`run`](Server::run).
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+}
+
+fn build_monitor(config: &ServeConfig) -> Result<ServedMonitor> {
+    let maintainer = ItemsetMaintainer::with_store_config(
+        config.n_items,
+        config.minsup,
+        config.counter,
+        &config.store_config,
+    )?;
+    let span = match config.window {
+        None => DataSpan::Unrestricted(WiBss::All),
+        Some(w) => DataSpan::MostRecent {
+            w,
+            selector: BlockSelector::all(),
+        },
+    };
+    let oracle = ItemsetSimilarity::new(
+        config.n_items,
+        config.minsup,
+        SimilarityConfig::Threshold {
+            alpha: config.alpha,
+        },
+    );
+    DemonMonitor::new(maintainer, span, oracle, config.pattern_window)
+}
+
+impl Server {
+    /// Binds the listener and builds the monitor, but serves nothing
+    /// yet. Enables the obs recorder so `Stats` is always live.
+    pub fn bind(config: ServeConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let monitor = build_monitor(&config)?;
+        obs::enable();
+        let shared = Arc::new(Shared {
+            monitor: RwLock::new(monitor),
+            queue: IngestQueue::new(config.queue_capacity, config.queue_timeout),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            blocks: AtomicU64::new(0),
+            addr,
+            n_items: config.n_items,
+            io_timeout: config.io_timeout,
+            workers: config.workers.max(1),
+        });
+        Ok(Server { shared, listener })
+    }
+
+    /// The address the daemon is listening on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serves until a `Shutdown` request: spawns the ingester and the
+    /// worker pool, then joins them all. Queued blocks are drained
+    /// before the ingester exits.
+    pub fn run(self) -> Result<ServeSummary> {
+        let mut handles = Vec::new();
+        {
+            let shared = Arc::clone(&self.shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("serve-ingester".to_string())
+                    .spawn(move || ingester_loop(&shared))?,
+            );
+        }
+        for i in 0..self.shared.workers {
+            let shared = Arc::clone(&self.shared);
+            let listener = self.listener.try_clone()?;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &listener))?,
+            );
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(ServeSummary {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            blocks: self.shared.blocks.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// The single writer: applies queued blocks in arrival order, then
+/// answers the parked worker. A panicking `add_block` (e.g. a spill
+/// fault) poisons the monitor but never kills the ingester — later
+/// jobs are answered with a typed error instead of hanging forever.
+fn ingester_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.next_job() {
+        let block = job.block;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match shared.monitor.write() {
+                Ok(mut monitor) => monitor.add_block(block).map(|_| ()).map_err(|e| e.to_string()),
+                Err(_) => Err("monitor poisoned by an earlier ingest fault".to_string()),
+            }
+        }))
+        .unwrap_or_else(|_| Err("ingest panicked; monitor poisoned".to_string()));
+        if result.is_ok() {
+            shared.blocks.fetch_add(1, Ordering::SeqCst);
+        }
+        job.done.fill(result);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                handle_connection(shared, stream);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Serves one connection until the peer hangs up, a timeout fires, or a
+/// malformed frame arrives (transport damage drops the connection; a
+/// malformed *payload* inside a valid frame gets a typed `Err` response
+/// and the connection lives on).
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "client".to_string());
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.io_timeout));
+    let mut reader = &stream;
+    loop {
+        let (payload, bytes_in) =
+            match protocol::read_message(&mut reader, FrameClass::REQUEST, &peer) {
+                Ok(Some(message)) => message,
+                // Clean close, timeout, or a corrupt frame: drop the
+                // connection (there is no trustworthy frame boundary to
+                // answer on).
+                Ok(None) | Err(_) => return,
+            };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        obs::incr(Counter::ServeRequests);
+        obs::add(Counter::ServeBytesIn, bytes_in as u64);
+        let (response, shutdown_after) = match Request::decode(&payload) {
+            Ok(request) => dispatch(shared, request),
+            Err(e) => (Response::Err(e.to_string()), false),
+        };
+        let mut writer = &stream;
+        match protocol::write_message(&mut writer, FrameClass::RESPONSE, &response.encode()) {
+            Ok(bytes_out) => obs::add(Counter::ServeBytesOut, bytes_out as u64),
+            Err(_) => return,
+        }
+        if shutdown_after {
+            begin_shutdown(shared);
+            return;
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, request: Request) -> (Response, bool) {
+    match request {
+        Request::IngestBlock { n_items, block } => {
+            if n_items != shared.n_items {
+                return (
+                    Response::Err(format!(
+                        "item universe mismatch: client encoded {n_items}, server monitors {}",
+                        shared.n_items
+                    )),
+                    false,
+                );
+            }
+            let result = shared
+                .queue
+                .submit(block)
+                .and_then(|done| done.wait());
+            match result {
+                Ok(()) => (Response::Ok, false),
+                Err(msg) => (Response::Err(msg), false),
+            }
+        }
+        Request::QueryModel => {
+            let monitor = match shared.monitor.read() {
+                Ok(m) => m,
+                Err(_) => return (Response::Err("monitor poisoned".into()), false),
+            };
+            match monitor.model() {
+                Some(model) => match serde_json::to_string(model) {
+                    Ok(json) => (Response::Model(json), false),
+                    Err(e) => (Response::Err(format!("model serialization: {e}")), false),
+                },
+                None => (
+                    Response::Err("no model yet (no blocks ingested)".into()),
+                    false,
+                ),
+            }
+        }
+        Request::QuerySequences => match shared.monitor.read() {
+            Ok(monitor) => (Response::Sequences(monitor.sequences()), false),
+            Err(_) => (Response::Err("monitor poisoned".into()), false),
+        },
+        Request::Stats => (Response::Stats(stats_json(shared)), false),
+        Request::Snapshot { dir } => {
+            let monitor = match shared.monitor.read() {
+                Ok(m) => m,
+                Err(_) => return (Response::Err("monitor poisoned".into()), false),
+            };
+            let store = monitor.engine().maintainer().store();
+            match save_store(store, Path::new(&dir)) {
+                Ok(()) => (Response::SnapshotDone(store.len() as u64), false),
+                Err(e) => (Response::Err(format!("snapshot to {dir}: {e}")), false),
+            }
+        }
+        Request::Shutdown => (Response::Ok, true),
+    }
+}
+
+/// The `Stats` body: the daemon's own gauges plus the full obs counter
+/// table, as one JSON object. Built by hand — every key is a static
+/// snake_case name, so no escaping is ever needed.
+fn stats_json(shared: &Arc<Shared>) -> String {
+    let mut out = format!(
+        "{{\"blocks\":{},\"requests\":{},\"queue_depth\":{},\"counters\":{{",
+        shared.blocks.load(Ordering::SeqCst),
+        shared.requests.load(Ordering::Relaxed),
+        shared.queue.depth(),
+    );
+    for (i, (name, value)) in obs::snapshot().counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{value}"));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Flags shutdown, closes the queue (the ingester drains what is
+/// already queued, then exits) and wakes every worker out of `accept`
+/// with throwaway connections.
+fn begin_shutdown(shared: &Arc<Shared>) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.close();
+    for _ in 0..shared.workers {
+        // Each connect pops one worker out of accept; it sees the flag
+        // and exits. Failures are fine — the worker is already gone.
+        let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(200));
+    }
+}

@@ -64,6 +64,10 @@ impl FrameClass {
     pub const POINTS: FrameClass = FrameClass(*b"PB");
     /// A spilled block of labeled points.
     pub const LABELED: FrameClass = FrameClass(*b"LB");
+    /// A `demon-serve` wire-protocol request.
+    pub const REQUEST: FrameClass = FrameClass(*b"RQ");
+    /// A `demon-serve` wire-protocol response.
+    pub const RESPONSE: FrameClass = FrameClass(*b"RS");
 }
 
 impl std::fmt::Display for FrameClass {
@@ -208,6 +212,94 @@ pub fn decode_frame<'a>(class: FrameClass, bytes: &'a [u8], file: &str) -> Resul
     Ok((payload, actual))
 }
 
+/// A parsed frame header, for streaming readers that receive the header
+/// and the payload separately (a socket, a pipe) and therefore cannot
+/// hand [`decode_frame`] the whole file at once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The file-class tag the frame was validated against.
+    pub class: FrameClass,
+    /// Payload length the header promises.
+    pub payload_len: u64,
+    /// CRC32 the payload must hash to.
+    pub crc: u32,
+}
+
+/// Validates the fixed-size frame header of a streaming read (magic,
+/// version, class) and returns the payload length and checksum still to
+/// be verified. `source` names the peer or file in error messages.
+pub fn decode_frame_header(class: FrameClass, bytes: &[u8], source: &str) -> Result<FrameHeader> {
+    let corrupt = |detail: String| DemonError::Corrupt {
+        file: source.to_string(),
+        detail,
+    };
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(corrupt(format!(
+            "truncated frame header ({} of {FRAME_HEADER_LEN} bytes)",
+            bytes.len()
+        )));
+    }
+    if bytes[0..4] != FRAME_MAGIC {
+        return Err(corrupt(format!(
+            "bad magic at offset 0: expected {FRAME_MAGIC:02x?}, found {:02x?}",
+            &bytes[0..4]
+        )));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != FRAME_VERSION {
+        return Err(corrupt(format!(
+            "unsupported format version {version} at offset 4 (this build reads {FRAME_VERSION})"
+        )));
+    }
+    if bytes[6..8] != class.0 {
+        return Err(corrupt(format!(
+            "wrong file class at offset 6: expected {:02x?} ({class}), found {:02x?}",
+            class.0,
+            &bytes[6..8]
+        )));
+    }
+    let payload_len = u64::from_le_bytes(
+        bytes[8..16]
+            .try_into()
+            .map_err(|_| corrupt("unreachable: 8-byte slice".into()))?,
+    );
+    let crc = u32::from_le_bytes(
+        bytes[16..20]
+            .try_into()
+            .map_err(|_| corrupt("unreachable: 4-byte slice".into()))?,
+    );
+    Ok(FrameHeader {
+        class,
+        payload_len,
+        crc,
+    })
+}
+
+/// Verifies a streamed payload against its already-parsed header: the
+/// length must match and the CRC32 must hash out. The counterpart of
+/// [`decode_frame_header`] for the payload half of a streaming read.
+pub fn verify_frame_payload(header: &FrameHeader, payload: &[u8], source: &str) -> Result<()> {
+    if payload.len() as u64 != header.payload_len {
+        return Err(DemonError::Corrupt {
+            file: source.to_string(),
+            detail: format!(
+                "payload length mismatch at offset 8: header says {} bytes, stream holds {}",
+                header.payload_len,
+                payload.len()
+            ),
+        });
+    }
+    let actual = crc32(payload);
+    if actual != header.crc {
+        return Err(DemonError::ChecksumMismatch {
+            file: source.to_string(),
+            expected: header.crc,
+            actual,
+        });
+    }
+    Ok(())
+}
+
 /// Atomically writes `payload` to `path` as a framed file; returns the
 /// payload checksum so callers can record it in a manifest.
 pub fn write_framed(path: &Path, class: FrameClass, payload: &[u8]) -> Result<u32> {
@@ -315,6 +407,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn streaming_header_and_payload_roundtrip() {
+        let payload = b"streamed payload";
+        let (bytes, crc) = encode_frame(FrameClass::REQUEST, payload);
+        let header =
+            decode_frame_header(FrameClass::REQUEST, &bytes[..FRAME_HEADER_LEN], "peer").unwrap();
+        assert_eq!(header.payload_len, payload.len() as u64);
+        assert_eq!(header.crc, crc);
+        verify_frame_payload(&header, payload, "peer").unwrap();
+        // Short payload, long payload, flipped bit: all rejected.
+        assert!(verify_frame_payload(&header, &payload[..3], "peer").is_err());
+        let mut long = payload.to_vec();
+        long.push(0);
+        assert!(verify_frame_payload(&header, &long, "peer").is_err());
+        let mut bad = payload.to_vec();
+        bad[0] ^= 1;
+        let err = verify_frame_payload(&header, &bad, "peer").unwrap_err();
+        assert!(matches!(err, DemonError::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn streaming_header_rejects_defects() {
+        let (bytes, _) = encode_frame(FrameClass::RESPONSE, b"x");
+        let header = &bytes[..FRAME_HEADER_LEN];
+        assert!(decode_frame_header(FrameClass::RESPONSE, &header[..10], "peer").is_err());
+        assert!(decode_frame_header(FrameClass::REQUEST, header, "peer")
+            .unwrap_err()
+            .to_string()
+            .contains("file class"));
+        let mut bad = header.to_vec();
+        bad[0] ^= 0xFF; // magic
+        assert!(decode_frame_header(FrameClass::RESPONSE, &bad, "peer").is_err());
+        let mut bad = header.to_vec();
+        bad[4] ^= 0xFF; // version
+        assert!(decode_frame_header(FrameClass::RESPONSE, &bad, "peer").is_err());
     }
 
     #[test]

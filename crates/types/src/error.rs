@@ -12,6 +12,20 @@ pub enum DemonError {
     InvalidParameter(String),
     /// A block id was out of range for the current snapshot.
     UnknownBlock(u64),
+    /// A block id at or below the latest absorbed block was replayed into
+    /// an engine that has already consumed it. Distinct from a gap (which
+    /// is an [`DemonError::InvalidParameter`]) so replay-aware callers —
+    /// a recovering ingest pipeline, the `demon-serve` daemon — can treat
+    /// "already seen" as a benign, retryable condition.
+    DuplicateBlock {
+        /// The replayed block id.
+        id: u64,
+        /// The latest block the engine has already consumed.
+        latest: u64,
+    },
+    /// A failure reported by a remote `demon-serve` daemon in response to
+    /// a protocol request. The payload is the daemon's error message.
+    Remote(String),
     /// A block-selection sequence did not match the window it was applied to.
     BssMismatch {
         /// Length of the supplied sequence.
@@ -50,6 +64,11 @@ impl fmt::Display for DemonError {
             }
             DemonError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             DemonError::UnknownBlock(id) => write!(f, "unknown block D{id}"),
+            DemonError::DuplicateBlock { id, latest } => write!(
+                f,
+                "duplicate block D{id}: the engine already consumed blocks up to D{latest}"
+            ),
+            DemonError::Remote(msg) => write!(f, "remote error: {msg}"),
             DemonError::BssMismatch { got, expected } => write!(
                 f,
                 "block selection sequence has length {got}, window expects {expected}"
@@ -101,6 +120,11 @@ mod tests {
             expected: 5,
         };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+        let e = DemonError::DuplicateBlock { id: 2, latest: 4 };
+        assert!(e.to_string().contains("D2") && e.to_string().contains("D4"));
+        assert!(DemonError::Remote("queue full".into())
+            .to_string()
+            .contains("queue full"));
     }
 
     #[test]

@@ -103,11 +103,23 @@ pub enum Counter {
     /// High-water mark of resident block-store bytes (recorded with
     /// [`record_max`], not accumulated).
     StoreBytesResident,
+    /// Requests served by the `demon-serve` daemon (any verb).
+    ServeRequests,
+    /// Request payload bytes received by the daemon (frame headers included).
+    ServeBytesIn,
+    /// Response bytes sent by the daemon (frame headers included).
+    ServeBytesOut,
+    /// High-water mark of the daemon's ingest-queue depth (recorded with
+    /// [`record_max`], not accumulated).
+    ServeQueueDepth,
+    /// Ingest requests rejected because the bounded queue stayed full past
+    /// the backpressure deadline (or arrived after shutdown began).
+    ServeRejects,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 29] = [
         Counter::CandidatesProbed,
         Counter::Intersections,
         Counter::TidsScanned,
@@ -132,6 +144,11 @@ impl Counter {
         Counter::StoreEvictions,
         Counter::StoreBytesSpilled,
         Counter::StoreBytesResident,
+        Counter::ServeRequests,
+        Counter::ServeBytesIn,
+        Counter::ServeBytesOut,
+        Counter::ServeQueueDepth,
+        Counter::ServeRejects,
     ];
 
     /// The snake_case name used in `--stats` tables, JSONL events and
@@ -162,6 +179,11 @@ impl Counter {
             Counter::StoreEvictions => "store.evictions",
             Counter::StoreBytesSpilled => "store.bytes_spilled",
             Counter::StoreBytesResident => "store.bytes_resident",
+            Counter::ServeRequests => "serve.requests",
+            Counter::ServeBytesIn => "serve.bytes_in",
+            Counter::ServeBytesOut => "serve.bytes_out",
+            Counter::ServeQueueDepth => "serve.queue_depth",
+            Counter::ServeRejects => "serve.rejects",
         }
     }
 }

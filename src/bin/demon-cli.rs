@@ -8,6 +8,8 @@
 //! demon-cli mine     <store> --minsup 0.01 [--rules 0.8 --top 20] [--salvage]
 //! demon-cli monitor  <store> --minsup 0.01 [--window 4] [--bss 1011] [--counter ecut+] [--salvage]
 //! demon-cli patterns <store> [--alpha 0.12] [--min-len 4] [--window N]
+//! demon-cli serve    --listen 127.0.0.1:7677 --items 1000 --minsup 0.01 [--workers 4]
+//! demon-cli client   <addr> ingest <store> | query-model | sequences | stats | snapshot <dir> | shutdown
 //! ```
 //!
 //! Stores are directories in the `demon_itemsets::persist` layout;
@@ -15,6 +17,13 @@
 //! is the read-only fsck (exit status 1 when the store is damaged), and
 //! `--salvage` loads a damaged store by quarantining the broken tail
 //! instead of aborting.
+//!
+//! `serve` runs the long-lived monitoring daemon (`demon_serve`): blocks
+//! stream in over TCP through a bounded ingest queue while concurrent
+//! clients query the live model, the compact pattern sequences and the
+//! stats table; `client` drives it. `client query-model` prints exactly
+//! what `mine` prints for the same stream — the serving path is
+//! byte-compatible with the batch path.
 //!
 //! `--threads N` (any command) sets the process-wide thread count of the
 //! parallel mining paths; `0` or omitting it means one thread per core.
@@ -43,12 +52,14 @@ use demon::itemsets::persist::{
     load_store_configured, save_store, verify_store, RecoveryPolicy,
 };
 use demon::itemsets::{derive_rules, BlockRef, CounterKind, FrequentItemsets, TxStore};
+use demon::serve::{Client, ServeConfig, Server};
 use demon::store::StoreConfig;
 use demon::types::obs;
 use demon::types::{Block, BlockId, MinSupport, Timestamp, TxBlock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 demon-cli — mining and monitoring evolving data (DEMON, ICDE 2000)
@@ -61,8 +72,21 @@ USAGE:
   demon-cli mine     STORE --minsup F [--rules F] [--top N] [--salvage]
   demon-cli monitor  STORE --minsup F [--window N] [--bss BITS] [--counter KIND] [--salvage]
   demon-cli patterns STORE [--alpha F] [--min-len N] [--window N] [--salvage]
+  demon-cli serve    [--listen ADDR] [--items N] [--minsup F] [--counter KIND]
+                     [--window N] [--pattern-window N] [--alpha F] [--workers N]
+                     [--queue N] [--queue-timeout-ms N] [--timeout-ms N]
+  demon-cli client   ADDR ingest STORE [--salvage]
+  demon-cli client   ADDR query-model [--top N] [--json]
+  demon-cli client   ADDR sequences | stats | shutdown
+  demon-cli client   ADDR snapshot DIR
 
 COUNTERS: ptscan | ecut | ecut+ | adaptive
+SERVE:    serve runs the TCP monitoring daemon (default 127.0.0.1:7677;
+          port 0 picks an ephemeral port, printed on startup). client
+          sends one verb: ingest streams a store's blocks, query-model
+          prints what mine prints (--json for the raw model), snapshot
+          persists the monitored store server-side, shutdown drains the
+          ingest queue and exits the daemon cleanly.
 BSS:      a bit string like 1011; window-relative when --window is set,
           window-independent (periodic) otherwise.
 VERIFY:   re-checks every frame and checksum; exit status 1 on damage.
@@ -92,7 +116,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["salvage", "stats"];
+const BOOL_FLAGS: &[&str] = &["salvage", "stats", "json"];
 
 /// Splits arguments into positionals and `--flag value` pairs
 /// (boolean flags like `--salvage` take no value).
@@ -151,6 +175,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("mine") => mine(&positional, &flags).map(ok),
         Some("monitor") => monitor(&positional, &flags).map(ok),
         Some("patterns") => patterns(&positional, &flags).map(ok),
+        Some("serve") => serve(&flags).map(ok),
+        Some("client") => client(&positional, &flags).map(ok),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -396,22 +422,17 @@ fn counter_flag(flags: &HashMap<&str, &str>) -> Result<CounterKind, String> {
     }
 }
 
-fn mine(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
-    let store = load(positional, flags)?;
-    let minsup = minsup_flag(flags)?;
-    let ids = store.block_ids().to_vec();
-    let model = {
-        let _sp = obs::span("mine");
-        FrequentItemsets::mine_from(&store, &ids, minsup).map_err(|e| e.to_string())?
-    };
+/// Prints a model the way `mine` always has: the summary line, then the
+/// top itemsets by support. Shared by `mine` and `client query-model`,
+/// so the served model and the batch model render byte-identically.
+fn print_model(model: &FrequentItemsets, top: usize) {
     println!(
         "{} frequent itemsets over {} transactions ({}, border {})",
         model.n_frequent(),
         model.n_transactions(),
-        minsup,
+        model.min_support(),
         model.border().len()
     );
-    let top: usize = flag_parse(flags, "top", 20)?;
     let mut sorted = model.frequent_sorted();
     sorted.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     for (set, count) in sorted.iter().take(top) {
@@ -420,6 +441,18 @@ fn mine(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> 
             *count as f64 / model.n_transactions() as f64 * 100.0
         );
     }
+}
+
+fn mine(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let store = load(positional, flags)?;
+    let minsup = minsup_flag(flags)?;
+    let ids = store.block_ids().to_vec();
+    let model = {
+        let _sp = obs::span("mine");
+        FrequentItemsets::mine_from(&store, &ids, minsup).map_err(|e| e.to_string())?
+    };
+    let top: usize = flag_parse(flags, "top", 20)?;
+    print_model(&model, top);
     if let Some(conf) = flags.get("rules") {
         let conf: f64 = conf
             .parse()
@@ -598,4 +631,114 @@ fn patterns(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Stri
         println!("  (none)");
     }
     Ok(())
+}
+
+/// `demon-cli serve` — run the TCP monitoring daemon until a client
+/// sends `shutdown`.
+fn serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let listen = flags.get("listen").copied().unwrap_or("127.0.0.1:7677");
+    let items: u32 = flag_parse(flags, "items", 1000)?;
+    let mut config = ServeConfig::new(listen, items, minsup_flag(flags)?);
+    config.counter = counter_flag(flags)?;
+    config.window = match flags.get("window") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| "--window: bad number".to_string())?),
+    };
+    config.pattern_window = match flags.get("pattern-window") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| "--pattern-window: bad number".to_string())?,
+        ),
+    };
+    config.alpha = flag_parse(flags, "alpha", config.alpha)?;
+    config.workers = flag_parse(flags, "workers", config.workers)?;
+    config.queue_capacity = flag_parse(flags, "queue", config.queue_capacity)?;
+    config.queue_timeout =
+        Duration::from_millis(flag_parse(flags, "queue-timeout-ms", 5000u64)?);
+    config.io_timeout = Duration::from_millis(flag_parse(flags, "timeout-ms", 30_000u64)?);
+    config.store_config = store_config(flags, "serve")?;
+    let server = Server::bind(config).map_err(|e| format!("binding {listen}: {e}"))?;
+    // Tests and scripts parse this line for the resolved ephemeral port.
+    println!("demon-serve listening on {}", server.local_addr());
+    let summary = server.run().map_err(|e| e.to_string())?;
+    println!(
+        "served {} requests, ingested {} blocks",
+        summary.requests, summary.blocks
+    );
+    Ok(())
+}
+
+/// `demon-cli client ADDR VERB …` — one verb per invocation against a
+/// running daemon.
+fn client(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let addr = positional
+        .get(1)
+        .copied()
+        .ok_or_else(|| "client needs a server ADDR".to_string())?;
+    let verb = positional
+        .get(2)
+        .copied()
+        .ok_or_else(|| "client needs a verb (ingest | query-model | sequences | stats | snapshot | shutdown)".to_string())?;
+    let timeout = Duration::from_millis(flag_parse(flags, "timeout-ms", 30_000u64)?);
+    let mut client = Client::connect_timeout(addr, timeout)
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    match verb {
+        "ingest" => {
+            // `load` reads STORE from its own positional[1], so hand it
+            // the slice starting at the verb.
+            let store = load(&positional[2..], flags)?;
+            let n_items = store.n_items();
+            let mut sent = 0u64;
+            for &id in store.block_ids() {
+                let block = (*block_ref(&store, id)?).clone();
+                let n = block.len();
+                client
+                    .ingest(n_items, &block)
+                    .map_err(|e| format!("ingesting block {id}: {e}"))?;
+                sent += 1;
+                println!("ingested {id}: {n} transactions");
+            }
+            println!("streamed {sent} blocks to {addr}");
+            Ok(())
+        }
+        "query-model" => {
+            let json = client.query_model_json().map_err(|e| e.to_string())?;
+            if flags.contains_key("json") {
+                println!("{json}");
+            } else {
+                let model: FrequentItemsets = serde_json::from_str(&json)
+                    .map_err(|e| format!("parsing served model: {e}"))?;
+                print_model(&model, flag_parse(flags, "top", 20)?);
+            }
+            Ok(())
+        }
+        "sequences" => {
+            let seqs = client.query_sequences().map_err(|e| e.to_string())?;
+            println!("{} compact sequence(s):", seqs.len());
+            for seq in &seqs {
+                println!("  {} blocks  {seq:?}", seq.len());
+            }
+            Ok(())
+        }
+        "stats" => {
+            println!("{}", client.stats_json().map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "snapshot" => {
+            let dir = positional
+                .get(3)
+                .copied()
+                .ok_or_else(|| "snapshot needs a DIR argument".to_string())?;
+            let blocks = client.snapshot(dir).map_err(|e| e.to_string())?;
+            println!("snapshot of {blocks} block(s) written to {dir} (server-side)");
+            Ok(())
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server at {addr} is shutting down");
+            Ok(())
+        }
+        other => Err(format!("unknown client verb {other:?}")),
+    }
 }

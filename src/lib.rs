@@ -26,6 +26,10 @@
 //! * **Data generators** — IBM Quest transactions, Gaussian clusters, and
 //!   a synthetic web-proxy trace with planted calendar structure
 //!   ([`datagen`]).
+//! * **Serving** — a concurrent TCP daemon that monitors a live block
+//!   stream: bounded-queue ingest, model/sequence/stats queries,
+//!   atomic snapshots, graceful shutdown ([`serve`], and the
+//!   `demon-cli serve` / `demon-cli client` subcommands).
 //!
 //! ## Quick taste
 //!
@@ -96,6 +100,7 @@ pub use demon_core as core;
 pub use demon_datagen as datagen;
 pub use demon_focus as focus;
 pub use demon_itemsets as itemsets;
+pub use demon_serve as serve;
 pub use demon_store as store;
 pub use demon_trees as trees;
 pub use demon_types as types;

@@ -1,0 +1,230 @@
+//! End-to-end tests of the `demon-serve` daemon: a golden block stream
+//! over a real TCP socket must produce exactly the model the batch path
+//! produces, snapshots must be loadable, and shutdown must be clean.
+
+use demon::itemsets::persist::{
+    load_store_configured, save_store, verify_store, RecoveryPolicy,
+};
+use demon::itemsets::{FrequentItemsets, TxStore};
+use demon::serve::{Client, ServeConfig, Server};
+use demon::store::StoreConfig;
+use demon::types::{Block, BlockId, MinSupport, Tid, Transaction, TxBlock};
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_demon-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("demon-serve-test-{name}-{}", std::process::id()))
+}
+
+const N_ITEMS: u32 = 64;
+const MINSUP: f64 = 0.05;
+
+/// The golden stream: five deterministic blocks with overlapping item
+/// patterns, TIDs globally monotonic.
+fn golden_blocks() -> Vec<TxBlock> {
+    let mut tid = 0u64;
+    (1..=5u64)
+        .map(|id| {
+            let txs = (0..40)
+                .map(|i| {
+                    tid += 1;
+                    let mut items = vec![(i % 7) as u32, 7 + (i % 5) as u32];
+                    if i % 3 == 0 {
+                        items.push(20 + (id as u32 % 4));
+                    }
+                    items.sort_unstable();
+                    items.dedup();
+                    Transaction::new(
+                        Tid(tid),
+                        items.into_iter().map(demon::types::Item).collect(),
+                    )
+                })
+                .collect();
+            Block::new(BlockId(id), txs)
+        })
+        .collect()
+}
+
+/// The batch model over the golden stream, as the canonical JSON the
+/// server answers with.
+fn batch_model_json() -> String {
+    let mut store = TxStore::new(N_ITEMS);
+    let ids: Vec<BlockId> = golden_blocks()
+        .into_iter()
+        .map(|b| {
+            let id = b.id();
+            store.add_block(b);
+            id
+        })
+        .collect();
+    let model =
+        FrequentItemsets::mine_from(&store, &ids, MinSupport::new(MINSUP).unwrap()).unwrap();
+    serde_json::to_string(&model).unwrap()
+}
+
+/// Spawns `demon-cli serve` on an ephemeral port and parses the resolved
+/// address from its startup line. The returned reader holds the stdout
+/// pipe open — dropping it early would break the daemon's final print.
+fn spawn_daemon(extra: &[&str]) -> (Child, String, impl std::io::BufRead) {
+    let mut child = cli()
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--items",
+            &N_ITEMS.to_string(),
+            "--minsup",
+            &MINSUP.to_string(),
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("startup line");
+    let addr = line
+        .strip_prefix("demon-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .trim()
+        .to_string();
+    (child, addr, reader)
+}
+
+#[test]
+fn daemon_stream_matches_batch_mine_snapshot_loads_and_shutdown_is_clean() {
+    let dir = tmp("e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (mut child, addr, _daemon_out) = spawn_daemon(&[]);
+
+    // Stream the golden blocks over the socket.
+    let mut client = Client::connect(&addr).expect("connect");
+    for block in golden_blocks() {
+        client.ingest(N_ITEMS, &block).expect("ingest acked");
+    }
+
+    // The served model is byte-identical to a batch mine over the same
+    // stream.
+    let served = client.query_model_json().expect("query-model");
+    assert_eq!(served, batch_model_json(), "served model diverged from batch");
+
+    // `client query-model` prints exactly what `mine` prints. Persist
+    // the stream as a store so `mine` can replay it.
+    let store_dir = dir.join("store");
+    {
+        let mut store = TxStore::new(N_ITEMS);
+        for b in golden_blocks() {
+            store.add_block(b);
+        }
+        save_store(&store, &store_dir).unwrap();
+    }
+    let mine_out = cli()
+        .args(["mine", store_dir.to_str().unwrap(), "--minsup", &MINSUP.to_string()])
+        .output()
+        .expect("mine runs");
+    assert!(mine_out.status.success());
+    let query_out = cli()
+        .args(["client", &addr, "query-model"])
+        .output()
+        .expect("client runs");
+    assert!(query_out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&mine_out.stdout),
+        String::from_utf8_lossy(&query_out.stdout),
+        "client query-model must print exactly what mine prints"
+    );
+
+    // Stats reflect the stream.
+    let stats = client.stats_json().expect("stats");
+    assert!(stats.contains("\"blocks\":5"), "{stats}");
+    assert!(stats.contains("\"serve.requests\":"), "{stats}");
+
+    // A snapshot lands on disk as a clean, strictly-loadable store.
+    let snap = dir.join("snap");
+    let blocks = client.snapshot(snap.to_str().unwrap()).expect("snapshot");
+    assert_eq!(blocks, 5);
+    let report = verify_store(&snap).expect("verify runs");
+    assert!(report.is_clean(), "snapshot store damaged: {report:?}");
+    let (loaded, _) =
+        load_store_configured(&snap, RecoveryPolicy::Strict, &StoreConfig::InMemory)
+            .expect("snapshot loads under Strict");
+    assert_eq!(loaded.len(), 5);
+    let ids = loaded.block_ids().to_vec();
+    let remined =
+        FrequentItemsets::mine_from(&loaded, &ids, MinSupport::new(MINSUP).unwrap()).unwrap();
+    assert_eq!(serde_json::to_string(&remined).unwrap(), served);
+
+    // Shutdown drains and the daemon exits 0.
+    client.shutdown().expect("shutdown acked");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon must exit 0 after Shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replayed_block_is_a_typed_remote_error_and_daemon_keeps_serving() {
+    let (mut child, addr, _daemon_out) = spawn_daemon(&[]);
+    let mut client = Client::connect(&addr).expect("connect");
+    let blocks = golden_blocks();
+    client.ingest(N_ITEMS, &blocks[0]).unwrap();
+    client.ingest(N_ITEMS, &blocks[1]).unwrap();
+
+    // Replaying D2 is a typed remote error, not a dropped connection.
+    let err = client.ingest(N_ITEMS, &blocks[1]).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("duplicate block"), "{msg}");
+    assert!(msg.contains("D2"), "{msg}");
+
+    // The connection and the daemon both survive: the stream continues.
+    client.ingest(N_ITEMS, &blocks[2]).expect("stream continues");
+    let stats = client.stats_json().unwrap();
+    assert!(stats.contains("\"blocks\":3"), "{stats}");
+    client.shutdown().unwrap();
+    assert!(child.wait().unwrap().success());
+}
+
+/// The served model must not depend on the worker count or the storage
+/// engine: 1 and 8 workers, with and without a memory budget, all
+/// byte-identical to the batch reference.
+#[test]
+fn served_model_invariant_across_workers_and_memory_budget() {
+    let reference = batch_model_json();
+    let spill = tmp("spill");
+    let budgets: [Option<StoreConfig>; 2] = [
+        None,
+        Some(StoreConfig::budget(spill.clone(), 4 * 1024)),
+    ];
+    for workers in [1usize, 8] {
+        for budget in &budgets {
+            let mut config =
+                ServeConfig::new("127.0.0.1:0", N_ITEMS, MinSupport::new(MINSUP).unwrap());
+            config.workers = workers;
+            if let Some(b) = budget {
+                config.store_config = b.clone();
+            }
+            let server = Server::bind(config).expect("bind");
+            let addr = server.local_addr();
+            let handle = std::thread::spawn(move || server.run());
+            let mut client = Client::connect(addr).expect("connect");
+            for block in golden_blocks() {
+                client.ingest(N_ITEMS, &block).expect("ingest");
+            }
+            let served = client.query_model_json().expect("query");
+            assert_eq!(
+                served, reference,
+                "model diverged at workers={workers}, budget={:?}",
+                budget.is_some()
+            );
+            client.shutdown().expect("shutdown");
+            let summary = handle.join().expect("server thread").expect("run ok");
+            assert_eq!(summary.blocks, 5);
+        }
+    }
+    std::fs::remove_dir_all(&spill).ok();
+}
