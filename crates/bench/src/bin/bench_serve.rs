@@ -9,6 +9,11 @@
 //! throughput and the **median** ingest and query latencies across
 //! `DEMON_BENCH_REPEATS` fresh daemon runs.
 //!
+//! Every configuration is run twice per repeat — once volatile and once
+//! with a write-ahead log (fsync before every ingest ack) — so each row
+//! carries both `ingest_median_ms` (WAL off) and `ingest_wal_median_ms`
+//! (WAL on): the price of durability is a tracked number, not folklore.
+//!
 //! Every run asserts zero protocol errors and that the final served
 //! model is byte-identical to a batch `mine_from` over the same blocks —
 //! the numbers always describe a correct daemon.
@@ -50,18 +55,27 @@ fn main() {
     let reference = reference_model_json(&blocks, minsup);
 
     let errors = AtomicU64::new(0);
+    let wal_root = std::env::temp_dir().join(format!("demon-bench-wal-{}", std::process::id()));
     let mut sweep = Vec::new();
     for &n_clients in &CLIENTS {
         let mut ingest_samples = Vec::new();
+        let mut wal_ingest_samples = Vec::new();
         let mut query_samples = Vec::new();
         let mut requests = 0u64;
         let mut elapsed = Duration::ZERO;
-        for _ in 0..repeats {
-            let run = drive(n_clients, &blocks, minsup, &reference, &errors);
+        for rep in 0..repeats {
+            let run = drive(n_clients, &blocks, minsup, &reference, &errors, None);
             ingest_samples.extend(run.ingest);
             query_samples.extend(run.query);
             requests += run.requests;
             elapsed += run.elapsed;
+            // The durable twin: a fresh WAL directory per run, so no
+            // run recovers its predecessor's blocks. Throughput and
+            // query medians stay the volatile numbers; this run only
+            // contributes the durable ingest latency.
+            let wal_dir = wal_root.join(format!("c{n_clients}-r{rep}"));
+            let wal_run = drive(n_clients, &blocks, minsup, &reference, &errors, Some(wal_dir));
+            wal_ingest_samples.extend(wal_run.ingest);
         }
         let throughput = requests as f64 / elapsed.as_secs_f64();
         let row = json!({
@@ -69,11 +83,13 @@ fn main() {
             "requests": requests,
             "throughput_rps": throughput,
             "ingest_median_ms": median_ms(&mut ingest_samples),
+            "ingest_wal_median_ms": median_ms(&mut wal_ingest_samples),
             "query_median_ms": median_ms(&mut query_samples),
         });
         println!("# clients={n_clients}: {row}");
         sweep.push(row);
     }
+    std::fs::remove_dir_all(&wal_root).ok();
 
     let n_errors = errors.load(Ordering::SeqCst);
     assert_eq!(n_errors, 0, "protocol errors during the bench");
@@ -125,16 +141,19 @@ struct RunResult {
 }
 
 /// One timed daemon run: fresh server, `n_clients` concurrent clients,
-/// the fixed ingest-vs-query script, graceful shutdown.
+/// the fixed ingest-vs-query script, graceful shutdown. With `wal_dir`
+/// set the daemon serves durably (append + fsync before every ack).
 fn drive(
     n_clients: usize,
     blocks: &[TxBlock],
     minsup: MinSupport,
     reference: &str,
     errors: &AtomicU64,
+    wal_dir: Option<std::path::PathBuf>,
 ) -> RunResult {
     let mut config = ServeConfig::new("127.0.0.1:0", N_ITEMS, minsup);
     config.workers = 8;
+    config.wal_dir = wal_dir;
     let server = Server::bind(config).expect("bind ephemeral daemon");
     let addr = server.local_addr();
     let handle = std::thread::spawn(move || server.run());

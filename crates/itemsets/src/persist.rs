@@ -259,6 +259,44 @@ pub fn save_store(store: &TxStore, dir: &Path) -> Result<()> {
     write_meta(dir, &mut meta)
 }
 
+/// Persists `store` to `dir` all-or-nothing: the store is written into
+/// a sibling temp directory first and renamed over `dir` only once every
+/// file (manifest included) is on disk. A failure — or a crash — leaves
+/// the previous `dir` untouched and at worst a `<dir>.tmp` /
+/// `<dir>.old` residue directory, never a half-written store at `dir`
+/// itself. This is what the `demon-serve` `Snapshot` verb and the WAL
+/// compactor use, so a snapshot directory either loads under
+/// [`RecoveryPolicy::Strict`] or does not exist.
+pub fn save_store_atomic(store: &TxStore, dir: &Path) -> Result<()> {
+    let tmp = durable::tmp_path(dir);
+    if tmp.exists() {
+        std::fs::remove_dir_all(&tmp)?;
+    }
+    if let Err(e) = save_store(store, &tmp) {
+        // No partial residue: take the half-written temp dir with us.
+        let _ = std::fs::remove_dir_all(&tmp);
+        return Err(e);
+    }
+    if dir.exists() {
+        // Swap via a second rename so the live directory is replaced in
+        // one atomic step; the displaced copy is deleted best-effort.
+        let old = dir.with_extension("old");
+        let _ = std::fs::remove_dir_all(&old);
+        std::fs::rename(dir, &old)?;
+        std::fs::rename(&tmp, dir)?;
+        let _ = std::fs::remove_dir_all(&old);
+    } else {
+        std::fs::rename(&tmp, dir)?;
+    }
+    if let Some(parent) = dir.parent() {
+        // Same best-effort directory fsync as `durable::atomic_write`.
+        if let Ok(d) = std::fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 /// Loads a store persisted by [`save_store`] under the default
 /// [`RecoveryPolicy::Strict`]: any corruption is a typed error.
 pub fn load_store(dir: &Path) -> Result<TxStore> {
@@ -929,6 +967,31 @@ mod tests {
         assert!(verify_store(&dir).unwrap().is_clean());
         let (_, report) = load_store_with(&dir, RecoveryPolicy::SalvagePrefix).unwrap();
         assert!(report.is_clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_save_replaces_and_leaves_no_partial_store() {
+        let store = sample_store();
+        let dir = tmp("atomic-save");
+        std::fs::create_dir_all(dir.parent().unwrap()).ok();
+        // Fresh target: the store lands whole and Strict-loadable.
+        save_store_atomic(&store, &dir).unwrap();
+        assert!(verify_store(&dir).unwrap().is_clean());
+        assert!(!durable::tmp_path(&dir).exists(), "tmp dir must not linger");
+        // Existing target: replaced atomically, old copy gone.
+        save_store_atomic(&store, &dir).unwrap();
+        assert!(verify_store(&dir).unwrap().is_clean());
+        assert!(!dir.with_extension("old").exists(), "old dir must not linger");
+        assert_eq!(load_store(&dir).unwrap().len(), 2);
+
+        // A failing save leaves no partial directory behind: point the
+        // temp sibling at a path whose parent cannot be created (a file
+        // stands in the way).
+        let blocked = dir.join("meta.json").join("store");
+        let err = save_store_atomic(&store, &blocked).unwrap_err();
+        assert!(matches!(err, DemonError::Io(_)), "{err}");
+        assert!(!blocked.exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

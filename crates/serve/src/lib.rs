@@ -22,9 +22,9 @@
 //!
 //! | module | what it owns |
 //! |---|---|
-//! | [`protocol`] | frame layout, verbs, request/response codecs |
-//! | [`server`] | worker pool, ingest queue, dispatch, shutdown |
-//! | [`client`] | blocking one-call-per-request client |
+//! | [`protocol`] | frame layout, verbs, request/response codecs, typed wire errors |
+//! | [`server`] | worker pool, ingest queue, WAL + recovery + compaction, dispatch |
+//! | [`client`] | blocking one-call-per-request client with bounded retry |
 //!
 //! # Quick taste
 //!
@@ -53,6 +53,17 @@
 //!
 //! * An acknowledged `IngestBlock` is **applied**: any later query — on
 //!   any connection — sees the block.
+//! * With a WAL directory configured (`ServeConfig::wal_dir`), an
+//!   acknowledged `IngestBlock` is also **durable**: the encoded block
+//!   is appended to the write-ahead log and fsynced *before* the ack is
+//!   sent, so a `kill -9` after the ack never loses the block. On
+//!   restart the daemon loads the newest snapshot generation and
+//!   replays the WAL tail, salvaging a torn final record instead of
+//!   refusing to start. Background compaction (snapshot + log rotation)
+//!   is atomic: a crash mid-compaction recovers from either generation.
+//! * Client-side, transient transport faults are retried under a
+//!   bounded [`RetryPolicy`] and a `Duplicate` answer to a *retried*
+//!   ingest is success (the ack was lost, not the block).
 //! * Replayed or out-of-order blocks are typed protocol errors (the
 //!   engine's systematic-evolution contract); the daemon keeps serving.
 //! * The model answered over the socket is byte-identical to a batch
@@ -69,6 +80,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
-pub use protocol::{Request, Response, MAX_PAYLOAD};
+pub use client::{Client, RetryPolicy};
+pub use protocol::{Request, Response, WireError, MAX_PAYLOAD};
 pub use server::{ServeConfig, ServeSummary, ServedMonitor, Server};

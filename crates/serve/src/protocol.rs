@@ -33,7 +33,7 @@
 //! | `Sequences` | 2 | count u32; per sequence: len u32 + block ids u64 |
 //! | `Stats` | 3 | stats JSON (UTF-8) |
 //! | `SnapshotDone` | 4 | persisted block count u64 |
-//! | `Err` | 5 | message (UTF-8) |
+//! | `Err` | 5 | error code u8; code-specific body (see [`WireError`]) |
 //!
 //! Either side reads a message by pulling the fixed-size header,
 //! validating magic/version/class ([`durable::decode_frame_header`]),
@@ -90,8 +90,82 @@ pub enum Response {
     Stats(String),
     /// A snapshot completed; the payload is the persisted block count.
     SnapshotDone(u64),
-    /// The request failed; the payload is the daemon's error message.
-    Err(String),
+    /// The request failed; the payload is a typed error the client can
+    /// react to (retry, treat as already-applied, give up).
+    Err(WireError),
+}
+
+/// A typed failure crossing the wire (response tag 5): one error-code
+/// byte followed by code-specific fields, so a client reacts to the
+/// *kind* of failure instead of parsing prose.
+///
+/// | code | variant | body |
+/// |---|---|---|
+/// | 0 | `Other` | message (UTF-8) |
+/// | 1 | `Duplicate` | replayed id u64; latest applied id u64 |
+/// | 2 | `Busy` | message (UTF-8) |
+/// | 3 | `Io` | message (UTF-8) |
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Any failure without a more specific code.
+    Other(String),
+    /// The ingested block id was already applied. A client that lost an
+    /// ack to a transport fault treats this as success on retry: the
+    /// ack was lost, not the block.
+    Duplicate {
+        /// The replayed block id.
+        id: u64,
+        /// The latest block id the daemon has already applied.
+        latest: u64,
+    },
+    /// The daemon could not take the request right now (ingest queue
+    /// full past the backpressure deadline, or shutting down) —
+    /// retryable after a backoff.
+    Busy(String),
+    /// A server-side I/O failure (WAL append, snapshot write).
+    Io(String),
+}
+
+impl WireError {
+    /// Builds the wire form of a server-side [`DemonError`], preserving
+    /// the variants clients dispatch on.
+    pub fn from_error(e: &DemonError) -> WireError {
+        match e {
+            DemonError::DuplicateBlock { id, latest } => WireError::Duplicate {
+                id: *id,
+                latest: *latest,
+            },
+            DemonError::Io(io) => WireError::Io(io.to_string()),
+            other => WireError::Other(other.to_string()),
+        }
+    }
+
+    /// The client-side [`DemonError`] this wire error stands for:
+    /// `Duplicate` becomes the engine's own typed
+    /// [`DemonError::DuplicateBlock`], everything else a
+    /// [`DemonError::Remote`] carrying the daemon's message.
+    pub fn into_error(self) -> DemonError {
+        match self {
+            WireError::Duplicate { id, latest } => DemonError::DuplicateBlock { id, latest },
+            WireError::Busy(msg) | WireError::Io(msg) | WireError::Other(msg) => {
+                DemonError::Remote(msg)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Other(msg) | WireError::Busy(msg) | WireError::Io(msg) => {
+                write!(f, "{msg}")
+            }
+            WireError::Duplicate { id, latest } => write!(
+                f,
+                "duplicate block D{id}: the daemon already applied blocks up to D{latest}"
+            ),
+        }
+    }
 }
 
 // --- primitive readers over a positioned byte slice ---
@@ -246,9 +320,27 @@ impl Response {
                 buf.push(4);
                 buf.extend_from_slice(&blocks.to_le_bytes());
             }
-            Response::Err(msg) => {
+            Response::Err(e) => {
                 buf.push(5);
-                buf.extend_from_slice(msg.as_bytes());
+                match e {
+                    WireError::Other(msg) => {
+                        buf.push(0);
+                        buf.extend_from_slice(msg.as_bytes());
+                    }
+                    WireError::Duplicate { id, latest } => {
+                        buf.push(1);
+                        buf.extend_from_slice(&id.to_le_bytes());
+                        buf.extend_from_slice(&latest.to_le_bytes());
+                    }
+                    WireError::Busy(msg) => {
+                        buf.push(2);
+                        buf.extend_from_slice(msg.as_bytes());
+                    }
+                    WireError::Io(msg) => {
+                        buf.push(3);
+                        buf.extend_from_slice(msg.as_bytes());
+                    }
+                }
             }
         }
         buf
@@ -279,7 +371,21 @@ impl Response {
             }
             3 => Ok(Response::Stats(text(&bytes[1..])?)),
             4 => Ok(Response::SnapshotDone(get_u64(bytes, &mut pos, "block count")?)),
-            5 => Ok(Response::Err(text(&bytes[1..])?)),
+            5 => {
+                let err = match get_u8(bytes, &mut pos, "error code")? {
+                    0 => WireError::Other(text(&bytes[pos..])?),
+                    1 => WireError::Duplicate {
+                        id: get_u64(bytes, &mut pos, "duplicate id")?,
+                        latest: get_u64(bytes, &mut pos, "duplicate latest")?,
+                    },
+                    2 => WireError::Busy(text(&bytes[pos..])?),
+                    3 => WireError::Io(text(&bytes[pos..])?),
+                    other => {
+                        return Err(DemonError::Serde(format!("unknown error code {other}")))
+                    }
+                };
+                Ok(Response::Err(err))
+            }
             other => Err(DemonError::Serde(format!("unknown response tag {other}"))),
         }
     }
@@ -417,11 +523,36 @@ mod tests {
             Response::Sequences(vec![vec![BlockId(1), BlockId(3)], vec![]]),
             Response::Stats("{\"blocks\":4}".into()),
             Response::SnapshotDone(9),
-            Response::Err("queue full".into()),
+            Response::Err(WireError::Other("boom".into())),
+            Response::Err(WireError::Duplicate { id: 2, latest: 7 }),
+            Response::Err(WireError::Busy("queue full".into())),
+            Response::Err(WireError::Io("disk full".into())),
         ];
         for resp in cases {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn wire_errors_convert_to_and_from_demon_errors() {
+        let dup = DemonError::DuplicateBlock { id: 2, latest: 4 };
+        let wire = WireError::from_error(&dup);
+        assert_eq!(wire, WireError::Duplicate { id: 2, latest: 4 });
+        // The round trip restores the engine's typed duplicate error,
+        // message text included.
+        let back = wire.into_error();
+        assert!(matches!(back, DemonError::DuplicateBlock { id: 2, latest: 4 }));
+        assert!(back.to_string().contains("duplicate block"));
+        assert!(back.to_string().contains("D2"));
+
+        let io = DemonError::Io(std::io::Error::other("disk on fire"));
+        assert!(matches!(WireError::from_error(&io), WireError::Io(m) if m.contains("disk")));
+        let other = WireError::from_error(&DemonError::UnknownBlock(3));
+        assert!(matches!(other, WireError::Other(_)));
+        assert!(matches!(
+            WireError::Busy("full".into()).into_error(),
+            DemonError::Remote(m) if m == "full"
+        ));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The daemon: a fixed pool of worker threads serving framed requests
-//! over TCP, one writer applying ingested blocks in arrival order.
+//! over TCP, one writer applying ingested blocks in arrival order —
+//! optionally behind a write-ahead log, so an acknowledged block
+//! survives `kill -9`.
 //!
 //! ## Concurrency shape
 //!
@@ -10,6 +12,10 @@
 //!                  RwLock<DemonMonitor>   bounded ingest queue
 //!                        ▲                    │
 //!                        └── ingester thread ◀┘  (single writer)
+//!                        │         │ append+fsync before apply
+//!                        ▼         ▼
+//!                  compactor ◀── wal-<gen>.log
+//!                  (snapshot + rotate)
 //! ```
 //!
 //! * **Queries** (`QueryModel`, `QuerySequences`, `Stats`, `Snapshot`)
@@ -21,32 +27,51 @@
 //!   `IngestBlock` acknowledgment means the block is *applied* — a
 //!   query on the same connection afterwards sees it. When the queue
 //!   stays full past the backpressure deadline the request is rejected
-//!   with a typed error (`serve.rejects`), never buffered unboundedly.
+//!   with a typed `Busy` error (`serve.rejects`), never buffered
+//!   unboundedly.
+//! * **Durability** (`wal_dir` set): before applying a block, the
+//!   ingester appends the block's encoded ingest request to the live
+//!   `wal-<gen>.log` as one framed, checksummed record and **fsyncs**
+//!   it. Only then is the block applied and acknowledged, so an ack
+//!   means the block is both applied *and* durable. On startup,
+//!   [`Server::bind`] recovers: load `snapshot-<CURRENT>` (Strict),
+//!   replay every WAL generation ≥ `CURRENT` oldest-first (torn tails
+//!   dropped, `DuplicateBlock` replays skipped idempotently), truncate
+//!   the torn tail, and resume appending.
+//! * **Compaction**: when the live WAL crosses `wal_max_bytes` the
+//!   ingester rotates to `wal-<gen+1>.log` (it is the sole appender
+//!   *and* applier, so at the rotation instant the monitor covers
+//!   everything in the old log) and signals the compactor thread, which
+//!   snapshots the store atomically to `snapshot-<gen+1>`, flips the
+//!   framed `CURRENT` pointer, and deletes the shadowed generations. A
+//!   crash at any instant recovers from whichever generation `CURRENT`
+//!   still names.
 //! * **Shutdown** closes the queue (already-queued blocks still apply),
 //!   wakes every worker out of `accept`, and `run` returns after the
 //!   drain — the graceful exit the `Shutdown` verb promises.
 //!
 //! Per-connection read/write timeouts bound how long a dead peer can
 //! pin a worker. The recorder is enabled at bind time so the `Stats`
-//! verb always reports live `serve.*` counters.
+//! verb always reports live `serve.*` and `wal.*` counters.
 
-use crate::protocol::{self, Request, Response};
+use crate::protocol::{self, Request, Response, WireError};
 use demon_core::bss::{BlockSelector, WiBss};
 use demon_core::engine::DataSpan;
 use demon_core::monitor::DemonMonitor;
 use demon_core::ItemsetMaintainer;
 use demon_focus::similarity::{ItemsetSimilarity, SimilarityConfig};
-use demon_itemsets::persist::save_store;
+use demon_itemsets::persist::{load_store_configured, save_store_atomic, RecoveryPolicy};
 use demon_itemsets::CounterKind;
 use demon_store::StoreConfig;
 use demon_types::durable::FrameClass;
 use demon_types::obs::{self, Counter};
-use demon_types::{MinSupport, Result, TxBlock};
+use demon_types::wal::{self, WalWriter};
+use demon_types::{DemonError, MinSupport, Result, TxBlock};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// The monitor type the daemon owns: frequent itemsets + compact
@@ -82,12 +107,20 @@ pub struct ServeConfig {
     pub io_timeout: Duration,
     /// Storage-engine config of the monitored store (`--memory-budget`).
     pub store_config: StoreConfig,
+    /// Write-ahead-log directory. `Some(dir)` makes every acknowledged
+    /// ingest durable (fsynced before the ack) and recovers the monitor
+    /// from `dir` at bind time; `None` keeps the daemon memory-only.
+    pub wal_dir: Option<PathBuf>,
+    /// Compaction threshold: once the live WAL file crosses this many
+    /// bytes, the daemon snapshots the store and rotates the log.
+    pub wal_max_bytes: u64,
 }
 
 impl ServeConfig {
     /// A config with the documented defaults: 4 workers, a 64-block
     /// queue, 5 s backpressure deadline, 30 s connection timeouts, an
-    /// unrestricted window and an in-memory store.
+    /// unrestricted window, an in-memory store, and no WAL (pass
+    /// `wal_dir` to make ingest durable; WAL files rotate at 8 MiB).
     pub fn new(addr: impl Into<String>, n_items: u32, minsup: MinSupport) -> ServeConfig {
         ServeConfig {
             addr: addr.into(),
@@ -102,6 +135,8 @@ impl ServeConfig {
             queue_timeout: Duration::from_secs(5),
             io_timeout: Duration::from_secs(30),
             store_config: StoreConfig::InMemory,
+            wal_dir: None,
+            wal_max_bytes: 8 << 20,
         }
     }
 }
@@ -111,11 +146,11 @@ impl ServeConfig {
 pub struct ServeSummary {
     /// Requests served across all connections and verbs.
     pub requests: u64,
-    /// Blocks ingested into the monitor.
+    /// Blocks ingested into the monitor (recovered blocks included).
     pub blocks: u64,
 }
 
-type IngestResult = std::result::Result<(), String>;
+type IngestResult = std::result::Result<(), WireError>;
 
 /// The completion slot an ingesting worker parks on until the ingester
 /// thread has applied (or rejected) its block.
@@ -178,18 +213,18 @@ impl IngestQueue {
     }
 
     /// Enqueues a block, waiting out backpressure; returns the slot the
-    /// caller parks on, or the rejection message.
-    fn submit(&self, block: TxBlock) -> std::result::Result<Arc<DoneSlot>, String> {
+    /// caller parks on, or the typed rejection.
+    fn submit(&self, block: TxBlock) -> std::result::Result<Arc<DoneSlot>, WireError> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let deadline = Instant::now() + self.timeout;
         while state.jobs.len() >= self.capacity && state.open {
             let now = Instant::now();
             if now >= deadline {
                 obs::incr(Counter::ServeRejects);
-                return Err(format!(
+                return Err(WireError::Busy(format!(
                     "ingest queue full ({} blocks) past the backpressure deadline",
                     self.capacity
-                ));
+                )));
             }
             let (guard, _) = self
                 .not_full
@@ -199,7 +234,7 @@ impl IngestQueue {
         }
         if !state.open {
             obs::incr(Counter::ServeRejects);
-            return Err("server is shutting down".to_string());
+            return Err(WireError::Busy("server is shutting down".to_string()));
         }
         let done = Arc::new(DoneSlot::default());
         state.jobs.push_back(Job {
@@ -254,10 +289,29 @@ struct Shared {
     workers: usize,
 }
 
+/// The ingester's durable-ingest state: the live WAL writer plus the
+/// channel to the compactor. Owned by the ingester thread alone — the
+/// single-appender discipline is what makes rotation sound.
+struct Durability {
+    dir: PathBuf,
+    writer: WalWriter,
+    gen: u64,
+    max_bytes: u64,
+    /// Highest block id the monitor has applied; a retried duplicate is
+    /// detected *before* the append so it never grows the log.
+    last_id: Option<u64>,
+    compact_tx: mpsc::Sender<u64>,
+    /// One compaction at a time; while it runs, the live log simply
+    /// keeps growing past the threshold.
+    compacting: Arc<AtomicBool>,
+}
+
 /// A bound daemon, ready to [`run`](Server::run).
 pub struct Server {
     shared: Arc<Shared>,
     listener: TcpListener,
+    durability: Option<Durability>,
+    compact_rx: Option<mpsc::Receiver<u64>>,
 }
 
 fn build_monitor(config: &ServeConfig) -> Result<ServedMonitor> {
@@ -284,26 +338,156 @@ fn build_monitor(config: &ServeConfig) -> Result<ServedMonitor> {
     DemonMonitor::new(maintainer, span, oracle, config.pattern_window)
 }
 
+/// What WAL recovery rebuilt: the monitor with every durable block
+/// re-applied, the reopened live log, and its generation.
+struct Recovered {
+    monitor: ServedMonitor,
+    writer: WalWriter,
+    gen: u64,
+}
+
+/// Recovers a monitor from a WAL directory: load `snapshot-<CURRENT>`
+/// under `Strict` (the snapshot was written atomically — damage there
+/// is real bit rot and must be loud), replay every WAL generation ≥
+/// `CURRENT` oldest-first, then reopen the newest log for appending
+/// with its torn tail (if any) truncated away.
+///
+/// Replay is idempotent and salvaging: a record already covered by the
+/// snapshot is a [`DemonError::DuplicateBlock`] and is skipped; a
+/// record that fails to apply was by definition never acknowledged
+/// (acks happen only after a successful apply) and is skipped too; a
+/// torn tail ends the file's clean prefix and is dropped (counted
+/// under `wal.torn_tails`).
+fn recover(dir: &Path, config: &ServeConfig) -> Result<Recovered> {
+    std::fs::create_dir_all(dir)?;
+    let current = wal::read_current(dir)?;
+    let mut monitor = build_monitor(config)?;
+
+    if current > 0 {
+        let snap = wal::snapshot_dir_path(dir, current);
+        // The snapshot is loaded into a transient in-memory store and
+        // replayed into the monitor (which sits on the configured
+        // storage engine); the model is rebuilt deterministically.
+        let (store, _) =
+            load_store_configured(&snap, RecoveryPolicy::Strict, &StoreConfig::InMemory)?;
+        for &id in &store.block_ids().to_vec() {
+            let block = (*store
+                .block(id)
+                .ok_or(DemonError::UnknownBlock(id.value()))?)
+            .clone();
+            monitor.add_block(block)?;
+        }
+    }
+
+    // Generations below CURRENT (and snapshot dirs other than CURRENT,
+    // including a compaction's tmp residue) are shadowed: delete them
+    // so a crash mid-cleanup converges instead of accreting.
+    for entry in std::fs::read_dir(dir)?.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(g) = wal::parse_wal_file_name(name) {
+            if g < current {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        } else if name.starts_with("snapshot-")
+            && wal::parse_snapshot_dir_name(name) != Some(current)
+        {
+            let _ = std::fs::remove_dir_all(entry.path());
+        }
+    }
+
+    let mut next_seq = 0u64;
+    let mut live_gen = current;
+    let mut live_valid_len = 0u64;
+    let mut live_exists = false;
+    for g in wal::list_wal_generations(dir)? {
+        if g < current {
+            continue;
+        }
+        let path = wal::wal_file_path(dir, g);
+        let report = wal::read_wal(&path)?;
+        for record in &report.records {
+            let Ok(Request::IngestBlock { block, .. }) = Request::decode(&record.body) else {
+                continue;
+            };
+            match monitor.add_block(block) {
+                Ok(_) => obs::incr(Counter::WalReplays),
+                Err(DemonError::DuplicateBlock { .. }) => {} // snapshot covers it
+                Err(_) => {} // appended but never acked: no promise broken
+            }
+        }
+        if let Some(s) = report.next_seq() {
+            next_seq = s;
+        }
+        live_gen = g;
+        live_valid_len = report.valid_len;
+        live_exists = true;
+    }
+
+    let live_path = wal::wal_file_path(dir, live_gen);
+    let writer = if live_exists {
+        WalWriter::open_after_recovery(&live_path, live_valid_len, next_seq)?
+    } else {
+        WalWriter::create(&live_path, next_seq)?
+    };
+    Ok(Recovered {
+        monitor,
+        writer,
+        gen: live_gen,
+    })
+}
+
 impl Server {
     /// Binds the listener and builds the monitor, but serves nothing
-    /// yet. Enables the obs recorder so `Stats` is always live.
+    /// yet. With `wal_dir` set this is also where crash recovery
+    /// happens — when `bind` returns, every durable block is applied.
+    /// Enables the obs recorder so `Stats` is always live.
     pub fn bind(config: ServeConfig) -> Result<Server> {
+        obs::enable();
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let monitor = build_monitor(&config)?;
-        obs::enable();
+        let (monitor, durability, compact_rx) = match &config.wal_dir {
+            None => (build_monitor(&config)?, None, None),
+            Some(dir) => {
+                let recovered = recover(dir, &config)?;
+                let (tx, rx) = mpsc::channel();
+                let durability = Durability {
+                    dir: dir.clone(),
+                    writer: recovered.writer,
+                    gen: recovered.gen,
+                    max_bytes: config.wal_max_bytes.max(1),
+                    last_id: recovered
+                        .monitor
+                        .engine()
+                        .maintainer()
+                        .store()
+                        .block_ids()
+                        .last()
+                        .map(|id| id.value()),
+                    compact_tx: tx,
+                    compacting: Arc::new(AtomicBool::new(false)),
+                };
+                (recovered.monitor, Some(durability), Some(rx))
+            }
+        };
+        let blocks = monitor.engine().maintainer().store().len() as u64;
         let shared = Arc::new(Shared {
             monitor: RwLock::new(monitor),
             queue: IngestQueue::new(config.queue_capacity, config.queue_timeout),
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
-            blocks: AtomicU64::new(0),
+            blocks: AtomicU64::new(blocks),
             addr,
             n_items: config.n_items,
             io_timeout: config.io_timeout,
             workers: config.workers.max(1),
         });
-        Ok(Server { shared, listener })
+        Ok(Server {
+            shared,
+            listener,
+            durability,
+            compact_rx,
+        })
     }
 
     /// The address the daemon is listening on (resolves port 0).
@@ -311,22 +495,44 @@ impl Server {
         self.shared.addr
     }
 
-    /// Serves until a `Shutdown` request: spawns the ingester and the
-    /// worker pool, then joins them all. Queued blocks are drained
-    /// before the ingester exits.
+    /// Serves until a `Shutdown` request: spawns the ingester, the
+    /// compactor (when durable) and the worker pool, then joins them
+    /// all. Queued blocks are drained before the ingester exits.
     pub fn run(self) -> Result<ServeSummary> {
+        let Server {
+            shared,
+            listener,
+            durability,
+            compact_rx,
+        } = self;
         let mut handles = Vec::new();
+        if let Some(rx) = compact_rx {
+            let dir = durability
+                .as_ref()
+                .map(|d| d.dir.clone())
+                .unwrap_or_default();
+            let flag = durability
+                .as_ref()
+                .map(|d| Arc::clone(&d.compacting))
+                .unwrap_or_default();
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("serve-compactor".to_string())
+                    .spawn(move || compactor_loop(&shared, &dir, &flag, &rx))?,
+            );
+        }
         {
-            let shared = Arc::clone(&self.shared);
+            let shared = Arc::clone(&shared);
             handles.push(
                 std::thread::Builder::new()
                     .name("serve-ingester".to_string())
-                    .spawn(move || ingester_loop(&shared))?,
+                    .spawn(move || ingester_loop(&shared, durability))?,
             );
         }
-        for i in 0..self.shared.workers {
-            let shared = Arc::clone(&self.shared);
-            let listener = self.listener.try_clone()?;
+        for i in 0..shared.workers {
+            let shared = Arc::clone(&shared);
+            let listener = listener.try_clone()?;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
@@ -337,30 +543,176 @@ impl Server {
             let _ = h.join();
         }
         Ok(ServeSummary {
-            requests: self.shared.requests.load(Ordering::Relaxed),
-            blocks: self.shared.blocks.load(Ordering::Relaxed),
+            requests: shared.requests.load(Ordering::Relaxed),
+            blocks: shared.blocks.load(Ordering::SeqCst),
         })
     }
 }
 
-/// The single writer: applies queued blocks in arrival order, then
-/// answers the parked worker. A panicking `add_block` (e.g. a spill
-/// fault) poisons the monitor but never kills the ingester — later
-/// jobs are answered with a typed error instead of hanging forever.
-fn ingester_loop(shared: &Arc<Shared>) {
+static CRASH_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Fault-injection hook: `DEMON_SERVE_CRASH=<point>:<n>` aborts the
+/// process — the moral equivalent of `kill -9`, no destructors, no
+/// flushes — the `n`-th time the named crash point is reached. Inert
+/// unless the fault tests arm it.
+fn crash_point(point: &str) {
+    let Ok(spec) = std::env::var("DEMON_SERVE_CRASH") else {
+        return;
+    };
+    let Some((name, nth)) = spec.split_once(':') else {
+        return;
+    };
+    if name != point {
+        return;
+    }
+    let Ok(nth) = nth.parse::<u64>() else {
+        return;
+    };
+    if CRASH_HITS.fetch_add(1, Ordering::SeqCst) + 1 == nth {
+        std::process::abort();
+    }
+}
+
+/// The single writer: appends each queued block to the WAL (fsync),
+/// applies it, then answers the parked worker — in that order, so an
+/// acknowledgment implies both durability and visibility. A panicking
+/// `add_block` (e.g. a spill fault) poisons the monitor but never kills
+/// the ingester — later jobs are answered with a typed error instead of
+/// hanging forever.
+fn ingester_loop(shared: &Arc<Shared>, mut durability: Option<Durability>) {
     while let Some(job) = shared.queue.next_job() {
         let block = job.block;
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            match shared.monitor.write() {
-                Ok(mut monitor) => monitor.add_block(block).map(|_| ()).map_err(|e| e.to_string()),
-                Err(_) => Err("monitor poisoned by an earlier ingest fault".to_string()),
+        let block_id = block.id().value();
+        crash_point("before_append");
+
+        // WAL first: a block must be durable before it can be acked.
+        // Duplicates are detected before the append so a retried block
+        // never grows the log; an append failure fails the request
+        // without applying (an applied-but-not-durable block would turn
+        // a later DuplicateBlock retry into a silent durability lie).
+        let mut wal_failure: Option<WireError> = None;
+        if let Some(d) = durability.as_mut() {
+            let duplicate = d.last_id.is_some_and(|last| block_id <= last);
+            if !duplicate {
+                let body = Request::IngestBlock {
+                    n_items: shared.n_items,
+                    block: block.clone(),
+                }
+                .encode();
+                if let Err(e) = d.writer.append(&body) {
+                    wal_failure = Some(WireError::Io(format!("wal append: {e}")));
+                }
             }
-        }))
-        .unwrap_or_else(|_| Err("ingest panicked; monitor poisoned".to_string()));
+        }
+        crash_point("after_append");
+
+        let result = match wal_failure {
+            Some(e) => Err(e),
+            None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match shared.monitor.write() {
+                    Ok(mut monitor) => monitor
+                        .add_block(block)
+                        .map(|_| ())
+                        .map_err(|e| WireError::from_error(&e)),
+                    Err(_) => Err(WireError::Other(
+                        "monitor poisoned by an earlier ingest fault".to_string(),
+                    )),
+                }
+            }))
+            .unwrap_or_else(|_| {
+                Err(WireError::Other(
+                    "ingest panicked; monitor poisoned".to_string(),
+                ))
+            }),
+        };
         if result.is_ok() {
             shared.blocks.fetch_add(1, Ordering::SeqCst);
+            if let Some(d) = durability.as_mut() {
+                d.last_id = Some(block_id);
+                // Rotate only after the apply: the monitor now covers
+                // every record in the old log, so the compactor's
+                // snapshot (taken later, under the read lock) is
+                // guaranteed to shadow it.
+                maybe_rotate(d);
+            }
         }
         job.done.fill(result);
+        crash_point("after_ack");
+    }
+}
+
+/// Rotates the live WAL once it crosses the size threshold: create
+/// `wal-<gen+1>.log`, swap the writer, and hand generation `gen+1` to
+/// the compactor. Skipped while a compaction is already in flight.
+fn maybe_rotate(d: &mut Durability) {
+    if d.writer.bytes() < d.max_bytes {
+        return;
+    }
+    if d.compacting.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let next_gen = d.gen + 1;
+    match WalWriter::create(&wal::wal_file_path(&d.dir, next_gen), d.writer.next_seq()) {
+        Ok(writer) => {
+            d.writer = writer;
+            d.gen = next_gen;
+            // A send failure means the compactor died; keep serving —
+            // the log just stops rotating.
+            let _ = d.compact_tx.send(next_gen);
+        }
+        Err(_) => {
+            // Could not open the next log: keep appending to the old
+            // one and try again at the next threshold crossing.
+            d.compacting.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The compactor: for each rotated generation, snapshot the store
+/// atomically, flip `CURRENT`, and delete the shadowed WAL files and
+/// snapshots. A crash anywhere in here is recoverable — before the
+/// `CURRENT` flip the old generation chain is intact; after it the new
+/// one is.
+fn compactor_loop(
+    shared: &Arc<Shared>,
+    dir: &Path,
+    compacting: &Arc<AtomicBool>,
+    rx: &mpsc::Receiver<u64>,
+) {
+    while let Ok(gen) = rx.recv() {
+        let result: Result<()> = (|| {
+            {
+                let monitor = shared.monitor.read().map_err(|_| {
+                    DemonError::InvalidParameter("monitor poisoned; compaction skipped".into())
+                })?;
+                let store = monitor.engine().maintainer().store();
+                save_store_atomic(store, &wal::snapshot_dir_path(dir, gen))?;
+            }
+            crash_point("mid_compaction");
+            wal::write_current(dir, gen)?;
+            Ok(())
+        })();
+        if result.is_ok() {
+            // The old generations are shadowed by CURRENT=gen; deleting
+            // them is cleanup, not correctness (recovery re-deletes).
+            for g in wal::list_wal_generations(dir).unwrap_or_default() {
+                if g < gen {
+                    let _ = std::fs::remove_file(wal::wal_file_path(dir, g));
+                }
+            }
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name();
+                    let Some(name) = name.to_str() else { continue };
+                    if name.starts_with("snapshot-")
+                        && wal::parse_snapshot_dir_name(name) != Some(gen)
+                    {
+                        let _ = std::fs::remove_dir_all(entry.path());
+                    }
+                }
+            }
+        }
+        compacting.store(false, Ordering::SeqCst);
     }
 }
 
@@ -412,7 +764,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         obs::add(Counter::ServeBytesIn, bytes_in as u64);
         let (response, shutdown_after) = match Request::decode(&payload) {
             Ok(request) => dispatch(shared, request),
-            Err(e) => (Response::Err(e.to_string()), false),
+            Err(e) => (Response::Err(WireError::Other(e.to_string())), false),
         };
         let mut writer = &stream;
         match protocol::write_message(&mut writer, FrameClass::RESPONSE, &response.encode()) {
@@ -431,10 +783,10 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> (Response, bool) {
         Request::IngestBlock { n_items, block } => {
             if n_items != shared.n_items {
                 return (
-                    Response::Err(format!(
+                    Response::Err(WireError::Other(format!(
                         "item universe mismatch: client encoded {n_items}, server monitors {}",
                         shared.n_items
-                    )),
+                    ))),
                     false,
                 );
             }
@@ -444,39 +796,64 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> (Response, bool) {
                 .and_then(|done| done.wait());
             match result {
                 Ok(()) => (Response::Ok, false),
-                Err(msg) => (Response::Err(msg), false),
+                Err(e) => (Response::Err(e), false),
             }
         }
         Request::QueryModel => {
             let monitor = match shared.monitor.read() {
                 Ok(m) => m,
-                Err(_) => return (Response::Err("monitor poisoned".into()), false),
+                Err(_) => {
+                    return (
+                        Response::Err(WireError::Other("monitor poisoned".into())),
+                        false,
+                    )
+                }
             };
             match monitor.model() {
                 Some(model) => match serde_json::to_string(model) {
                     Ok(json) => (Response::Model(json), false),
-                    Err(e) => (Response::Err(format!("model serialization: {e}")), false),
+                    Err(e) => (
+                        Response::Err(WireError::Other(format!("model serialization: {e}"))),
+                        false,
+                    ),
                 },
                 None => (
-                    Response::Err("no model yet (no blocks ingested)".into()),
+                    Response::Err(WireError::Other("no model yet (no blocks ingested)".into())),
                     false,
                 ),
             }
         }
         Request::QuerySequences => match shared.monitor.read() {
             Ok(monitor) => (Response::Sequences(monitor.sequences()), false),
-            Err(_) => (Response::Err("monitor poisoned".into()), false),
+            Err(_) => (
+                Response::Err(WireError::Other("monitor poisoned".into())),
+                false,
+            ),
         },
         Request::Stats => (Response::Stats(stats_json(shared)), false),
         Request::Snapshot { dir } => {
             let monitor = match shared.monitor.read() {
                 Ok(m) => m,
-                Err(_) => return (Response::Err("monitor poisoned".into()), false),
+                Err(_) => {
+                    return (
+                        Response::Err(WireError::Other("monitor poisoned".into())),
+                        false,
+                    )
+                }
             };
             let store = monitor.engine().maintainer().store();
-            match save_store(store, Path::new(&dir)) {
+            // All-or-nothing: a failure leaves no partial directory at
+            // `dir`, and the error stays typed end to end.
+            match save_store_atomic(store, Path::new(&dir)) {
                 Ok(()) => (Response::SnapshotDone(store.len() as u64), false),
-                Err(e) => (Response::Err(format!("snapshot to {dir}: {e}")), false),
+                Err(DemonError::Io(e)) => (
+                    Response::Err(WireError::Io(format!("snapshot to {dir}: {e}"))),
+                    false,
+                ),
+                Err(e) => (
+                    Response::Err(WireError::Other(format!("snapshot to {dir}: {e}"))),
+                    false,
+                ),
             }
         }
         Request::Shutdown => (Response::Ok, true),

@@ -68,6 +68,11 @@ impl FrameClass {
     pub const REQUEST: FrameClass = FrameClass(*b"RQ");
     /// A `demon-serve` wire-protocol response.
     pub const RESPONSE: FrameClass = FrameClass(*b"RS");
+    /// One write-ahead-log record (`wal-<gen>.log` holds a sequence of
+    /// these frames back to back).
+    pub const WAL: FrameClass = FrameClass(*b"WL");
+    /// The WAL directory's `CURRENT` pointer naming the live generation.
+    pub const WAL_CURRENT: FrameClass = FrameClass(*b"CG");
 }
 
 impl std::fmt::Display for FrameClass {

@@ -21,7 +21,9 @@
 //!   every hot mining path;
 //! * [`obs`] — the observability layer (operation counters, histograms,
 //!   span timers, JSONL event log) threaded through every hot path and
-//!   surfaced by `demon-cli --stats` / `--trace-out`.
+//!   surfaced by `demon-cli --stats` / `--trace-out`;
+//! * [`wal`] — the write-ahead-log codec and generation layout behind
+//!   `demon-serve`'s fsync-before-ack durability.
 //!
 //! Records are deliberately simple owned values: a block, once formed, is
 //! immutable (the paper's "systematic block evolution" — records are never
@@ -39,6 +41,7 @@
 //! | §3.2 ("may run in parallel") | off-line update parallelism | [`parallel`] |
 //! | — (engineering) | crash-safe persistence primitives | [`durable`] |
 //! | — (engineering) | metrics, spans, event log | [`obs`] |
+//! | — (engineering) | durable serving (WAL) | [`wal`] |
 //!
 //! # Example
 //!
@@ -75,6 +78,7 @@ mod point;
 mod support;
 pub mod timestamp;
 mod transaction;
+pub mod wal;
 
 pub use block::{Block, BlockId, PointBlock, TxBlock};
 pub use parallel::Parallelism;

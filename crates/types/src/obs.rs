@@ -115,11 +115,23 @@ pub enum Counter {
     /// Ingest requests rejected because the bounded queue stayed full past
     /// the backpressure deadline (or arrived after shutdown began).
     ServeRejects,
+    /// Records appended to the write-ahead log.
+    WalAppends,
+    /// Bytes appended to the write-ahead log (frame headers included).
+    WalBytes,
+    /// fsyncs issued by the write-ahead log (appends and rotations).
+    WalFsyncs,
+    /// WAL records replayed into the monitor during startup recovery
+    /// (duplicates of the snapshot are skipped and not counted).
+    WalReplays,
+    /// Torn WAL tails dropped during recovery (truncated or corrupt
+    /// final records; at most one per WAL file read).
+    WalTornTails,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 34] = [
         Counter::CandidatesProbed,
         Counter::Intersections,
         Counter::TidsScanned,
@@ -149,6 +161,11 @@ impl Counter {
         Counter::ServeBytesOut,
         Counter::ServeQueueDepth,
         Counter::ServeRejects,
+        Counter::WalAppends,
+        Counter::WalBytes,
+        Counter::WalFsyncs,
+        Counter::WalReplays,
+        Counter::WalTornTails,
     ];
 
     /// The snake_case name used in `--stats` tables, JSONL events and
@@ -184,6 +201,11 @@ impl Counter {
             Counter::ServeBytesOut => "serve.bytes_out",
             Counter::ServeQueueDepth => "serve.queue_depth",
             Counter::ServeRejects => "serve.rejects",
+            Counter::WalAppends => "wal.appends",
+            Counter::WalBytes => "wal.bytes",
+            Counter::WalFsyncs => "wal.fsyncs",
+            Counter::WalReplays => "wal.replays",
+            Counter::WalTornTails => "wal.torn_tails",
         }
     }
 }

@@ -1,0 +1,501 @@
+//! Write-ahead log: the durability substrate behind `demon-serve`'s
+//! ack-means-applied contract.
+//!
+//! A WAL file (`wal-<gen>.log`) is a back-to-back sequence of framed
+//! records, each one a standard [`crate::durable`] frame of class
+//! [`FrameClass::WAL`] whose payload opens with an 8-byte little-endian
+//! sequence number followed by an opaque body (for `demon-serve`, the
+//! encoded `IngestBlock` request):
+//!
+//! ```text
+//! ┌────────────── frame (durable.rs layout, class "WL") ──────────────┐
+//! │ magic ─ version ─ "WL" ─ payload len ─ CRC32 │ seq u64 LE │ body  │
+//! └───────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The reader is **salvage-by-construction**: it walks records from the
+//! start and stops at the first defect — truncated header, bad magic,
+//! impossible length, checksum mismatch, short payload, out-of-order
+//! sequence number. Everything before the defect is a *clean prefix* of
+//! intact records; everything at and after it is the *torn tail*, which
+//! the caller drops (a record missing its fsync was by definition never
+//! acked). [`WalWriter::open_after_recovery`] truncates the file back
+//! to the clean prefix before appending so a torn tail cannot shadow
+//! later records.
+//!
+//! Multi-file generations: a WAL directory holds `wal-<gen>.log` files,
+//! `snapshot-<gen>/` stores, and a framed `CURRENT` pointer naming the
+//! newest generation whose snapshot is complete. `CURRENT` is written
+//! with [`atomic_write`], so compaction can crash at any instant and
+//! recovery still finds either the old generation chain or the new one —
+//! never a half-written pointer.
+
+use crate::durable::{
+    atomic_write, decode_frame_header, encode_frame, read_framed, verify_frame_payload,
+    FrameClass, FRAME_HEADER_LEN,
+};
+use crate::error::DemonError;
+use crate::obs::{self, Counter};
+use crate::Result;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Length of the sequence-number header opening every record payload.
+pub const WAL_SEQ_LEN: usize = 8;
+
+/// Name of the generation pointer file inside a WAL directory.
+pub const CURRENT_FILE: &str = "CURRENT";
+
+/// The WAL file for generation `gen`: `<dir>/wal-<gen>.log`.
+pub fn wal_file_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("wal-{gen}.log"))
+}
+
+/// The snapshot store for generation `gen`: `<dir>/snapshot-<gen>`.
+pub fn snapshot_dir_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("snapshot-{gen}"))
+}
+
+/// Parses a generation number out of a `wal-<gen>.log` file name.
+pub fn parse_wal_file_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+}
+
+/// Parses a generation number out of a `snapshot-<gen>` directory name.
+pub fn parse_snapshot_dir_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snapshot-")?.parse().ok()
+}
+
+/// Every WAL generation present in `dir`, ascending. Non-WAL entries
+/// are ignored; a missing directory is an empty list.
+pub fn list_wal_generations(dir: &Path) -> Result<Vec<u64>> {
+    let mut gens = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(gens),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if let Some(gen) = entry.file_name().to_str().and_then(parse_wal_file_name) {
+            gens.push(gen);
+        }
+    }
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+/// Reads the `CURRENT` generation pointer. A missing pointer means
+/// generation 0 (fresh directory, no snapshot yet); a damaged pointer is
+/// a typed corruption error — the pointer is written atomically, so
+/// damage means real bit rot, and recovery must not guess.
+pub fn read_current(dir: &Path) -> Result<u64> {
+    let path = dir.join(CURRENT_FILE);
+    if !path.exists() {
+        return Ok(0);
+    }
+    let (payload, _) = read_framed(&path, FrameClass::WAL_CURRENT)?;
+    let bytes: [u8; 8] = payload.as_slice().try_into().map_err(|_| DemonError::Corrupt {
+        file: path.display().to_string(),
+        detail: format!("CURRENT payload is {} bytes, expected 8", payload.len()),
+    })?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Atomically points `CURRENT` at `gen` (framed + checksummed, written
+/// via tmp+fsync+rename). After this returns, a crash recovers from
+/// generation `gen`.
+pub fn write_current(dir: &Path, gen: u64) -> Result<()> {
+    let (bytes, _) = encode_frame(FrameClass::WAL_CURRENT, &gen.to_le_bytes());
+    atomic_write(&dir.join(CURRENT_FILE), &bytes)?;
+    Ok(())
+}
+
+/// Encodes one WAL record: a [`FrameClass::WAL`] frame whose payload is
+/// `seq` (u64 LE) followed by `body`.
+pub fn encode_wal_record(seq: u64, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(WAL_SEQ_LEN + body.len());
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(body);
+    let (bytes, _) = encode_frame(FrameClass::WAL, &payload);
+    bytes
+}
+
+/// One intact WAL record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The record's sequence number (monotonically increasing across the
+    /// whole WAL chain, +1 per record within a file).
+    pub seq: u64,
+    /// The opaque record body (for `demon-serve`, an encoded
+    /// `IngestBlock` request payload).
+    pub body: Vec<u8>,
+}
+
+/// The result of reading a WAL file: the clean prefix of records, how
+/// far into the file that prefix reaches, and what (if anything) tore
+/// the tail.
+#[derive(Clone, Debug, Default)]
+pub struct WalReadReport {
+    /// Intact records, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the clean prefix; the writer truncates the file to
+    /// this length before appending again.
+    pub valid_len: u64,
+    /// Why reading stopped before end-of-file, if it did. `None` means
+    /// the whole file decoded cleanly.
+    pub torn: Option<String>,
+}
+
+impl WalReadReport {
+    /// The sequence number the next appended record must carry (one past
+    /// the last intact record), if any record survived.
+    pub fn next_seq(&self) -> Option<u64> {
+        self.records.last().map(|r| r.seq + 1)
+    }
+}
+
+/// Decodes the clean prefix of WAL records out of `bytes`. Never fails:
+/// any defect ends the prefix and is reported in
+/// [`WalReadReport::torn`]. `source` names the file in tear messages.
+pub fn decode_wal_records(bytes: &[u8], source: &str) -> WalReadReport {
+    let mut report = WalReadReport::default();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let remaining = &bytes[off..];
+        let header_end = remaining.len().min(FRAME_HEADER_LEN);
+        let header = match decode_frame_header(FrameClass::WAL, &remaining[..header_end], source) {
+            Ok(h) => h,
+            Err(e) => {
+                report.torn = Some(format!("record at offset {off}: {e}"));
+                break;
+            }
+        };
+        let body_avail = (remaining.len() - FRAME_HEADER_LEN) as u64;
+        if header.payload_len > body_avail {
+            report.torn = Some(format!(
+                "record at offset {off}: truncated payload ({} of {} bytes)",
+                body_avail, header.payload_len
+            ));
+            break;
+        }
+        let payload_len = header.payload_len as usize;
+        let payload = &remaining[FRAME_HEADER_LEN..FRAME_HEADER_LEN + payload_len];
+        if let Err(e) = verify_frame_payload(&header, payload, source) {
+            report.torn = Some(format!("record at offset {off}: {e}"));
+            break;
+        }
+        if payload.len() < WAL_SEQ_LEN {
+            report.torn = Some(format!(
+                "record at offset {off}: payload too short for a sequence header \
+                 ({} of {WAL_SEQ_LEN} bytes)",
+                payload.len()
+            ));
+            break;
+        }
+        let seq = u64::from_le_bytes(
+            payload[..WAL_SEQ_LEN]
+                .try_into()
+                .unwrap_or([0; WAL_SEQ_LEN]),
+        );
+        if let Some(last) = report.records.last() {
+            if seq != last.seq + 1 {
+                report.torn = Some(format!(
+                    "record at offset {off}: sequence jumped from {} to {seq}",
+                    last.seq
+                ));
+                break;
+            }
+        }
+        report.records.push(WalRecord {
+            seq,
+            body: payload[WAL_SEQ_LEN..].to_vec(),
+        });
+        off += FRAME_HEADER_LEN + payload_len;
+        report.valid_len = off as u64;
+    }
+    report
+}
+
+/// Reads a WAL file and decodes its clean prefix. A missing file is an
+/// [`DemonError::Io`] error (callers decide whether that is fatal); a
+/// torn tail is *not* an error — it is reported in the result and
+/// counted under `wal.torn_tails`.
+pub fn read_wal(path: &Path) -> Result<WalReadReport> {
+    let bytes = std::fs::read(path)?;
+    let report = decode_wal_records(&bytes, &path.display().to_string());
+    if report.torn.is_some() {
+        obs::incr(Counter::WalTornTails);
+    }
+    Ok(report)
+}
+
+/// An append-only WAL file handle. Every [`WalWriter::append`] writes
+/// one framed record and fsyncs before returning — when it returns
+/// `Ok`, the record survives `kill -9`.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    next_seq: u64,
+}
+
+impl WalWriter {
+    /// Creates a fresh (empty) WAL file whose first record will carry
+    /// sequence number `next_seq`. The file itself and its directory
+    /// entry are fsynced so the empty log survives a crash.
+    pub fn create(path: &Path, next_seq: u64) -> Result<WalWriter> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        file.set_len(0)?;
+        file.sync_all()?;
+        sync_parent(path);
+        obs::incr(Counter::WalFsyncs);
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            bytes: 0,
+            next_seq,
+        })
+    }
+
+    /// Reopens an existing WAL file after recovery: the torn tail (if
+    /// any) is truncated away at `valid_len`, and appending resumes with
+    /// sequence number `next_seq`.
+    pub fn open_after_recovery(path: &Path, valid_len: u64, next_seq: u64) -> Result<WalWriter> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.sync_all()?;
+        obs::incr(Counter::WalFsyncs);
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            bytes: valid_len,
+            next_seq,
+        })
+    }
+
+    /// Appends one record and **fsyncs** it. Returns the record's
+    /// sequence number. On `Ok`, the record is durable.
+    pub fn append(&mut self, body: &[u8]) -> Result<u64> {
+        let seq = self.next_seq;
+        let record = encode_wal_record(seq, body);
+        self.file.write_all(&record)?;
+        self.file.sync_all()?;
+        self.bytes += record.len() as u64;
+        self.next_seq = seq + 1;
+        obs::incr(Counter::WalAppends);
+        obs::add(Counter::WalBytes, record.len() as u64);
+        obs::incr(Counter::WalFsyncs);
+        Ok(seq)
+    }
+
+    /// Bytes currently in the file (clean prefix + everything appended
+    /// through this handle). Drives the `--wal-max-bytes` rotation check.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The sequence number the next [`WalWriter::append`] will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Best-effort fsync of `path`'s parent directory so a freshly created
+/// file name survives a crash (same caveats as in [`atomic_write`]).
+fn sync_parent(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("demon-wal-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn bodies() -> Vec<Vec<u8>> {
+        (0..5u8).map(|i| vec![i; 3 + i as usize * 7]).collect()
+    }
+
+    #[test]
+    fn writer_and_reader_roundtrip() {
+        let dir = tmp("roundtrip");
+        let path = wal_file_path(&dir, 0);
+        let mut w = WalWriter::create(&path, 10).unwrap();
+        for body in bodies() {
+            w.append(&body).unwrap();
+        }
+        assert_eq!(w.next_seq(), 15);
+        let report = read_wal(&path).unwrap();
+        assert!(report.torn.is_none(), "{:?}", report.torn);
+        assert_eq!(report.records.len(), 5);
+        assert_eq!(report.valid_len, w.bytes());
+        assert_eq!(report.next_seq(), Some(15));
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(r.seq, 10 + i as u64);
+            assert_eq!(r.body, bodies()[i]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_yields_a_clean_prefix() {
+        let mut file = Vec::new();
+        let mut ends = vec![0usize]; // byte length after each whole record
+        for (i, body) in bodies().iter().enumerate() {
+            file.extend_from_slice(&encode_wal_record(i as u64, body));
+            ends.push(file.len());
+        }
+        for cut in 0..=file.len() {
+            let report = decode_wal_records(&file[..cut], "t");
+            // The prefix is exactly the whole records that fit in `cut`.
+            let want = ends.iter().filter(|&&e| e > 0 && e <= cut).count();
+            assert_eq!(report.records.len(), want, "cut at {cut}");
+            assert_eq!(report.valid_len as usize, ends[want], "cut at {cut}");
+            assert_eq!(report.torn.is_some(), cut != ends[want], "cut at {cut}");
+            for (i, r) in report.records.iter().enumerate() {
+                assert_eq!(r.seq, i as u64);
+                assert_eq!(r.body, bodies()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_yields_a_clean_prefix() {
+        let mut file = Vec::new();
+        let mut ends = vec![0usize];
+        for (i, body) in bodies().iter().enumerate() {
+            file.extend_from_slice(&encode_wal_record(i as u64, body));
+            ends.push(file.len());
+        }
+        for i in 0..file.len() {
+            for mask in [0x01u8, 0xFF] {
+                let mut bad = file.clone();
+                bad[i] ^= mask;
+                let report = decode_wal_records(&bad, "t");
+                // Records wholly before the flipped byte must survive;
+                // the record containing the flip must not.
+                let intact = ends.iter().filter(|&&e| e > 0 && e <= i).count();
+                assert!(
+                    report.records.len() >= intact,
+                    "flip at {i} lost intact records: {} < {intact}",
+                    report.records.len()
+                );
+                assert!(
+                    report.records.len() <= intact,
+                    "flip at {i} kept a damaged record"
+                );
+                assert!(report.torn.is_some(), "flip at {i} went undetected");
+                for (k, r) in report.records.iter().enumerate() {
+                    assert_eq!(r.seq, k as u64);
+                    assert_eq!(r.body, bodies()[k]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_sequence_records_tear_the_tail() {
+        let mut file = Vec::new();
+        file.extend_from_slice(&encode_wal_record(3, b"a"));
+        file.extend_from_slice(&encode_wal_record(4, b"b"));
+        file.extend_from_slice(&encode_wal_record(9, b"c")); // gap
+        let report = decode_wal_records(&file, "t");
+        assert_eq!(report.records.len(), 2);
+        assert!(report.torn.unwrap().contains("sequence jumped"));
+    }
+
+    #[test]
+    fn recovery_truncates_the_torn_tail_before_appending() {
+        let dir = tmp("recover");
+        let path = wal_file_path(&dir, 1);
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        w.append(b"first").unwrap();
+        w.append(b"second").unwrap();
+        drop(w);
+        // Tear the tail: drop the last 3 bytes of the file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let report = read_wal(&path).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert!(report.torn.is_some());
+        let mut w =
+            WalWriter::open_after_recovery(&path, report.valid_len, report.next_seq().unwrap())
+                .unwrap();
+        w.append(b"third").unwrap();
+        let healed = read_wal(&path).unwrap();
+        assert!(healed.torn.is_none(), "{:?}", healed.torn);
+        assert_eq!(healed.records.len(), 2);
+        assert_eq!(healed.records[0].body, b"first");
+        assert_eq!(healed.records[1].body, b"third");
+        assert_eq!(healed.records[1].seq, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn current_pointer_roundtrips_and_detects_damage() {
+        let dir = tmp("current");
+        assert_eq!(read_current(&dir).unwrap(), 0, "missing pointer is gen 0");
+        write_current(&dir, 7).unwrap();
+        assert_eq!(read_current(&dir).unwrap(), 7);
+        write_current(&dir, 8).unwrap();
+        assert_eq!(read_current(&dir).unwrap(), 8);
+        // Bit-rot in the pointer is loud, not a silent wrong generation.
+        let path = dir.join(CURRENT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_current(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generation_names_parse_and_list() {
+        assert_eq!(parse_wal_file_name("wal-0.log"), Some(0));
+        assert_eq!(parse_wal_file_name("wal-42.log"), Some(42));
+        assert_eq!(parse_wal_file_name("wal-.log"), None);
+        assert_eq!(parse_wal_file_name("wal-42.log.tmp"), None);
+        assert_eq!(parse_snapshot_dir_name("snapshot-3"), Some(3));
+        assert_eq!(parse_snapshot_dir_name("snapshot-"), None);
+
+        let dir = tmp("list");
+        assert!(list_wal_generations(&dir.join("absent")).unwrap().is_empty());
+        for gen in [3u64, 1, 2] {
+            WalWriter::create(&wal_file_path(&dir, gen), 0).unwrap();
+        }
+        std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
+        assert_eq!(list_wal_generations(&dir).unwrap(), vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_wal_file_is_a_clean_empty_prefix() {
+        let dir = tmp("empty");
+        let path = wal_file_path(&dir, 0);
+        WalWriter::create(&path, 0).unwrap();
+        let report = read_wal(&path).unwrap();
+        assert!(report.records.is_empty());
+        assert!(report.torn.is_none());
+        assert_eq!(report.valid_len, 0);
+        assert_eq!(report.next_seq(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -54,7 +54,7 @@ use demon::itemsets::persist::{
 use demon::itemsets::{derive_rules, BlockRef, CounterKind, FrequentItemsets, TxStore};
 use demon::serve::{Client, ServeConfig, Server};
 use demon::store::StoreConfig;
-use demon::types::obs;
+use demon::types::{obs, wal, DemonError};
 use demon::types::{Block, BlockId, MinSupport, Timestamp, TxBlock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -75,6 +75,7 @@ USAGE:
   demon-cli serve    [--listen ADDR] [--items N] [--minsup F] [--counter KIND]
                      [--window N] [--pattern-window N] [--alpha F] [--workers N]
                      [--queue N] [--queue-timeout-ms N] [--timeout-ms N]
+                     [--wal-dir DIR] [--wal-max-bytes N] [--no-wal]
   demon-cli client   ADDR ingest STORE [--salvage]
   demon-cli client   ADDR query-model [--top N] [--json]
   demon-cli client   ADDR sequences | stats | shutdown
@@ -89,6 +90,13 @@ SERVE:    serve runs the TCP monitoring daemon (default 127.0.0.1:7677;
           ingest queue and exits the daemon cleanly.
 BSS:      a bit string like 1011; window-relative when --window is set,
           window-independent (periodic) otherwise.
+WAL:      --wal-dir DIR serves durably: every ingest is appended to a
+          write-ahead log and fsynced before the ack, and on restart the
+          daemon recovers from the newest snapshot plus the WAL tail (a
+          torn final record is dropped, not fatal). --wal-max-bytes sets
+          the log size that triggers background compaction (snapshot +
+          log rotation, atomic); --no-wal disables durability even when
+          --wal-dir is present. verify also fscks a WAL directory.
 VERIFY:   re-checks every frame and checksum; exit status 1 on damage.
 SALVAGE:  --salvage loads a damaged store by quarantining corrupt files
           and keeping the longest consistent block prefix.
@@ -116,7 +124,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["salvage", "stats", "json"];
+const BOOL_FLAGS: &[&str] = &["salvage", "stats", "json", "no-wal"];
 
 /// Splits arguments into positionals and `--flag value` pairs
 /// (boolean flags like `--salvage` take no value).
@@ -285,9 +293,18 @@ fn load(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<TxStore, Str
     Ok(store)
 }
 
-/// The read-only fsck behind `demon-cli verify`.
+/// The read-only fsck behind `demon-cli verify`. A WAL directory (the
+/// daemon's `--wal-dir`) is recognised by its layout and checked with
+/// the recovery reader instead of the store reader.
 fn verify(positional: &[&str]) -> Result<ExitCode, String> {
     let dir = store_arg(positional)?;
+    let is_wal_dir = dir.join(wal::CURRENT_FILE).exists()
+        || !wal::list_wal_generations(dir)
+            .map_err(|e| format!("listing {}: {e}", dir.display()))?
+            .is_empty();
+    if is_wal_dir {
+        return verify_wal_dir(dir);
+    }
     let report =
         verify_store(dir).map_err(|e| format!("verifying {}: {e}", dir.display()))?;
     println!("checked {} file(s)", report.checked.len());
@@ -311,6 +328,75 @@ fn verify(positional: &[&str]) -> Result<ExitCode, String> {
         "{} damaged file(s) — run a command with --salvage to recover",
         report.damaged.len()
     );
+    Ok(ExitCode::FAILURE)
+}
+
+/// Fsck for a daemon WAL directory: the `CURRENT` pointer, every WAL
+/// generation (a torn tail is *recoverable*, not damage — recovery
+/// truncates it), and the snapshot the pointer names. Exit status 1
+/// only for damage recovery could not absorb.
+fn verify_wal_dir(dir: &Path) -> Result<ExitCode, String> {
+    let mut damaged = 0usize;
+    let current = match wal::read_current(dir) {
+        Ok(gen) => {
+            println!("WAL directory (current generation {gen})");
+            gen
+        }
+        Err(e) => {
+            println!("DAMAGED {}: {e}", dir.join(wal::CURRENT_FILE).display());
+            damaged += 1;
+            0
+        }
+    };
+    let gens =
+        wal::list_wal_generations(dir).map_err(|e| format!("listing {}: {e}", dir.display()))?;
+    for gen in &gens {
+        let path = wal::wal_file_path(dir, *gen);
+        let stale = if *gen < current { " (stale)" } else { "" };
+        match wal::read_wal(&path) {
+            Ok(report) => match (&report.torn, report.records.last()) {
+                (Some(torn), last) => println!(
+                    "wal-{gen}.log: {} record(s){}{stale}, torn tail (recoverable): {torn}",
+                    report.records.len(),
+                    last.map(|r| format!(" through seq {}", r.seq)).unwrap_or_default(),
+                ),
+                (None, Some(last)) => println!(
+                    "wal-{gen}.log: {} record(s) through seq {}, clean{stale}",
+                    report.records.len(),
+                    last.seq
+                ),
+                (None, None) => println!("wal-{gen}.log: empty, clean{stale}"),
+            },
+            Err(e) => {
+                println!("DAMAGED {}: {e}", path.display());
+                damaged += 1;
+            }
+        }
+    }
+    if current > 0 {
+        let snap = wal::snapshot_dir_path(dir, current);
+        match verify_store(&snap) {
+            Ok(report) if report.is_clean() => println!(
+                "snapshot-{current}: {} file(s), clean",
+                report.checked.len()
+            ),
+            Ok(report) => {
+                for (file, detail) in &report.damaged {
+                    println!("DAMAGED {}: {detail}", file.display());
+                }
+                damaged += report.damaged.len();
+            }
+            Err(e) => {
+                println!("DAMAGED {}: {e}", snap.display());
+                damaged += 1;
+            }
+        }
+    }
+    if damaged == 0 {
+        println!("WAL directory is recoverable");
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("{damaged} damaged file(s) — recovery would lose acked data");
     Ok(ExitCode::FAILURE)
 }
 
@@ -658,6 +744,13 @@ fn serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
         Duration::from_millis(flag_parse(flags, "queue-timeout-ms", 5000u64)?);
     config.io_timeout = Duration::from_millis(flag_parse(flags, "timeout-ms", 30_000u64)?);
     config.store_config = store_config(flags, "serve")?;
+    // `--no-wal` wins over `--wal-dir`, so a durable invocation can be
+    // flipped to volatile without editing the rest of the command line
+    // (the bench sweep relies on this).
+    if !flags.contains_key("no-wal") {
+        config.wal_dir = flags.get("wal-dir").map(PathBuf::from);
+    }
+    config.wal_max_bytes = flag_parse(flags, "wal-max-bytes", config.wal_max_bytes)?;
     let server = Server::bind(config).map_err(|e| format!("binding {listen}: {e}"))?;
     // Tests and scripts parse this line for the resolved ephemeral port.
     println!("demon-serve listening on {}", server.local_addr());
@@ -690,16 +783,30 @@ fn client(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String
             let store = load(&positional[2..], flags)?;
             let n_items = store.n_items();
             let mut sent = 0u64;
+            let mut skipped = 0u64;
             for &id in store.block_ids() {
                 let block = (*block_ref(&store, id)?).clone();
                 let n = block.len();
-                client
-                    .ingest(n_items, &block)
-                    .map_err(|e| format!("ingesting block {id}: {e}"))?;
-                sent += 1;
-                println!("ingested {id}: {n} transactions");
+                // A duplicate means the daemon already holds this block
+                // (e.g. it recovered it from its WAL); re-streaming the
+                // same store is idempotent, not an error.
+                match client.ingest(n_items, &block) {
+                    Ok(()) => {
+                        sent += 1;
+                        println!("ingested {id}: {n} transactions");
+                    }
+                    Err(DemonError::DuplicateBlock { .. }) => {
+                        skipped += 1;
+                        println!("skipped {id}: already applied");
+                    }
+                    Err(e) => return Err(format!("ingesting block {id}: {e}")),
+                }
             }
-            println!("streamed {sent} blocks to {addr}");
+            if skipped > 0 {
+                println!("streamed {sent} blocks to {addr} ({skipped} already applied)");
+            } else {
+                println!("streamed {sent} blocks to {addr}");
+            }
             Ok(())
         }
         "query-model" => {
