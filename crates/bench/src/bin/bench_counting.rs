@@ -8,6 +8,13 @@
 //! thread counts on every run, so the numbers always describe the same
 //! answer.
 //!
+//! Methodology: one untimed warm-up pass per backend, then `repeats`
+//! rounds that each visit every (threads, backend) configuration once —
+//! interleaving spreads machine-load drift across configurations. The
+//! JSON carries `serial_baseline_ms` (the 1-thread medians) and a
+//! per-entry `speedup` map (`serial / median`); the CI bench-regression
+//! gate fails any multi-thread entry slower than its serial baseline.
+//!
 //! Knobs: `DEMON_SCALE` (dataset size, default 0.02) and
 //! `DEMON_BENCH_REPEATS` (timed repeats per configuration, default 5).
 //! The JSON is written to `BENCH_counting.json` in the working directory
@@ -39,28 +46,70 @@ fn main() {
     let reference =
         count_supports_with(CounterKind::Ecut, &store, &ids, &candidates, Parallelism::serial());
 
+    // Warm-up: one untimed pass per backend, so the first timed
+    // configuration doesn't pay one-off page-fault / cache-fill costs
+    // that later configurations skip.
+    for kind in kinds {
+        let _ = count_supports_with(kind, &store, &ids, &candidates, Parallelism::serial());
+    }
+
+    // Interleaved sampling: each repeat visits every (threads, backend)
+    // configuration once, so slow machine-load drift spreads evenly
+    // across configurations instead of biasing whichever ran last; the
+    // starting configuration rotates per repeat so position-in-round
+    // effects (allocator/cache state left by the previous config) are
+    // shared out too.
+    let configs: Vec<(usize, usize)> = (0..THREADS.len())
+        .flat_map(|ti| (0..kinds.len()).map(move |ki| (ti, ki)))
+        .collect();
+    let mut samples: Vec<Vec<Vec<std::time::Duration>>> =
+        vec![vec![Vec::with_capacity(repeats); kinds.len()]; THREADS.len()];
+    for rep in 0..repeats {
+        for c in 0..configs.len() {
+            let (ti, ki) = configs[(c + rep) % configs.len()];
+            let (t, kind) = (THREADS[ti], kinds[ki]);
+            let par = Parallelism::new(t);
+            let t0 = Instant::now();
+            let r = count_supports_with(kind, &store, &ids, &candidates, par);
+            samples[ti][ki].push(t0.elapsed());
+            assert_eq!(
+                reference.counts,
+                r.counts,
+                "{} at {} threads disagrees with the serial reference",
+                kind.name(),
+                t
+            );
+        }
+    }
+
+    // Serial (1-thread) medians double as the anti-scaling baseline the
+    // CI bench-regression gate compares every multi-thread median to.
+    let mut serial_baseline = serde_json::Map::new();
+    for (ki, kind) in kinds.iter().enumerate() {
+        serial_baseline.insert(
+            kind.name().to_string(),
+            json!(median_ms(&mut samples[0][ki].clone())),
+        );
+    }
+
     let mut sweep = Vec::new();
-    for &t in &THREADS {
-        let par = Parallelism::new(t);
+    for (ti, &t) in THREADS.iter().enumerate() {
         let mut medians = serde_json::Map::new();
-        for kind in kinds {
-            let mut samples = Vec::with_capacity(repeats);
-            for _ in 0..repeats {
-                let t0 = Instant::now();
-                let r = count_supports_with(kind, &store, &ids, &candidates, par);
-                samples.push(t0.elapsed());
-                assert_eq!(
-                    reference.counts,
-                    r.counts,
-                    "{} at {} threads disagrees with the serial reference",
-                    kind.name(),
-                    t
-                );
-            }
-            medians.insert(kind.name().to_string(), json!(median_ms(&mut samples)));
+        let mut speedups = serde_json::Map::new();
+        for (ki, kind) in kinds.iter().enumerate() {
+            let median = median_ms(&mut samples[ti][ki]);
+            let base = serial_baseline
+                .get(kind.name())
+                .and_then(serde_json::Value::as_f64)
+                .expect("serial baseline recorded");
+            medians.insert(kind.name().to_string(), json!(median));
+            speedups.insert(
+                kind.name().to_string(),
+                json!((base / median * 1000.0).round() / 1000.0),
+            );
         }
         println!("# threads={t}: {medians:?}");
-        sweep.push(json!({ "threads": t, "median_ms": medians }));
+        sweep.push(json!({ "threads": t, "median_ms": medians, "speedup": speedups }));
     }
 
     // Operation counts per backend: one extra serial pass with the
@@ -90,6 +139,7 @@ fn main() {
             "repeats": repeats,
             "n_candidates": candidates.len(),
             "n_blocks": ids.len(),
+            "serial_baseline_ms": serial_baseline,
             "threads": sweep,
             "op_counts": op_counts,
         }),

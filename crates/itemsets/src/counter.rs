@@ -21,18 +21,34 @@
 //! [`count_supports_with`] shards the work over a [`Parallelism`]: ECUT
 //! and ECUT+ over contiguous **candidate chunks** (each worker owns a
 //! disjoint slice of the output counts), PT-Scan over contiguous
-//! **transaction ranges** of the selected blocks (each worker probes its
-//! own prefix tree, and the per-candidate counts are summed in shard
+//! **transaction ranges** of the selected blocks (every worker probes
+//! one shared, immutable [`FlatPrefixTree`] into its own flat count
+//! array, and the per-candidate counts are summed by index in shard
 //! order). Both reductions are exact integer sums in a thread-count
 //! independent order, so results are bit-identical at any thread count.
 //! [`count_supports`] uses the process-wide default
 //! ([`demon_types::parallel::global`]).
+//!
+//! Shard boundaries are **payload-aware**
+//! ([`demon_types::parallel::par_weighted_ranges`]): PT-Scan splits by
+//! transaction length (items probed), ECUT/ECUT+ by each candidate's
+//! summed TID-list length (TIDs intersected), so equal-index spans with
+//! wildly different payloads no longer leave one shard with most of the
+//! work. The weights are functions of the dataset alone — never of the
+//! thread count — so split points depend only on (input, requested
+//! shards) and determinism is preserved.
+//!
+//! On single-worker hardware
+//! ([`demon_types::parallel::single_worker`]) both backends skip the
+//! per-shard accumulators and fill one shared buffer — bit-identical
+//! output (the merges are exact), none of the merge overhead, so
+//! requesting many threads on a small box costs nothing.
 
-use crate::prefix_tree::PrefixTree;
+use crate::prefix_tree::{FlatPrefixTree, SupportCell};
 use crate::store::{TxEntry, TxStore};
-use crate::tidlist::{intersect_sorted_into, BlockTidLists};
+use crate::tidlist::{intersect_sorted_count, BlockTidLists, IntersectScratch};
 use demon_store::Pinned;
-use demon_types::parallel::{self, par_ranges};
+use demon_types::parallel::{self, par_weighted_ranges};
 use demon_types::{obs, BlockId, Item, ItemSet, Parallelism, Tid, TxBlock};
 use serde::{Deserialize, Serialize};
 
@@ -159,9 +175,13 @@ fn scan_cost_estimate(entries: &[Pinned<'_, TxEntry>]) -> u64 {
 }
 
 /// PT-Scan, sharded over contiguous transaction ranges of the selected
-/// blocks. Every worker probes its own prefix tree over the full
-/// candidate set; the per-candidate counts (exact `u64`s) are summed in
-/// shard order, which makes the result independent of the thread count.
+/// blocks. The prefix tree is built **once**, before the parallel
+/// region, as an immutable [`FlatPrefixTree`] shared by reference:
+/// every worker probes it into its own flat count array, and the
+/// per-candidate counts (exact `u64`s) are summed by index in shard
+/// order, which makes the result independent of the thread count.
+/// Shard boundaries weight each transaction by its length, so skewed
+/// blocks (a few huge transactions) still split evenly by probe work.
 fn pt_scan(entries: &[Pinned<'_, TxEntry>], candidates: &[ItemSet], par: Parallelism) -> CountResult {
     let blocks: Vec<&TxBlock> = entries.iter().map(|e| &e.block).collect();
     let fetched = blocks.len() as u64;
@@ -172,9 +192,57 @@ fn pt_scan(entries: &[Pinned<'_, TxEntry>], candidates: &[ItemSet], par: Paralle
         starts.push(starts.last().copied().unwrap_or(0) + b.len());
     }
     let total_tx = *starts.last().unwrap_or(&0);
+    // Probe cost of a transaction grows with its length; `+1` keeps
+    // empty transactions from collapsing to weightless points.
+    let mut weights = Vec::with_capacity(total_tx);
+    for b in &blocks {
+        weights.extend(b.records().iter().map(|tx| tx.len() as u64 + 1));
+    }
 
-    let shards = par_ranges(par, total_tx, |range| {
-        let mut tree = PrefixTree::build(candidates);
+    let tree = FlatPrefixTree::build(candidates);
+    // Narrow (u32) shard counts halve the memory traffic on the
+    // random-access count array; they cannot overflow as long as a
+    // shard counts fewer than `u32::MAX` transactions. The u64 fallback
+    // is unreachable for any dataset that fits in memory.
+    let (counts, units) = if total_tx < u32::MAX as usize {
+        pt_scan_shards::<u32>(&tree, &blocks, &starts, &weights, par)
+    } else {
+        pt_scan_shards::<u64>(&tree, &blocks, &starts, &weights, par)
+    };
+    CountResult {
+        counts,
+        units_read: units,
+        lists_fetched: fetched,
+    }
+}
+
+/// The sharded scan of [`pt_scan`], generic over the per-shard count
+/// width. Returns the merged (by candidate index, in shard order)
+/// counts and the total item units read.
+fn pt_scan_shards<C: SupportCell + Send>(
+    tree: &FlatPrefixTree,
+    blocks: &[&TxBlock],
+    starts: &[usize],
+    weights: &[u64],
+    par: Parallelism,
+) -> (Vec<u64>, u64) {
+    // Single-worker hardware runs shards sequentially anyway; fill one
+    // shared count array instead of allocating and merging one per
+    // shard. Counts are exact integer sums, so this is bit-identical to
+    // the sharded merge below (see `parallel::single_worker`).
+    if parallel::single_worker() {
+        let mut counts = vec![C::default(); tree.len()];
+        let mut units = 0u64;
+        for b in blocks {
+            for tx in b.records() {
+                units += tx.len() as u64;
+                tree.count_transaction(tx.items(), &mut counts);
+            }
+        }
+        return (counts.into_iter().map(SupportCell::widen).collect(), units);
+    }
+    let shards = par_weighted_ranges(par, weights, |range| {
+        let mut counts = vec![C::default(); tree.len()];
         let mut units = 0u64;
         // First block overlapping the range.
         let mut bi = match starts.binary_search(&range.start) {
@@ -186,32 +254,29 @@ fn pt_scan(entries: &[Pinned<'_, TxEntry>], candidates: &[ItemSet], par: Paralle
             let block_end = starts[bi + 1].min(range.end);
             for tx in &blocks[bi].records()[at - starts[bi]..block_end - starts[bi]] {
                 units += tx.len() as u64;
-                tree.add_transaction(tx.items());
+                tree.count_transaction(tx.items(), &mut counts);
             }
             at = block_end;
             bi += 1;
         }
-        (tree.into_counts(), units)
+        (counts, units)
     });
 
-    let mut counts = vec![0u64; candidates.len()];
+    let mut counts = vec![0u64; tree.len()];
     let mut units = 0u64;
     for (shard_counts, shard_units) in shards {
         for (total, c) in counts.iter_mut().zip(shard_counts) {
-            *total += c;
+            *total += c.widen();
         }
         units += shard_units;
     }
-    CountResult {
-        counts,
-        units_read: units,
-        lists_fetched: fetched,
-    }
+    (counts, units)
 }
 
 /// Reusable per-worker buffers for the TID-list counting inner loop —
 /// one set per shard, reused across every (block, candidate) pair, so
-/// the loop performs no per-call allocations.
+/// the loop performs no per-call allocations (see the scratch-buffer
+/// reuse contract on [`IntersectScratch`]).
 #[derive(Default)]
 struct CountScratch<'s> {
     /// The TID-lists chosen to intersect for the current candidate.
@@ -220,21 +285,66 @@ struct CountScratch<'s> {
     pairs: Vec<(usize, Item, Item)>,
     /// Items already covered by a chosen pair list.
     covered: Vec<Item>,
-    /// Running intersection and its ping-pong twin.
-    acc: Vec<Tid>,
-    tmp: Vec<Tid>,
+    /// Kernel scratch (bitset window + multiway ping-pong buffers).
+    kernels: IntersectScratch,
 }
 
 /// ECUT / ECUT+, sharded over contiguous candidate chunks: each worker
 /// owns a disjoint slice of the output counts and walks all selected
 /// blocks for its candidates, accumulating into per-worker scratch.
+/// Shard boundaries weight each candidate by its summed item TID-list
+/// length over the selected blocks — the intersection work it will
+/// cost — so a few heavy candidates no longer serialize one shard.
 fn tid_count(
     entries: &[Pinned<'_, TxEntry>],
     candidates: &[ItemSet],
     use_pairs: bool,
     par: Parallelism,
 ) -> CountResult {
-    let shards = par_ranges(par, candidates.len(), |range| {
+    // Single-worker hardware: one pass with one scratch set, skipping
+    // both the per-candidate weight computation and the per-shard
+    // output segments. Per-candidate counts are independent, so this is
+    // bit-identical to the sharded path (see `parallel::single_worker`).
+    if parallel::single_worker() {
+        let mut counts = vec![0u64; candidates.len()];
+        let mut units = 0u64;
+        let mut fetched = 0u64;
+        let mut scratch = CountScratch::default();
+        for entry in entries {
+            let lists = &entry.lists;
+            for (ci, cand) in candidates.iter().enumerate() {
+                let (support, read, n_lists) = if use_pairs {
+                    count_in_block_with_pairs(lists, cand, &mut scratch)
+                } else {
+                    count_in_block_items(lists, cand, &mut scratch)
+                };
+                counts[ci] += support;
+                units += read;
+                fetched += n_lists;
+            }
+        }
+        return CountResult {
+            counts,
+            units_read: units,
+            lists_fetched: fetched,
+        };
+    }
+    let weights: Vec<u64> = candidates
+        .iter()
+        .map(|cand| {
+            let tids: u64 = entries
+                .iter()
+                .map(|e| {
+                    cand.items()
+                        .iter()
+                        .map(|&i| e.lists.item_support(i))
+                        .sum::<u64>()
+                })
+                .sum();
+            tids + 1 // Never weightless: zero-support candidates still cost a probe.
+        })
+        .collect();
+    let shards = par_weighted_ranges(par, &weights, |range| {
         let mut counts = vec![0u64; range.len()];
         let mut units = 0u64;
         let mut fetched = 0u64;
@@ -340,9 +450,9 @@ fn count_in_block_with_pairs<'s>(
     finish_intersection(scratch)
 }
 
-/// Intersects `scratch.lists`, returning `(support, units_read,
-/// lists_fetched)`; the single-list fast path reads no TIDs beyond the
-/// list length.
+/// Intersects `scratch.lists` (count-only: the conjunction's TID-list is
+/// never materialized), returning `(support, units_read, lists_fetched)`;
+/// the single-list fast path reads no TIDs beyond the list length.
 fn finish_intersection(scratch: &mut CountScratch<'_>) -> (u64, u64, u64) {
     let read: u64 = scratch.lists.iter().map(|l| l.len() as u64).sum();
     let n_lists = scratch.lists.len() as u64;
@@ -351,7 +461,7 @@ fn finish_intersection(scratch: &mut CountScratch<'_>) -> (u64, u64, u64) {
     }
     // One pairwise merge per extra list; totals are sharding-independent.
     obs::add(obs::Counter::Intersections, n_lists - 1);
-    let support = intersect_sorted_into(&mut scratch.lists, &mut scratch.acc, &mut scratch.tmp);
+    let support = intersect_sorted_count(&mut scratch.lists, &mut scratch.kernels);
     (support, read, n_lists)
 }
 

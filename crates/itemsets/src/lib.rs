@@ -101,7 +101,10 @@ pub use persist::{
     load_store, load_store_with, save_store, verify_store, RecoveryPolicy, RecoveryReport,
     VerifyReport, STORE_FORMAT_VERSION,
 };
-pub use prefix_tree::PrefixTree;
+pub use prefix_tree::{FlatPrefixTree, PrefixTree};
 pub use rules::{derive_rules, Rule};
 pub use store::{BlockRef, ListsRef, MaterializeStats, TidListsView, TxStore};
-pub use tidlist::{intersect_all, BlockTidLists, TidListStore};
+pub use tidlist::{
+    intersect_all, intersect_count, intersect_into, kernel_for, BlockTidLists, IntersectKernel,
+    IntersectScratch, TidListStore,
+};

@@ -154,6 +154,148 @@ impl PrefixTree {
     }
 }
 
+/// An immutable, cache-conscious prefix tree over a fixed candidate set,
+/// probed concurrently by every counting shard.
+///
+/// [`PrefixTree`] interleaves per-node child vectors across the heap and
+/// carries its own count array, so parallel PT-Scan used to *clone the
+/// whole tree per shard* — at half a million candidates that rebuild
+/// dwarfed the scan itself and made the thread sweep anti-scale. The
+/// flat tree fixes both problems:
+///
+/// * **Built once, shared by reference.** Construction happens serially
+///   before the parallel region; shards only call
+///   [`count_transaction`](FlatPrefixTree::count_transaction) through a
+///   shared `&FlatPrefixTree`.
+/// * **Struct-of-arrays CSR layout.** All edges live in two parallel
+///   arrays (`edge_item`, `edge_child`) indexed by per-node offsets
+///   (`edge_start`), so a descent walks contiguous memory instead of
+///   chasing one heap allocation per node.
+/// * **External counts.** Support counts live in a caller-owned
+///   `&mut [u64]` (one flat array per shard, merged by index in shard
+///   order), keeping the tree itself immutable and `Sync`.
+pub struct FlatPrefixTree {
+    /// CSR offsets: node `n`'s edges are `edge_start[n]..edge_start[n+1]`.
+    edge_start: Vec<u32>,
+    /// Edge labels, sorted ascending within each node's range.
+    edge_item: Vec<Item>,
+    /// Target node of each edge, parallel to `edge_item`.
+    edge_child: Vec<u32>,
+    /// Candidate slot ending at each node, or `NO_CANDIDATE`.
+    candidate: Vec<u32>,
+    n_candidates: usize,
+}
+
+/// Sentinel in [`FlatPrefixTree::candidate`] for "no candidate ends here".
+const NO_CANDIDATE: u32 = u32::MAX;
+
+/// A count slot [`FlatPrefixTree::count_transaction`] can increment.
+///
+/// Shards whose transaction range is known to fit keep `u32` slots —
+/// half the memory traffic of `u64` on the random-access count array,
+/// which is the scan's cache bottleneck — and widen to `u64` only when
+/// merging. Incrementing must not overflow: callers pick `u32` only
+/// when the number of transactions counted is below `u32::MAX`.
+pub trait SupportCell: Copy + Default {
+    /// Adds one to the slot.
+    fn incr(&mut self);
+    /// The slot value as a `u64` (for the merge by index).
+    fn widen(self) -> u64;
+}
+
+impl SupportCell for u32 {
+    fn incr(&mut self) {
+        *self += 1;
+    }
+    fn widen(self) -> u64 {
+        u64::from(self)
+    }
+}
+
+impl SupportCell for u64 {
+    fn incr(&mut self) {
+        *self += 1;
+    }
+    fn widen(self) -> u64 {
+        self
+    }
+}
+
+impl FlatPrefixTree {
+    /// Builds the flat tree for `candidates`. Like [`PrefixTree::build`],
+    /// duplicate candidates share a count slot (first occurrence wins).
+    pub fn build(candidates: &[ItemSet]) -> Self {
+        assert!(
+            candidates.len() < NO_CANDIDATE as usize,
+            "candidate index must fit in u32"
+        );
+        // Build the pointer-y tree once, then flatten it into CSR form;
+        // both passes are serial and amortized over the whole scan.
+        let tree = PrefixTree::build(candidates);
+        let n_nodes = tree.nodes.len();
+        let mut edge_start = Vec::with_capacity(n_nodes + 1);
+        let mut edge_item = Vec::new();
+        let mut edge_child = Vec::new();
+        let mut candidate = Vec::with_capacity(n_nodes);
+        edge_start.push(0);
+        for node in &tree.nodes {
+            for &(item, child) in &node.children {
+                edge_item.push(item);
+                edge_child.push(child);
+            }
+            edge_start.push(u32::try_from(edge_item.len()).expect("edge count fits in u32"));
+            candidate.push(node.candidate.unwrap_or(NO_CANDIDATE));
+        }
+        FlatPrefixTree {
+            edge_start,
+            edge_item,
+            edge_child,
+            candidate,
+            n_candidates: candidates.len(),
+        }
+    }
+
+    /// Number of candidates the tree was built over (the required length
+    /// of the `counts` buffer).
+    pub fn len(&self) -> usize {
+        self.n_candidates
+    }
+
+    /// Whether the tree holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.n_candidates == 0
+    }
+
+    /// Counts one transaction into `counts` (length ≥ [`len`](Self::len)):
+    /// every candidate that is a subset of `items` has its slot
+    /// incremented. `items` must be sorted ascending (guaranteed by
+    /// [`demon_types::Transaction`]). `&self` is immutable, so any number
+    /// of shards may probe the same tree into their own buffers — see
+    /// [`SupportCell`] for the `u32`/`u64` slot-width trade-off.
+    pub fn count_transaction<C: SupportCell>(&self, items: &[Item], counts: &mut [C]) {
+        if self.n_candidates > 0 {
+            self.descend(ROOT, items, counts);
+        }
+    }
+
+    fn descend<C: SupportCell>(&self, node: NodeId, items: &[Item], counts: &mut [C]) {
+        let ni = node as usize;
+        if self.candidate[ni] != NO_CANDIDATE {
+            counts[self.candidate[ni] as usize].incr();
+        }
+        let edges = self.edge_start[ni] as usize..self.edge_start[ni + 1] as usize;
+        if edges.is_empty() {
+            return;
+        }
+        let labels = &self.edge_item[edges.clone()];
+        for (pos, &item) in items.iter().enumerate() {
+            if let Ok(epos) = labels.binary_search(&item) {
+                self.descend(self.edge_child[edges.start + epos], &items[pos + 1..], counts);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +401,55 @@ mod tests {
             }
             assert_eq!(tree.counts()[ci], naive, "candidate {cand}");
         }
+    }
+
+    #[test]
+    fn flat_tree_matches_pointer_tree() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        let universe = 16u32;
+        let cands: Vec<ItemSet> = (0..80)
+            .map(|_| {
+                let k = rng.gen_range(1..=5usize);
+                let mut ids: Vec<u32> = (0..universe).collect();
+                ids.shuffle(&mut rng);
+                ItemSet::from_ids(&ids[..k])
+            })
+            .collect();
+        let mut pointer = PrefixTree::build(&cands);
+        let flat = FlatPrefixTree::build(&cands);
+        assert_eq!(flat.len(), pointer.len());
+        let mut counts = vec![0u64; flat.len()];
+        for i in 0..400u64 {
+            let k = rng.gen_range(1..=8usize);
+            let mut ids: Vec<u32> = (0..universe).collect();
+            ids.shuffle(&mut rng);
+            let t = tx(i, &ids[..k]);
+            pointer.add_transaction(t.items());
+            flat.count_transaction(t.items(), &mut counts);
+        }
+        assert_eq!(counts, pointer.counts());
+    }
+
+    #[test]
+    fn flat_tree_split_counts_merge_by_index() {
+        // Two shards probing the shared tree into separate flat buffers
+        // must merge (by index) to the single-buffer result.
+        let cands = vec![set(&[1, 2]), set(&[2]), set(&[1, 3])];
+        let flat = FlatPrefixTree::build(&cands);
+        assert!(!flat.is_empty());
+        let txs = [tx(1, &[1, 2, 3]), tx(2, &[2, 3]), tx(3, &[1, 3])];
+        let mut whole = vec![0u64; flat.len()];
+        for t in &txs {
+            flat.count_transaction(t.items(), &mut whole);
+        }
+        let mut shard_a = vec![0u64; flat.len()];
+        let mut shard_b = vec![0u64; flat.len()];
+        flat.count_transaction(txs[0].items(), &mut shard_a);
+        for t in &txs[1..] {
+            flat.count_transaction(t.items(), &mut shard_b);
+        }
+        let merged: Vec<u64> = shard_a.iter().zip(&shard_b).map(|(a, b)| a + b).collect();
+        assert_eq!(merged, whole);
     }
 }

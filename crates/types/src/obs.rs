@@ -58,6 +58,15 @@ pub enum Counter {
     CandidatesProbed,
     /// TID-list intersections performed by ECUT / ECUT+.
     Intersections,
+    /// Pairwise intersections resolved by the naive two-pointer merge
+    /// kernel (comparable list lengths, sparse overlap window).
+    IntersectMerge,
+    /// Pairwise intersections resolved by the galloping kernel (one
+    /// list much shorter than the other).
+    IntersectGallop,
+    /// Pairwise intersections resolved by the u64-bitset-chunk kernel
+    /// (dense overlap window).
+    IntersectBitset,
     /// TID entries read while intersecting or scanning (8 bytes each).
     TidsScanned,
     /// Transactions visited by the PT-Scan backend.
@@ -131,9 +140,12 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 37] = [
         Counter::CandidatesProbed,
         Counter::Intersections,
+        Counter::IntersectMerge,
+        Counter::IntersectGallop,
+        Counter::IntersectBitset,
         Counter::TidsScanned,
         Counter::TxScanned,
         Counter::CodecBytes,
@@ -174,6 +186,9 @@ impl Counter {
         match self {
             Counter::CandidatesProbed => "candidates_probed",
             Counter::Intersections => "intersections",
+            Counter::IntersectMerge => "intersect.merge",
+            Counter::IntersectGallop => "intersect.gallop",
+            Counter::IntersectBitset => "intersect.bitset",
             Counter::TidsScanned => "tids_scanned",
             Counter::TxScanned => "tx_scanned",
             Counter::CodecBytes => "codec_bytes",

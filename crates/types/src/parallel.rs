@@ -5,8 +5,8 @@
 //! BIRCH phase-2 distance scans — is embarrassingly parallel: the work
 //! splits into independent shards whose results are merged in a fixed
 //! order. This module provides the one knob ([`Parallelism`]) and the
-//! three sharding primitives ([`par_ranges`], [`par_map`],
-//! [`par_for_each_mut`]) those phases share.
+//! sharding primitives ([`par_ranges`], [`par_weighted_ranges`],
+//! [`par_map`], [`par_for_each_mut`]) those phases share.
 //!
 //! # Determinism guarantee
 //!
@@ -24,6 +24,33 @@
 //! by using reductions that are exact (integer sums, per-index writes)
 //! or performed serially over shard results in shard order.
 //!
+//! # Shards vs. workers
+//!
+//! The requested [`Parallelism`] fixes the **shard structure**: how the
+//! input is cut into contiguous ranges. How many OS threads execute
+//! those shards is a separate, result-invisible choice — workers claim
+//! shards from an atomic queue and deposit results into per-shard slots,
+//! so the merge order is the shard order no matter which worker ran
+//! what. The worker count is capped at the hardware's
+//! [`std::thread::available_parallelism`]: requesting 8 threads on a
+//! 1-core box still produces the 8-shard structure (and the 8-shard
+//! results), but runs it inline instead of paying context-switch and
+//! cache-thrash overhead for concurrency the hardware cannot deliver.
+//! This cap is what keeps multi-thread configurations from *anti-scaling*
+//! on small machines; the determinism guarantee makes it a free choice.
+//!
+//! # Payload-aware sharding
+//!
+//! Equal-length ranges balance poorly when items carry very different
+//! amounts of work — one block can hold 100× the transactions of
+//! another, one candidate's TID-lists can be 100× longer than another's.
+//! [`par_weighted_ranges`] splits by cumulative *payload* (bytes, TIDs,
+//! transactions — any `u64` weight per item) instead of item count:
+//! shard boundaries land where the weight prefix sum crosses equal
+//! fractions of the total. Boundaries depend only on the weights and the
+//! requested thread count — never on the worker count or timing — so the
+//! determinism guarantee is unaffected.
+//!
 //! # Nesting
 //!
 //! Shard workers run with an ambient "inside a parallel region" marker;
@@ -39,6 +66,7 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The requested degree of parallelism for the hot mining paths.
 ///
@@ -139,6 +167,78 @@ pub fn in_parallel_region() -> bool {
     IN_PARALLEL_REGION.with(Cell::get)
 }
 
+/// OS threads worth running concurrently: the hardware's advertised
+/// parallelism, or "no cap" when the hint is unavailable. Shard
+/// *structure* is set by the requested [`Parallelism`]; this only bounds
+/// how many workers execute it (see the module docs, "Shards vs.
+/// workers").
+fn max_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(usize::MAX)
+}
+
+/// Whether the hardware can run at most one worker thread
+/// ([`std::thread::available_parallelism`] is 1, so shards always
+/// execute sequentially on the calling thread).
+///
+/// Callers whose shard merge is **exact** (integer sums, per-index
+/// writes) may use this to skip per-shard accumulators entirely:
+/// filling one shared accumulator across the would-be shards is
+/// bit-identical to the per-shard merge — that invariance is precisely
+/// the determinism guarantee — and skips the merge's allocation and
+/// reduction cost. Callers with order-sensitive merges must not.
+pub fn single_worker() -> bool {
+    max_workers() == 1
+}
+
+/// Executes the shards delimited by `bounds` and returns their results
+/// in shard order. Workers claim shard indices from an atomic queue and
+/// write into per-shard slots, so the result order is scheduling
+/// independent; with one (or no spare) worker the shards run inline on
+/// the calling thread, still marked as a parallel region.
+fn run_shards<R, F>(bounds: &[usize], f: &F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let shards = bounds.len().saturating_sub(1);
+    let workers = shards.min(max_workers());
+    if workers <= 1 {
+        // Serial execution still marks the thread as inside a region so
+        // nested-region accounting is identical at every thread count.
+        return with_region_flag(|| bounds.windows(2).map(|w| f(w[0]..w[1])).collect());
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..shards).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (slots, next) = (&slots, &next);
+            scope.spawn(move || {
+                IN_PARALLEL_REGION.with(|c| c.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= shards {
+                        break;
+                    }
+                    let result = f(bounds[i]..bounds[i + 1]);
+                    *slots[i].lock().expect("shard slot lock") = Some(result);
+                }
+            });
+        }
+        // `scope` joins every worker before returning and re-raises any
+        // worker panic, so all slots below are filled.
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("shard slot lock")
+                .expect("every shard was executed")
+        })
+        .collect()
+}
+
 /// Splits `0..n` into at most `par.threads()` contiguous ranges of
 /// near-equal length, runs `f` on each range (concurrently when more
 /// than one), and returns the per-range results **in range order**.
@@ -158,33 +258,34 @@ where
     let region = RegionStats::open(n);
     let threads = par.effective_threads(n);
     let bounds = split_points(n, threads);
-    if threads <= 1 {
-        // Serial execution still marks the thread as inside a region so
-        // nested-region accounting is identical at every thread count.
-        let results = with_region_flag(|| bounds.windows(2).map(|w| f(w[0]..w[1])).collect());
-        region.close(&bounds);
-        return results;
+    let results = run_shards(&bounds, &f);
+    region.close(&bounds);
+    results
+}
+
+/// [`par_ranges`] with **payload-proportional** split points: shard
+/// boundaries are placed where the cumulative weight crosses equal
+/// fractions of the total, so each shard carries a near-equal amount of
+/// *work* rather than a near-equal number of *items*. `weights[i]` is
+/// the cost of item `i` in any caller-chosen unit (TIDs to intersect,
+/// transaction bytes to scan).
+///
+/// Boundaries depend only on `weights` and the requested thread count,
+/// so results remain bit-identical at any thread count; when every
+/// weight is zero the split degrades to the equal-count one.
+pub fn par_weighted_ranges<R, F>(par: Parallelism, weights: &[u64], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
     }
-    let results = std::thread::scope(|scope| {
-        let handles: Vec<_> = bounds
-            .windows(2)
-            .map(|w| {
-                let (start, end) = (w[0], w[1]);
-                let f = &f;
-                scope.spawn(move || {
-                    IN_PARALLEL_REGION.with(|c| c.set(true));
-                    f(start..end)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(r) => r,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
+    let region = RegionStats::open(n);
+    let threads = par.effective_threads(n);
+    let bounds = weighted_split_points(weights, threads);
+    let results = run_shards(&bounds, &f);
     region.close(&bounds);
     results
 }
@@ -229,9 +330,47 @@ impl RegionStats {
     }
 }
 
+/// Contiguous split points of `0..weights.len()` into `shards` ranges of
+/// near-equal **total weight**: boundary `k` is placed after the first
+/// item whose inclusive weight prefix reaches `k/shards` of the total.
+/// Returns `shards + 1` monotone points starting at 0 and ending at
+/// `weights.len()`; shards may be empty when a single item outweighs a
+/// whole fraction. All-zero weights degrade to the equal-count split.
+///
+/// Deterministic: depends only on `weights` and `shards`, never on the
+/// executing worker count — the property [`par_weighted_ranges`] relies
+/// on for thread-count-invariant results.
+pub fn weighted_split_points(weights: &[u64], shards: usize) -> Vec<usize> {
+    let shards = shards.max(1);
+    let n = weights.len();
+    let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    if total == 0 {
+        return split_points(n, shards);
+    }
+    let shards_w = shards as u128;
+    let mut points = Vec::with_capacity(shards + 1);
+    points.push(0);
+    let mut acc: u128 = 0;
+    let mut k: u128 = 1;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += u128::from(w);
+        while points.len() < shards && acc * shards_w >= total * k {
+            points.push(i + 1);
+            k += 1;
+        }
+    }
+    while points.len() < shards {
+        points.push(n);
+    }
+    points.push(n);
+    points
+}
+
 /// `start` offsets of `threads` near-equal contiguous shards of `0..n`,
-/// plus the terminal `n` — `threads + 1` monotone split points.
-fn split_points(n: usize, threads: usize) -> Vec<usize> {
+/// plus the terminal `n` — `threads + 1` monotone split points. This is
+/// the equal-*count* split [`par_ranges`] uses; compare
+/// [`weighted_split_points`] for the equal-*payload* variant.
+pub fn split_points(n: usize, threads: usize) -> Vec<usize> {
     let threads = threads.max(1);
     let base = n / threads;
     let extra = n % threads;
@@ -281,38 +420,52 @@ where
     }
     let region = RegionStats::open(n);
     let threads = par.effective_threads(n);
-    if threads <= 1 {
+    let bounds = split_points(n, threads);
+    let workers = threads.min(max_workers());
+    if workers <= 1 {
         with_region_flag(|| {
             for (i, item) in items.iter_mut().enumerate() {
                 f(i, item);
             }
         });
-        region.close(&split_points(n, 1));
+        region.close(&bounds);
         return;
     }
-    let bounds = split_points(n, threads);
-    let shard_lens: Vec<usize> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
+    // Pre-split into disjoint `&mut` chunks; workers claim chunks by
+    // index from an atomic queue (each chunk is taken exactly once), so
+    // in-place updates stay race-free whatever the worker count.
+    type ChunkSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+    let mut chunks: Vec<ChunkSlot<'_, T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    let mut offset = 0usize;
+    for w in bounds.windows(2) {
+        let len = w[1] - w[0];
+        let (shard, tail) = rest.split_at_mut(len);
+        rest = tail;
+        chunks.push(Mutex::new(Some((offset, shard))));
+        offset += len;
+    }
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        let mut rest = items;
-        let mut offset = 0usize;
-        let mut handles = Vec::with_capacity(threads);
-        for len in shard_lens {
-            let (shard, tail) = rest.split_at_mut(len);
-            rest = tail;
-            let start = offset;
-            offset += len;
-            let f = &f;
-            handles.push(scope.spawn(move || {
+        for _ in 0..workers {
+            let (chunks, next, f) = (&chunks, &next, &f);
+            scope.spawn(move || {
                 IN_PARALLEL_REGION.with(|c| c.set(true));
-                for (i, item) in shard.iter_mut().enumerate() {
-                    f(start + i, item);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunks.len() {
+                        break;
+                    }
+                    let (start, shard) = chunks[i]
+                        .lock()
+                        .expect("chunk slot lock")
+                        .take()
+                        .expect("chunk claimed exactly once");
+                    for (j, item) in shard.iter_mut().enumerate() {
+                        f(start + j, item);
+                    }
                 }
-            }));
-        }
-        for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
+            });
         }
     });
     region.close(&bounds);
@@ -338,6 +491,81 @@ mod tests {
                 );
                 assert!(max - min <= 1, "unbalanced {lens:?} for n={n} t={t}");
             }
+        }
+    }
+
+    #[test]
+    fn weighted_split_points_cover_and_balance() {
+        // Uniform weights stay as balanced as the equal-count split:
+        // shard lengths differ by at most one.
+        for n in [1usize, 7, 64, 1000] {
+            for t in 1..=9usize {
+                let w = vec![1u64; n];
+                let p = weighted_split_points(&w, t);
+                assert_eq!(p.len(), t + 1, "n={n} t={t}");
+                assert_eq!(*p.first().unwrap(), 0);
+                assert_eq!(*p.last().unwrap(), n);
+                let lens: Vec<usize> = p.windows(2).map(|w| w[1] - w[0]).collect();
+                let (min, max) = (
+                    lens.iter().min().copied().unwrap(),
+                    lens.iter().max().copied().unwrap(),
+                );
+                assert!(max - min <= 1, "unbalanced {lens:?} for n={n} t={t}");
+            }
+        }
+        // Skewed weights: every shard's total stays within one max item
+        // of the ideal fraction.
+        let weights: Vec<u64> = (0..100u64).map(|i| (i * i) % 97 + 1).collect();
+        let total: u64 = weights.iter().sum();
+        for t in [2usize, 3, 4, 8] {
+            let p = weighted_split_points(&weights, t);
+            assert_eq!(p.len(), t + 1);
+            assert_eq!(*p.first().unwrap(), 0);
+            assert_eq!(*p.last().unwrap(), weights.len());
+            assert!(p.windows(2).all(|w| w[0] <= w[1]));
+            let max_item = *weights.iter().max().unwrap();
+            for w in p.windows(2) {
+                let shard: u64 = weights[w[0]..w[1]].iter().sum();
+                assert!(
+                    shard <= total / t as u64 + max_item,
+                    "shard {shard} too heavy for t={t} (ideal {})",
+                    total / t as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_split_points_edge_cases() {
+        // All-zero weights degrade to the equal-count split.
+        assert_eq!(weighted_split_points(&[0; 10], 4), split_points(10, 4));
+        // One huge item absorbs everything; later shards are empty.
+        let p = weighted_split_points(&[1, 1000, 1, 1], 4);
+        assert_eq!(*p.last().unwrap(), 4);
+        assert_eq!(p.len(), 5);
+        assert!(p.windows(2).all(|w| w[0] <= w[1]));
+        // The heavy item's shard ends right after it.
+        assert!(p.contains(&2));
+    }
+
+    #[test]
+    fn par_weighted_ranges_matches_serial_at_every_thread_count() {
+        let weights: Vec<u64> = (0..500u64).map(|i| i % 17).collect();
+        let total: u64 = weights.iter().sum();
+        for t in [1usize, 2, 3, 8, 16] {
+            // Shard sums add up to the global sum regardless of t.
+            let sums = par_weighted_ranges(Parallelism::new(t), &weights, |r| {
+                weights[r].iter().sum::<u64>()
+            });
+            assert_eq!(sums.iter().sum::<u64>(), total, "thread count {t}");
+            // Ranges are contiguous and in order.
+            let ranges = par_weighted_ranges(Parallelism::new(t), &weights, |r| r);
+            let mut at = 0;
+            for r in &ranges {
+                assert_eq!(r.start, at);
+                at = r.end;
+            }
+            assert_eq!(at, weights.len());
         }
     }
 

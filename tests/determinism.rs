@@ -56,6 +56,7 @@ fn k(v: f64) -> MinSupport {
 fn pipeline_is_bit_identical_at_any_thread_count() {
     let blocks = quest_stream(4, 300, 23);
     counting_is_invariant(&blocks);
+    skewed_payload_counting_is_invariant();
     gemm_shelf_is_invariant(&blocks);
     focus_scores_are_invariant(&blocks);
     patterns_are_invariant(&blocks);
@@ -63,6 +64,97 @@ fn pipeline_is_bit_identical_at_any_thread_count() {
     obs_counters_are_invariant(&blocks);
     // Leave the process default as other code expects it.
     set_global(Parallelism::new(0));
+}
+
+/// Payload-aware sharding: a stream whose transaction lengths (and thus
+/// TID-list payloads) are heavily skewed must still count bit-identically
+/// at 1/2/8 threads, and the skew must actually move the weighted split
+/// points away from the uniform ones (so the invariant above genuinely
+/// exercises payload-proportional boundaries, not equal-count ones).
+fn skewed_payload_counting_is_invariant() {
+    use demon::types::parallel::{split_points, weighted_split_points};
+
+    // Block 1: a few huge transactions. Blocks 2-4: many tiny ones.
+    let mut tid = 1u64;
+    let mut blocks = Vec::new();
+    let huge: Vec<Transaction> = (0..20)
+        .map(|i| {
+            let items: Vec<_> = (0..N_ITEMS)
+                .filter(|x| (x + i) % 2 == 0)
+                .map(demon::types::Item)
+                .collect();
+            let tx = Transaction::new(Tid(tid), items);
+            tid += 1;
+            tx
+        })
+        .collect();
+    blocks.push(Block::new(BlockId(1), huge));
+    for id in 2..=4u64 {
+        let tiny: Vec<Transaction> = (0..200)
+            .map(|i| {
+                let items: Vec<_> = [(i as u32 + id as u32) % N_ITEMS, (i as u32 * 7 + 1) % N_ITEMS]
+                    .into_iter()
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .map(demon::types::Item)
+                    .collect();
+                let tx = Transaction::new(Tid(tid), items);
+                tid += 1;
+                tx
+            })
+            .collect();
+        blocks.push(Block::new(BlockId(id), tiny));
+    }
+
+    // The per-transaction weights PT-Scan shards by: hugely skewed, so
+    // the weighted boundaries must differ from the uniform ones.
+    let weights: Vec<u64> = blocks
+        .iter()
+        .flat_map(|b| b.records().iter().map(|tx| tx.len() as u64 + 1))
+        .collect();
+    for shards in [2usize, 8] {
+        let weighted = weighted_split_points(&weights, shards);
+        let uniform = split_points(weights.len(), shards);
+        assert_ne!(
+            weighted, uniform,
+            "skewed stream should move {shards}-shard split points"
+        );
+        assert_eq!(weighted.first(), Some(&0));
+        assert_eq!(weighted.last(), Some(&weights.len()));
+    }
+
+    let mut store = TxStore::new(N_ITEMS);
+    let mut ids = Vec::new();
+    for b in &blocks {
+        ids.push(b.id());
+        store.add_block(b.clone());
+    }
+    let model = FrequentItemsets::mine_from(&store, &ids, k(0.02)).unwrap();
+    let pairs = model.frequent_pairs_by_support();
+    for &id in &ids {
+        store.materialize_pairs(id, &pairs, None);
+    }
+    let mut candidates: Vec<ItemSet> = model
+        .border()
+        .keys()
+        .filter(|s| s.len() >= 2)
+        .cloned()
+        .collect();
+    candidates.sort();
+    assert!(candidates.len() >= 10, "workload too small to be meaningful");
+    for kind in [CounterKind::PtScan, CounterKind::Ecut, CounterKind::EcutPlus] {
+        let reference =
+            count_supports_with(kind, &store, &ids, &candidates, Parallelism::serial());
+        for &t in &THREADS[1..] {
+            let r = count_supports_with(kind, &store, &ids, &candidates, Parallelism::new(t));
+            assert_eq!(
+                reference,
+                r,
+                "{} diverged at {t} threads on skewed payload",
+                kind.name()
+            );
+        }
+    }
 }
 
 /// Every obs counter totals the same at any thread count. (Histograms

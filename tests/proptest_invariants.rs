@@ -735,3 +735,63 @@ proptest! {
         prop_assert_eq!(before, after);
     }
 }
+
+/// A sorted, deduplicated TID-list with one of four window densities —
+/// from bitmap-friendly dense to gallop-friendly sparse — so the kernel
+/// dispatcher's whole decision table gets exercised.
+fn tid_list_strategy() -> impl Strategy<Value = Vec<Tid>> {
+    (1u64..=4, prop::collection::vec(0u64..10_000_000, 0..200)).prop_map(|(density, raw)| {
+        let span = match density {
+            1 => 64u64,
+            2 => 2_000,
+            3 => 100_000,
+            _ => 10_000_000,
+        };
+        let mut v: Vec<u64> = raw.into_iter().map(|x| x % span).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.into_iter().map(Tid).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every pairwise intersection kernel — naive two-pointer merge,
+    /// galloping, bitset-chunk — plus the dispatching entry points and
+    /// the count-only variants produce the identical intersection on
+    /// arbitrary TID-lists (empty, disjoint, dense and sparse included).
+    #[test]
+    fn intersection_kernels_agree(a in tid_list_strategy(), b in tid_list_strategy()) {
+        use demon::itemsets::tidlist::{
+            intersect_bitset_into, intersect_count, intersect_gallop_into, intersect_into,
+            intersect_merge_into, intersect_sorted_count, IntersectScratch,
+        };
+        let mut scratch = IntersectScratch::new();
+        let (mut merge, mut gallop, mut bitset, mut dispatch) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        intersect_merge_into(&a, &b, &mut merge);
+        intersect_gallop_into(&a, &b, &mut gallop);
+        intersect_bitset_into(&a, &b, &mut bitset, &mut scratch);
+        intersect_into(&a, &b, &mut dispatch, &mut scratch);
+
+        // Ground truth via set intersection.
+        let sa: BTreeSet<Tid> = a.iter().copied().collect();
+        let sb: BTreeSet<Tid> = b.iter().copied().collect();
+        let expect: Vec<Tid> = sa.intersection(&sb).copied().collect();
+
+        prop_assert_eq!(&merge, &expect, "merge kernel");
+        prop_assert_eq!(&gallop, &expect, "gallop kernel");
+        prop_assert_eq!(&bitset, &expect, "bitset kernel");
+        prop_assert_eq!(&dispatch, &expect, "dispatched kernel");
+        prop_assert_eq!(intersect_count(&a, &b, &mut scratch), expect.len() as u64);
+
+        // The multiway count-only fold agrees on a 3-list conjunction
+        // (a ∩ b ∩ a = a ∩ b) with dirty, reused scratch buffers.
+        let mut lists: Vec<&[Tid]> = vec![&a, &b, &a];
+        prop_assert_eq!(
+            intersect_sorted_count(&mut lists, &mut scratch),
+            expect.len() as u64
+        );
+    }
+}
