@@ -152,6 +152,65 @@ pub fn count_supports_with(
     result
 }
 
+/// [`count_supports`] scattered over a *partitioned* dataset: each store
+/// in `stores` holds a disjoint subset of the selected blocks, every
+/// shard counts the same `candidates` over its own store (with
+/// [`count_supports_with`] under [`Parallelism::serial`], so the only
+/// parallelism is the one-shard-per-store fan-out), and the per-shard
+/// results are merged by candidate index **in shard order** — the same
+/// per-shard-merge discipline as [`demon_types::parallel::par_ranges`],
+/// which this reuses.
+///
+/// Supports are additive over disjoint block sets, so the merged counts
+/// are bit-identical to a single-store [`count_supports`] over the union
+/// at any shard count (blocks missing from a shard contribute nothing,
+/// exactly as retired blocks do). `Adaptive` may resolve to different
+/// backends on different shards; every backend is exact, so the merge is
+/// still bit-identical.
+pub fn count_supports_sharded(
+    kind: CounterKind,
+    stores: &[&TxStore],
+    ids: &[BlockId],
+    candidates: &[ItemSet],
+) -> CountResult {
+    if candidates.is_empty() || stores.is_empty() {
+        return CountResult::default();
+    }
+    if stores.len() == 1 {
+        return count_supports_with(kind, stores[0], ids, candidates, Parallelism::serial());
+    }
+    let shards = parallel::par_ranges(Parallelism::new(stores.len()), stores.len(), |range| {
+        let mut merged = CountResult {
+            counts: vec![0u64; candidates.len()],
+            ..CountResult::default()
+        };
+        for store in &stores[range] {
+            let r = count_supports_with(kind, store, ids, candidates, Parallelism::serial());
+            for (total, c) in merged.counts.iter_mut().zip(r.counts) {
+                *total += c;
+            }
+            merged.units_read += r.units_read;
+            merged.lists_fetched += r.lists_fetched;
+        }
+        merged
+    });
+    let mut counts = vec![0u64; candidates.len()];
+    let mut units = 0u64;
+    let mut fetched = 0u64;
+    for shard in shards {
+        for (total, c) in counts.iter_mut().zip(shard.counts) {
+            *total += c;
+        }
+        units += shard.units_read;
+        fetched += shard.lists_fetched;
+    }
+    CountResult {
+        counts,
+        units_read: units,
+        lists_fetched: fetched,
+    }
+}
+
 /// Units ECUT+ would read: Σ over blocks and candidates of the item-list
 /// lengths (pair covers only shrink this, so it is an upper bound).
 fn tid_cost_estimate(entries: &[Pinned<'_, TxEntry>], candidates: &[ItemSet]) -> u64 {
@@ -655,6 +714,45 @@ mod tests {
                     Parallelism::new(threads),
                 );
                 assert_eq!(serial, par, "{} at {threads} threads", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_counting_is_byte_identical_to_single_store() {
+        // Partition four blocks across 1, 2 and 3 stores; every layout
+        // must merge to exactly the single-store counts.
+        let b1 = block(1, 1, &[&[0, 1, 2], &[0, 1], &[1, 2], &[3]]);
+        let b2 = block(2, 100, &[&[0, 1, 2], &[0, 2], &[2, 3]]);
+        let b3 = block(3, 200, &[&[0, 3], &[1, 2, 3], &[0, 1, 2, 3]]);
+        let b4 = block(4, 300, &[&[2], &[0, 1]]);
+        let blocks = [b1, b2, b3, b4];
+        let ids: Vec<BlockId> = blocks.iter().map(|b| b.id()).collect();
+        let mut whole = TxStore::new(4);
+        for b in &blocks {
+            whole.add_block(b.clone());
+        }
+        for kind in [
+            CounterKind::PtScan,
+            CounterKind::Ecut,
+            CounterKind::EcutPlus,
+            CounterKind::Adaptive,
+        ] {
+            let reference =
+                count_supports_with(kind, &whole, &ids, &candidates(), Parallelism::serial());
+            for n_shards in [1usize, 2, 3] {
+                let mut stores: Vec<TxStore> = (0..n_shards).map(|_| TxStore::new(4)).collect();
+                for (i, b) in blocks.iter().enumerate() {
+                    stores[i % n_shards].add_block(b.clone());
+                }
+                let refs: Vec<&TxStore> = stores.iter().collect();
+                let sharded = count_supports_sharded(kind, &refs, &ids, &candidates());
+                assert_eq!(
+                    sharded.counts,
+                    reference.counts,
+                    "{} diverged at {n_shards} shards",
+                    kind.name()
+                );
             }
         }
     }

@@ -93,7 +93,9 @@ pub mod store;
 pub mod tidlist;
 
 pub use calendric::{calendric_rules, Calendar, CalendricRule};
-pub use counter::{count_supports, count_supports_with, CountResult, CounterKind};
+pub use counter::{
+    count_supports, count_supports_sharded, count_supports_with, CountResult, CounterKind,
+};
 pub use fup::{FupModel, FupStats};
 pub use hash_tree::HashTree;
 pub use model::{FrequentItemsets, MaintenanceStats};

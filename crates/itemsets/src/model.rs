@@ -15,7 +15,7 @@
 //!    cascade repeats until no new frequent itemsets appear.
 
 use crate::apriori;
-use crate::counter::{count_supports, CounterKind};
+use crate::counter::{count_supports, count_supports_sharded, CountResult, CounterKind};
 use crate::prefix_tree::PrefixTree;
 use crate::store::TxStore;
 use demon_types::{
@@ -317,6 +317,49 @@ impl FrequentItemsets {
         Ok(stats)
     }
 
+    /// **BORDERS block addition over a sharded store family.** Identical
+    /// state machine to [`Self::absorb_block`], except the new block is
+    /// located in whichever shard owns it and update-phase candidates are
+    /// counted with [`count_supports_sharded`] — per-shard exact counts
+    /// summed index-wise, so the resulting model is byte-identical to
+    /// absorbing the same stream into one store.
+    pub fn absorb_block_sharded(
+        &mut self,
+        stores: &[&TxStore],
+        id: BlockId,
+        counter: CounterKind,
+    ) -> Result<MaintenanceStats> {
+        if self.includes(id) {
+            return Err(DemonError::InvalidParameter(format!(
+                "block {id} already absorbed"
+            )));
+        }
+        let mut owner = None;
+        for store in stores {
+            if let Some(block) = store.try_block(id)? {
+                owner = Some(block);
+                break;
+            }
+        }
+        let block = owner.ok_or(DemonError::UnknownBlock(id.value()))?;
+
+        let mut stats = MaintenanceStats::default();
+        let t0 = Instant::now();
+        self.detect(&block, &mut stats, 1);
+        self.n += block.len() as u64;
+        let pos = self.included.partition_point(|&b| b < id);
+        self.included.insert(pos, id);
+        stats.detection_time = t0.elapsed();
+        drop(block);
+
+        let t1 = Instant::now();
+        self.cascade_counted(&mut stats, |ids, cands| {
+            count_supports_sharded(counter, stores, ids, cands)
+        });
+        stats.update_time = t1.elapsed();
+        Ok(stats)
+    }
+
     /// **`AuM` block deletion** (paper §3.2.4). Adjusts the model to
     /// exclude block `id`, which must still be present in `store` (its
     /// transactions are scanned to decrement counts before retirement).
@@ -418,6 +461,20 @@ impl FrequentItemsets {
     /// The shared update-phase cascade: demote, prune, promote, generate
     /// and count candidates, repeat.
     fn cascade(&mut self, store: &TxStore, counter: CounterKind, stats: &mut MaintenanceStats) {
+        self.cascade_counted(stats, |ids, cands| {
+            count_supports(counter, store, ids, cands)
+        });
+    }
+
+    /// The cascade, generic over the candidate-counting source. The closure
+    /// receives the model's included block ids and the candidate batch and
+    /// must return exact supports over exactly those blocks — this is what
+    /// lets a sharded store family substitute [`count_supports_sharded`]
+    /// without touching the BORDERS state machine.
+    fn cascade_counted<F>(&mut self, stats: &mut MaintenanceStats, mut count: F)
+    where
+        F: FnMut(&[BlockId], &[ItemSet]) -> CountResult,
+    {
         let thresh = self.threshold();
 
         // Demotions: frequent itemsets that dropped below the threshold
@@ -495,7 +552,7 @@ impl FrequentItemsets {
             }
             let candidates: Vec<ItemSet> = candidates.into_iter().collect();
             stats.candidates_counted += candidates.len();
-            let counted = count_supports(counter, store, &self.included, &candidates);
+            let counted = count(&self.included, &candidates);
             stats.update_units += counted.units_read;
             for (cand, count) in candidates.into_iter().zip(counted.counts) {
                 // Frequent candidates will be promoted next round and then

@@ -1,0 +1,340 @@
+//! The readiness-style connection loop of the sharded daemon: a small
+//! fixed set of threads, each polling its own set of non-blocking
+//! connections — 256 idle clients cost 256 socket buffers, not 256
+//! parked threads.
+//!
+//! Each loop thread owns the connections it accepted. One pass over a
+//! connection makes whatever progress its socket allows: flush the
+//! pending response bytes, check the sequencer completion slot, read
+//! and parse the next request frame. Queries are answered inline from
+//! the current [`Replica`](crate::shard::Replica) — no locks shared
+//! with ingest, no per-query serialization. `IngestBlock` and
+//! `Snapshot` are handed to the sequencer through the bounded queue;
+//! the connection parks no thread while it waits — the loop simply
+//! skips it until the completion slot fills (the sequencer unparks the
+//! loop thread, so the ack lands promptly). When nothing anywhere made
+//! progress the thread parks briefly instead of spinning.
+//!
+//! Backpressure keeps the 1-shard semantics: a full queue is retried
+//! until the connection's deadline (`queue_timeout`) expires, then the
+//! request is rejected with a typed `Busy` (`serve.rejects`) — the
+//! difference is that the *connection* waits, never a thread.
+
+use crate::protocol::{Request, Response, WireError};
+use crate::shard::{
+    sharded_stats_json, shard_of, Pending, ShardJob, ShardShared, SubmitError,
+};
+use demon_types::durable::{self, FrameClass, FRAME_HEADER_LEN};
+use demon_types::obs::{self, Counter};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long an idle loop thread parks between polls. Small enough that
+/// a completion missed by a race adds negligible latency; any actual
+/// socket readiness or sequencer completion unparks the thread early.
+const IDLE_PARK: Duration = Duration::from_micros(250);
+
+/// What a connection is waiting on, if anything.
+enum PendingState {
+    /// The job could not be enqueued yet (queue full); retried each
+    /// tick until the deadline.
+    Submit { job: ShardJob, deadline: Instant },
+    /// The job is with the sequencer; the slot fills when it is done.
+    Waiting(Arc<Pending>),
+}
+
+struct Conn {
+    stream: TcpStream,
+    peer: String,
+    in_buf: Vec<u8>,
+    out_buf: Vec<u8>,
+    out_pos: usize,
+    pending: Option<PendingState>,
+    last_activity: Instant,
+    shutdown_after_write: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "client".to_string());
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_nonblocking(true);
+        Conn {
+            stream,
+            peer,
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
+            out_pos: 0,
+            pending: None,
+            last_activity: Instant::now(),
+            shutdown_after_write: false,
+            dead: false,
+        }
+    }
+
+    fn has_work_in_flight(&self) -> bool {
+        self.pending.is_some() || self.out_pos < self.out_buf.len()
+    }
+
+    /// Queues one framed response for writing.
+    fn push_response(&mut self, response: &Response) {
+        let (bytes, _) = durable::encode_frame(FrameClass::RESPONSE, &response.encode());
+        obs::add(Counter::ServeBytesOut, bytes.len() as u64);
+        self.out_buf.extend_from_slice(&bytes);
+    }
+
+    /// One non-blocking pass: flush, poll the completion, read/parse.
+    /// Returns whether any progress happened.
+    fn tick(&mut self, shared: &Arc<ShardShared>, now: Instant) -> bool {
+        let mut progressed = false;
+
+        // Flush whatever the socket accepts.
+        while self.out_pos < self.out_buf.len() {
+            match self.stream.write(&self.out_buf[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return true;
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.last_activity = now;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return true;
+                }
+            }
+        }
+        if !self.out_buf.is_empty() && self.out_pos >= self.out_buf.len() {
+            self.out_buf.clear();
+            self.out_pos = 0;
+            if self.shutdown_after_write {
+                begin_shutdown(shared);
+                self.dead = true;
+                return true;
+            }
+        }
+
+        // Move the in-flight job along.
+        match self.pending.take() {
+            None => {}
+            Some(PendingState::Submit { job, deadline }) => {
+                let shard = match &job {
+                    ShardJob::Ingest { block, .. } => Some(shard_of(block.id(), shared.n_shards)),
+                    ShardJob::Snapshot { .. } => None,
+                };
+                match shared.queue.try_submit(job) {
+                    Ok(done) => {
+                        if let Some(s) = shard {
+                            shared.shard_pending[s].fetch_add(1, Ordering::SeqCst);
+                        }
+                        progressed = true;
+                        self.pending = Some(PendingState::Waiting(done));
+                    }
+                    Err(SubmitError::Full(job)) => {
+                        if now >= deadline {
+                            obs::incr(Counter::ServeRejects);
+                            drop(job);
+                            self.push_response(&Response::Err(WireError::Busy(format!(
+                                "ingest queue full ({} blocks) past the backpressure deadline",
+                                shared.queue.capacity()
+                            ))));
+                            progressed = true;
+                        } else {
+                            self.pending = Some(PendingState::Submit { job, deadline });
+                        }
+                    }
+                    Err(SubmitError::Closed) => {
+                        obs::incr(Counter::ServeRejects);
+                        self.push_response(&Response::Err(WireError::Busy(
+                            "server is shutting down".to_string(),
+                        )));
+                        progressed = true;
+                    }
+                }
+            }
+            Some(PendingState::Waiting(done)) => match done.take() {
+                Some(response) => {
+                    self.push_response(&response);
+                    self.last_activity = now;
+                    progressed = true;
+                }
+                None => self.pending = Some(PendingState::Waiting(done)),
+            },
+        }
+
+        // Read and serve the next request only once the previous one is
+        // fully answered — the protocol is strictly request/response
+        // per connection.
+        if self.pending.is_none() && self.out_pos >= self.out_buf.len() {
+            let mut buf = [0u8; 4096];
+            loop {
+                match self.stream.read(&mut buf) {
+                    Ok(0) => {
+                        self.dead = true;
+                        return true;
+                    }
+                    Ok(n) => {
+                        self.in_buf.extend_from_slice(&buf[..n]);
+                        self.last_activity = now;
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.dead = true;
+                        return true;
+                    }
+                }
+            }
+            progressed |= self.parse_and_dispatch(shared);
+        }
+
+        if !self.has_work_in_flight() && now.duration_since(self.last_activity) > shared.io_timeout
+        {
+            self.dead = true;
+            return true;
+        }
+        progressed
+    }
+
+    /// Parses one complete frame out of `in_buf`, if present, and
+    /// dispatches it. Transport damage (bad magic, class, CRC) drops
+    /// the connection, exactly like the 1-shard daemon; a malformed
+    /// payload inside a valid frame gets a typed `Err` response.
+    fn parse_and_dispatch(&mut self, shared: &Arc<ShardShared>) -> bool {
+        if self.in_buf.len() < FRAME_HEADER_LEN {
+            return false;
+        }
+        let header = match durable::decode_frame_header(
+            FrameClass::REQUEST,
+            &self.in_buf[..FRAME_HEADER_LEN],
+            &self.peer,
+        ) {
+            Ok(h) => h,
+            Err(_) => {
+                self.dead = true;
+                return true;
+            }
+        };
+        if header.payload_len > crate::protocol::MAX_PAYLOAD {
+            self.dead = true;
+            return true;
+        }
+        let total = FRAME_HEADER_LEN + header.payload_len as usize;
+        if self.in_buf.len() < total {
+            return false;
+        }
+        let payload = &self.in_buf[FRAME_HEADER_LEN..total];
+        if durable::verify_frame_payload(&header, payload, &self.peer).is_err() {
+            self.dead = true;
+            return true;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        obs::incr(Counter::ServeRequests);
+        obs::add(Counter::ServeBytesIn, total as u64);
+        let request = Request::decode(payload);
+        self.in_buf.drain(..total);
+        match request {
+            Err(e) => self.push_response(&Response::Err(WireError::Other(e.to_string()))),
+            Ok(Request::IngestBlock { n_items, block }) => {
+                if n_items != shared.n_items {
+                    self.push_response(&Response::Err(WireError::Other(format!(
+                        "item universe mismatch: client encoded {n_items}, server monitors {}",
+                        shared.n_items
+                    ))));
+                } else {
+                    let done = Arc::new(Pending::new(std::thread::current()));
+                    self.pending = Some(PendingState::Submit {
+                        job: ShardJob::Ingest {
+                            block,
+                            done: Arc::clone(&done),
+                        },
+                        deadline: Instant::now() + shared.queue_timeout,
+                    });
+                }
+            }
+            Ok(Request::QueryModel) => {
+                obs::incr(Counter::ServeShardQueries);
+                let replica = shared.replica.load();
+                self.push_response(&Response::Model(replica.model_json.clone()));
+            }
+            Ok(Request::QuerySequences) => {
+                obs::incr(Counter::ServeShardQueries);
+                let replica = shared.replica.load();
+                self.push_response(&Response::Sequences(replica.sequences.clone()));
+            }
+            Ok(Request::Stats) => {
+                obs::incr(Counter::ServeShardQueries);
+                self.push_response(&Response::Stats(sharded_stats_json(shared)));
+            }
+            Ok(Request::Snapshot { dir }) => {
+                let done = Arc::new(Pending::new(std::thread::current()));
+                self.pending = Some(PendingState::Submit {
+                    job: ShardJob::Snapshot {
+                        dir,
+                        done: Arc::clone(&done),
+                    },
+                    deadline: Instant::now() + shared.queue_timeout,
+                });
+            }
+            Ok(Request::Shutdown) => {
+                self.push_response(&Response::Ok);
+                self.shutdown_after_write = true;
+            }
+        }
+        true
+    }
+}
+
+/// Flags shutdown and closes the queue; queued jobs still drain, loop
+/// threads exit once their in-flight connections are answered.
+fn begin_shutdown(shared: &Arc<ShardShared>) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.close();
+}
+
+/// One event-loop thread: accept on the shared non-blocking listener,
+/// then poll every owned connection. Parks briefly when a full pass
+/// makes no progress; any sequencer completion unparks it.
+pub fn event_loop(shared: &Arc<ShardShared>, listener: &TcpListener) {
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        let mut progressed = false;
+        if !shutting_down {
+            while let Ok((stream, _)) = listener.accept() {
+                conns.push(Conn::new(stream));
+                progressed = true;
+            }
+        }
+        let now = Instant::now();
+        for conn in &mut conns {
+            progressed |= conn.tick(shared, now);
+        }
+        conns.retain(|c| !c.dead);
+        if shutting_down {
+            // Idle connections are dropped; those with a request in
+            // flight (or unflushed bytes) finish first.
+            conns.retain(Conn::has_work_in_flight);
+            if conns.is_empty() {
+                return;
+            }
+        }
+        if !progressed {
+            std::thread::park_timeout(IDLE_PARK);
+        }
+    }
+}

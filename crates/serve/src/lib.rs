@@ -24,6 +24,8 @@
 //! |---|---|
 //! | [`protocol`] | frame layout, verbs, request/response codecs, typed wire errors |
 //! | [`server`] | worker pool, ingest queue, WAL + recovery + compaction, dispatch |
+//! | [`shard`] | partitioned runtime (`--shards ≥ 2`): per-shard stores + WAL lanes, sequencer, epoch-swapped replicas |
+//! | [`event_loop`] | readiness-style (poll-based, std-only) connection loop for the sharded runtime |
 //! | [`client`] | blocking one-call-per-request client with bounded retry |
 //!
 //! # Quick taste
@@ -72,13 +74,21 @@
 //! * `Shutdown` drains the queue before the process exits, and a
 //!   `Snapshot` directory always loads under
 //!   [`RecoveryPolicy::Strict`](demon_itemsets::persist::RecoveryPolicy).
+//! * With `ServeConfig::shards ≥ 2` the serving state is partitioned
+//!   (round-robin by block id) across per-shard stores and WAL lanes
+//!   behind one sequencer, queries are answered from immutable
+//!   epoch-swapped replicas, and every query response and persisted
+//!   snapshot stays **byte-identical** to the 1-shard daemon's
+//!   (asserted in `tests/serve_sharded.rs`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod event_loop;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 
 pub use client::{Client, RetryPolicy};
 pub use protocol::{Request, Response, WireError, MAX_PAYLOAD};

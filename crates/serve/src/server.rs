@@ -96,8 +96,16 @@ pub struct ServeConfig {
     pub pattern_window: Option<usize>,
     /// FOCUS similarity threshold α for the compact-sequence miner.
     pub alpha: f64,
-    /// Worker threads accepting and serving connections.
+    /// Worker threads accepting and serving connections (with `shards ≥
+    /// 2` these become the readiness-style event-loop threads).
     pub workers: usize,
+    /// Serving-state partitions. `1` (the default) keeps the original
+    /// single-lock daemon; `≥ 2` switches to the partitioned runtime —
+    /// per-shard stores and WAL lanes behind one sequencer, epoch-swapped
+    /// read replicas, and a poll-based connection loop (see
+    /// [`crate::shard`]). Query responses and persisted snapshots are
+    /// byte-identical across shard counts.
+    pub shards: usize,
     /// Ingest-queue capacity (blocks buffered but not yet applied).
     pub queue_capacity: usize,
     /// How long an `IngestBlock` waits on a full queue before it is
@@ -131,6 +139,7 @@ impl ServeConfig {
             pattern_window: None,
             alpha: 0.12,
             workers: 4,
+            shards: 1,
             queue_capacity: 64,
             queue_timeout: Duration::from_secs(5),
             io_timeout: Duration::from_secs(30),
@@ -308,10 +317,20 @@ struct Durability {
 
 /// A bound daemon, ready to [`run`](Server::run).
 pub struct Server {
-    shared: Arc<Shared>,
-    listener: TcpListener,
-    durability: Option<Durability>,
-    compact_rx: Option<mpsc::Receiver<u64>>,
+    inner: ServerInner,
+}
+
+/// The two runtimes behind the one public daemon type: the original
+/// single-lock thread-per-connection daemon (`shards == 1`, byte-for-
+/// byte unchanged) and the partitioned runtime (`shards ≥ 2`).
+enum ServerInner {
+    Legacy {
+        shared: Arc<Shared>,
+        listener: TcpListener,
+        durability: Option<Durability>,
+        compact_rx: Option<mpsc::Receiver<u64>>,
+    },
+    Sharded(Box<crate::shard::ShardedServer>),
 }
 
 fn build_monitor(config: &ServeConfig) -> Result<ServedMonitor> {
@@ -444,6 +463,24 @@ impl Server {
     /// Enables the obs recorder so `Stats` is always live.
     pub fn bind(config: ServeConfig) -> Result<Server> {
         obs::enable();
+        if config.shards == 0 {
+            return Err(DemonError::InvalidParameter(
+                "--shards must be at least 1".to_string(),
+            ));
+        }
+        if config.shards > 1 {
+            if config.window.is_some() {
+                return Err(DemonError::InvalidParameter(
+                    "sharded serving (--shards ≥ 2) requires the unrestricted window; \
+                     --window (GEMM) is only available with --shards 1"
+                        .to_string(),
+                ));
+            }
+            let sharded = crate::shard::ShardedServer::bind(&config)?;
+            return Ok(Server {
+                inner: ServerInner::Sharded(Box::new(sharded)),
+            });
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let (monitor, durability, compact_rx) = match &config.wal_dir {
@@ -483,28 +520,37 @@ impl Server {
             workers: config.workers.max(1),
         });
         Ok(Server {
-            shared,
-            listener,
-            durability,
-            compact_rx,
+            inner: ServerInner::Legacy {
+                shared,
+                listener,
+                durability,
+                compact_rx,
+            },
         })
     }
 
     /// The address the daemon is listening on (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.shared.addr
+        match &self.inner {
+            ServerInner::Legacy { shared, .. } => shared.addr,
+            ServerInner::Sharded(s) => s.local_addr(),
+        }
     }
 
-    /// Serves until a `Shutdown` request: spawns the ingester, the
-    /// compactor (when durable) and the worker pool, then joins them
-    /// all. Queued blocks are drained before the ingester exits.
+    /// Serves until a `Shutdown` request: spawns the ingester (or the
+    /// sharded sequencer), the compactor (when durable) and the worker
+    /// pool (or event-loop threads), then joins them all. Queued blocks
+    /// are drained before the writer exits.
     pub fn run(self) -> Result<ServeSummary> {
-        let Server {
-            shared,
-            listener,
-            durability,
-            compact_rx,
-        } = self;
+        let (shared, listener, durability, compact_rx) = match self.inner {
+            ServerInner::Sharded(s) => return s.run(),
+            ServerInner::Legacy {
+                shared,
+                listener,
+                durability,
+                compact_rx,
+            } => (shared, listener, durability, compact_rx),
+        };
         let mut handles = Vec::new();
         if let Some(rx) = compact_rx {
             let dir = durability
@@ -554,8 +600,9 @@ static CRASH_HITS: AtomicU64 = AtomicU64::new(0);
 /// Fault-injection hook: `DEMON_SERVE_CRASH=<point>:<n>` aborts the
 /// process — the moral equivalent of `kill -9`, no destructors, no
 /// flushes — the `n`-th time the named crash point is reached. Inert
-/// unless the fault tests arm it.
-fn crash_point(point: &str) {
+/// unless the fault tests arm it. Shared with the sharded sequencer and
+/// compactor, which hit the same named points.
+pub(crate) fn crash_point(point: &str) {
     let Ok(spec) = std::env::var("DEMON_SERVE_CRASH") else {
         return;
     };

@@ -1,0 +1,875 @@
+//! The partitioned serving runtime (`--shards ≥ 2`): per-shard stores
+//! behind one sequencer, epoch-swapped read replicas, per-shard WAL
+//! lanes under a shared generation pointer.
+//!
+//! ## Shape
+//!
+//! ```text
+//!  client sockets ──▶ event-loop threads (readiness-style, non-blocking)
+//!        │ queries answered inline          │ IngestBlock / Snapshot
+//!        ▼                                  ▼
+//!  Arc<Replica> (epoch-swapped)      bounded sequencer queue
+//!        ▲                                  │
+//!        └──── sequencer thread ◀───────────┘   (single writer)
+//!              │ owns every shard store
+//!              │ append+fsync to shard-<s>/wal-<gen>.log, then apply
+//!              ▼
+//!        compactor ◀── merged snapshot-<gen> + root CURRENT
+//! ```
+//!
+//! * **Partition function**: block `b` belongs to shard
+//!   `(b − 1) mod N` — round-robin by block id, so every prefix of the
+//!   stream is balanced to within one block.
+//! * **Exact scatter/gather**: each shard holds a disjoint slice of the
+//!   block stream in its own [`TxStore`]. Update-phase candidates are
+//!   counted per shard and summed index-wise
+//!   ([`demon_itemsets::count_supports_sharded`], which reuses the
+//!   `demon_types::parallel` per-shard-merge discipline), so the
+//!   maintained model is byte-identical to the 1-shard model — supports
+//!   are additive over disjoint block sets and every backend is exact.
+//! * **Replica epochs**: after each applied block the sequencer builds
+//!   an immutable [`Replica`] — model JSON pre-serialized, sequences
+//!   pre-gathered — and flips the shared pointer
+//!   (`serve.shard.replica_swaps`). Queries never touch mining state,
+//!   never take the sequencer's locks, and pay no per-query
+//!   serialization.
+//! * **WAL lanes**: shard `s` appends to `wal_dir/shard-<s>/wal-<g>.log`.
+//!   The root `CURRENT` pointer and the merged `snapshot-<g>` are shared
+//!   across lanes; rotation moves every lane to `g+1` at once. The
+//!   sequencer appends lanes in block-id order, so after a crash at most
+//!   the highest appended id can be torn — recovery merges lane records
+//!   by block id and replays the contiguous prefix, preserving the
+//!   `acked ≤ applied ≤ acked+1` contract of the 1-shard WAL.
+
+use crate::protocol::{Request, Response, WireError};
+use crate::server::{crash_point, ServeConfig, ServeSummary};
+use demon_core::maintainer::ModelMaintainer;
+use demon_core::ItemsetMaintainer;
+use demon_focus::compact::CompactSequenceMiner;
+use demon_focus::similarity::{ItemsetSimilarity, SimilarityConfig};
+use demon_focus::windowed::WindowedCompactMiner;
+use demon_itemsets::persist::{load_store_configured, save_store_atomic, RecoveryPolicy};
+use demon_itemsets::{FrequentItemsets, TxStore};
+use demon_store::StoreConfig;
+use demon_types::obs::{self, Counter};
+use demon_types::wal::{self, WalWriter};
+use demon_types::{BlockId, DemonError, Result, Transaction, TxBlock};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::Thread;
+use std::time::Duration;
+
+/// The lane directory of shard `s` under the WAL root.
+pub fn shard_lane_dir(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("shard-{shard}"))
+}
+
+/// The shard that owns block `id`: round-robin by block id, so every
+/// stream prefix is balanced to within one block.
+pub fn shard_of(id: BlockId, n_shards: usize) -> usize {
+    ((id.value() - 1) % n_shards as u64) as usize
+}
+
+/// Mirror of the engine's systematic-evolution check: block `id` must be
+/// exactly the successor of `latest`. Same typed errors, same messages.
+fn check_sequential(id: BlockId, latest: Option<BlockId>) -> Result<()> {
+    let expected = latest.map_or(BlockId::FIRST, BlockId::next);
+    if id == expected {
+        return Ok(());
+    }
+    match latest {
+        Some(latest) if id <= latest => Err(DemonError::DuplicateBlock {
+            id: id.value(),
+            latest: latest.value(),
+        }),
+        _ => Err(DemonError::InvalidParameter(format!(
+            "expected block {expected}, got {id}"
+        ))),
+    }
+}
+
+enum Patterns {
+    Unrestricted(CompactSequenceMiner<ItemsetSimilarity, Transaction>),
+    MostRecent(WindowedCompactMiner<ItemsetSimilarity, Transaction>),
+}
+
+/// The sequencer-owned mining state: one [`ItemsetMaintainer`] per shard
+/// (store + ECUT+ pair materialization, exactly the 1-shard register
+/// path applied to the owning shard), one global model absorbed with
+/// sharded counting, one global pattern miner.
+pub struct ShardSet {
+    shards: Vec<ItemsetMaintainer>,
+    model: FrequentItemsets,
+    miner: Patterns,
+    latest: Option<BlockId>,
+    shard_blocks: Vec<u64>,
+    config: ServeConfig,
+}
+
+impl ShardSet {
+    /// Builds the empty sharded state from a validated config
+    /// (`shards ≥ 2`, unrestricted window).
+    pub fn new(config: &ServeConfig) -> Result<ShardSet> {
+        let n = config.shards;
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(ItemsetMaintainer::with_store_config(
+                config.n_items,
+                config.minsup,
+                config.counter,
+                &config.store_config,
+            )?);
+        }
+        let model = FrequentItemsets::empty(config.minsup, config.n_items);
+        let oracle = ItemsetSimilarity::new(
+            config.n_items,
+            config.minsup,
+            SimilarityConfig::Threshold {
+                alpha: config.alpha,
+            },
+        );
+        let miner = match config.pattern_window {
+            None => Patterns::Unrestricted(CompactSequenceMiner::new(oracle)),
+            Some(w) => Patterns::MostRecent(WindowedCompactMiner::new(oracle, w)),
+        };
+        Ok(ShardSet {
+            shards,
+            model,
+            miner,
+            latest: None,
+            shard_blocks: vec![0; n],
+            config: config.clone(),
+        })
+    }
+
+    /// Applies the next arriving block: validate the id, register into
+    /// the owning shard (store + pair materialization), absorb into the
+    /// global model with per-shard counting, feed the pattern miner.
+    /// A replayed or out-of-order id is rejected before any state moves.
+    pub fn add_block(&mut self, block: TxBlock) -> Result<()> {
+        let id = block.id();
+        check_sequential(id, self.latest)?;
+        let s = shard_of(id, self.shards.len());
+        self.shards[s].register_block(block.clone());
+        let stores: Vec<&TxStore> = self.shards.iter().map(|m| m.store()).collect();
+        self.model
+            .absorb_block_sharded(&stores, id, self.config.counter)?;
+        match &mut self.miner {
+            Patterns::Unrestricted(m) => {
+                m.add_block(block);
+            }
+            Patterns::MostRecent(m) => {
+                m.add_block(block);
+            }
+        }
+        self.latest = Some(id);
+        self.shard_blocks[s] += 1;
+        Ok(())
+    }
+
+    /// Blocks applied so far.
+    pub fn blocks(&self) -> u64 {
+        self.shard_blocks.iter().sum()
+    }
+
+    /// Gathers every shard's blocks into one fresh single-store
+    /// maintainer, registered in block-id order — the exact 1-shard
+    /// register path, so the merged store (blocks, TID-lists, ECUT+
+    /// pair lists) is byte-identical to the store a `--shards 1` daemon
+    /// would persist.
+    pub fn merged_maintainer(&self) -> Result<ItemsetMaintainer> {
+        let mut merged = ItemsetMaintainer::with_store_config(
+            self.config.n_items,
+            self.config.minsup,
+            self.config.counter,
+            &StoreConfig::InMemory,
+        )?;
+        let last = self.latest.map_or(0, |b| b.value());
+        for id in 1..=last {
+            let id = BlockId(id);
+            let s = shard_of(id, self.shards.len());
+            let block = (*self.shards[s]
+                .store()
+                .block(id)
+                .ok_or(DemonError::UnknownBlock(id.value()))?)
+            .clone();
+            merged.register_block(block);
+        }
+        Ok(merged)
+    }
+
+    /// Builds the immutable replica of the current state: model JSON
+    /// pre-serialized (the exact bytes `QueryModel` answers with),
+    /// sequences pre-gathered, per-shard block counts for `Stats`.
+    pub fn replica(&self, epoch: u64) -> Result<Replica> {
+        let model_json = serde_json::to_string(&self.model)
+            .map_err(|e| DemonError::Serde(format!("model serialization: {e}")))?;
+        let sequences = match &self.miner {
+            Patterns::Unrestricted(m) => m.maximal_sequences(),
+            Patterns::MostRecent(m) => m.sequences(),
+        };
+        Ok(Replica {
+            epoch,
+            blocks: self.blocks(),
+            model_json,
+            sequences,
+            shard_blocks: self.shard_blocks.clone(),
+        })
+    }
+}
+
+/// One immutable snapshot of the queryable state. Built by the
+/// sequencer after every applied block; readers hold an `Arc` and never
+/// block ingest.
+pub struct Replica {
+    /// Monotone swap counter (one per applied block + the recovery
+    /// publish).
+    pub epoch: u64,
+    /// Blocks applied when this replica was built.
+    pub blocks: u64,
+    /// The model as canonical JSON — the exact `QueryModel` body.
+    pub model_json: String,
+    /// The compact block sequences — the exact `QuerySequences` body.
+    pub sequences: Vec<Vec<BlockId>>,
+    /// Blocks owned per shard, for `Stats` and the imbalance gauge.
+    pub shard_blocks: Vec<u64>,
+}
+
+/// The epoch-swapped replica pointer: an arc-swap-style flip built from
+/// std parts. `load` clones the `Arc` under a momentary lock (no reader
+/// ever waits on ingest work — the critical section is two refcount
+/// bumps); `store` flips the pointer and bumps
+/// `serve.shard.replica_swaps`.
+pub struct ReplicaCell {
+    current: Mutex<Arc<Replica>>,
+}
+
+impl ReplicaCell {
+    /// Wraps the initial replica.
+    pub fn new(replica: Replica) -> ReplicaCell {
+        ReplicaCell {
+            current: Mutex::new(Arc::new(replica)),
+        }
+    }
+
+    /// The current replica.
+    pub fn load(&self) -> Arc<Replica> {
+        Arc::clone(&self.current.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Publishes a new replica (the epoch flip).
+    pub fn store(&self, replica: Replica) {
+        let mut cur = self.current.lock().unwrap_or_else(|e| e.into_inner());
+        *cur = Arc::new(replica);
+        obs::incr(Counter::ServeReplicaSwaps);
+    }
+}
+
+/// A parked response slot: the sequencer fills it and unparks the
+/// event-loop thread that owns the connection.
+pub struct Pending {
+    slot: Mutex<Option<Response>>,
+    waker: Thread,
+}
+
+impl Pending {
+    /// A slot owned by (and waking) the given thread.
+    pub fn new(waker: Thread) -> Pending {
+        Pending {
+            slot: Mutex::new(None),
+            waker,
+        }
+    }
+
+    /// Fills the slot and wakes the owning event loop.
+    pub fn fill(&self, response: Response) {
+        *self.slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(response);
+        self.waker.unpark();
+    }
+
+    /// Takes the response if it has arrived (non-blocking).
+    pub fn take(&self) -> Option<Response> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
+
+/// A unit of sequencer work.
+pub enum ShardJob {
+    /// Apply one block (WAL append first when durable).
+    Ingest {
+        /// The block to apply.
+        block: TxBlock,
+        /// Where the result goes.
+        done: Arc<Pending>,
+    },
+    /// Persist the merged store atomically to a server-side directory.
+    Snapshot {
+        /// Target directory.
+        dir: String,
+        /// Where the result goes.
+        done: Arc<Pending>,
+    },
+}
+
+struct ShardQueueState {
+    jobs: VecDeque<ShardJob>,
+    open: bool,
+}
+
+/// The bounded sequencer queue. Unlike the 1-shard ingest queue,
+/// submission is non-blocking (`try_submit`) — an event-loop thread must
+/// never park on backpressure; it re-tries each tick until the
+/// connection's own deadline expires.
+pub struct ShardQueue {
+    capacity: usize,
+    state: Mutex<ShardQueueState>,
+    not_empty: Condvar,
+}
+
+/// Why a non-blocking submit did not enqueue.
+pub enum SubmitError {
+    /// The queue is at capacity; retry until the deadline.
+    Full(ShardJob),
+    /// The queue is closed (shutdown); fail the request as busy.
+    Closed,
+}
+
+impl ShardQueue {
+    /// A queue holding at most `capacity` jobs.
+    pub fn new(capacity: usize) -> ShardQueue {
+        ShardQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(ShardQueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// The queue's capacity (for the `Busy` rejection text).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues without blocking; hands the job back when full. On
+    /// success, returns the job's completion slot for polling.
+    pub fn try_submit(&self, job: ShardJob) -> std::result::Result<Arc<Pending>, SubmitError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !state.open {
+            return Err(SubmitError::Closed);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(SubmitError::Full(job));
+        }
+        let done = match &job {
+            ShardJob::Ingest { done, .. } | ShardJob::Snapshot { done, .. } => Arc::clone(done),
+        };
+        state.jobs.push_back(job);
+        obs::record_max(Counter::ServeQueueDepth, state.jobs.len() as u64);
+        self.not_empty.notify_one();
+        Ok(done)
+    }
+
+    /// The sequencer's blocking pop; `None` after close once drained.
+    pub fn next_job(&self) -> Option<ShardJob> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue; queued jobs still drain.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.open = false;
+        self.not_empty.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).jobs.len()
+    }
+}
+
+/// State shared between the event-loop threads, the sequencer, and the
+/// compactor.
+pub struct ShardShared {
+    /// The epoch-swapped read replica.
+    pub replica: ReplicaCell,
+    /// The sequencer queue.
+    pub queue: ShardQueue,
+    /// Ingest jobs queued (submitted, not yet answered) per shard — the
+    /// `Stats` `shard_queue_depths` gauge.
+    pub shard_pending: Vec<AtomicU64>,
+    /// Graceful-shutdown flag.
+    pub shutdown: AtomicBool,
+    /// Requests served across all connections and verbs.
+    pub requests: AtomicU64,
+    /// Blocks applied (recovered blocks included).
+    pub blocks: AtomicU64,
+    /// The bound address.
+    pub addr: SocketAddr,
+    /// Item-universe size, validated against each `IngestBlock`.
+    pub n_items: u32,
+    /// Shard count.
+    pub n_shards: usize,
+    /// Per-connection idle timeout.
+    pub io_timeout: Duration,
+    /// Backpressure deadline for a full queue.
+    pub queue_timeout: Duration,
+}
+
+/// The sequencer's durable state: one WAL lane per shard, all rotated
+/// together, behind the shared root `CURRENT` pointer.
+pub struct ShardWal {
+    root: PathBuf,
+    writers: Vec<WalWriter>,
+    gen: u64,
+    max_bytes: u64,
+    last_id: Option<u64>,
+    compact_tx: mpsc::Sender<(u64, ItemsetMaintainer)>,
+    compacting: Arc<AtomicBool>,
+}
+
+/// What sharded recovery rebuilt.
+pub struct RecoveredShards {
+    /// The sharded state with every durable block re-applied.
+    pub state: ShardSet,
+    /// The reopened live lane writers (one per shard).
+    pub writers: Vec<WalWriter>,
+    /// The live generation (max across lanes and `CURRENT`).
+    pub gen: u64,
+}
+
+/// Recovers the sharded state from a WAL root: load the merged
+/// `snapshot-<CURRENT>` (Strict), then merge every lane's record chain
+/// by block id and replay the contiguous prefix. The sequencer appends
+/// lanes in block-id order (one fsync per block, strictly sequential),
+/// so only the highest appended id can be torn — the first gap ends
+/// replay, preserving `acked ≤ applied ≤ acked+1` per shard and
+/// globally.
+pub fn recover_sharded(root: &Path, config: &ServeConfig) -> Result<RecoveredShards> {
+    std::fs::create_dir_all(root)?;
+    for s in 0..config.shards {
+        std::fs::create_dir_all(shard_lane_dir(root, s))?;
+    }
+    let current = wal::read_current(root)?;
+    let mut state = ShardSet::new(config)?;
+
+    if current > 0 {
+        let snap = wal::snapshot_dir_path(root, current);
+        let (store, _) =
+            load_store_configured(&snap, RecoveryPolicy::Strict, &StoreConfig::InMemory)?;
+        for &id in &store.block_ids().to_vec() {
+            let block = (*store
+                .block(id)
+                .ok_or(DemonError::UnknownBlock(id.value()))?)
+            .clone();
+            state.add_block(block)?;
+        }
+    }
+
+    // Shadowed residue: snapshots other than CURRENT at the root, lane
+    // generations below CURRENT. Deleting converges after a crash
+    // mid-cleanup, exactly like the 1-shard recovery.
+    for entry in std::fs::read_dir(root)?.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("snapshot-") && wal::parse_snapshot_dir_name(name) != Some(current) {
+            let _ = std::fs::remove_dir_all(entry.path());
+        }
+    }
+
+    let mut pending: Vec<(BlockId, TxBlock)> = Vec::new();
+    let mut writers = Vec::with_capacity(config.shards);
+    let mut max_gen = current;
+    for s in 0..config.shards {
+        let lane = shard_lane_dir(root, s);
+        let mut live_gen = current;
+        let mut live_valid_len = 0u64;
+        let mut live_exists = false;
+        let mut next_seq = 0u64;
+        for g in wal::list_wal_generations(&lane)? {
+            if g < current {
+                let _ = std::fs::remove_file(wal::wal_file_path(&lane, g));
+                continue;
+            }
+            let report = wal::read_wal(&wal::wal_file_path(&lane, g))?;
+            for record in &report.records {
+                if let Ok(Request::IngestBlock { block, .. }) = Request::decode(&record.body) {
+                    pending.push((block.id(), block));
+                }
+            }
+            if let Some(seq) = report.next_seq() {
+                next_seq = seq;
+            }
+            live_gen = g;
+            live_valid_len = report.valid_len;
+            live_exists = true;
+        }
+        let live_path = wal::wal_file_path(&lane, live_gen);
+        writers.push(if live_exists {
+            WalWriter::open_after_recovery(&live_path, live_valid_len, next_seq)?
+        } else {
+            WalWriter::create(&live_path, next_seq)?
+        });
+        max_gen = max_gen.max(live_gen);
+    }
+
+    pending.sort_by_key(|(id, _)| *id);
+    for (id, block) in pending {
+        let expected = state.latest.map_or(BlockId::FIRST, BlockId::next);
+        if id < expected {
+            continue; // covered by the snapshot or an earlier lane record
+        }
+        if id > expected {
+            break; // gap: everything past it was never appended, let alone acked
+        }
+        match state.add_block(block) {
+            Ok(()) => obs::incr(Counter::WalReplays),
+            Err(_) => break, // appended but never acked: no promise broken
+        }
+    }
+
+    Ok(RecoveredShards {
+        state,
+        writers,
+        gen: max_gen,
+    })
+}
+
+/// The sequencer: drains the queue, appends to the owning shard's WAL
+/// lane (fsync) before applying, publishes a fresh replica after every
+/// applied block, then answers the parked connection — so an ack means
+/// durable, applied, *and* visible to every subsequent query.
+pub fn sequencer_loop(shared: &Arc<ShardShared>, mut state: ShardSet, mut wal: Option<ShardWal>) {
+    let mut epoch = shared.replica.load().epoch;
+    let mut poisoned = false;
+    while let Some(job) = shared.queue.next_job() {
+        match job {
+            ShardJob::Ingest { block, done } => {
+                let id = block.id();
+                let s = shard_of(id, shared.n_shards);
+                crash_point("before_append");
+
+                let mut wal_failure: Option<WireError> = None;
+                if let Some(w) = wal.as_mut() {
+                    let duplicate = w.last_id.is_some_and(|last| id.value() <= last);
+                    if !duplicate {
+                        let body = Request::IngestBlock {
+                            n_items: shared.n_items,
+                            block: block.clone(),
+                        }
+                        .encode();
+                        if let Err(e) = w.writers[s].append(&body) {
+                            wal_failure = Some(WireError::Io(format!("wal append: {e}")));
+                        }
+                    }
+                }
+                crash_point("after_append");
+
+                let result = if poisoned {
+                    Err(WireError::Other(
+                        "monitor poisoned by an earlier ingest fault".to_string(),
+                    ))
+                } else if let Some(e) = wal_failure {
+                    Err(e)
+                } else {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        state.add_block(block).map_err(|e| WireError::from_error(&e))
+                    }))
+                    .unwrap_or_else(|_| {
+                        poisoned = true;
+                        Err(WireError::Other(
+                            "ingest panicked; monitor poisoned".to_string(),
+                        ))
+                    })
+                };
+
+                let response = match result {
+                    Ok(()) => {
+                        shared.blocks.fetch_add(1, Ordering::SeqCst);
+                        obs::incr(Counter::ServeShardIngests);
+                        epoch += 1;
+                        publish(shared, &state, epoch);
+                        if let Some(w) = wal.as_mut() {
+                            w.last_id = Some(id.value());
+                            maybe_rotate(w, &state);
+                        }
+                        Response::Ok
+                    }
+                    Err(e) => Response::Err(e),
+                };
+                shared.shard_pending[s].fetch_sub(1, Ordering::SeqCst);
+                done.fill(response);
+                crash_point("after_ack");
+            }
+            ShardJob::Snapshot { dir, done } => {
+                let response = match state
+                    .merged_maintainer()
+                    .and_then(|m| save_store_atomic(m.store(), Path::new(&dir)).map(|()| m))
+                {
+                    Ok(m) => Response::SnapshotDone(m.store().len() as u64),
+                    Err(DemonError::Io(e)) => {
+                        Response::Err(WireError::Io(format!("snapshot to {dir}: {e}")))
+                    }
+                    Err(e) => Response::Err(WireError::Other(format!("snapshot to {dir}: {e}"))),
+                };
+                done.fill(response);
+            }
+        }
+    }
+}
+
+/// Builds and flips the replica; updates the imbalance gauge.
+fn publish(shared: &Arc<ShardShared>, state: &ShardSet, epoch: u64) {
+    if let Ok(replica) = state.replica(epoch) {
+        let max = replica.shard_blocks.iter().copied().max().unwrap_or(0);
+        let min = replica.shard_blocks.iter().copied().min().unwrap_or(0);
+        obs::record_max(Counter::ServeShardImbalance, max - min);
+        shared.replica.store(replica);
+    }
+}
+
+/// Rotates every lane to `gen+1` once the lanes' combined live bytes
+/// cross the threshold, then hands the merged store to the compactor.
+/// Skipped while a compaction is in flight.
+fn maybe_rotate(w: &mut ShardWal, state: &ShardSet) {
+    let total: u64 = w.writers.iter().map(WalWriter::bytes).sum();
+    if total < w.max_bytes {
+        return;
+    }
+    if w.compacting.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let next_gen = w.gen + 1;
+    let mut rotated = Vec::with_capacity(w.writers.len());
+    for (s, writer) in w.writers.iter().enumerate() {
+        let lane = shard_lane_dir(&w.root, s);
+        match WalWriter::create(&wal::wal_file_path(&lane, next_gen), writer.next_seq()) {
+            Ok(next) => rotated.push(next),
+            Err(_) => {
+                // Abort the whole rotation: keep appending to the old
+                // lanes and retry at the next threshold crossing. Any
+                // already-created empty `wal-<gen+1>.log` is harmless —
+                // recovery replays it as an empty generation.
+                w.compacting.store(false, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+    match state.merged_maintainer() {
+        Ok(merged) => {
+            w.writers = rotated;
+            w.gen = next_gen;
+            let _ = w.compact_tx.send((next_gen, merged));
+        }
+        Err(_) => w.compacting.store(false, Ordering::SeqCst),
+    }
+}
+
+/// The sharded compactor: save the merged snapshot atomically, flip the
+/// root `CURRENT`, delete shadowed lane generations and snapshots.
+fn shard_compactor_loop(
+    root: &Path,
+    n_shards: usize,
+    compacting: &Arc<AtomicBool>,
+    rx: &mpsc::Receiver<(u64, ItemsetMaintainer)>,
+) {
+    while let Ok((gen, merged)) = rx.recv() {
+        let result: Result<()> = (|| {
+            save_store_atomic(merged.store(), &wal::snapshot_dir_path(root, gen))?;
+            crash_point("mid_compaction");
+            wal::write_current(root, gen)?;
+            Ok(())
+        })();
+        if result.is_ok() {
+            for s in 0..n_shards {
+                let lane = shard_lane_dir(root, s);
+                for g in wal::list_wal_generations(&lane).unwrap_or_default() {
+                    if g < gen {
+                        let _ = std::fs::remove_file(wal::wal_file_path(&lane, g));
+                    }
+                }
+            }
+            if let Ok(entries) = std::fs::read_dir(root) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name();
+                    let Some(name) = name.to_str() else { continue };
+                    if name.starts_with("snapshot-")
+                        && wal::parse_snapshot_dir_name(name) != Some(gen)
+                    {
+                        let _ = std::fs::remove_dir_all(entry.path());
+                    }
+                }
+            }
+        }
+        compacting.store(false, Ordering::SeqCst);
+    }
+}
+
+/// A bound sharded daemon, ready to run.
+pub struct ShardedServer {
+    shared: Arc<ShardShared>,
+    listener: TcpListener,
+    state: ShardSet,
+    wal: Option<ShardWal>,
+    compact_rx: Option<mpsc::Receiver<(u64, ItemsetMaintainer)>>,
+    workers: usize,
+    wal_root: Option<PathBuf>,
+}
+
+impl ShardedServer {
+    /// Binds the listener and rebuilds the sharded state (recovering
+    /// from the per-shard WAL lanes when durable).
+    pub fn bind(config: &ServeConfig) -> Result<ShardedServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let (state, wal, compact_rx, wal_root) = match &config.wal_dir {
+            None => (ShardSet::new(config)?, None, None, None),
+            Some(root) => {
+                let recovered = recover_sharded(root, config)?;
+                let (tx, rx) = mpsc::channel();
+                let wal = ShardWal {
+                    root: root.clone(),
+                    writers: recovered.writers,
+                    gen: recovered.gen,
+                    max_bytes: config.wal_max_bytes.max(1),
+                    last_id: recovered.state.latest.map(|b| b.value()),
+                    compact_tx: tx,
+                    compacting: Arc::new(AtomicBool::new(false)),
+                };
+                (recovered.state, Some(wal), Some(rx), Some(root.clone()))
+            }
+        };
+        let replica = state.replica(0)?;
+        let blocks = replica.blocks;
+        let shared = Arc::new(ShardShared {
+            replica: ReplicaCell::new(replica),
+            queue: ShardQueue::new(config.queue_capacity),
+            shard_pending: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            blocks: AtomicU64::new(blocks),
+            addr,
+            n_items: config.n_items,
+            n_shards: config.shards,
+            io_timeout: config.io_timeout,
+            queue_timeout: config.queue_timeout,
+        });
+        Ok(ShardedServer {
+            shared,
+            listener,
+            state,
+            wal,
+            compact_rx,
+            workers: config.workers.max(1),
+            wal_root,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serves until `Shutdown`: spawns the compactor (when durable), the
+    /// sequencer, and the event-loop threads, then joins them all.
+    pub fn run(self) -> Result<ServeSummary> {
+        let ShardedServer {
+            shared,
+            listener,
+            state,
+            wal,
+            compact_rx,
+            workers,
+            wal_root,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let mut handles = Vec::new();
+        if let (Some(rx), Some(root)) = (compact_rx, wal_root) {
+            let flag = wal
+                .as_ref()
+                .map(|w| Arc::clone(&w.compacting))
+                .unwrap_or_default();
+            let n_shards = shared.n_shards;
+            handles.push(
+                std::thread::Builder::new()
+                    .name("serve-compactor".to_string())
+                    .spawn(move || shard_compactor_loop(&root, n_shards, &flag, &rx))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("serve-sequencer".to_string())
+                    .spawn(move || sequencer_loop(&shared, state, wal))?,
+            );
+        }
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let listener = listener.try_clone()?;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-loop-{i}"))
+                    .spawn(move || crate::event_loop::event_loop(&shared, &listener))?,
+            );
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(ServeSummary {
+            requests: shared.requests.load(Ordering::Relaxed),
+            blocks: shared.blocks.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// The sharded `Stats` body: the 1-shard gauges plus `shards`,
+/// `shard_blocks`, and `shard_queue_depths`, then the obs counter table.
+/// The shard keys deliberately sit *after* `"blocks"` so gauge parsers
+/// keyed on the first `"blocks":` match keep working.
+pub fn sharded_stats_json(shared: &ShardShared) -> String {
+    let replica = shared.replica.load();
+    let shard_blocks: Vec<String> = replica
+        .shard_blocks
+        .iter()
+        .map(u64::to_string)
+        .collect();
+    let depths: Vec<String> = shared
+        .shard_pending
+        .iter()
+        .map(|d| d.load(Ordering::SeqCst).to_string())
+        .collect();
+    let mut out = format!(
+        "{{\"blocks\":{},\"shards\":{},\"shard_blocks\":[{}],\"shard_queue_depths\":[{}],\"requests\":{},\"queue_depth\":{},\"counters\":{{",
+        shared.blocks.load(Ordering::SeqCst),
+        shared.n_shards,
+        shard_blocks.join(","),
+        depths.join(","),
+        shared.requests.load(Ordering::Relaxed),
+        shared.queue.depth(),
+    );
+    for (i, (name, value)) in obs::snapshot().counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{value}"));
+    }
+    out.push_str("}}");
+    out
+}

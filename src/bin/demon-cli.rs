@@ -74,7 +74,7 @@ USAGE:
   demon-cli patterns STORE [--alpha F] [--min-len N] [--window N] [--salvage]
   demon-cli serve    [--listen ADDR] [--items N] [--minsup F] [--counter KIND]
                      [--window N] [--pattern-window N] [--alpha F] [--workers N]
-                     [--queue N] [--queue-timeout-ms N] [--timeout-ms N]
+                     [--shards N] [--queue N] [--queue-timeout-ms N] [--timeout-ms N]
                      [--wal-dir DIR] [--wal-max-bytes N] [--no-wal]
   demon-cli client   ADDR ingest STORE [--salvage]
   demon-cli client   ADDR query-model [--top N] [--json]
@@ -97,6 +97,11 @@ WAL:      --wal-dir DIR serves durably: every ingest is appended to a
           the log size that triggers background compaction (snapshot +
           log rotation, atomic); --no-wal disables durability even when
           --wal-dir is present. verify also fscks a WAL directory.
+SHARDS:   --shards N (default 1) partitions the serving state into N
+          shards (round-robin by block id) with per-shard WAL lanes and
+          epoch-swapped query replicas; answers are byte-identical at
+          any shard count. --shards 1 is the original single-lock
+          daemon; --window requires --shards 1.
 VERIFY:   re-checks every frame and checksum; exit status 1 on damage.
 SALVAGE:  --salvage loads a damaged store by quarantining corrupt files
           and keeping the longest consistent block prefix.
@@ -739,6 +744,7 @@ fn serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
     };
     config.alpha = flag_parse(flags, "alpha", config.alpha)?;
     config.workers = flag_parse(flags, "workers", config.workers)?;
+    config.shards = flag_parse(flags, "shards", config.shards)?;
     config.queue_capacity = flag_parse(flags, "queue", config.queue_capacity)?;
     config.queue_timeout =
         Duration::from_millis(flag_parse(flags, "queue-timeout-ms", 5000u64)?);

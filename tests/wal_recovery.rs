@@ -153,7 +153,13 @@ fn included_blocks(client: &mut Client) -> Vec<u64> {
 /// asserts the final model is byte-identical to the uninterrupted
 /// reference. Returns the recovered-prefix length.
 fn recover_and_check(wal_dir: &Path, acked: usize, label: &str) -> usize {
-    let (mut child, addr, _out) = spawn_daemon(wal_dir, &[], None);
+    recover_and_check_with(wal_dir, &[], acked, label)
+}
+
+/// `recover_and_check`, restarting the daemon with extra flags (the
+/// sharded sweep restarts with the same `--shards` it crashed under).
+fn recover_and_check_with(wal_dir: &Path, extra: &[&str], acked: usize, label: &str) -> usize {
+    let (mut child, addr, _out) = spawn_daemon(wal_dir, extra, None);
     let mut client = Client::connect(&addr).expect("connect after restart");
 
     let recovered = included_blocks(&mut client);
@@ -330,6 +336,90 @@ fn torn_or_flipped_wal_tail_is_salvaged_not_fatal() {
         assert!(child.wait().expect("exits").success());
         std::fs::remove_dir_all(&wal_dir).ok();
     }
+}
+
+/// The full crash sweep again, on the partitioned runtime: a 4-shard
+/// durable daemon is killed at every existing hook (the sequencer's
+/// `before_append` / `after_append` / `after_ack`), restarted with the
+/// same `--shards 4`, and held to the identical contract — the merged
+/// recovered stream is a clean prefix at most one past the acked count,
+/// and the post-recovery model is byte-identical to an uninterrupted
+/// run. The WAL lives in per-shard lane directories
+/// (`wal_dir/shard-<s>/wal-<g>.log`) under one shared generation.
+#[test]
+fn sharded_crash_sweep_never_loses_an_acked_block() {
+    const SHARDS: &[&str] = &["--shards", "4"];
+    let specs = [
+        ("before_append:1", 0usize),
+        ("before_append:3", 2),
+        ("after_append:1", 0),
+        ("after_append:4", 3),
+        ("after_ack:2", 1),
+        ("after_ack:5", 4),
+    ];
+    for (crash, min_acked) in specs {
+        let wal_dir = tmp(&format!("sharded-sweep-{}", crash.replace(':', "-")));
+        std::fs::remove_dir_all(&wal_dir).ok();
+
+        let (mut child, addr, _out) = spawn_daemon(&wal_dir, SHARDS, Some(crash));
+        let acked = ingest_until_crash(&addr);
+        let status = child.wait().expect("crashed daemon reaps");
+        assert!(!status.success(), "[{crash}] daemon should have died");
+        assert!(
+            acked >= min_acked,
+            "[{crash}] expected at least {min_acked} acks, saw {acked}"
+        );
+
+        // The on-disk layout is per-shard lanes under one root.
+        for s in 0..4 {
+            let lane = wal_dir.join(format!("shard-{s}"));
+            assert!(lane.is_dir(), "[{crash}] missing WAL lane {}", lane.display());
+        }
+
+        recover_and_check_with(&wal_dir, SHARDS, acked, crash);
+        std::fs::remove_dir_all(&wal_dir).ok();
+    }
+}
+
+/// Mid-compaction crash on the sharded runtime: the shared generation
+/// flip is the commit point; dying between the merged snapshot write
+/// and the `CURRENT` flip recovers from either generation.
+#[test]
+fn sharded_crash_mid_compaction_recovers_from_either_generation() {
+    let wal_dir = tmp("sharded-mid-compaction");
+    std::fs::remove_dir_all(&wal_dir).ok();
+    let (mut child, addr, _out) = spawn_daemon(
+        &wal_dir,
+        &["--shards", "4", "--wal-max-bytes", "1024"],
+        Some("mid_compaction:1"),
+    );
+    let acked = ingest_until_crash(&addr);
+    assert!(!child.wait().expect("reaps").success());
+    recover_and_check_with(&wal_dir, &["--shards", "4"], acked, "sharded mid_compaction");
+    std::fs::remove_dir_all(&wal_dir).ok();
+}
+
+/// A real `SIGKILL` against the 4-shard daemon: only fsynced lane bytes
+/// survive, and everything acked was fsynced before the ack left.
+#[test]
+fn sharded_real_sigkill_mid_stream_loses_nothing_acked() {
+    let wal_dir = tmp("sharded-sigkill");
+    std::fs::remove_dir_all(&wal_dir).ok();
+    let (mut child, addr, _out) = spawn_daemon(&wal_dir, &["--shards", "4"], None);
+
+    let mut client =
+        Client::connect_with(&addr, Duration::from_secs(10), RetryPolicy::none()).unwrap();
+    let blocks = golden_blocks();
+    let mut acked = 0;
+    for block in &blocks[..3] {
+        client.ingest(N_ITEMS, block).expect("ingest acked");
+        acked += 1;
+    }
+    child.kill().expect("SIGKILL lands");
+    child.wait().expect("reaps");
+
+    recover_and_check_with(&wal_dir, &["--shards", "4"], acked, "sharded sigkill");
+    std::fs::remove_dir_all(&wal_dir).ok();
 }
 
 /// `demon-cli verify` understands the WAL layout: clean directories
