@@ -131,6 +131,10 @@ fn main() {
                 throughput_64c.insert(n_shards, throughput);
             }
             let row = json!({
+                // The served model class. The sweep drives the itemset
+                // daemon (sharding is itemsets-only); rows for other
+                // classes can join the schema without breaking readers.
+                "model": "itemsets",
                 "shards": n_shards,
                 "clients": n_clients,
                 "requests": requests,

@@ -127,6 +127,16 @@ impl BirchModel {
     }
 }
 
+/// Runs phase 2 over the leaf entries of a maintained phase-1 CF-tree,
+/// yielding the cluster model — the "resume BIRCH" step of §3.1.2 shared
+/// by the batch pipeline, GEMM's `ClusterMaintainer`, and the serving
+/// daemon's model rendering. Deterministic for a given tree and params.
+pub fn phase2_model(tree: &CfTree, params: &BirchParams) -> BirchModel {
+    let subclusters = tree.leaf_entries();
+    let g = global::kmeans(&subclusters, params.k, params.seed, params.kmeans_iters);
+    BirchModel::from_clustering(subclusters, g)
+}
+
 /// Timing breakdown of a BIRCH run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BirchStats {

@@ -68,7 +68,7 @@ pub mod cftree;
 pub mod global;
 pub mod spill;
 
-pub use birch::{Birch, BirchModel, BirchParams, BirchPlus, Cluster};
+pub use birch::{phase2_model, Birch, BirchModel, BirchParams, BirchPlus, Cluster};
 pub use cf::ClusterFeature;
 pub use dbscan::IncrementalDbscan;
 pub use cftree::CfTree;

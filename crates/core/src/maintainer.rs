@@ -230,37 +230,7 @@ impl ClusterMaintainer {
 
     /// Runs phase 2 on a maintained tree, yielding the cluster model.
     pub fn cluster_model(&self, tree: &CfTree) -> BirchModel {
-        let subclusters = tree.leaf_entries();
-        let g = demon_clustering::global::kmeans(
-            &subclusters,
-            self.params.k,
-            self.params.seed,
-            self.params.kmeans_iters,
-        );
-        // Reuse BirchPlus's conversion path via a tiny shim: rebuild the
-        // model from the clustering.
-        BirchModelShim::build(subclusters, g)
-    }
-}
-
-/// Internal helper so `ClusterMaintainer` can construct a [`BirchModel`]
-/// without duplicating the conversion logic exposed by `demon-clustering`.
-struct BirchModelShim;
-
-impl BirchModelShim {
-    fn build(
-        subclusters: Vec<demon_clustering::ClusterFeature>,
-        g: demon_clustering::global::GlobalClustering,
-    ) -> BirchModel {
-        BirchModel {
-            clusters: g
-                .clusters
-                .into_iter()
-                .map(|cf| demon_clustering::Cluster { cf })
-                .collect(),
-            subclusters,
-            assignment: g.assignment,
-        }
+        demon_clustering::phase2_model(tree, &self.params)
     }
 }
 

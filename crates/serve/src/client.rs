@@ -16,9 +16,11 @@
 //! a *first* attempt is a genuine protocol error and still surfaces as
 //! the typed [`DemonError::DuplicateBlock`].
 
+use crate::model::{ClusterModel, ItemsetModel, ServableModel, TreeModel};
 use crate::protocol::{self, Request, Response, WireError};
+use demon_trees::LabeledPoint;
 use demon_types::durable::FrameClass;
-use demon_types::{BlockId, DemonError, Result, TxBlock};
+use demon_types::{Block, BlockId, DemonError, ModelClass, Point, Result, TxBlock};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -241,9 +243,36 @@ impl Client {
     /// (backpressure past the policy, universe mismatch) surface as
     /// [`DemonError::Remote`].
     pub fn ingest(&mut self, n_items: u32, block: &TxBlock) -> Result<()> {
+        self.ingest_records::<ItemsetModel>(n_items, block)
+    }
+
+    /// Ingests one block of points into a `--model clusters` daemon;
+    /// `dim` is the dimensionality the daemon was started with. Same
+    /// retry/duplicate semantics as [`Client::ingest`].
+    pub fn ingest_points(&mut self, dim: u32, block: &Block<Point>) -> Result<()> {
+        self.ingest_records::<ClusterModel>(dim, block)
+    }
+
+    /// Ingests one block of labeled points into a `--model trees`
+    /// daemon. Same retry/duplicate semantics as [`Client::ingest`].
+    pub fn ingest_labeled(&mut self, dim: u32, block: &Block<LabeledPoint>) -> Result<()> {
+        self.ingest_records::<TreeModel>(dim, block)
+    }
+
+    /// The class-generic ingest the typed wrappers share: encode the
+    /// records through the class codec, tag the request with the class
+    /// and meta, and interpret the answer.
+    fn ingest_records<S: ServableModel>(
+        &mut self,
+        meta: u32,
+        block: &Block<S::Record>,
+    ) -> Result<()> {
         let request = Request::IngestBlock {
-            n_items,
-            block: block.clone(),
+            class: S::CLASS.tag(),
+            id: block.id(),
+            interval: block.interval(),
+            meta,
+            payload: S::encode_records(block)?,
         };
         match self.call_retrying(&request)? {
             (Response::Ok, _) => Ok(()),
@@ -254,9 +283,26 @@ impl Client {
     }
 
     /// The current model as the server's canonical JSON — byte-stable,
-    /// so two equal models compare equal as strings.
+    /// so two equal models compare equal as strings. Accepts whatever
+    /// class the daemon serves (the legacy behavior); use
+    /// [`Client::query_model_json_for`] to pin one.
     pub fn query_model_json(&mut self) -> Result<String> {
-        match self.call_retrying(&Request::QueryModel)? {
+        match self.call_retrying(&Request::QueryModel { class: None })? {
+            (Response::Model(json), _) => Ok(json),
+            (Response::Err(e), _) => Err(e.into_error()),
+            (other, _) => Err(self.unexpected("Model", &other)),
+        }
+    }
+
+    /// Like [`Client::query_model_json`], but pins the model class the
+    /// caller expects: a daemon serving a different class answers with
+    /// the typed [`DemonError::ModelClassMismatch`] instead of JSON the
+    /// caller would misparse.
+    pub fn query_model_json_for(&mut self, class: ModelClass) -> Result<String> {
+        let request = Request::QueryModel {
+            class: Some(class.tag()),
+        };
+        match self.call_retrying(&request)? {
             (Response::Model(json), _) => Ok(json),
             (Response::Err(e), _) => Err(e.into_error()),
             (other, _) => Err(self.unexpected("Model", &other)),

@@ -8,7 +8,8 @@
 //! pending response bytes, check the sequencer completion slot, read
 //! and parse the next request frame. Queries are answered inline from
 //! the current [`Replica`](crate::shard::Replica) — no locks shared
-//! with ingest, no per-query serialization. `IngestBlock` and
+//! with ingest; the model JSON renders once per replica, on the first
+//! query that wants it, and is memoized after. `IngestBlock` and
 //! `Snapshot` are handed to the sequencer through the bounded queue;
 //! the connection parks no thread while it waits — the loop simply
 //! skips it until the completion slot fills (the sequencer unparks the
@@ -20,12 +21,14 @@
 //! request is rejected with a typed `Busy` (`serve.rejects`) — the
 //! difference is that the *connection* waits, never a thread.
 
+use crate::model::ServableModel;
 use crate::protocol::{Request, Response, WireError};
 use crate::shard::{
     sharded_stats_json, shard_of, Pending, ShardJob, ShardShared, SubmitError,
 };
 use demon_types::durable::{self, FrameClass, FRAME_HEADER_LEN};
 use demon_types::obs::{self, Counter};
+use demon_types::Block;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
@@ -38,28 +41,28 @@ use std::time::{Duration, Instant};
 const IDLE_PARK: Duration = Duration::from_micros(250);
 
 /// What a connection is waiting on, if anything.
-enum PendingState {
+enum PendingState<S: ServableModel> {
     /// The job could not be enqueued yet (queue full); retried each
     /// tick until the deadline.
-    Submit { job: ShardJob, deadline: Instant },
+    Submit { job: ShardJob<S>, deadline: Instant },
     /// The job is with the sequencer; the slot fills when it is done.
     Waiting(Arc<Pending>),
 }
 
-struct Conn {
+struct Conn<S: ServableModel> {
     stream: TcpStream,
     peer: String,
     in_buf: Vec<u8>,
     out_buf: Vec<u8>,
     out_pos: usize,
-    pending: Option<PendingState>,
+    pending: Option<PendingState<S>>,
     last_activity: Instant,
     shutdown_after_write: bool,
     dead: bool,
 }
 
-impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+impl<S: ServableModel> Conn<S> {
+    fn new(stream: TcpStream) -> Conn<S> {
         let peer = stream
             .peer_addr()
             .map(|a| a.to_string())
@@ -92,7 +95,7 @@ impl Conn {
 
     /// One non-blocking pass: flush, poll the completion, read/parse.
     /// Returns whether any progress happened.
-    fn tick(&mut self, shared: &Arc<ShardShared>, now: Instant) -> bool {
+    fn tick(&mut self, shared: &Arc<ShardShared<S>>, now: Instant) -> bool {
         let mut progressed = false;
 
         // Flush whatever the socket accepts.
@@ -212,7 +215,7 @@ impl Conn {
     /// dispatches it. Transport damage (bad magic, class, CRC) drops
     /// the connection, exactly like the 1-shard daemon; a malformed
     /// payload inside a valid frame gets a typed `Err` response.
-    fn parse_and_dispatch(&mut self, shared: &Arc<ShardShared>) -> bool {
+    fn parse_and_dispatch(&mut self, shared: &Arc<ShardShared<S>>) -> bool {
         if self.in_buf.len() < FRAME_HEADER_LEN {
             return false;
         }
@@ -247,27 +250,53 @@ impl Conn {
         self.in_buf.drain(..total);
         match request {
             Err(e) => self.push_response(&Response::Err(WireError::Other(e.to_string()))),
-            Ok(Request::IngestBlock { n_items, block }) => {
-                if n_items != shared.n_items {
-                    self.push_response(&Response::Err(WireError::Other(format!(
-                        "item universe mismatch: client encoded {n_items}, server monitors {}",
-                        shared.n_items
-                    ))));
+            Ok(Request::IngestBlock {
+                class,
+                id,
+                interval,
+                meta,
+                payload,
+            }) => {
+                if class != S::CLASS.tag() {
+                    self.push_response(&Response::Err(WireError::class_mismatch(S::CLASS, class)));
+                } else if let Some(msg) = S::meta_mismatch(shared.meta, meta) {
+                    self.push_response(&Response::Err(WireError::Other(msg)));
                 } else {
-                    let done = Arc::new(Pending::new(std::thread::current()));
-                    self.pending = Some(PendingState::Submit {
-                        job: ShardJob::Ingest {
-                            block,
-                            done: Arc::clone(&done),
-                        },
-                        deadline: Instant::now() + shared.queue_timeout,
-                    });
+                    match S::decode_records(&payload, id, meta) {
+                        Err(e) => self
+                            .push_response(&Response::Err(WireError::Other(e.to_string()))),
+                        Ok(records) => {
+                            let block = match interval {
+                                Some(iv) => Block::with_interval(id, iv, records),
+                                None => Block::new(id, records),
+                            };
+                            let done = Arc::new(Pending::new(std::thread::current()));
+                            self.pending = Some(PendingState::Submit {
+                                job: ShardJob::Ingest {
+                                    block,
+                                    done: Arc::clone(&done),
+                                },
+                                deadline: Instant::now() + shared.queue_timeout,
+                            });
+                        }
+                    }
                 }
             }
-            Ok(Request::QueryModel) => {
+            Ok(Request::QueryModel { class }) => {
                 obs::incr(Counter::ServeShardQueries);
+                if let Some(c) = class {
+                    if c != S::CLASS.tag() {
+                        self.push_response(&Response::Err(WireError::class_mismatch(S::CLASS, c)));
+                        return true;
+                    }
+                }
                 let replica = shared.replica.load();
-                self.push_response(&Response::Model(replica.model_json.clone()));
+                // Lazy render: the first query of this epoch pays the
+                // serialization, every later one reuses the bytes.
+                match replica.model_json() {
+                    Ok(json) => self.push_response(&Response::Model(json.to_string())),
+                    Err(msg) => self.push_response(&Response::Err(WireError::Other(msg))),
+                }
             }
             Ok(Request::QuerySequences) => {
                 obs::incr(Counter::ServeShardQueries);
@@ -299,7 +328,7 @@ impl Conn {
 
 /// Flags shutdown and closes the queue; queued jobs still drain, loop
 /// threads exit once their in-flight connections are answered.
-fn begin_shutdown(shared: &Arc<ShardShared>) {
+fn begin_shutdown<S: ServableModel>(shared: &Arc<ShardShared<S>>) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }
@@ -309,8 +338,8 @@ fn begin_shutdown(shared: &Arc<ShardShared>) {
 /// One event-loop thread: accept on the shared non-blocking listener,
 /// then poll every owned connection. Parks briefly when a full pass
 /// makes no progress; any sequencer completion unparks it.
-pub fn event_loop(shared: &Arc<ShardShared>, listener: &TcpListener) {
-    let mut conns: Vec<Conn> = Vec::new();
+pub fn event_loop<S: ServableModel>(shared: &Arc<ShardShared<S>>, listener: &TcpListener) {
+    let mut conns: Vec<Conn<S>> = Vec::new();
     loop {
         let shutting_down = shared.shutdown.load(Ordering::SeqCst);
         let mut progressed = false;

@@ -23,6 +23,7 @@
 //! | module | what it owns |
 //! |---|---|
 //! | [`protocol`] | frame layout, verbs, request/response codecs, typed wire errors |
+//! | [`model`] | the [`ServableModel`] abstraction: codecs, rendering, snapshots, shard capability per model class |
 //! | [`server`] | worker pool, ingest queue, WAL + recovery + compaction, dispatch |
 //! | [`shard`] | partitioned runtime (`--shards ≥ 2`): per-shard stores + WAL lanes, sequencer, epoch-swapped replicas |
 //! | [`event_loop`] | readiness-style (poll-based, std-only) connection loop for the sharded runtime |
@@ -86,10 +87,12 @@
 
 pub mod client;
 pub mod event_loop;
+pub mod model;
 pub mod protocol;
 pub mod server;
 pub mod shard;
 
 pub use client::{Client, RetryPolicy};
+pub use model::{ClusterModel, ItemsetModel, ServableModel, ShardableModel, TreeModel};
 pub use protocol::{Request, Response, WireError, MAX_PAYLOAD};
 pub use server::{ServeConfig, ServeSummary, ServedMonitor, Server};

@@ -1,0 +1,696 @@
+//! The serving abstraction: what a model class must provide to be
+//! hosted by the daemon.
+//!
+//! The daemon itself is generic — one queue, one WAL, one monitor, one
+//! wire protocol. Everything class-specific funnels through
+//! [`ServableModel`]:
+//!
+//! | Capability | Trait hook |
+//! |---|---|
+//! | wire tag + name | [`ServableModel::CLASS`] |
+//! | build the maintainer / oracle | [`ServableModel::maintainer`], [`ServableModel::oracle`] |
+//! | per-block wire meta (universe / dim) | [`ServableModel::block_meta`], [`ServableModel::meta_mismatch`] |
+//! | block-record wire codec | [`ServableModel::encode_records`], [`ServableModel::decode_records`] |
+//! | model → canonical JSON | [`ServableModel::render_model_json`] |
+//! | snapshot persist / load | [`ServableModel::save_snapshot`], [`ServableModel::load_snapshot`] |
+//! | exact shard merge (optional) | [`ShardableModel`] |
+//!
+//! Three classes implement it: [`ItemsetModel`] (the seed daemon,
+//! byte-for-byte unchanged), [`ClusterModel`] (BIRCH+ over point
+//! blocks) and [`TreeModel`] (windowed decision trees over labeled
+//! points).
+//!
+//! ## Sharding is a capability, not a default
+//!
+//! The partitioned runtime (`--shards ≥ 2`) needs an *exact*
+//! scatter/gather: the model absorbed from per-shard stores must be
+//! byte-identical to the 1-shard model. Frequent-itemset supports are
+//! additive over disjoint block sets, so [`ItemsetModel`] implements
+//! [`ShardableModel`]. A CF-tree's shape depends on insertion order
+//! across the whole stream and a decision tree refits over every
+//! covered record, so neither clusters nor trees can merge shards
+//! exactly — they deliberately do **not** implement [`ShardableModel`],
+//! and `--shards ≥ 2` with `--model clusters|trees` is refused with the
+//! typed [`DemonError::ShardsUnsupported`] instead of silently serving
+//! approximate answers.
+//!
+//! ## Generic snapshots
+//!
+//! Itemset snapshots keep the seed's `save_store_atomic` layout (the
+//! BENCH gates and fsck know those bytes). Clusters and trees persist
+//! through the storage engine's own framed [`Spillable`] encoding: one
+//! `block_<id>.bin` per block plus a `blocks.manifest` (frame class
+//! `SM`) naming the model class and the id set, written into a temp
+//! directory and renamed — the same all-or-nothing contract.
+
+use std::path::Path;
+
+use crate::server::ServeConfig;
+use demon_clustering::{BirchParams, PointBlockEntry};
+use demon_core::maintainer::ModelMaintainer;
+use demon_core::{ClusterMaintainer, ItemsetMaintainer, TreeMaintainer};
+use demon_focus::similarity::{
+    ClusterSimilarity, ItemsetSimilarity, SimilarityConfig, SimilarityOracle, TreeSimilarity,
+};
+use demon_itemsets::persist::{
+    decode_block_txs, encode_block_txs, load_store_configured, save_store_atomic, RecoveryPolicy,
+};
+use demon_itemsets::TxStore;
+use demon_store::{BlockStore, Spillable, StoreConfig};
+use demon_trees::{LabeledBlockEntry, LabeledPoint, TreeParams};
+use demon_types::durable::{self, FrameClass};
+use demon_types::{Block, BlockId, DemonError, ModelClass, Point, Result};
+
+/// The maintained model type of a servable class.
+pub type MaintainedModel<S> = <<S as ServableModel>::Maintainer as ModelMaintainer>::Model;
+
+/// Everything the daemon needs from a model class. All hooks are
+/// associated functions — implementors are zero-sized markers, never
+/// instantiated.
+pub trait ServableModel: Send + Sync + 'static {
+    /// The record type of the monitored block stream.
+    type Record: Clone + Send + Sync + 'static;
+    /// The incremental maintainer (paper §3.1).
+    type Maintainer: ModelMaintainer<Record = Self::Record> + Send + Sync + 'static;
+    /// The FOCUS similarity oracle feeding the pattern miner.
+    type Oracle: SimilarityOracle<Self::Record> + Send + Sync + 'static;
+    /// What [`ServableModel::render_model_json`] needs besides the model
+    /// itself (e.g. the BIRCH phase-2 parameters). `()` when rendering
+    /// is pure serialization.
+    type RenderCtx: Clone + Send + Sync + 'static;
+
+    /// The wire/WAL class tag.
+    const CLASS: ModelClass;
+
+    /// Builds the maintainer from the daemon config.
+    fn maintainer(config: &ServeConfig) -> Result<Self::Maintainer>;
+
+    /// Builds the similarity oracle from the daemon config.
+    fn oracle(config: &ServeConfig) -> Self::Oracle;
+
+    /// The per-block wire meta this daemon expects (item-universe size
+    /// for itemsets, point dimensionality for clusters and trees).
+    fn block_meta(config: &ServeConfig) -> u32;
+
+    /// The typed-refusal text when a client's block meta disagrees with
+    /// the daemon's, or `None` when they agree.
+    fn meta_mismatch(expected: u32, got: u32) -> Option<String>;
+
+    /// Encodes a block's records (records only — id and interval travel
+    /// at the protocol layer).
+    fn encode_records(block: &Block<Self::Record>) -> Result<Vec<u8>>;
+
+    /// Decodes a record payload, validating against `meta`.
+    fn decode_records(payload: &[u8], id: BlockId, meta: u32) -> Result<Vec<Self::Record>>;
+
+    /// Captures whatever rendering needs from the maintainer.
+    fn render_ctx(maintainer: &Self::Maintainer) -> Self::RenderCtx;
+
+    /// The model as canonical JSON — the exact `QueryModel` body, byte-
+    /// identical to what the batch pipeline prints for the same blocks.
+    fn render_model_json(ctx: &Self::RenderCtx, model: &MaintainedModel<Self>) -> Result<String>;
+
+    /// Ids of every block the maintainer holds, ascending.
+    fn block_ids(maintainer: &Self::Maintainer) -> Vec<BlockId>;
+
+    /// Persists the maintainer's blocks to `dir` all-or-nothing;
+    /// returns the persisted block count.
+    fn save_snapshot(maintainer: &Self::Maintainer, dir: &Path) -> Result<u64>;
+
+    /// Loads a [`ServableModel::save_snapshot`] directory back into
+    /// blocks, ascending by id, strictly (corruption is a typed error).
+    fn load_snapshot(dir: &Path, config: &ServeConfig) -> Result<Vec<Block<Self::Record>>>;
+}
+
+/// The optional exact shard-merge capability behind `--shards ≥ 2`.
+///
+/// Implementing this is a *proof obligation*: the model absorbed via
+/// [`ShardableModel::absorb_sharded`] over disjoint per-shard stores
+/// must be byte-identical to the model a single maintainer would
+/// produce from the same stream. Classes whose models depend on global
+/// insertion order (CF-trees, refitted decision trees) must not
+/// implement it — the daemon then refuses sharding with the typed
+/// [`DemonError::ShardsUnsupported`].
+pub trait ShardableModel: ServableModel {
+    /// Absorbs block `id` into `model`, counting across the per-shard
+    /// stores (exact scatter/gather).
+    fn absorb_sharded(
+        model: &mut MaintainedModel<Self>,
+        shards: &[Self::Maintainer],
+        id: BlockId,
+        config: &ServeConfig,
+    ) -> Result<()>;
+
+    /// Gathers every shard's blocks into one fresh single-store
+    /// maintainer, registered in block-id order — the exact 1-shard
+    /// register path, so the merged store is byte-identical to what a
+    /// `--shards 1` daemon would persist. This is the one merge helper
+    /// behind both the `Snapshot` verb and WAL compaction.
+    fn merged_maintainer(
+        config: &ServeConfig,
+        shards: &[Self::Maintainer],
+        latest: Option<BlockId>,
+    ) -> Result<Self::Maintainer>;
+}
+
+/// Frequent itemsets + compact sequences — the seed daemon's class.
+pub enum ItemsetModel {}
+
+impl ServableModel for ItemsetModel {
+    type Record = demon_types::Transaction;
+    type Maintainer = ItemsetMaintainer;
+    type Oracle = ItemsetSimilarity;
+    type RenderCtx = ();
+
+    const CLASS: ModelClass = ModelClass::Itemsets;
+
+    fn maintainer(config: &ServeConfig) -> Result<ItemsetMaintainer> {
+        ItemsetMaintainer::with_store_config(
+            config.n_items,
+            config.minsup,
+            config.counter,
+            &config.store_config,
+        )
+    }
+
+    fn oracle(config: &ServeConfig) -> ItemsetSimilarity {
+        ItemsetSimilarity::new(
+            config.n_items,
+            config.minsup,
+            SimilarityConfig::Threshold {
+                alpha: config.alpha,
+            },
+        )
+    }
+
+    fn block_meta(config: &ServeConfig) -> u32 {
+        config.n_items
+    }
+
+    fn meta_mismatch(expected: u32, got: u32) -> Option<String> {
+        (got != expected).then(|| {
+            format!("item universe mismatch: client encoded {got}, server monitors {expected}")
+        })
+    }
+
+    fn encode_records(block: &Block<Self::Record>) -> Result<Vec<u8>> {
+        Ok(encode_block_txs(block))
+    }
+
+    fn decode_records(payload: &[u8], id: BlockId, meta: u32) -> Result<Vec<Self::Record>> {
+        Ok(decode_block_txs(payload, id, meta)?.into_records())
+    }
+
+    fn render_ctx(_maintainer: &ItemsetMaintainer) -> Self::RenderCtx {}
+
+    fn render_model_json((): &Self::RenderCtx, model: &MaintainedModel<Self>) -> Result<String> {
+        serde_json::to_string(model)
+            .map_err(|e| DemonError::Serde(format!("model serialization: {e}")))
+    }
+
+    fn block_ids(maintainer: &ItemsetMaintainer) -> Vec<BlockId> {
+        maintainer.store().block_ids().to_vec()
+    }
+
+    fn save_snapshot(maintainer: &ItemsetMaintainer, dir: &Path) -> Result<u64> {
+        save_store_atomic(maintainer.store(), dir)?;
+        Ok(maintainer.store().len() as u64)
+    }
+
+    fn load_snapshot(dir: &Path, _config: &ServeConfig) -> Result<Vec<Block<Self::Record>>> {
+        // Loaded into a transient in-memory store and handed back as
+        // blocks; the caller replays them into the configured engine.
+        let (store, _) = load_store_configured(dir, RecoveryPolicy::Strict, &StoreConfig::InMemory)?;
+        store
+            .block_ids()
+            .to_vec()
+            .iter()
+            .map(|&id| {
+                store
+                    .block(id)
+                    .map(|b| (*b).clone())
+                    .ok_or(DemonError::UnknownBlock(id.value()))
+            })
+            .collect()
+    }
+}
+
+impl ShardableModel for ItemsetModel {
+    fn absorb_sharded(
+        model: &mut MaintainedModel<Self>,
+        shards: &[ItemsetMaintainer],
+        id: BlockId,
+        config: &ServeConfig,
+    ) -> Result<()> {
+        let stores: Vec<&TxStore> = shards.iter().map(ItemsetMaintainer::store).collect();
+        model.absorb_block_sharded(&stores, id, config.counter)?;
+        Ok(())
+    }
+
+    fn merged_maintainer(
+        config: &ServeConfig,
+        shards: &[ItemsetMaintainer],
+        latest: Option<BlockId>,
+    ) -> Result<ItemsetMaintainer> {
+        let mut merged = ItemsetMaintainer::with_store_config(
+            config.n_items,
+            config.minsup,
+            config.counter,
+            &StoreConfig::InMemory,
+        )?;
+        let last = latest.map_or(0, |b| b.value());
+        for id in 1..=last {
+            let id = BlockId(id);
+            let s = crate::shard::shard_of(id, shards.len());
+            let block = (*shards[s]
+                .store()
+                .block(id)
+                .ok_or(DemonError::UnknownBlock(id.value()))?)
+            .clone();
+            merged.register_block(block);
+        }
+        Ok(merged)
+    }
+}
+
+/// BIRCH+ cluster maintenance over point blocks.
+pub enum ClusterModel {}
+
+impl ClusterModel {
+    fn params(config: &ServeConfig) -> BirchParams {
+        BirchParams::new(config.dim, config.k)
+    }
+}
+
+impl ServableModel for ClusterModel {
+    type Record = Point;
+    type Maintainer = ClusterMaintainer;
+    type Oracle = ClusterSimilarity;
+    type RenderCtx = BirchParams;
+
+    const CLASS: ModelClass = ModelClass::Clusters;
+
+    fn maintainer(config: &ServeConfig) -> Result<ClusterMaintainer> {
+        ClusterMaintainer::with_store_config(Self::params(config), &config.store_config)
+    }
+
+    fn oracle(config: &ServeConfig) -> ClusterSimilarity {
+        ClusterSimilarity::new(Self::params(config), config.alpha)
+    }
+
+    fn block_meta(config: &ServeConfig) -> u32 {
+        config.dim as u32
+    }
+
+    fn meta_mismatch(expected: u32, got: u32) -> Option<String> {
+        dim_mismatch(expected, got)
+    }
+
+    fn encode_records(block: &Block<Point>) -> Result<Vec<u8>> {
+        let dim = block.records().first().map_or(0, |p| p.coords().len());
+        let mut buf = Vec::with_capacity(8 + block.len() * dim * 8);
+        buf.extend_from_slice(&(block.len() as u64).to_le_bytes());
+        for p in block.records() {
+            if p.coords().len() != dim {
+                return Err(DemonError::Serde(format!(
+                    "block {}: mixed point dimensions {} and {dim}",
+                    block.id(),
+                    p.coords().len()
+                )));
+            }
+            for &c in p.coords() {
+                buf.extend_from_slice(&c.to_bits().to_le_bytes());
+            }
+        }
+        Ok(buf)
+    }
+
+    fn decode_records(payload: &[u8], id: BlockId, meta: u32) -> Result<Vec<Point>> {
+        decode_point_rows(payload, id, meta as usize, 0).map(|rows| {
+            rows.into_iter()
+                .map(|(_, coords)| Point::new(coords))
+                .collect()
+        })
+    }
+
+    fn render_ctx(maintainer: &ClusterMaintainer) -> BirchParams {
+        *maintainer.params()
+    }
+
+    fn render_model_json(params: &BirchParams, model: &MaintainedModel<Self>) -> Result<String> {
+        serde_json::to_string(&demon_clustering::phase2_model(model, params))
+            .map_err(|e| DemonError::Serde(format!("model serialization: {e}")))
+    }
+
+    fn block_ids(maintainer: &ClusterMaintainer) -> Vec<BlockId> {
+        maintainer.store().ids()
+    }
+
+    fn save_snapshot(maintainer: &ClusterMaintainer, dir: &Path) -> Result<u64> {
+        save_blocks_atomic(maintainer.store(), Self::CLASS, dir)
+    }
+
+    fn load_snapshot(dir: &Path, _config: &ServeConfig) -> Result<Vec<Block<Point>>> {
+        load_blocks_strict::<PointBlockEntry>(dir, Self::CLASS).map(|entries| {
+            entries.into_iter().map(|e| e.0).collect()
+        })
+    }
+}
+
+/// Windowed decision trees over labeled point blocks.
+pub enum TreeModel {}
+
+impl TreeModel {
+    fn params(config: &ServeConfig) -> TreeParams {
+        TreeParams::new(config.classes)
+    }
+}
+
+impl ServableModel for TreeModel {
+    type Record = LabeledPoint;
+    type Maintainer = TreeMaintainer;
+    type Oracle = TreeSimilarity;
+    type RenderCtx = ();
+
+    const CLASS: ModelClass = ModelClass::Trees;
+
+    fn maintainer(config: &ServeConfig) -> Result<TreeMaintainer> {
+        TreeMaintainer::with_store_config(config.dim, Self::params(config), &config.store_config)
+    }
+
+    fn oracle(config: &ServeConfig) -> TreeSimilarity {
+        TreeSimilarity::new(config.dim, Self::params(config), config.alpha)
+    }
+
+    fn block_meta(config: &ServeConfig) -> u32 {
+        config.dim as u32
+    }
+
+    fn meta_mismatch(expected: u32, got: u32) -> Option<String> {
+        dim_mismatch(expected, got)
+    }
+
+    fn encode_records(block: &Block<LabeledPoint>) -> Result<Vec<u8>> {
+        let dim = block
+            .records()
+            .first()
+            .map_or(0, |r| r.point.coords().len());
+        let mut buf = Vec::with_capacity(8 + block.len() * (1 + dim) * 8);
+        buf.extend_from_slice(&(block.len() as u64).to_le_bytes());
+        for r in block.records() {
+            if r.point.coords().len() != dim {
+                return Err(DemonError::Serde(format!(
+                    "block {}: mixed point dimensions {} and {dim}",
+                    block.id(),
+                    r.point.coords().len()
+                )));
+            }
+            buf.extend_from_slice(&u64::from(r.label).to_le_bytes());
+            for &c in r.point.coords() {
+                buf.extend_from_slice(&c.to_bits().to_le_bytes());
+            }
+        }
+        Ok(buf)
+    }
+
+    fn decode_records(payload: &[u8], id: BlockId, meta: u32) -> Result<Vec<LabeledPoint>> {
+        decode_point_rows(payload, id, meta as usize, 1)?
+            .into_iter()
+            .map(|(head, coords)| {
+                let label = u32::try_from(head[0]).map_err(|_| {
+                    DemonError::Serde(format!("block {id}: label {} overflows u32", head[0]))
+                })?;
+                Ok(LabeledPoint {
+                    point: Point::new(coords),
+                    label,
+                })
+            })
+            .collect()
+    }
+
+    fn render_ctx(_maintainer: &TreeMaintainer) -> Self::RenderCtx {}
+
+    fn render_model_json((): &Self::RenderCtx, model: &MaintainedModel<Self>) -> Result<String> {
+        serde_json::to_string(model)
+            .map_err(|e| DemonError::Serde(format!("model serialization: {e}")))
+    }
+
+    fn block_ids(maintainer: &TreeMaintainer) -> Vec<BlockId> {
+        maintainer.store().ids()
+    }
+
+    fn save_snapshot(maintainer: &TreeMaintainer, dir: &Path) -> Result<u64> {
+        save_blocks_atomic(maintainer.store(), Self::CLASS, dir)
+    }
+
+    fn load_snapshot(dir: &Path, _config: &ServeConfig) -> Result<Vec<Block<LabeledPoint>>> {
+        load_blocks_strict::<LabeledBlockEntry>(dir, Self::CLASS).map(|entries| {
+            entries.into_iter().map(|e| e.0).collect()
+        })
+    }
+}
+
+/// The dimension-mismatch refusal shared by the point-record classes.
+fn dim_mismatch(expected: u32, got: u32) -> Option<String> {
+    (got != expected)
+        .then(|| format!("dimension mismatch: client encoded {got}, server expects {expected}"))
+}
+
+/// Decodes a `count | rows` point payload: each row is `extra` leading
+/// u64 fields (e.g. the label) followed by `dim` f64 bit patterns. The
+/// payload length must match exactly — a short or padded payload is a
+/// typed error, never a partial block.
+fn decode_point_rows(
+    payload: &[u8],
+    id: BlockId,
+    dim: usize,
+    extra: usize,
+) -> Result<Vec<(Vec<u64>, Vec<f64>)>> {
+    if payload.len() < 8 {
+        return Err(DemonError::Serde(format!(
+            "block {id}: truncated record payload ({} bytes)",
+            payload.len()
+        )));
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&payload[..8]);
+    let count = u64::from_le_bytes(raw);
+    let need = count
+        .checked_mul((extra + dim) as u64)
+        .and_then(|w| w.checked_mul(8))
+        .and_then(|w| w.checked_add(8));
+    if need != Some(payload.len() as u64) {
+        return Err(DemonError::Serde(format!(
+            "block {id}: record payload size mismatch ({count} records of dim {dim})"
+        )));
+    }
+    let mut pos = 8usize;
+    let mut next_u64 = || {
+        raw.copy_from_slice(&payload[pos..pos + 8]);
+        pos += 8;
+        u64::from_le_bytes(raw)
+    };
+    let mut rows = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let head: Vec<u64> = (0..extra).map(|_| next_u64()).collect();
+        let coords: Vec<f64> = (0..dim).map(|_| f64::from_bits(next_u64())).collect();
+        rows.push((head, coords));
+    }
+    Ok(rows)
+}
+
+/// Persists a [`BlockStore`] to `dir` all-or-nothing through the
+/// engine's own framed [`Spillable`] encoding: `block_<id>.bin` per
+/// block plus a `blocks.manifest` (class tag + id set, frame class
+/// `SM`), written into `<dir>.tmp` and renamed only once complete —
+/// the same contract as the itemset store's `save_store_atomic`.
+fn save_blocks_atomic<R: Spillable>(
+    store: &BlockStore<R>,
+    class: ModelClass,
+    dir: &Path,
+) -> Result<u64> {
+    let tmp = durable::tmp_path(dir);
+    if tmp.exists() {
+        std::fs::remove_dir_all(&tmp)?;
+    }
+    let ids = store.ids();
+    let write = (|| -> Result<()> {
+        std::fs::create_dir_all(&tmp)?;
+        for &id in &ids {
+            let entry = store
+                .get(id)?
+                .ok_or(DemonError::UnknownBlock(id.value()))?;
+            let payload = entry.encode()?;
+            durable::write_framed(
+                &tmp.join(format!("block_{}.bin", id.value())),
+                R::frame_class(),
+                &payload,
+            )?;
+        }
+        let mut manifest = Vec::with_capacity(9 + ids.len() * 8);
+        manifest.push(class.tag());
+        manifest.extend_from_slice(&(ids.len() as u64).to_le_bytes());
+        for &id in &ids {
+            manifest.extend_from_slice(&id.value().to_le_bytes());
+        }
+        durable::write_framed(
+            &tmp.join("blocks.manifest"),
+            FrameClass::SNAP_MANIFEST,
+            &manifest,
+        )?;
+        Ok(())
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_dir_all(&tmp);
+        return Err(e);
+    }
+    if dir.exists() {
+        let old = dir.with_extension("old");
+        let _ = std::fs::remove_dir_all(&old);
+        std::fs::rename(dir, &old)?;
+        std::fs::rename(&tmp, dir)?;
+        let _ = std::fs::remove_dir_all(&old);
+    } else {
+        std::fs::rename(&tmp, dir)?;
+    }
+    if let Some(parent) = dir.parent() {
+        if let Ok(d) = std::fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(ids.len() as u64)
+}
+
+/// Loads a [`save_blocks_atomic`] directory strictly: every frame CRC
+/// must verify, the manifest's class must match, and every listed block
+/// must decode to its manifest id.
+fn load_blocks_strict<R: Spillable>(dir: &Path, class: ModelClass) -> Result<Vec<R>> {
+    let (manifest, _) = durable::read_framed(&dir.join("blocks.manifest"), FrameClass::SNAP_MANIFEST)?;
+    if manifest.len() < 9 {
+        return Err(DemonError::Serde(format!(
+            "snapshot manifest too short ({} bytes)",
+            manifest.len()
+        )));
+    }
+    let tag = manifest[0];
+    if tag != class.tag() {
+        return Err(DemonError::ModelClassMismatch {
+            expected: class.name().to_string(),
+            got: ModelClass::describe_tag(tag),
+        });
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&manifest[1..9]);
+    let count = u64::from_le_bytes(raw) as usize;
+    if manifest.len() != 9 + count * 8 {
+        return Err(DemonError::Serde(format!(
+            "snapshot manifest size mismatch ({count} ids)"
+        )));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        raw.copy_from_slice(&manifest[9 + i * 8..17 + i * 8]);
+        let id = u64::from_le_bytes(raw);
+        let path = dir.join(format!("block_{id}.bin"));
+        let (payload, _) = durable::read_framed(&path, R::frame_class())?;
+        entries.push(R::decode(&payload)?);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demon_types::{BlockInterval, Timestamp};
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("demon-serve-model-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn point_block(id: u64) -> Block<Point> {
+        Block::with_interval(
+            BlockId(id),
+            BlockInterval::new(Timestamp(id), Timestamp(id + 1)),
+            (0..6)
+                .map(|i| Point::new(vec![i as f64 * 0.5, -(i as f64)]))
+                .collect(),
+        )
+    }
+
+    fn labeled_block(id: u64) -> Block<LabeledPoint> {
+        Block::new(
+            BlockId(id),
+            (0..6)
+                .map(|i| LabeledPoint::new(vec![i as f64, 1.0 - i as f64], (i % 2) as u32))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn point_records_roundtrip_and_validate() {
+        let block = point_block(3);
+        let payload = ClusterModel::encode_records(&block).expect("encode");
+        let records = ClusterModel::decode_records(&payload, BlockId(3), 2).expect("decode");
+        assert_eq!(records, block.records());
+        // Wrong dimension: the exact-length check refuses the payload.
+        assert!(ClusterModel::decode_records(&payload, BlockId(3), 3).is_err());
+        assert!(ClusterModel::decode_records(&payload[..payload.len() - 1], BlockId(3), 2).is_err());
+    }
+
+    #[test]
+    fn labeled_records_roundtrip_and_validate() {
+        let block = labeled_block(7);
+        let payload = TreeModel::encode_records(&block).expect("encode");
+        let records = TreeModel::decode_records(&payload, BlockId(7), 2).expect("decode");
+        assert_eq!(records, block.records());
+        assert!(TreeModel::decode_records(&payload, BlockId(7), 5).is_err());
+        assert!(TreeModel::decode_records(&payload[..7], BlockId(7), 2).is_err());
+    }
+
+    #[test]
+    fn generic_snapshots_roundtrip_and_pin_the_class() {
+        let tmp = scratch("roundtrip");
+        let store: BlockStore<PointBlockEntry> = BlockStore::in_memory();
+        store.insert(BlockId(1), PointBlockEntry(point_block(1)));
+        store.insert(BlockId(2), PointBlockEntry(point_block(2)));
+        let dir = tmp.join("snap");
+        let n = save_blocks_atomic(&store, ModelClass::Clusters, &dir).expect("save");
+        assert_eq!(n, 2);
+
+        let entries = load_blocks_strict::<PointBlockEntry>(&dir, ModelClass::Clusters)
+            .expect("load");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0.records(), point_block(1).records());
+        assert_eq!(entries[0].0.interval(), point_block(1).interval());
+
+        // A labeled-tree daemon refuses the cluster snapshot with the
+        // typed class mismatch, not a decode soup.
+        let err = load_blocks_strict::<LabeledBlockEntry>(&dir, ModelClass::Trees)
+            .expect_err("cross-class load");
+        assert!(
+            matches!(&err, DemonError::ModelClassMismatch { expected, got }
+                if expected == "trees" && got == "clusters"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn snapshot_overwrite_is_atomic() {
+        let tmp = scratch("overwrite");
+        let dir = tmp.join("snap");
+        let store: BlockStore<PointBlockEntry> = BlockStore::in_memory();
+        store.insert(BlockId(1), PointBlockEntry(point_block(1)));
+        save_blocks_atomic(&store, ModelClass::Clusters, &dir).expect("first save");
+        store.insert(BlockId(2), PointBlockEntry(point_block(2)));
+        save_blocks_atomic(&store, ModelClass::Clusters, &dir).expect("overwrite");
+        let entries =
+            load_blocks_strict::<PointBlockEntry>(&dir, ModelClass::Clusters).expect("load");
+        assert_eq!(entries.len(), 2);
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+}

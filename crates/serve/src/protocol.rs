@@ -13,14 +13,21 @@
 //! The first payload byte is the verb (request) or status (response)
 //! tag; the rest is verb-specific. Numbers are fixed-width little-endian
 //! (the payloads are small; varint packing buys nothing on a socket that
-//! already frames). Blocks travel in the store's `.txs` codec
-//! ([`demon_itemsets::persist::encode_block_txs`]), so a block crosses
-//! the wire in exactly the bytes it persists as.
+//! already frames). The protocol is generic over the model class: an
+//! `IngestBlock` carries a one-byte [`demon_types::ModelClass`] tag, a
+//! class-specific `meta` word (the item-universe size for itemsets, the
+//! dimensionality for points and labeled points), and the records as
+//! opaque class-codec bytes (for itemsets,
+//! [`demon_itemsets::persist::encode_block_txs`] — a block crosses the
+//! wire in exactly the bytes it persists as). The daemon decodes the
+//! records through its `ServableModel` codec after checking the class
+//! tag, so a foreign-class payload is rejected typed, never
+//! misinterpreted.
 //!
 //! | request | tag | body |
 //! |---|---|---|
-//! | `IngestBlock` | 1 | block id u64; interval flag u8 (+ start/end u64); n_items u32; `.txs` payload |
-//! | `QueryModel` | 2 | — |
+//! | `IngestBlock` | 1 | class u8; block id u64; interval flag u8 (+ start/end u64); meta u32; record payload len u32; record payload |
+//! | `QueryModel` | 2 | optionally: class u8 (absent = any class) |
 //! | `QuerySequences` | 3 | — |
 //! | `Stats` | 4 | — |
 //! | `Snapshot` | 5 | dir len u32; dir bytes (UTF-8) |
@@ -42,7 +49,7 @@
 //! clean EOF at a frame boundary means the peer hung up.
 
 use demon_types::durable::{self, FrameClass, FRAME_HEADER_LEN};
-use demon_types::{Block, BlockId, BlockInterval, DemonError, Result, Timestamp, TxBlock};
+use demon_types::{BlockId, BlockInterval, DemonError, ModelClass, Result, Timestamp};
 use std::io::{Read, Write};
 
 /// Upper bound on a single message payload (64 MiB). A header promising
@@ -53,16 +60,32 @@ pub const MAX_PAYLOAD: u64 = 64 << 20;
 #[derive(Clone, Debug)]
 pub enum Request {
     /// Append one block to the monitored stream (through the server's
-    /// bounded ingest queue). Carries the item-universe size so the
-    /// server can validate the payload against its own universe.
+    /// bounded ingest queue). The block id and interval are protocol-level
+    /// fields (the sequencer routes and dup-checks on them before any
+    /// class-specific decoding); the records are opaque class-codec bytes
+    /// validated against the daemon's own class and meta.
     IngestBlock {
-        /// The item-universe size the client encoded against.
-        n_items: u32,
-        /// The block, in store codec bytes.
-        block: TxBlock,
+        /// The model-class tag the payload is encoded for.
+        class: u8,
+        /// The block's id in the evolution sequence.
+        id: BlockId,
+        /// The block's wall-clock interval, when timestamped.
+        interval: Option<BlockInterval>,
+        /// Class-specific shape word: the item-universe size the client
+        /// encoded against (itemsets) or the record dimensionality
+        /// (clusters, trees).
+        meta: u32,
+        /// The records, in the class codec's bytes.
+        payload: Vec<u8>,
     },
-    /// Fetch the current model as canonical JSON.
-    QueryModel,
+    /// Fetch the current model as canonical JSON. Optionally pins the
+    /// model class the client expects — a daemon of a different class
+    /// answers with a typed mismatch instead of JSON the client would
+    /// misparse. `None` (the legacy encoding) accepts any class.
+    QueryModel {
+        /// The expected model-class tag, if the client pins one.
+        class: Option<u8>,
+    },
     /// Fetch the current compact block sequences.
     QuerySequences,
     /// Fetch the daemon's ingest count and obs counter table as JSON.
@@ -105,6 +128,7 @@ pub enum Response {
 /// | 1 | `Duplicate` | replayed id u64; latest applied id u64 |
 /// | 2 | `Busy` | message (UTF-8) |
 /// | 3 | `Io` | message (UTF-8) |
+/// | 4 | `ClassMismatch` | daemon class tag u8; request class tag u8 |
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
     /// Any failure without a more specific code.
@@ -124,6 +148,15 @@ pub enum WireError {
     Busy(String),
     /// A server-side I/O failure (WAL append, snapshot write).
     Io(String),
+    /// The request's model-class tag does not match the class this
+    /// daemon maintains. Not retryable: the client is talking to the
+    /// wrong daemon (or encoding for the wrong model).
+    ClassMismatch {
+        /// The class tag the daemon maintains.
+        expected: u8,
+        /// The class tag the request carried.
+        got: u8,
+    },
 }
 
 impl WireError {
@@ -140,6 +173,15 @@ impl WireError {
         }
     }
 
+    /// The typed class-mismatch error for a daemon of class `expected`
+    /// receiving a payload tagged `got`.
+    pub fn class_mismatch(expected: ModelClass, got: u8) -> WireError {
+        WireError::ClassMismatch {
+            expected: expected.tag(),
+            got,
+        }
+    }
+
     /// The client-side [`DemonError`] this wire error stands for:
     /// `Duplicate` becomes the engine's own typed
     /// [`DemonError::DuplicateBlock`], everything else a
@@ -147,6 +189,10 @@ impl WireError {
     pub fn into_error(self) -> DemonError {
         match self {
             WireError::Duplicate { id, latest } => DemonError::DuplicateBlock { id, latest },
+            WireError::ClassMismatch { expected, got } => DemonError::ModelClassMismatch {
+                expected: ModelClass::describe_tag(expected),
+                got: ModelClass::describe_tag(got),
+            },
             WireError::Busy(msg) | WireError::Io(msg) | WireError::Other(msg) => {
                 DemonError::Remote(msg)
             }
@@ -163,6 +209,12 @@ impl std::fmt::Display for WireError {
             WireError::Duplicate { id, latest } => write!(
                 f,
                 "duplicate block D{id}: the daemon already applied blocks up to D{latest}"
+            ),
+            WireError::ClassMismatch { expected, got } => write!(
+                f,
+                "model class mismatch: this daemon maintains {}, but the request is tagged {}",
+                ModelClass::describe_tag(*expected),
+                ModelClass::describe_tag(*got)
             ),
         }
     }
@@ -225,10 +277,17 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
-            Request::IngestBlock { n_items, block } => {
+            Request::IngestBlock {
+                class,
+                id,
+                interval,
+                meta,
+                payload,
+            } => {
                 buf.push(1);
-                buf.extend_from_slice(&block.id().value().to_le_bytes());
-                match block.interval() {
+                buf.push(*class);
+                buf.extend_from_slice(&id.value().to_le_bytes());
+                match interval {
                     Some(iv) => {
                         buf.push(1);
                         buf.extend_from_slice(&iv.start.0.to_le_bytes());
@@ -236,10 +295,16 @@ impl Request {
                     }
                     None => buf.push(0),
                 }
-                buf.extend_from_slice(&n_items.to_le_bytes());
-                buf.extend_from_slice(&demon_itemsets::persist::encode_block_txs(block));
+                buf.extend_from_slice(&meta.to_le_bytes());
+                buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                buf.extend_from_slice(payload);
             }
-            Request::QueryModel => buf.push(2),
+            Request::QueryModel { class } => {
+                buf.push(2);
+                if let Some(class) = class {
+                    buf.push(*class);
+                }
+            }
             Request::QuerySequences => buf.push(3),
             Request::Stats => buf.push(4),
             Request::Snapshot { dir } => {
@@ -257,6 +322,7 @@ impl Request {
         let mut pos = 0usize;
         match get_u8(bytes, &mut pos, "request tag")? {
             1 => {
+                let class = get_u8(bytes, &mut pos, "model class")?;
                 let id = BlockId(get_u64(bytes, &mut pos, "block id")?);
                 let interval = match get_u8(bytes, &mut pos, "interval flag")? {
                     0 => None,
@@ -271,16 +337,28 @@ impl Request {
                         )))
                     }
                 };
-                let n_items = get_u32(bytes, &mut pos, "item universe")?;
-                let block =
-                    demon_itemsets::persist::decode_block_txs(&bytes[pos..], id, n_items)?;
-                let block = match interval {
-                    Some(iv) => Block::with_interval(id, iv, block.into_records()),
-                    None => block,
-                };
-                Ok(Request::IngestBlock { n_items, block })
+                let meta = get_u32(bytes, &mut pos, "class meta")?;
+                let len = get_u32(bytes, &mut pos, "record payload length")? as usize;
+                let end = pos.checked_add(len).filter(|&e| e <= bytes.len()).ok_or_else(
+                    || DemonError::Serde(format!("record payload length {len} exceeds payload")),
+                )?;
+                let payload = bytes[pos..end].to_vec();
+                Ok(Request::IngestBlock {
+                    class,
+                    id,
+                    interval,
+                    meta,
+                    payload,
+                })
             }
-            2 => Ok(Request::QueryModel),
+            2 => {
+                let class = if pos < bytes.len() {
+                    Some(get_u8(bytes, &mut pos, "model class")?)
+                } else {
+                    None
+                };
+                Ok(Request::QueryModel { class })
+            }
             3 => Ok(Request::QuerySequences),
             4 => Ok(Request::Stats),
             5 => Ok(Request::Snapshot {
@@ -340,6 +418,11 @@ impl Response {
                         buf.push(3);
                         buf.extend_from_slice(msg.as_bytes());
                     }
+                    WireError::ClassMismatch { expected, got } => {
+                        buf.push(4);
+                        buf.push(*expected);
+                        buf.push(*got);
+                    }
                 }
             }
         }
@@ -380,6 +463,10 @@ impl Response {
                     },
                     2 => WireError::Busy(text(&bytes[pos..])?),
                     3 => WireError::Io(text(&bytes[pos..])?),
+                    4 => WireError::ClassMismatch {
+                        expected: get_u8(bytes, &mut pos, "expected class")?,
+                        got: get_u8(bytes, &mut pos, "got class")?,
+                    },
                     other => {
                         return Err(DemonError::Serde(format!("unknown error code {other}")))
                     }
@@ -449,39 +536,40 @@ pub fn read_message(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use demon_types::{Item, Tid, Transaction};
-
-    fn sample_block(id: u64) -> TxBlock {
-        TxBlock::new(
-            BlockId(id),
-            (0..5)
-                .map(|i| Transaction::new(Tid(id * 100 + i), vec![Item(1), Item(3), Item(7)]))
-                .collect(),
-        )
-    }
 
     #[test]
     fn ingest_requests_roundtrip() {
-        let plain = sample_block(1);
-        let with_interval = Block::with_interval(
-            BlockId(2),
-            BlockInterval {
-                start: Timestamp(100),
-                end: Timestamp(200),
-            },
-            sample_block(2).into_records(),
-        );
-        for block in [plain, with_interval] {
+        let cases = [
+            (None, vec![7u8; 40]),
+            (
+                Some(BlockInterval {
+                    start: Timestamp(100),
+                    end: Timestamp(200),
+                }),
+                vec![1u8, 2, 3],
+            ),
+        ];
+        for (interval, payload) in cases {
             let req = Request::IngestBlock {
-                n_items: 16,
-                block: block.clone(),
+                class: ModelClass::Itemsets.tag(),
+                id: BlockId(2),
+                interval,
+                meta: 16,
+                payload: payload.clone(),
             };
             match Request::decode(&req.encode()).unwrap() {
-                Request::IngestBlock { n_items, block: back } => {
-                    assert_eq!(n_items, 16);
-                    assert_eq!(back.id(), block.id());
-                    assert_eq!(back.interval(), block.interval());
-                    assert_eq!(back.records(), block.records());
+                Request::IngestBlock {
+                    class,
+                    id,
+                    interval: back_iv,
+                    meta,
+                    payload: back,
+                } => {
+                    assert_eq!(class, ModelClass::Itemsets.tag());
+                    assert_eq!(id, BlockId(2));
+                    assert_eq!(back_iv, interval);
+                    assert_eq!(meta, 16);
+                    assert_eq!(back, payload);
                 }
                 other => panic!("decoded {other:?}"),
             }
@@ -489,11 +577,23 @@ mod tests {
     }
 
     #[test]
-    fn bodyless_requests_roundtrip() {
+    fn query_model_class_pin_roundtrips_and_legacy_is_any() {
+        for class in [None, Some(ModelClass::Clusters.tag())] {
+            let req = Request::QueryModel { class };
+            assert!(matches!(
+                Request::decode(&req.encode()).unwrap(),
+                Request::QueryModel { class: back } if back == class
+            ));
+        }
+        // The legacy encoding (bare tag byte) decodes as "any class".
         assert!(matches!(
-            Request::decode(&Request::QueryModel.encode()).unwrap(),
-            Request::QueryModel
+            Request::decode(&[2]).unwrap(),
+            Request::QueryModel { class: None }
         ));
+    }
+
+    #[test]
+    fn bodyless_requests_roundtrip() {
         assert!(matches!(
             Request::decode(&Request::QuerySequences.encode()).unwrap(),
             Request::QuerySequences
@@ -527,6 +627,7 @@ mod tests {
             Response::Err(WireError::Duplicate { id: 2, latest: 7 }),
             Response::Err(WireError::Busy("queue full".into())),
             Response::Err(WireError::Io("disk full".into())),
+            Response::Err(WireError::ClassMismatch { expected: 1, got: 2 }),
         ];
         for resp in cases {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
@@ -553,6 +654,21 @@ mod tests {
             WireError::Busy("full".into()).into_error(),
             DemonError::Remote(m) if m == "full"
         ));
+
+        let mismatch = WireError::class_mismatch(ModelClass::Itemsets, ModelClass::Trees.tag());
+        assert_eq!(
+            mismatch,
+            WireError::ClassMismatch { expected: 1, got: 3 }
+        );
+        assert!(mismatch.to_string().contains("itemsets"));
+        assert!(mismatch.to_string().contains("trees"));
+        let back = mismatch.into_error();
+        assert!(matches!(
+            &back,
+            DemonError::ModelClassMismatch { expected, got }
+                if expected == "itemsets" && got == "trees"
+        ));
+        assert!(back.to_string().contains("model class mismatch"));
     }
 
     #[test]
@@ -575,7 +691,7 @@ mod tests {
 
     #[test]
     fn wrong_class_truncation_and_flips_are_rejected() {
-        let payload = Request::QueryModel.encode();
+        let payload = Request::QueryModel { class: None }.encode();
         let mut wire = Vec::new();
         write_message(&mut wire, FrameClass::REQUEST, &payload).unwrap();
         // A response frame is not a request.

@@ -3,6 +3,14 @@
 //! optionally behind a write-ahead log, so an acknowledged block
 //! survives `kill -9`.
 //!
+//! The runtime is generic over [`ServableModel`]: the same queue, WAL,
+//! recovery, compaction and dispatch serve frequent itemsets (the
+//! seed class, byte-for-byte unchanged), BIRCH+ clusters and windowed
+//! decision trees — `ServeConfig::model` picks the class, and every
+//! wire payload and WAL record carries its class tag so a mismatched
+//! client (or a WAL replayed into the wrong daemon) is refused with a
+//! typed error instead of decode soup.
+//!
 //! ## Concurrency shape
 //!
 //! ```text
@@ -37,7 +45,15 @@
 //!   [`Server::bind`] recovers: load `snapshot-<CURRENT>` (Strict),
 //!   replay every WAL generation ≥ `CURRENT` oldest-first (torn tails
 //!   dropped, `DuplicateBlock` replays skipped idempotently), truncate
-//!   the torn tail, and resume appending.
+//!   the torn tail, and resume appending. A WAL whose records carry a
+//!   different model class tag is refused outright — replaying point
+//!   blocks into an itemset monitor would corrupt it silently.
+//! * **Group commit** (`wal_group_commit`): the ingester drains every
+//!   block already queued behind the one it popped, appends them all,
+//!   then issues *one* covering fsync before applying and acking in
+//!   arrival order. Every ack still happens only after the fsync that
+//!   covers its block — the durability contract is unchanged; only the
+//!   fsync count per burst drops from N to 1.
 //! * **Compaction**: when the live WAL crosses `wal_max_bytes` the
 //!   ingester rotates to `wal-<gen+1>.log` (it is the sole appender
 //!   *and* applier, so at the rotation instant the monitor covers
@@ -54,19 +70,19 @@
 //! pin a worker. The recorder is enabled at bind time so the `Stats`
 //! verb always reports live `serve.*` and `wal.*` counters.
 
+use crate::model::{ClusterModel, ItemsetModel, MaintainedModel, ServableModel, TreeModel};
 use crate::protocol::{self, Request, Response, WireError};
 use demon_core::bss::{BlockSelector, WiBss};
 use demon_core::engine::DataSpan;
 use demon_core::monitor::DemonMonitor;
 use demon_core::ItemsetMaintainer;
-use demon_focus::similarity::{ItemsetSimilarity, SimilarityConfig};
-use demon_itemsets::persist::{load_store_configured, save_store_atomic, RecoveryPolicy};
+use demon_focus::similarity::ItemsetSimilarity;
 use demon_itemsets::CounterKind;
 use demon_store::StoreConfig;
 use demon_types::durable::FrameClass;
 use demon_types::obs::{self, Counter};
 use demon_types::wal::{self, WalWriter};
-use demon_types::{DemonError, MinSupport, Result, TxBlock};
+use demon_types::{Block, DemonError, MinSupport, ModelClass, Result};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -74,21 +90,34 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-/// The monitor type the daemon owns: frequent itemsets + compact
-/// sequences over one evolving transaction stream.
+/// The monitor type the default (`--model itemsets`) daemon owns:
+/// frequent itemsets + compact sequences over one evolving transaction
+/// stream.
 pub type ServedMonitor = DemonMonitor<ItemsetMaintainer, ItemsetSimilarity>;
+
+/// The monitor a daemon serving model class `S` owns.
+type Monitor<S> =
+    DemonMonitor<<S as ServableModel>::Maintainer, <S as ServableModel>::Oracle>;
 
 /// Everything that shapes a daemon instance.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Item-universe size of the monitored stream.
+    /// The model class this daemon maintains and serves.
+    pub model: ModelClass,
+    /// Item-universe size of the monitored stream (`--model itemsets`).
     pub n_items: u32,
-    /// Minimum support κ of the maintained model.
+    /// Minimum support κ of the maintained model (`--model itemsets`).
     pub minsup: MinSupport,
-    /// Update-phase counting backend.
+    /// Update-phase counting backend (`--model itemsets`).
     pub counter: CounterKind,
+    /// Point dimensionality (`--model clusters|trees`).
+    pub dim: usize,
+    /// BIRCH phase-2 cluster count k (`--model clusters`).
+    pub k: usize,
+    /// Label-domain size (`--model trees`).
+    pub classes: u32,
     /// Model data span: `None` = unrestricted window, `Some(w)` = the
     /// `w` most recent blocks (GEMM).
     pub window: Option<usize>,
@@ -104,7 +133,10 @@ pub struct ServeConfig {
     /// per-shard stores and WAL lanes behind one sequencer, epoch-swapped
     /// read replicas, and a poll-based connection loop (see
     /// [`crate::shard`]). Query responses and persisted snapshots are
-    /// byte-identical across shard counts.
+    /// byte-identical across shard counts. Requires a model class with
+    /// an exact shard merge ([`crate::model::ShardableModel`] — itemsets
+    /// only); other classes are refused with the typed
+    /// [`DemonError::ShardsUnsupported`].
     pub shards: usize,
     /// Ingest-queue capacity (blocks buffered but not yet applied).
     pub queue_capacity: usize,
@@ -122,19 +154,29 @@ pub struct ServeConfig {
     /// Compaction threshold: once the live WAL file crosses this many
     /// bytes, the daemon snapshots the store and rotates the log.
     pub wal_max_bytes: u64,
+    /// Group commit: batch the WAL appends of every queued block behind
+    /// one covering fsync. Acks still land only after the fsync that
+    /// covers them; under a write burst the fsyncs-per-block drop
+    /// toward zero.
+    pub wal_group_commit: bool,
 }
 
 impl ServeConfig {
-    /// A config with the documented defaults: 4 workers, a 64-block
-    /// queue, 5 s backpressure deadline, 30 s connection timeouts, an
-    /// unrestricted window, an in-memory store, and no WAL (pass
-    /// `wal_dir` to make ingest durable; WAL files rotate at 8 MiB).
+    /// A config with the documented defaults: the itemset model class,
+    /// 4 workers, a 64-block queue, 5 s backpressure deadline, 30 s
+    /// connection timeouts, an unrestricted window, an in-memory store,
+    /// and no WAL (pass `wal_dir` to make ingest durable; WAL files
+    /// rotate at 8 MiB).
     pub fn new(addr: impl Into<String>, n_items: u32, minsup: MinSupport) -> ServeConfig {
         ServeConfig {
             addr: addr.into(),
+            model: ModelClass::Itemsets,
             n_items,
             minsup,
             counter: CounterKind::Ecut,
+            dim: 2,
+            k: 4,
+            classes: 2,
             window: None,
             pattern_window: None,
             alpha: 0.12,
@@ -146,6 +188,7 @@ impl ServeConfig {
             store_config: StoreConfig::InMemory,
             wal_dir: None,
             wal_max_bytes: 8 << 20,
+            wal_group_commit: false,
         }
     }
 }
@@ -187,28 +230,28 @@ impl DoneSlot {
     }
 }
 
-struct Job {
-    block: TxBlock,
+struct Job<R> {
+    block: Block<R>,
     done: Arc<DoneSlot>,
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
+struct QueueState<R> {
+    jobs: VecDeque<Job<R>>,
     open: bool,
 }
 
 /// The bounded ingest queue: writers wait up to the backpressure
 /// deadline for a slot, then get a typed rejection (`serve.rejects`).
-struct IngestQueue {
+struct IngestQueue<R> {
     capacity: usize,
     timeout: Duration,
-    state: Mutex<QueueState>,
+    state: Mutex<QueueState<R>>,
     not_empty: Condvar,
     not_full: Condvar,
 }
 
-impl IngestQueue {
-    fn new(capacity: usize, timeout: Duration) -> IngestQueue {
+impl<R> IngestQueue<R> {
+    fn new(capacity: usize, timeout: Duration) -> IngestQueue<R> {
         IngestQueue {
             capacity: capacity.max(1),
             timeout,
@@ -223,7 +266,7 @@ impl IngestQueue {
 
     /// Enqueues a block, waiting out backpressure; returns the slot the
     /// caller parks on, or the typed rejection.
-    fn submit(&self, block: TxBlock) -> std::result::Result<Arc<DoneSlot>, WireError> {
+    fn submit(&self, block: Block<R>) -> std::result::Result<Arc<DoneSlot>, WireError> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let deadline = Instant::now() + self.timeout;
         while state.jobs.len() >= self.capacity && state.open {
@@ -257,7 +300,7 @@ impl IngestQueue {
 
     /// The ingester's blocking pop. `None` only after [`close`], once
     /// every queued job has been drained — the graceful-shutdown drain.
-    fn next_job(&self) -> Option<Job> {
+    fn next_job(&self) -> Option<Job<R>> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(job) = state.jobs.pop_front() {
@@ -274,6 +317,17 @@ impl IngestQueue {
         }
     }
 
+    /// Drains every currently queued job without blocking — the group-
+    /// commit batch, so one covering fsync amortizes across a burst.
+    fn drain_ready(&self) -> Vec<Job<R>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let jobs: Vec<Job<R>> = state.jobs.drain(..).collect();
+        if !jobs.is_empty() {
+            self.not_full.notify_all();
+        }
+        jobs
+    }
+
     fn close(&self) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.open = false;
@@ -286,14 +340,17 @@ impl IngestQueue {
     }
 }
 
-struct Shared {
-    monitor: RwLock<ServedMonitor>,
-    queue: IngestQueue,
+struct Shared<S: ServableModel> {
+    monitor: RwLock<Monitor<S>>,
+    queue: IngestQueue<S::Record>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     blocks: AtomicU64,
     addr: SocketAddr,
-    n_items: u32,
+    /// The per-block wire meta this daemon expects (item universe for
+    /// itemsets, dimensionality for points).
+    meta: u32,
+    render_ctx: S::RenderCtx,
     io_timeout: Duration,
     workers: usize,
 }
@@ -306,6 +363,11 @@ struct Durability {
     writer: WalWriter,
     gen: u64,
     max_bytes: u64,
+    /// The model-class tag stamped on every record (and every rotated
+    /// writer).
+    class: u8,
+    /// Whether the ingester batches appends behind one covering fsync.
+    group_commit: bool,
     /// Highest block id the monitor has applied; a retried duplicate is
     /// detected *before* the append so it never grows the log.
     last_id: Option<u64>,
@@ -320,26 +382,28 @@ pub struct Server {
     inner: ServerInner,
 }
 
-/// The two runtimes behind the one public daemon type: the original
-/// single-lock thread-per-connection daemon (`shards == 1`, byte-for-
-/// byte unchanged) and the partitioned runtime (`shards ≥ 2`).
+/// The runtimes behind the one public daemon type: the single-lock
+/// thread-per-connection daemon, monomorphized per model class
+/// (`shards == 1`; the itemset instance is the seed daemon, byte-for-
+/// byte unchanged), and the partitioned runtime (`shards ≥ 2`,
+/// itemsets only — the one class with an exact shard merge).
 enum ServerInner {
-    Legacy {
-        shared: Arc<Shared>,
-        listener: TcpListener,
-        durability: Option<Durability>,
-        compact_rx: Option<mpsc::Receiver<u64>>,
-    },
-    Sharded(Box<crate::shard::ShardedServer>),
+    Itemsets(LegacyServer<ItemsetModel>),
+    Clusters(LegacyServer<ClusterModel>),
+    Trees(LegacyServer<TreeModel>),
+    Sharded(Box<crate::shard::ShardedServer<ItemsetModel>>),
 }
 
-fn build_monitor(config: &ServeConfig) -> Result<ServedMonitor> {
-    let maintainer = ItemsetMaintainer::with_store_config(
-        config.n_items,
-        config.minsup,
-        config.counter,
-        &config.store_config,
-    )?;
+/// The single-lock runtime serving one model class.
+struct LegacyServer<S: ServableModel> {
+    shared: Arc<Shared<S>>,
+    listener: TcpListener,
+    durability: Option<Durability>,
+    compact_rx: Option<mpsc::Receiver<u64>>,
+}
+
+fn build_monitor<S: ServableModel>(config: &ServeConfig) -> Result<Monitor<S>> {
+    let maintainer = S::maintainer(config)?;
     let span = match config.window {
         None => DataSpan::Unrestricted(WiBss::All),
         Some(w) => DataSpan::MostRecent {
@@ -347,22 +411,25 @@ fn build_monitor(config: &ServeConfig) -> Result<ServedMonitor> {
             selector: BlockSelector::all(),
         },
     };
-    let oracle = ItemsetSimilarity::new(
-        config.n_items,
-        config.minsup,
-        SimilarityConfig::Threshold {
-            alpha: config.alpha,
-        },
-    );
+    let oracle = S::oracle(config);
     DemonMonitor::new(maintainer, span, oracle, config.pattern_window)
 }
 
 /// What WAL recovery rebuilt: the monitor with every durable block
 /// re-applied, the reopened live log, and its generation.
-struct Recovered {
-    monitor: ServedMonitor,
+struct Recovered<S: ServableModel> {
+    monitor: Monitor<S>,
     writer: WalWriter,
     gen: u64,
+}
+
+/// The typed refusal when a WAL record (header tag or request body)
+/// carries a different model class than the recovering daemon.
+fn cross_class_replay<S: ServableModel>(got: u8) -> DemonError {
+    DemonError::ModelClassMismatch {
+        expected: S::CLASS.name().to_string(),
+        got: ModelClass::describe_tag(got),
+    }
 }
 
 /// Recovers a monitor from a WAL directory: load `snapshot-<CURRENT>`
@@ -376,24 +443,18 @@ struct Recovered {
 /// record that fails to apply was by definition never acknowledged
 /// (acks happen only after a successful apply) and is skipped too; a
 /// torn tail ends the file's clean prefix and is dropped (counted
-/// under `wal.torn_tails`).
-fn recover(dir: &Path, config: &ServeConfig) -> Result<Recovered> {
+/// under `wal.torn_tails`). A record tagged with a *different model
+/// class* is not salvage — it means this WAL belongs to another
+/// daemon, and recovery refuses with the typed
+/// [`DemonError::ModelClassMismatch`] instead of replaying garbage.
+fn recover<S: ServableModel>(dir: &Path, config: &ServeConfig) -> Result<Recovered<S>> {
     std::fs::create_dir_all(dir)?;
     let current = wal::read_current(dir)?;
-    let mut monitor = build_monitor(config)?;
+    let mut monitor = build_monitor::<S>(config)?;
 
     if current > 0 {
         let snap = wal::snapshot_dir_path(dir, current);
-        // The snapshot is loaded into a transient in-memory store and
-        // replayed into the monitor (which sits on the configured
-        // storage engine); the model is rebuilt deterministically.
-        let (store, _) =
-            load_store_configured(&snap, RecoveryPolicy::Strict, &StoreConfig::InMemory)?;
-        for &id in &store.block_ids().to_vec() {
-            let block = (*store
-                .block(id)
-                .ok_or(DemonError::UnknownBlock(id.value()))?)
-            .clone();
+        for block in S::load_snapshot(&snap, config)? {
             monitor.add_block(block)?;
         }
     }
@@ -426,8 +487,28 @@ fn recover(dir: &Path, config: &ServeConfig) -> Result<Recovered> {
         let path = wal::wal_file_path(dir, g);
         let report = wal::read_wal(&path)?;
         for record in &report.records {
-            let Ok(Request::IngestBlock { block, .. }) = Request::decode(&record.body) else {
+            if record.class != S::CLASS.tag() {
+                return Err(cross_class_replay::<S>(record.class));
+            }
+            let Ok(Request::IngestBlock {
+                class,
+                id,
+                interval,
+                meta,
+                payload,
+            }) = Request::decode(&record.body)
+            else {
                 continue;
+            };
+            if class != S::CLASS.tag() {
+                return Err(cross_class_replay::<S>(class));
+            }
+            let Ok(records) = S::decode_records(&payload, id, meta) else {
+                continue;
+            };
+            let block = match interval {
+                Some(iv) => Block::with_interval(id, iv, records),
+                None => Block::new(id, records),
             };
             match monitor.add_block(block) {
                 Ok(_) => obs::incr(Counter::WalReplays),
@@ -445,9 +526,9 @@ fn recover(dir: &Path, config: &ServeConfig) -> Result<Recovered> {
 
     let live_path = wal::wal_file_path(dir, live_gen);
     let writer = if live_exists {
-        WalWriter::open_after_recovery(&live_path, live_valid_len, next_seq)?
+        WalWriter::open_after_recovery(&live_path, live_valid_len, next_seq, S::CLASS.tag())?
     } else {
-        WalWriter::create(&live_path, next_seq)?
+        WalWriter::create(&live_path, next_seq, S::CLASS.tag())?
     };
     Ok(Recovered {
         monitor,
@@ -469,6 +550,14 @@ impl Server {
             ));
         }
         if config.shards > 1 {
+            if config.model != ModelClass::Itemsets {
+                // Sharding needs the exact scatter/gather merge
+                // (`ShardableModel`); only itemset supports are
+                // additive over disjoint block sets.
+                return Err(DemonError::ShardsUnsupported {
+                    class: config.model.name(),
+                });
+            }
             if config.window.is_some() {
                 return Err(DemonError::InvalidParameter(
                     "sharded serving (--shards ≥ 2) requires the unrestricted window; \
@@ -476,63 +565,25 @@ impl Server {
                         .to_string(),
                 ));
             }
-            let sharded = crate::shard::ShardedServer::bind(&config)?;
+            let sharded = crate::shard::ShardedServer::<ItemsetModel>::bind(&config)?;
             return Ok(Server {
                 inner: ServerInner::Sharded(Box::new(sharded)),
             });
         }
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
-        let (monitor, durability, compact_rx) = match &config.wal_dir {
-            None => (build_monitor(&config)?, None, None),
-            Some(dir) => {
-                let recovered = recover(dir, &config)?;
-                let (tx, rx) = mpsc::channel();
-                let durability = Durability {
-                    dir: dir.clone(),
-                    writer: recovered.writer,
-                    gen: recovered.gen,
-                    max_bytes: config.wal_max_bytes.max(1),
-                    last_id: recovered
-                        .monitor
-                        .engine()
-                        .maintainer()
-                        .store()
-                        .block_ids()
-                        .last()
-                        .map(|id| id.value()),
-                    compact_tx: tx,
-                    compacting: Arc::new(AtomicBool::new(false)),
-                };
-                (recovered.monitor, Some(durability), Some(rx))
-            }
+        let inner = match config.model {
+            ModelClass::Itemsets => ServerInner::Itemsets(LegacyServer::bind(config)?),
+            ModelClass::Clusters => ServerInner::Clusters(LegacyServer::bind(config)?),
+            ModelClass::Trees => ServerInner::Trees(LegacyServer::bind(config)?),
         };
-        let blocks = monitor.engine().maintainer().store().len() as u64;
-        let shared = Arc::new(Shared {
-            monitor: RwLock::new(monitor),
-            queue: IngestQueue::new(config.queue_capacity, config.queue_timeout),
-            shutdown: AtomicBool::new(false),
-            requests: AtomicU64::new(0),
-            blocks: AtomicU64::new(blocks),
-            addr,
-            n_items: config.n_items,
-            io_timeout: config.io_timeout,
-            workers: config.workers.max(1),
-        });
-        Ok(Server {
-            inner: ServerInner::Legacy {
-                shared,
-                listener,
-                durability,
-                compact_rx,
-            },
-        })
+        Ok(Server { inner })
     }
 
     /// The address the daemon is listening on (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         match &self.inner {
-            ServerInner::Legacy { shared, .. } => shared.addr,
+            ServerInner::Itemsets(s) => s.shared.addr,
+            ServerInner::Clusters(s) => s.shared.addr,
+            ServerInner::Trees(s) => s.shared.addr,
             ServerInner::Sharded(s) => s.local_addr(),
         }
     }
@@ -542,15 +593,69 @@ impl Server {
     /// pool (or event-loop threads), then joins them all. Queued blocks
     /// are drained before the writer exits.
     pub fn run(self) -> Result<ServeSummary> {
-        let (shared, listener, durability, compact_rx) = match self.inner {
-            ServerInner::Sharded(s) => return s.run(),
-            ServerInner::Legacy {
-                shared,
-                listener,
-                durability,
-                compact_rx,
-            } => (shared, listener, durability, compact_rx),
+        match self.inner {
+            ServerInner::Itemsets(s) => s.run(),
+            ServerInner::Clusters(s) => s.run(),
+            ServerInner::Trees(s) => s.run(),
+            ServerInner::Sharded(s) => s.run(),
+        }
+    }
+}
+
+impl<S: ServableModel> LegacyServer<S> {
+    fn bind(config: ServeConfig) -> Result<LegacyServer<S>> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let (monitor, durability, compact_rx) = match &config.wal_dir {
+            None => (build_monitor::<S>(&config)?, None, None),
+            Some(dir) => {
+                let recovered = recover::<S>(dir, &config)?;
+                let (tx, rx) = mpsc::channel();
+                let durability = Durability {
+                    dir: dir.clone(),
+                    writer: recovered.writer,
+                    gen: recovered.gen,
+                    max_bytes: config.wal_max_bytes.max(1),
+                    class: S::CLASS.tag(),
+                    group_commit: config.wal_group_commit,
+                    last_id: S::block_ids(recovered.monitor.engine().maintainer())
+                        .last()
+                        .map(|id| id.value()),
+                    compact_tx: tx,
+                    compacting: Arc::new(AtomicBool::new(false)),
+                };
+                (recovered.monitor, Some(durability), Some(rx))
+            }
         };
+        let blocks = S::block_ids(monitor.engine().maintainer()).len() as u64;
+        let render_ctx = S::render_ctx(monitor.engine().maintainer());
+        let shared = Arc::new(Shared {
+            monitor: RwLock::new(monitor),
+            queue: IngestQueue::new(config.queue_capacity, config.queue_timeout),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            blocks: AtomicU64::new(blocks),
+            addr,
+            meta: S::block_meta(&config),
+            render_ctx,
+            io_timeout: config.io_timeout,
+            workers: config.workers.max(1),
+        });
+        Ok(LegacyServer {
+            shared,
+            listener,
+            durability,
+            compact_rx,
+        })
+    }
+
+    fn run(self) -> Result<ServeSummary> {
+        let LegacyServer {
+            shared,
+            listener,
+            durability,
+            compact_rx,
+        } = self;
         let mut handles = Vec::new();
         if let Some(rx) = compact_rx {
             let dir = durability
@@ -620,71 +725,127 @@ pub(crate) fn crash_point(point: &str) {
     }
 }
 
+/// Appends one block to the WAL (skipping a detected duplicate),
+/// either fsyncing immediately (the seed path) or leaving the sync to
+/// the batch's covering fsync (group commit). `None` means appended or
+/// skipped cleanly; `Some` is the typed failure to ack instead.
+fn append_block<S: ServableModel>(
+    d: &mut Durability,
+    meta: u32,
+    block: &Block<S::Record>,
+    group: bool,
+) -> Option<WireError> {
+    let duplicate = d.last_id.is_some_and(|last| block.id().value() <= last);
+    if duplicate {
+        return None;
+    }
+    let payload = match S::encode_records(block) {
+        Ok(p) => p,
+        Err(e) => return Some(WireError::Other(format!("wal encode: {e}"))),
+    };
+    let body = Request::IngestBlock {
+        class: S::CLASS.tag(),
+        id: block.id(),
+        interval: block.interval(),
+        meta,
+        payload,
+    }
+    .encode();
+    let appended = if group {
+        d.writer.append_unsynced(&body)
+    } else {
+        d.writer.append(&body)
+    };
+    match appended {
+        Ok(_) => None,
+        Err(e) => Some(WireError::Io(format!("wal append: {e}"))),
+    }
+}
+
 /// The single writer: appends each queued block to the WAL (fsync),
 /// applies it, then answers the parked worker — in that order, so an
 /// acknowledgment implies both durability and visibility. A panicking
 /// `add_block` (e.g. a spill fault) poisons the monitor but never kills
 /// the ingester — later jobs are answered with a typed error instead of
 /// hanging forever.
-fn ingester_loop(shared: &Arc<Shared>, mut durability: Option<Durability>) {
+///
+/// With group commit enabled, every job already queued behind the
+/// popped one joins its batch: all appends first, one covering fsync,
+/// then the applies and acks in arrival order. An ack still only
+/// happens after the fsync covering its block.
+fn ingester_loop<S: ServableModel>(shared: &Arc<Shared<S>>, mut durability: Option<Durability>) {
     while let Some(job) = shared.queue.next_job() {
-        let block = job.block;
-        let block_id = block.id().value();
-        crash_point("before_append");
+        let group = durability.as_ref().is_some_and(|d| d.group_commit);
+        let mut batch = vec![job];
+        if group {
+            batch.extend(shared.queue.drain_ready());
+        }
 
         // WAL first: a block must be durable before it can be acked.
         // Duplicates are detected before the append so a retried block
         // never grows the log; an append failure fails the request
         // without applying (an applied-but-not-durable block would turn
         // a later DuplicateBlock retry into a silent durability lie).
-        let mut wal_failure: Option<WireError> = None;
-        if let Some(d) = durability.as_mut() {
-            let duplicate = d.last_id.is_some_and(|last| block_id <= last);
-            if !duplicate {
-                let body = Request::IngestBlock {
-                    n_items: shared.n_items,
-                    block: block.clone(),
-                }
-                .encode();
-                if let Err(e) = d.writer.append(&body) {
-                    wal_failure = Some(WireError::Io(format!("wal append: {e}")));
-                }
-            }
+        let mut wal_failures: Vec<Option<WireError>> = Vec::with_capacity(batch.len());
+        for job in &batch {
+            crash_point("before_append");
+            let failure = match durability.as_mut() {
+                Some(d) => append_block::<S>(d, shared.meta, &job.block, group),
+                None => None,
+            };
+            wal_failures.push(failure);
         }
-        crash_point("after_append");
-
-        let result = match wal_failure {
-            Some(e) => Err(e),
-            None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                match shared.monitor.write() {
-                    Ok(mut monitor) => monitor
-                        .add_block(block)
-                        .map(|_| ())
-                        .map_err(|e| WireError::from_error(&e)),
-                    Err(_) => Err(WireError::Other(
-                        "monitor poisoned by an earlier ingest fault".to_string(),
-                    )),
-                }
-            }))
-            .unwrap_or_else(|_| {
-                Err(WireError::Other(
-                    "ingest panicked; monitor poisoned".to_string(),
-                ))
-            }),
-        };
-        if result.is_ok() {
-            shared.blocks.fetch_add(1, Ordering::SeqCst);
+        if group {
             if let Some(d) = durability.as_mut() {
-                d.last_id = Some(block_id);
-                // Rotate only after the apply: the monitor now covers
-                // every record in the old log, so the compactor's
-                // snapshot (taken later, under the read lock) is
-                // guaranteed to shadow it.
-                maybe_rotate(d);
+                if let Err(e) = d.writer.sync() {
+                    // The covering fsync failed: nothing in the batch is
+                    // durable, so nothing may be applied or acked Ok.
+                    let msg = format!("wal sync: {e}");
+                    for f in &mut wal_failures {
+                        f.get_or_insert_with(|| WireError::Io(msg.clone()));
+                    }
+                }
             }
         }
-        job.done.fill(result);
-        crash_point("after_ack");
+
+        for (job, wal_failure) in batch.into_iter().zip(wal_failures) {
+            let block = job.block;
+            let block_id = block.id().value();
+            crash_point("after_append");
+
+            let result = match wal_failure {
+                Some(e) => Err(e),
+                None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    match shared.monitor.write() {
+                        Ok(mut monitor) => monitor
+                            .add_block(block)
+                            .map(|_| ())
+                            .map_err(|e| WireError::from_error(&e)),
+                        Err(_) => Err(WireError::Other(
+                            "monitor poisoned by an earlier ingest fault".to_string(),
+                        )),
+                    }
+                }))
+                .unwrap_or_else(|_| {
+                    Err(WireError::Other(
+                        "ingest panicked; monitor poisoned".to_string(),
+                    ))
+                }),
+            };
+            if result.is_ok() {
+                shared.blocks.fetch_add(1, Ordering::SeqCst);
+                if let Some(d) = durability.as_mut() {
+                    d.last_id = Some(block_id);
+                    // Rotate only after the apply: the monitor now covers
+                    // every record in the old log, so the compactor's
+                    // snapshot (taken later, under the read lock) is
+                    // guaranteed to shadow it.
+                    maybe_rotate(d);
+                }
+            }
+            job.done.fill(result);
+            crash_point("after_ack");
+        }
     }
 }
 
@@ -699,7 +860,11 @@ fn maybe_rotate(d: &mut Durability) {
         return;
     }
     let next_gen = d.gen + 1;
-    match WalWriter::create(&wal::wal_file_path(&d.dir, next_gen), d.writer.next_seq()) {
+    match WalWriter::create(
+        &wal::wal_file_path(&d.dir, next_gen),
+        d.writer.next_seq(),
+        d.class,
+    ) {
         Ok(writer) => {
             d.writer = writer;
             d.gen = next_gen;
@@ -720,8 +885,8 @@ fn maybe_rotate(d: &mut Durability) {
 /// snapshots. A crash anywhere in here is recoverable — before the
 /// `CURRENT` flip the old generation chain is intact; after it the new
 /// one is.
-fn compactor_loop(
-    shared: &Arc<Shared>,
+fn compactor_loop<S: ServableModel>(
+    shared: &Arc<Shared<S>>,
     dir: &Path,
     compacting: &Arc<AtomicBool>,
     rx: &mpsc::Receiver<u64>,
@@ -732,8 +897,10 @@ fn compactor_loop(
                 let monitor = shared.monitor.read().map_err(|_| {
                     DemonError::InvalidParameter("monitor poisoned; compaction skipped".into())
                 })?;
-                let store = monitor.engine().maintainer().store();
-                save_store_atomic(store, &wal::snapshot_dir_path(dir, gen))?;
+                S::save_snapshot(
+                    monitor.engine().maintainer(),
+                    &wal::snapshot_dir_path(dir, gen),
+                )?;
             }
             crash_point("mid_compaction");
             wal::write_current(dir, gen)?;
@@ -763,7 +930,7 @@ fn compactor_loop(
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+fn worker_loop<S: ServableModel>(shared: &Arc<Shared<S>>, listener: &TcpListener) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -788,7 +955,7 @@ fn worker_loop(shared: &Arc<Shared>, listener: &TcpListener) {
 /// malformed frame arrives (transport damage drops the connection; a
 /// malformed *payload* inside a valid frame gets a typed `Err` response
 /// and the connection lives on).
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+fn handle_connection<S: ServableModel>(shared: &Arc<Shared<S>>, stream: TcpStream) {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
@@ -825,18 +992,32 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
-fn dispatch(shared: &Arc<Shared>, request: Request) -> (Response, bool) {
+fn dispatch<S: ServableModel>(shared: &Arc<Shared<S>>, request: Request) -> (Response, bool) {
     match request {
-        Request::IngestBlock { n_items, block } => {
-            if n_items != shared.n_items {
+        Request::IngestBlock {
+            class,
+            id,
+            interval,
+            meta,
+            payload,
+        } => {
+            if class != S::CLASS.tag() {
                 return (
-                    Response::Err(WireError::Other(format!(
-                        "item universe mismatch: client encoded {n_items}, server monitors {}",
-                        shared.n_items
-                    ))),
+                    Response::Err(WireError::class_mismatch(S::CLASS, class)),
                     false,
                 );
             }
+            if let Some(msg) = S::meta_mismatch(shared.meta, meta) {
+                return (Response::Err(WireError::Other(msg)), false);
+            }
+            let records = match S::decode_records(&payload, id, meta) {
+                Ok(records) => records,
+                Err(e) => return (Response::Err(WireError::Other(e.to_string())), false),
+            };
+            let block = match interval {
+                Some(iv) => Block::with_interval(id, iv, records),
+                None => Block::new(id, records),
+            };
             let result = shared
                 .queue
                 .submit(block)
@@ -846,7 +1027,12 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> (Response, bool) {
                 Err(e) => (Response::Err(e), false),
             }
         }
-        Request::QueryModel => {
+        Request::QueryModel { class } => {
+            if let Some(c) = class {
+                if c != S::CLASS.tag() {
+                    return (Response::Err(WireError::class_mismatch(S::CLASS, c)), false);
+                }
+            }
             let monitor = match shared.monitor.read() {
                 Ok(m) => m,
                 Err(_) => {
@@ -857,12 +1043,9 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> (Response, bool) {
                 }
             };
             match monitor.model() {
-                Some(model) => match serde_json::to_string(model) {
+                Some(model) => match render_model::<S>(&shared.render_ctx, model) {
                     Ok(json) => (Response::Model(json), false),
-                    Err(e) => (
-                        Response::Err(WireError::Other(format!("model serialization: {e}"))),
-                        false,
-                    ),
+                    Err(msg) => (Response::Err(WireError::Other(msg)), false),
                 },
                 None => (
                     Response::Err(WireError::Other("no model yet (no blocks ingested)".into())),
@@ -888,11 +1071,10 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> (Response, bool) {
                     )
                 }
             };
-            let store = monitor.engine().maintainer().store();
             // All-or-nothing: a failure leaves no partial directory at
             // `dir`, and the error stays typed end to end.
-            match save_store_atomic(store, Path::new(&dir)) {
-                Ok(()) => (Response::SnapshotDone(store.len() as u64), false),
+            match S::save_snapshot(monitor.engine().maintainer(), Path::new(&dir)) {
+                Ok(blocks) => (Response::SnapshotDone(blocks), false),
                 Err(DemonError::Io(e)) => (
                     Response::Err(WireError::Io(format!("snapshot to {dir}: {e}"))),
                     false,
@@ -907,10 +1089,22 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> (Response, bool) {
     }
 }
 
+/// Renders the model through the class hook, unwrapping the typed
+/// serialization error back to the exact seed message text.
+fn render_model<S: ServableModel>(
+    ctx: &S::RenderCtx,
+    model: &MaintainedModel<S>,
+) -> std::result::Result<String, String> {
+    S::render_model_json(ctx, model).map_err(|e| match e {
+        DemonError::Serde(msg) => msg,
+        other => other.to_string(),
+    })
+}
+
 /// The `Stats` body: the daemon's own gauges plus the full obs counter
 /// table, as one JSON object. Built by hand — every key is a static
 /// snake_case name, so no escaping is ever needed.
-fn stats_json(shared: &Arc<Shared>) -> String {
+fn stats_json<S: ServableModel>(shared: &Arc<Shared<S>>) -> String {
     let mut out = format!(
         "{{\"blocks\":{},\"requests\":{},\"queue_depth\":{},\"counters\":{{",
         shared.blocks.load(Ordering::SeqCst),
@@ -930,7 +1124,7 @@ fn stats_json(shared: &Arc<Shared>) -> String {
 /// Flags shutdown, closes the queue (the ingester drains what is
 /// already queued, then exits) and wakes every worker out of `accept`
 /// with throwaway connections.
-fn begin_shutdown(shared: &Arc<Shared>) {
+fn begin_shutdown<S: ServableModel>(shared: &Arc<Shared<S>>) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }

@@ -20,45 +20,50 @@
 //! * **Partition function**: block `b` belongs to shard
 //!   `(b − 1) mod N` — round-robin by block id, so every prefix of the
 //!   stream is balanced to within one block.
-//! * **Exact scatter/gather**: each shard holds a disjoint slice of the
-//!   block stream in its own [`TxStore`]. Update-phase candidates are
-//!   counted per shard and summed index-wise
-//!   ([`demon_itemsets::count_supports_sharded`], which reuses the
-//!   `demon_types::parallel` per-shard-merge discipline), so the
-//!   maintained model is byte-identical to the 1-shard model — supports
-//!   are additive over disjoint block sets and every backend is exact.
+//! * **Exact scatter/gather**: the runtime is generic over
+//!   [`ShardableModel`] — the *capability* subtrait of
+//!   [`crate::model::ServableModel`] whose `absorb_sharded` proves the
+//!   model built from disjoint per-shard stores byte-identical to the
+//!   1-shard model. Itemsets qualify (supports are additive over
+//!   disjoint block sets; [`demon_itemsets::count_supports_sharded`]
+//!   reuses the `demon_types::parallel` per-shard-merge discipline);
+//!   clusters and trees do not, and are refused at bind with the typed
+//!   `ShardsUnsupported` error.
 //! * **Replica epochs**: after each applied block the sequencer builds
-//!   an immutable [`Replica`] — model JSON pre-serialized, sequences
+//!   an immutable [`Replica`] — model cloned out, sequences
 //!   pre-gathered — and flips the shared pointer
-//!   (`serve.shard.replica_swaps`). Queries never touch mining state,
-//!   never take the sequencer's locks, and pay no per-query
-//!   serialization.
+//!   (`serve.shard.replica_swaps`). Queries never touch mining state
+//!   and never take the sequencer's locks. The model *JSON* is rendered
+//!   lazily, once, by the first `QueryModel` that needs it
+//!   (`serve.replica_lazy_renders`) — a write-heavy burst swaps dozens
+//!   of replicas nobody queries, and pays serialization for none of
+//!   them. Read-your-writes is unchanged: the replica (model included)
+//!   is published *before* the ingest ack, only the stringification is
+//!   deferred.
 //! * **WAL lanes**: shard `s` appends to `wal_dir/shard-<s>/wal-<g>.log`.
 //!   The root `CURRENT` pointer and the merged `snapshot-<g>` are shared
 //!   across lanes; rotation moves every lane to `g+1` at once. The
 //!   sequencer appends lanes in block-id order, so after a crash at most
 //!   the highest appended id can be torn — recovery merges lane records
 //!   by block id and replays the contiguous prefix, preserving the
-//!   `acked ≤ applied ≤ acked+1` contract of the 1-shard WAL.
+//!   `acked ≤ applied ≤ acked+1` contract of the 1-shard WAL. Every
+//!   lane record carries the model-class tag; a lane written by a
+//!   different class refuses to replay.
 
+use crate::model::{MaintainedModel, ServableModel, ShardableModel};
 use crate::protocol::{Request, Response, WireError};
 use crate::server::{crash_point, ServeConfig, ServeSummary};
 use demon_core::maintainer::ModelMaintainer;
-use demon_core::ItemsetMaintainer;
 use demon_focus::compact::CompactSequenceMiner;
-use demon_focus::similarity::{ItemsetSimilarity, SimilarityConfig};
 use demon_focus::windowed::WindowedCompactMiner;
-use demon_itemsets::persist::{load_store_configured, save_store_atomic, RecoveryPolicy};
-use demon_itemsets::{FrequentItemsets, TxStore};
-use demon_store::StoreConfig;
 use demon_types::obs::{self, Counter};
 use demon_types::wal::{self, WalWriter};
-use demon_types::{BlockId, DemonError, Result, Transaction, TxBlock};
+use demon_types::{Block, BlockId, DemonError, ModelClass, Result};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::Thread;
 use std::time::Duration;
 
@@ -91,46 +96,35 @@ fn check_sequential(id: BlockId, latest: Option<BlockId>) -> Result<()> {
     }
 }
 
-enum Patterns {
-    Unrestricted(CompactSequenceMiner<ItemsetSimilarity, Transaction>),
-    MostRecent(WindowedCompactMiner<ItemsetSimilarity, Transaction>),
+enum Patterns<S: ServableModel> {
+    Unrestricted(CompactSequenceMiner<S::Oracle, S::Record>),
+    MostRecent(WindowedCompactMiner<S::Oracle, S::Record>),
 }
 
-/// The sequencer-owned mining state: one [`ItemsetMaintainer`] per shard
-/// (store + ECUT+ pair materialization, exactly the 1-shard register
-/// path applied to the owning shard), one global model absorbed with
-/// sharded counting, one global pattern miner.
-pub struct ShardSet {
-    shards: Vec<ItemsetMaintainer>,
-    model: FrequentItemsets,
-    miner: Patterns,
+/// The sequencer-owned mining state: one maintainer per shard (store +
+/// registration work, exactly the 1-shard register path applied to the
+/// owning shard), one global model absorbed with the class's exact
+/// scatter/gather, one global pattern miner.
+pub struct ShardSet<S: ShardableModel> {
+    shards: Vec<S::Maintainer>,
+    model: MaintainedModel<S>,
+    miner: Patterns<S>,
     latest: Option<BlockId>,
     shard_blocks: Vec<u64>,
     config: ServeConfig,
 }
 
-impl ShardSet {
+impl<S: ShardableModel> ShardSet<S> {
     /// Builds the empty sharded state from a validated config
     /// (`shards ≥ 2`, unrestricted window).
-    pub fn new(config: &ServeConfig) -> Result<ShardSet> {
+    pub fn new(config: &ServeConfig) -> Result<ShardSet<S>> {
         let n = config.shards;
         let mut shards = Vec::with_capacity(n);
         for _ in 0..n {
-            shards.push(ItemsetMaintainer::with_store_config(
-                config.n_items,
-                config.minsup,
-                config.counter,
-                &config.store_config,
-            )?);
+            shards.push(S::maintainer(config)?);
         }
-        let model = FrequentItemsets::empty(config.minsup, config.n_items);
-        let oracle = ItemsetSimilarity::new(
-            config.n_items,
-            config.minsup,
-            SimilarityConfig::Threshold {
-                alpha: config.alpha,
-            },
-        );
+        let model = shards[0].fresh();
+        let oracle = S::oracle(config);
         let miner = match config.pattern_window {
             None => Patterns::Unrestricted(CompactSequenceMiner::new(oracle)),
             Some(w) => Patterns::MostRecent(WindowedCompactMiner::new(oracle, w)),
@@ -149,14 +143,12 @@ impl ShardSet {
     /// the owning shard (store + pair materialization), absorb into the
     /// global model with per-shard counting, feed the pattern miner.
     /// A replayed or out-of-order id is rejected before any state moves.
-    pub fn add_block(&mut self, block: TxBlock) -> Result<()> {
+    pub fn add_block(&mut self, block: Block<S::Record>) -> Result<()> {
         let id = block.id();
         check_sequential(id, self.latest)?;
         let s = shard_of(id, self.shards.len());
         self.shards[s].register_block(block.clone());
-        let stores: Vec<&TxStore> = self.shards.iter().map(|m| m.store()).collect();
-        self.model
-            .absorb_block_sharded(&stores, id, self.config.counter)?;
+        S::absorb_sharded(&mut self.model, &self.shards, id, &self.config)?;
         match &mut self.miner {
             Patterns::Unrestricted(m) => {
                 m.add_block(block);
@@ -176,66 +168,75 @@ impl ShardSet {
     }
 
     /// Gathers every shard's blocks into one fresh single-store
-    /// maintainer, registered in block-id order — the exact 1-shard
-    /// register path, so the merged store (blocks, TID-lists, ECUT+
-    /// pair lists) is byte-identical to the store a `--shards 1` daemon
-    /// would persist.
-    pub fn merged_maintainer(&self) -> Result<ItemsetMaintainer> {
-        let mut merged = ItemsetMaintainer::with_store_config(
-            self.config.n_items,
-            self.config.minsup,
-            self.config.counter,
-            &StoreConfig::InMemory,
-        )?;
-        let last = self.latest.map_or(0, |b| b.value());
-        for id in 1..=last {
-            let id = BlockId(id);
-            let s = shard_of(id, self.shards.len());
-            let block = (*self.shards[s]
-                .store()
-                .block(id)
-                .ok_or(DemonError::UnknownBlock(id.value()))?)
-            .clone();
-            merged.register_block(block);
-        }
-        Ok(merged)
+    /// maintainer, registered in block-id order — the class's
+    /// [`ShardableModel::merged_maintainer`], the one merge helper
+    /// behind both the `Snapshot` verb and WAL compaction.
+    pub fn merged_maintainer(&self) -> Result<S::Maintainer> {
+        S::merged_maintainer(&self.config, &self.shards, self.latest)
     }
 
-    /// Builds the immutable replica of the current state: model JSON
-    /// pre-serialized (the exact bytes `QueryModel` answers with),
-    /// sequences pre-gathered, per-shard block counts for `Stats`.
-    pub fn replica(&self, epoch: u64) -> Result<Replica> {
-        let model_json = serde_json::to_string(&self.model)
-            .map_err(|e| DemonError::Serde(format!("model serialization: {e}")))?;
+    /// Builds the immutable replica of the current state: model cloned
+    /// out (JSON renders lazily on first query), sequences pre-gathered,
+    /// per-shard block counts for `Stats`.
+    pub fn replica(&self, epoch: u64) -> Replica<S> {
         let sequences = match &self.miner {
             Patterns::Unrestricted(m) => m.maximal_sequences(),
             Patterns::MostRecent(m) => m.sequences(),
         };
-        Ok(Replica {
+        Replica {
             epoch,
             blocks: self.blocks(),
-            model_json,
+            model: self.model.clone(),
+            render_ctx: S::render_ctx(&self.shards[0]),
+            model_json: OnceLock::new(),
             sequences,
             shard_blocks: self.shard_blocks.clone(),
-        })
+        }
     }
 }
 
 /// One immutable snapshot of the queryable state. Built by the
 /// sequencer after every applied block; readers hold an `Arc` and never
 /// block ingest.
-pub struct Replica {
+pub struct Replica<S: ServableModel> {
     /// Monotone swap counter (one per applied block + the recovery
     /// publish).
     pub epoch: u64,
     /// Blocks applied when this replica was built.
     pub blocks: u64,
-    /// The model as canonical JSON — the exact `QueryModel` body.
-    pub model_json: String,
+    /// The model at this epoch.
+    model: MaintainedModel<S>,
+    render_ctx: S::RenderCtx,
+    /// The model's canonical JSON, rendered at most once, by the first
+    /// query that needs it.
+    model_json: OnceLock<String>,
     /// The compact block sequences — the exact `QuerySequences` body.
     pub sequences: Vec<Vec<BlockId>>,
     /// Blocks owned per shard, for `Stats` and the imbalance gauge.
     pub shard_blocks: Vec<u64>,
+}
+
+impl<S: ServableModel> Replica<S> {
+    /// The model as canonical JSON — the exact `QueryModel` body, byte-
+    /// identical to the eager 1-shard daemon's. Rendered on first call
+    /// (`serve.replica_lazy_renders`) and memoized for the replica's
+    /// lifetime; replicas swapped out by a write burst before anyone
+    /// queries them never pay serialization at all.
+    pub fn model_json(&self) -> std::result::Result<&str, String> {
+        if let Some(json) = self.model_json.get() {
+            return Ok(json);
+        }
+        let rendered = S::render_model_json(&self.render_ctx, &self.model).map_err(|e| match e {
+            DemonError::Serde(msg) => msg,
+            other => other.to_string(),
+        })?;
+        // Two queries can race the first render; exactly one `set` wins
+        // and only the winner counts as the lazy render.
+        if self.model_json.set(rendered).is_ok() {
+            obs::incr(Counter::ServeReplicaLazyRenders);
+        }
+        Ok(self.model_json.get().expect("just initialized"))
+    }
 }
 
 /// The epoch-swapped replica pointer: an arc-swap-style flip built from
@@ -243,25 +244,25 @@ pub struct Replica {
 /// ever waits on ingest work — the critical section is two refcount
 /// bumps); `store` flips the pointer and bumps
 /// `serve.shard.replica_swaps`.
-pub struct ReplicaCell {
-    current: Mutex<Arc<Replica>>,
+pub struct ReplicaCell<S: ServableModel> {
+    current: Mutex<Arc<Replica<S>>>,
 }
 
-impl ReplicaCell {
+impl<S: ServableModel> ReplicaCell<S> {
     /// Wraps the initial replica.
-    pub fn new(replica: Replica) -> ReplicaCell {
+    pub fn new(replica: Replica<S>) -> ReplicaCell<S> {
         ReplicaCell {
             current: Mutex::new(Arc::new(replica)),
         }
     }
 
     /// The current replica.
-    pub fn load(&self) -> Arc<Replica> {
+    pub fn load(&self) -> Arc<Replica<S>> {
         Arc::clone(&self.current.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Publishes a new replica (the epoch flip).
-    pub fn store(&self, replica: Replica) {
+    pub fn store(&self, replica: Replica<S>) {
         let mut cur = self.current.lock().unwrap_or_else(|e| e.into_inner());
         *cur = Arc::new(replica);
         obs::incr(Counter::ServeReplicaSwaps);
@@ -297,11 +298,11 @@ impl Pending {
 }
 
 /// A unit of sequencer work.
-pub enum ShardJob {
+pub enum ShardJob<S: ServableModel> {
     /// Apply one block (WAL append first when durable).
     Ingest {
         /// The block to apply.
-        block: TxBlock,
+        block: Block<S::Record>,
         /// Where the result goes.
         done: Arc<Pending>,
     },
@@ -314,8 +315,8 @@ pub enum ShardJob {
     },
 }
 
-struct ShardQueueState {
-    jobs: VecDeque<ShardJob>,
+struct ShardQueueState<S: ServableModel> {
+    jobs: VecDeque<ShardJob<S>>,
     open: bool,
 }
 
@@ -323,23 +324,23 @@ struct ShardQueueState {
 /// submission is non-blocking (`try_submit`) — an event-loop thread must
 /// never park on backpressure; it re-tries each tick until the
 /// connection's own deadline expires.
-pub struct ShardQueue {
+pub struct ShardQueue<S: ServableModel> {
     capacity: usize,
-    state: Mutex<ShardQueueState>,
+    state: Mutex<ShardQueueState<S>>,
     not_empty: Condvar,
 }
 
 /// Why a non-blocking submit did not enqueue.
-pub enum SubmitError {
+pub enum SubmitError<S: ServableModel> {
     /// The queue is at capacity; retry until the deadline.
-    Full(ShardJob),
+    Full(ShardJob<S>),
     /// The queue is closed (shutdown); fail the request as busy.
     Closed,
 }
 
-impl ShardQueue {
+impl<S: ServableModel> ShardQueue<S> {
     /// A queue holding at most `capacity` jobs.
-    pub fn new(capacity: usize) -> ShardQueue {
+    pub fn new(capacity: usize) -> ShardQueue<S> {
         ShardQueue {
             capacity: capacity.max(1),
             state: Mutex::new(ShardQueueState {
@@ -357,7 +358,7 @@ impl ShardQueue {
 
     /// Enqueues without blocking; hands the job back when full. On
     /// success, returns the job's completion slot for polling.
-    pub fn try_submit(&self, job: ShardJob) -> std::result::Result<Arc<Pending>, SubmitError> {
+    pub fn try_submit(&self, job: ShardJob<S>) -> std::result::Result<Arc<Pending>, SubmitError<S>> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if !state.open {
             return Err(SubmitError::Closed);
@@ -375,7 +376,7 @@ impl ShardQueue {
     }
 
     /// The sequencer's blocking pop; `None` after close once drained.
-    pub fn next_job(&self) -> Option<ShardJob> {
+    pub fn next_job(&self) -> Option<ShardJob<S>> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(job) = state.jobs.pop_front() {
@@ -406,11 +407,11 @@ impl ShardQueue {
 
 /// State shared between the event-loop threads, the sequencer, and the
 /// compactor.
-pub struct ShardShared {
+pub struct ShardShared<S: ServableModel> {
     /// The epoch-swapped read replica.
-    pub replica: ReplicaCell,
+    pub replica: ReplicaCell<S>,
     /// The sequencer queue.
-    pub queue: ShardQueue,
+    pub queue: ShardQueue<S>,
     /// Ingest jobs queued (submitted, not yet answered) per shard — the
     /// `Stats` `shard_queue_depths` gauge.
     pub shard_pending: Vec<AtomicU64>,
@@ -422,8 +423,9 @@ pub struct ShardShared {
     pub blocks: AtomicU64,
     /// The bound address.
     pub addr: SocketAddr,
-    /// Item-universe size, validated against each `IngestBlock`.
-    pub n_items: u32,
+    /// The class's per-block wire meta (item-universe size for
+    /// itemsets), validated against each `IngestBlock`.
+    pub meta: u32,
     /// Shard count.
     pub n_shards: usize,
     /// Per-connection idle timeout.
@@ -434,24 +436,33 @@ pub struct ShardShared {
 
 /// The sequencer's durable state: one WAL lane per shard, all rotated
 /// together, behind the shared root `CURRENT` pointer.
-pub struct ShardWal {
+pub struct ShardWal<S: ServableModel> {
     root: PathBuf,
     writers: Vec<WalWriter>,
     gen: u64,
     max_bytes: u64,
     last_id: Option<u64>,
-    compact_tx: mpsc::Sender<(u64, ItemsetMaintainer)>,
+    compact_tx: mpsc::Sender<(u64, S::Maintainer)>,
     compacting: Arc<AtomicBool>,
 }
 
 /// What sharded recovery rebuilt.
-pub struct RecoveredShards {
+pub struct RecoveredShards<S: ShardableModel> {
     /// The sharded state with every durable block re-applied.
-    pub state: ShardSet,
+    pub state: ShardSet<S>,
     /// The reopened live lane writers (one per shard).
     pub writers: Vec<WalWriter>,
     /// The live generation (max across lanes and `CURRENT`).
     pub gen: u64,
+}
+
+/// The typed refusal when a lane record (header tag or request body)
+/// carries a different model class than the recovering daemon.
+fn cross_class_replay<S: ServableModel>(got: u8) -> DemonError {
+    DemonError::ModelClassMismatch {
+        expected: S::CLASS.name().to_string(),
+        got: ModelClass::describe_tag(got),
+    }
 }
 
 /// Recovers the sharded state from a WAL root: load the merged
@@ -460,24 +471,23 @@ pub struct RecoveredShards {
 /// lanes in block-id order (one fsync per block, strictly sequential),
 /// so only the highest appended id can be torn — the first gap ends
 /// replay, preserving `acked ≤ applied ≤ acked+1` per shard and
-/// globally.
-pub fn recover_sharded(root: &Path, config: &ServeConfig) -> Result<RecoveredShards> {
+/// globally. A lane tagged with a different model class refuses to
+/// replay (typed [`DemonError::ModelClassMismatch`]) — it belongs to
+/// another daemon.
+pub fn recover_sharded<S: ShardableModel>(
+    root: &Path,
+    config: &ServeConfig,
+) -> Result<RecoveredShards<S>> {
     std::fs::create_dir_all(root)?;
     for s in 0..config.shards {
         std::fs::create_dir_all(shard_lane_dir(root, s))?;
     }
     let current = wal::read_current(root)?;
-    let mut state = ShardSet::new(config)?;
+    let mut state = ShardSet::<S>::new(config)?;
 
     if current > 0 {
         let snap = wal::snapshot_dir_path(root, current);
-        let (store, _) =
-            load_store_configured(&snap, RecoveryPolicy::Strict, &StoreConfig::InMemory)?;
-        for &id in &store.block_ids().to_vec() {
-            let block = (*store
-                .block(id)
-                .ok_or(DemonError::UnknownBlock(id.value()))?)
-            .clone();
+        for block in S::load_snapshot(&snap, config)? {
             state.add_block(block)?;
         }
     }
@@ -493,7 +503,7 @@ pub fn recover_sharded(root: &Path, config: &ServeConfig) -> Result<RecoveredSha
         }
     }
 
-    let mut pending: Vec<(BlockId, TxBlock)> = Vec::new();
+    let mut pending: Vec<(BlockId, Block<S::Record>)> = Vec::new();
     let mut writers = Vec::with_capacity(config.shards);
     let mut max_gen = current;
     for s in 0..config.shards {
@@ -509,9 +519,30 @@ pub fn recover_sharded(root: &Path, config: &ServeConfig) -> Result<RecoveredSha
             }
             let report = wal::read_wal(&wal::wal_file_path(&lane, g))?;
             for record in &report.records {
-                if let Ok(Request::IngestBlock { block, .. }) = Request::decode(&record.body) {
-                    pending.push((block.id(), block));
+                if record.class != S::CLASS.tag() {
+                    return Err(cross_class_replay::<S>(record.class));
                 }
+                let Ok(Request::IngestBlock {
+                    class,
+                    id,
+                    interval,
+                    meta,
+                    payload,
+                }) = Request::decode(&record.body)
+                else {
+                    continue;
+                };
+                if class != S::CLASS.tag() {
+                    return Err(cross_class_replay::<S>(class));
+                }
+                let Ok(records) = S::decode_records(&payload, id, meta) else {
+                    continue;
+                };
+                let block = match interval {
+                    Some(iv) => Block::with_interval(id, iv, records),
+                    None => Block::new(id, records),
+                };
+                pending.push((id, block));
             }
             if let Some(seq) = report.next_seq() {
                 next_seq = seq;
@@ -522,9 +553,9 @@ pub fn recover_sharded(root: &Path, config: &ServeConfig) -> Result<RecoveredSha
         }
         let live_path = wal::wal_file_path(&lane, live_gen);
         writers.push(if live_exists {
-            WalWriter::open_after_recovery(&live_path, live_valid_len, next_seq)?
+            WalWriter::open_after_recovery(&live_path, live_valid_len, next_seq, S::CLASS.tag())?
         } else {
-            WalWriter::create(&live_path, next_seq)?
+            WalWriter::create(&live_path, next_seq, S::CLASS.tag())?
         });
         max_gen = max_gen.max(live_gen);
     }
@@ -555,7 +586,11 @@ pub fn recover_sharded(root: &Path, config: &ServeConfig) -> Result<RecoveredSha
 /// lane (fsync) before applying, publishes a fresh replica after every
 /// applied block, then answers the parked connection — so an ack means
 /// durable, applied, *and* visible to every subsequent query.
-pub fn sequencer_loop(shared: &Arc<ShardShared>, mut state: ShardSet, mut wal: Option<ShardWal>) {
+pub fn sequencer_loop<S: ShardableModel>(
+    shared: &Arc<ShardShared<S>>,
+    mut state: ShardSet<S>,
+    mut wal: Option<ShardWal<S>>,
+) {
     let mut epoch = shared.replica.load().epoch;
     let mut poisoned = false;
     while let Some(job) = shared.queue.next_job() {
@@ -569,13 +604,25 @@ pub fn sequencer_loop(shared: &Arc<ShardShared>, mut state: ShardSet, mut wal: O
                 if let Some(w) = wal.as_mut() {
                     let duplicate = w.last_id.is_some_and(|last| id.value() <= last);
                     if !duplicate {
-                        let body = Request::IngestBlock {
-                            n_items: shared.n_items,
-                            block: block.clone(),
-                        }
-                        .encode();
-                        if let Err(e) = w.writers[s].append(&body) {
-                            wal_failure = Some(WireError::Io(format!("wal append: {e}")));
+                        match S::encode_records(&block) {
+                            Ok(payload) => {
+                                let body = Request::IngestBlock {
+                                    class: S::CLASS.tag(),
+                                    id,
+                                    interval: block.interval(),
+                                    meta: shared.meta,
+                                    payload,
+                                }
+                                .encode();
+                                if let Err(e) = w.writers[s].append(&body) {
+                                    wal_failure =
+                                        Some(WireError::Io(format!("wal append: {e}")));
+                                }
+                            }
+                            Err(e) => {
+                                wal_failure =
+                                    Some(WireError::Other(format!("wal encode: {e}")));
+                            }
                         }
                     }
                 }
@@ -620,9 +667,9 @@ pub fn sequencer_loop(shared: &Arc<ShardShared>, mut state: ShardSet, mut wal: O
             ShardJob::Snapshot { dir, done } => {
                 let response = match state
                     .merged_maintainer()
-                    .and_then(|m| save_store_atomic(m.store(), Path::new(&dir)).map(|()| m))
+                    .and_then(|m| S::save_snapshot(&m, Path::new(&dir)))
                 {
-                    Ok(m) => Response::SnapshotDone(m.store().len() as u64),
+                    Ok(blocks) => Response::SnapshotDone(blocks),
                     Err(DemonError::Io(e)) => {
                         Response::Err(WireError::Io(format!("snapshot to {dir}: {e}")))
                     }
@@ -635,19 +682,18 @@ pub fn sequencer_loop(shared: &Arc<ShardShared>, mut state: ShardSet, mut wal: O
 }
 
 /// Builds and flips the replica; updates the imbalance gauge.
-fn publish(shared: &Arc<ShardShared>, state: &ShardSet, epoch: u64) {
-    if let Ok(replica) = state.replica(epoch) {
-        let max = replica.shard_blocks.iter().copied().max().unwrap_or(0);
-        let min = replica.shard_blocks.iter().copied().min().unwrap_or(0);
-        obs::record_max(Counter::ServeShardImbalance, max - min);
-        shared.replica.store(replica);
-    }
+fn publish<S: ShardableModel>(shared: &Arc<ShardShared<S>>, state: &ShardSet<S>, epoch: u64) {
+    let replica = state.replica(epoch);
+    let max = replica.shard_blocks.iter().copied().max().unwrap_or(0);
+    let min = replica.shard_blocks.iter().copied().min().unwrap_or(0);
+    obs::record_max(Counter::ServeShardImbalance, max - min);
+    shared.replica.store(replica);
 }
 
 /// Rotates every lane to `gen+1` once the lanes' combined live bytes
 /// cross the threshold, then hands the merged store to the compactor.
 /// Skipped while a compaction is in flight.
-fn maybe_rotate(w: &mut ShardWal, state: &ShardSet) {
+fn maybe_rotate<S: ShardableModel>(w: &mut ShardWal<S>, state: &ShardSet<S>) {
     let total: u64 = w.writers.iter().map(WalWriter::bytes).sum();
     if total < w.max_bytes {
         return;
@@ -659,7 +705,11 @@ fn maybe_rotate(w: &mut ShardWal, state: &ShardSet) {
     let mut rotated = Vec::with_capacity(w.writers.len());
     for (s, writer) in w.writers.iter().enumerate() {
         let lane = shard_lane_dir(&w.root, s);
-        match WalWriter::create(&wal::wal_file_path(&lane, next_gen), writer.next_seq()) {
+        match WalWriter::create(
+            &wal::wal_file_path(&lane, next_gen),
+            writer.next_seq(),
+            S::CLASS.tag(),
+        ) {
             Ok(next) => rotated.push(next),
             Err(_) => {
                 // Abort the whole rotation: keep appending to the old
@@ -683,15 +733,15 @@ fn maybe_rotate(w: &mut ShardWal, state: &ShardSet) {
 
 /// The sharded compactor: save the merged snapshot atomically, flip the
 /// root `CURRENT`, delete shadowed lane generations and snapshots.
-fn shard_compactor_loop(
+fn shard_compactor_loop<S: ShardableModel>(
     root: &Path,
     n_shards: usize,
     compacting: &Arc<AtomicBool>,
-    rx: &mpsc::Receiver<(u64, ItemsetMaintainer)>,
+    rx: &mpsc::Receiver<(u64, S::Maintainer)>,
 ) {
     while let Ok((gen, merged)) = rx.recv() {
         let result: Result<()> = (|| {
-            save_store_atomic(merged.store(), &wal::snapshot_dir_path(root, gen))?;
+            S::save_snapshot(&merged, &wal::snapshot_dir_path(root, gen))?;
             crash_point("mid_compaction");
             wal::write_current(root, gen)?;
             Ok(())
@@ -722,26 +772,26 @@ fn shard_compactor_loop(
 }
 
 /// A bound sharded daemon, ready to run.
-pub struct ShardedServer {
-    shared: Arc<ShardShared>,
+pub struct ShardedServer<S: ShardableModel> {
+    shared: Arc<ShardShared<S>>,
     listener: TcpListener,
-    state: ShardSet,
-    wal: Option<ShardWal>,
-    compact_rx: Option<mpsc::Receiver<(u64, ItemsetMaintainer)>>,
+    state: ShardSet<S>,
+    wal: Option<ShardWal<S>>,
+    compact_rx: Option<mpsc::Receiver<(u64, S::Maintainer)>>,
     workers: usize,
     wal_root: Option<PathBuf>,
 }
 
-impl ShardedServer {
+impl<S: ShardableModel> ShardedServer<S> {
     /// Binds the listener and rebuilds the sharded state (recovering
     /// from the per-shard WAL lanes when durable).
-    pub fn bind(config: &ServeConfig) -> Result<ShardedServer> {
+    pub fn bind(config: &ServeConfig) -> Result<ShardedServer<S>> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let (state, wal, compact_rx, wal_root) = match &config.wal_dir {
-            None => (ShardSet::new(config)?, None, None, None),
+            None => (ShardSet::<S>::new(config)?, None, None, None),
             Some(root) => {
-                let recovered = recover_sharded(root, config)?;
+                let recovered = recover_sharded::<S>(root, config)?;
                 let (tx, rx) = mpsc::channel();
                 let wal = ShardWal {
                     root: root.clone(),
@@ -755,7 +805,7 @@ impl ShardedServer {
                 (recovered.state, Some(wal), Some(rx), Some(root.clone()))
             }
         };
-        let replica = state.replica(0)?;
+        let replica = state.replica(0);
         let blocks = replica.blocks;
         let shared = Arc::new(ShardShared {
             replica: ReplicaCell::new(replica),
@@ -765,7 +815,7 @@ impl ShardedServer {
             requests: AtomicU64::new(0),
             blocks: AtomicU64::new(blocks),
             addr,
-            n_items: config.n_items,
+            meta: S::block_meta(config),
             n_shards: config.shards,
             io_timeout: config.io_timeout,
             queue_timeout: config.queue_timeout,
@@ -809,7 +859,7 @@ impl ShardedServer {
             handles.push(
                 std::thread::Builder::new()
                     .name("serve-compactor".to_string())
-                    .spawn(move || shard_compactor_loop(&root, n_shards, &flag, &rx))?,
+                    .spawn(move || shard_compactor_loop::<S>(&root, n_shards, &flag, &rx))?,
             );
         }
         {
@@ -843,7 +893,7 @@ impl ShardedServer {
 /// `shard_blocks`, and `shard_queue_depths`, then the obs counter table.
 /// The shard keys deliberately sit *after* `"blocks"` so gauge parsers
 /// keyed on the first `"blocks":` match keep working.
-pub fn sharded_stats_json(shared: &ShardShared) -> String {
+pub fn sharded_stats_json<S: ServableModel>(shared: &ShardShared<S>) -> String {
     let replica = shared.replica.load();
     let shard_blocks: Vec<String> = replica
         .shard_blocks

@@ -73,6 +73,10 @@ impl FrameClass {
     pub const WAL: FrameClass = FrameClass(*b"WL");
     /// The WAL directory's `CURRENT` pointer naming the live generation.
     pub const WAL_CURRENT: FrameClass = FrameClass(*b"CG");
+
+    /// The block manifest of a generic (non-itemset) serving snapshot
+    /// directory: model-class tag + covered block ids.
+    pub const SNAP_MANIFEST: FrameClass = FrameClass(*b"SM");
 }
 
 impl std::fmt::Display for FrameClass {

@@ -45,6 +45,25 @@ pub enum DemonError {
         /// What exactly was wrong, including the offset when known.
         detail: String,
     },
+    /// An operation that needs an exact shard merge was requested for a
+    /// model class that does not provide one (`--shards ≥ 2` with a
+    /// maintainer outside the `ShardableModel` subtrait). A typed error
+    /// instead of a silently wrong merged model, mirroring how the
+    /// `--window` restriction is surfaced.
+    ShardsUnsupported {
+        /// The model class that lacks an exact shard merge.
+        class: &'static str,
+    },
+    /// A model-class tag on a WAL record, wire request, or snapshot did
+    /// not match the class the daemon maintains — e.g. replaying an
+    /// itemset WAL into a `--model clusters` daemon.
+    ModelClassMismatch {
+        /// The class the daemon maintains (its CLI name).
+        expected: String,
+        /// The class the artifact carries (CLI name, or `class tag <n>`
+        /// for unknown tags).
+        got: String,
+    },
     /// A persisted file's payload does not match its recorded checksum.
     ChecksumMismatch {
         /// The offending file (path or logical name).
@@ -75,6 +94,16 @@ impl fmt::Display for DemonError {
             ),
             DemonError::Io(e) => write!(f, "i/o error: {e}"),
             DemonError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            DemonError::ShardsUnsupported { class } => write!(
+                f,
+                "sharded serving (--shards ≥ 2) requires an exact shard merge, \
+                 which model class {class} does not provide; use --shards 1"
+            ),
+            DemonError::ModelClassMismatch { expected, got } => write!(
+                f,
+                "model class mismatch: this daemon maintains {expected}, but the \
+                 payload is tagged {got}"
+            ),
             DemonError::Corrupt { file, detail } => {
                 write!(f, "corrupt file {file}: {detail}")
             }

@@ -72,6 +72,7 @@ mod error;
 pub mod hash;
 mod item;
 mod itemset;
+mod model_class;
 pub mod obs;
 pub mod parallel;
 mod point;
@@ -86,6 +87,7 @@ pub use error::DemonError;
 pub use hash::{FastMap, FastSet};
 pub use item::Item;
 pub use itemset::ItemSet;
+pub use model_class::ModelClass;
 pub use point::Point;
 pub use support::MinSupport;
 pub use timestamp::{BlockInterval, Timestamp};

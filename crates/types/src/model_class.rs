@@ -1,0 +1,97 @@
+//! The model-class tag shared by the WAL, the wire protocol, and the
+//! serving daemon.
+//!
+//! DEMON is generic over the maintained model class (§3.2: GEMM works
+//! for "any class of data mining models"), and so is the serving stack:
+//! one daemon binary serves frequent itemsets, BIRCH+ cluster trees, or
+//! classification trees depending on `--model`. Every durable or
+//! wire-visible artifact that embeds model-specific bytes — WAL records,
+//! `IngestBlock` requests, snapshot manifests — carries a one-byte
+//! [`ModelClass`] tag so a daemon can *reject* foreign payloads with a
+//! typed error instead of misinterpreting them.
+//!
+//! Tag values are part of the on-disk format and must never be reused.
+
+use std::fmt;
+
+/// The class of model a daemon maintains and its artifacts encode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ModelClass {
+    /// Frequent itemsets maintained by BORDERS (`ItemsetMaintainer`).
+    Itemsets = 1,
+    /// BIRCH+ CF-trees over point blocks (`ClusterMaintainer`).
+    Clusters = 2,
+    /// Refit decision trees over labeled blocks (`TreeMaintainer`).
+    Trees = 3,
+}
+
+impl ModelClass {
+    /// Every model class, in tag order.
+    pub const ALL: [ModelClass; 3] =
+        [ModelClass::Itemsets, ModelClass::Clusters, ModelClass::Trees];
+
+    /// The one-byte wire/WAL tag.
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire/WAL tag. Unknown tags are `None` — callers turn
+    /// that into a typed corruption or mismatch error naming the byte.
+    pub fn from_tag(tag: u8) -> Option<ModelClass> {
+        match tag {
+            1 => Some(ModelClass::Itemsets),
+            2 => Some(ModelClass::Clusters),
+            3 => Some(ModelClass::Trees),
+            _ => None,
+        }
+    }
+
+    /// The CLI / stats-JSON name (`itemsets`, `clusters`, `trees`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelClass::Itemsets => "itemsets",
+            ModelClass::Clusters => "clusters",
+            ModelClass::Trees => "trees",
+        }
+    }
+
+    /// Parses a CLI name, case-sensitively.
+    pub fn parse(s: &str) -> Option<ModelClass> {
+        ModelClass::ALL.into_iter().find(|c| c.name() == s)
+    }
+
+    /// Renders a possibly-unknown tag for error messages: the class name
+    /// when the tag is known, `class tag <n>` otherwise.
+    pub fn describe_tag(tag: u8) -> String {
+        match ModelClass::from_tag(tag) {
+            Some(c) => c.name().to_string(),
+            None => format!("class tag {tag}"),
+        }
+    }
+}
+
+impl fmt::Display for ModelClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip_and_unknowns_are_rejected() {
+        for class in ModelClass::ALL {
+            assert_eq!(ModelClass::from_tag(class.tag()), Some(class));
+            assert_eq!(ModelClass::parse(class.name()), Some(class));
+            assert_eq!(class.to_string(), class.name());
+        }
+        assert_eq!(ModelClass::from_tag(0), None);
+        assert_eq!(ModelClass::from_tag(9), None);
+        assert_eq!(ModelClass::parse("Itemsets"), None);
+        assert_eq!(ModelClass::describe_tag(2), "clusters");
+        assert_eq!(ModelClass::describe_tag(7), "class tag 7");
+    }
+}

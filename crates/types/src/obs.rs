@@ -149,11 +149,15 @@ pub enum Counter {
     /// the emptiest serving shard (recorded with [`record_max`], not
     /// accumulated) — the router's imbalance gauge.
     ServeShardImbalance,
+    /// Replica model-JSON renders performed lazily on the first
+    /// `QueryModel` hit of an epoch (replicas are published with the
+    /// JSON deferred; epochs nobody queries never pay the render).
+    ServeReplicaLazyRenders,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 41] = [
+    pub const ALL: [Counter; 42] = [
         Counter::CandidatesProbed,
         Counter::Intersections,
         Counter::IntersectMerge,
@@ -195,6 +199,7 @@ impl Counter {
         Counter::ServeShardQueries,
         Counter::ServeReplicaSwaps,
         Counter::ServeShardImbalance,
+        Counter::ServeReplicaLazyRenders,
     ];
 
     /// The snake_case name used in `--stats` tables, JSONL events and
@@ -242,6 +247,7 @@ impl Counter {
             Counter::ServeShardQueries => "serve.shard.queries",
             Counter::ServeReplicaSwaps => "serve.shard.replica_swaps",
             Counter::ServeShardImbalance => "serve.shard.imbalance",
+            Counter::ServeReplicaLazyRenders => "serve.replica_lazy_renders",
         }
     }
 }

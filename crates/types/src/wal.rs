@@ -4,19 +4,25 @@
 //! A WAL file (`wal-<gen>.log`) is a back-to-back sequence of framed
 //! records, each one a standard [`crate::durable`] frame of class
 //! [`FrameClass::WAL`] whose payload opens with an 8-byte little-endian
-//! sequence number followed by an opaque body (for `demon-serve`, the
-//! encoded `IngestBlock` request):
+//! sequence number and a one-byte model-class tag (a
+//! [`crate::ModelClass`] tag value), followed by an opaque body (for
+//! `demon-serve`, the encoded `IngestBlock` request):
 //!
 //! ```text
-//! ┌────────────── frame (durable.rs layout, class "WL") ──────────────┐
-//! │ magic ─ version ─ "WL" ─ payload len ─ CRC32 │ seq u64 LE │ body  │
-//! └───────────────────────────────────────────────────────────────────┘
+//! ┌──────────────── frame (durable.rs layout, class "WL") ────────────────┐
+//! │ magic ─ version ─ "WL" ─ payload len ─ CRC32 │ seq u64 │ class │ body │
+//! └───────────────────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! The model-class byte lets recovery and `demon-cli verify` *reject*
+//! cross-class replay (an itemset WAL fed to a `--model clusters`
+//! daemon) instead of misinterpreting the body bytes.
 //!
 //! The reader is **salvage-by-construction**: it walks records from the
 //! start and stops at the first defect — truncated header, bad magic,
 //! impossible length, checksum mismatch, short payload, out-of-order
-//! sequence number. Everything before the defect is a *clean prefix* of
+//! sequence number, mid-file model-class change. Everything before the
+//! defect is a *clean prefix* of
 //! intact records; everything at and after it is the *torn tail*, which
 //! the caller drops (a record missing its fsync was by definition never
 //! acked). [`WalWriter::open_after_recovery`] truncates the file back
@@ -43,6 +49,9 @@ use std::path::{Path, PathBuf};
 
 /// Length of the sequence-number header opening every record payload.
 pub const WAL_SEQ_LEN: usize = 8;
+
+/// Length of the full record header (sequence number + model-class tag).
+pub const WAL_RECORD_HEADER_LEN: usize = WAL_SEQ_LEN + 1;
 
 /// Name of the generation pointer file inside a WAL directory.
 pub const CURRENT_FILE: &str = "CURRENT";
@@ -113,10 +122,11 @@ pub fn write_current(dir: &Path, gen: u64) -> Result<()> {
 }
 
 /// Encodes one WAL record: a [`FrameClass::WAL`] frame whose payload is
-/// `seq` (u64 LE) followed by `body`.
-pub fn encode_wal_record(seq: u64, body: &[u8]) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(WAL_SEQ_LEN + body.len());
+/// `seq` (u64 LE), then the model-class tag byte `class`, then `body`.
+pub fn encode_wal_record(seq: u64, class: u8, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(WAL_RECORD_HEADER_LEN + body.len());
     payload.extend_from_slice(&seq.to_le_bytes());
+    payload.push(class);
     payload.extend_from_slice(body);
     let (bytes, _) = encode_frame(FrameClass::WAL, &payload);
     bytes
@@ -128,6 +138,10 @@ pub struct WalRecord {
     /// The record's sequence number (monotonically increasing across the
     /// whole WAL chain, +1 per record within a file).
     pub seq: u64,
+    /// The model-class tag ([`crate::ModelClass::tag`]) the writing
+    /// daemon stamped on the record. Recovery refuses records whose
+    /// class differs from the daemon's own.
+    pub class: u8,
     /// The opaque record body (for `demon-serve`, an encoded
     /// `IngestBlock` request payload).
     pub body: Vec<u8>,
@@ -186,10 +200,10 @@ pub fn decode_wal_records(bytes: &[u8], source: &str) -> WalReadReport {
             report.torn = Some(format!("record at offset {off}: {e}"));
             break;
         }
-        if payload.len() < WAL_SEQ_LEN {
+        if payload.len() < WAL_RECORD_HEADER_LEN {
             report.torn = Some(format!(
-                "record at offset {off}: payload too short for a sequence header \
-                 ({} of {WAL_SEQ_LEN} bytes)",
+                "record at offset {off}: payload too short for a record header \
+                 ({} of {WAL_RECORD_HEADER_LEN} bytes)",
                 payload.len()
             ));
             break;
@@ -199,6 +213,7 @@ pub fn decode_wal_records(bytes: &[u8], source: &str) -> WalReadReport {
                 .try_into()
                 .unwrap_or([0; WAL_SEQ_LEN]),
         );
+        let class = payload[WAL_SEQ_LEN];
         if let Some(last) = report.records.last() {
             if seq != last.seq + 1 {
                 report.torn = Some(format!(
@@ -207,10 +222,19 @@ pub fn decode_wal_records(bytes: &[u8], source: &str) -> WalReadReport {
                 ));
                 break;
             }
+            if class != last.class {
+                report.torn = Some(format!(
+                    "record at offset {off}: model class changed from {} to {}",
+                    crate::ModelClass::describe_tag(last.class),
+                    crate::ModelClass::describe_tag(class)
+                ));
+                break;
+            }
         }
         report.records.push(WalRecord {
             seq,
-            body: payload[WAL_SEQ_LEN..].to_vec(),
+            class,
+            body: payload[WAL_RECORD_HEADER_LEN..].to_vec(),
         });
         off += FRAME_HEADER_LEN + payload_len;
         report.valid_len = off as u64;
@@ -240,13 +264,15 @@ pub struct WalWriter {
     path: PathBuf,
     bytes: u64,
     next_seq: u64,
+    class: u8,
 }
 
 impl WalWriter {
     /// Creates a fresh (empty) WAL file whose first record will carry
-    /// sequence number `next_seq`. The file itself and its directory
-    /// entry are fsynced so the empty log survives a crash.
-    pub fn create(path: &Path, next_seq: u64) -> Result<WalWriter> {
+    /// sequence number `next_seq`; every record is stamped with the
+    /// model-class tag `class`. The file itself and its directory entry
+    /// are fsynced so the empty log survives a crash.
+    pub fn create(path: &Path, next_seq: u64, class: u8) -> Result<WalWriter> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         file.set_len(0)?;
         file.sync_all()?;
@@ -257,13 +283,19 @@ impl WalWriter {
             path: path.to_path_buf(),
             bytes: 0,
             next_seq,
+            class,
         })
     }
 
     /// Reopens an existing WAL file after recovery: the torn tail (if
     /// any) is truncated away at `valid_len`, and appending resumes with
-    /// sequence number `next_seq`.
-    pub fn open_after_recovery(path: &Path, valid_len: u64, next_seq: u64) -> Result<WalWriter> {
+    /// sequence number `next_seq` and model-class tag `class`.
+    pub fn open_after_recovery(
+        path: &Path,
+        valid_len: u64,
+        next_seq: u64,
+        class: u8,
+    ) -> Result<WalWriter> {
         let file = OpenOptions::new().append(true).open(path)?;
         file.set_len(valid_len)?;
         file.sync_all()?;
@@ -273,22 +305,39 @@ impl WalWriter {
             path: path.to_path_buf(),
             bytes: valid_len,
             next_seq,
+            class,
         })
     }
 
     /// Appends one record and **fsyncs** it. Returns the record's
     /// sequence number. On `Ok`, the record is durable.
     pub fn append(&mut self, body: &[u8]) -> Result<u64> {
+        let seq = self.append_unsynced(body)?;
+        self.sync()?;
+        Ok(seq)
+    }
+
+    /// Appends one record **without** fsyncing — the group-commit half
+    /// of [`WalWriter::append`]. The record is NOT durable until a
+    /// subsequent [`WalWriter::sync`] returns `Ok`; callers must not ack
+    /// before that covering fsync.
+    pub fn append_unsynced(&mut self, body: &[u8]) -> Result<u64> {
         let seq = self.next_seq;
-        let record = encode_wal_record(seq, body);
+        let record = encode_wal_record(seq, self.class, body);
         self.file.write_all(&record)?;
-        self.file.sync_all()?;
         self.bytes += record.len() as u64;
         self.next_seq = seq + 1;
         obs::incr(Counter::WalAppends);
         obs::add(Counter::WalBytes, record.len() as u64);
-        obs::incr(Counter::WalFsyncs);
         Ok(seq)
+    }
+
+    /// fsyncs everything appended so far — one call covers every prior
+    /// [`WalWriter::append_unsynced`].
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_all()?;
+        obs::incr(Counter::WalFsyncs);
+        Ok(())
     }
 
     /// Bytes currently in the file (clean prefix + everything appended
@@ -300,6 +349,11 @@ impl WalWriter {
     /// The sequence number the next [`WalWriter::append`] will use.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// The model-class tag stamped on every record this writer appends.
+    pub fn class(&self) -> u8 {
+        self.class
     }
 
     /// The file this writer appends to.
@@ -322,6 +376,9 @@ fn sync_parent(path: &Path) {
 mod tests {
     use super::*;
 
+    /// The model-class tag stamped on test records.
+    const CLASS: u8 = 1;
+
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("demon-wal-{name}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -336,11 +393,12 @@ mod tests {
     fn writer_and_reader_roundtrip() {
         let dir = tmp("roundtrip");
         let path = wal_file_path(&dir, 0);
-        let mut w = WalWriter::create(&path, 10).unwrap();
+        let mut w = WalWriter::create(&path, 10, CLASS).unwrap();
         for body in bodies() {
             w.append(&body).unwrap();
         }
         assert_eq!(w.next_seq(), 15);
+        assert_eq!(w.class(), CLASS);
         let report = read_wal(&path).unwrap();
         assert!(report.torn.is_none(), "{:?}", report.torn);
         assert_eq!(report.records.len(), 5);
@@ -348,9 +406,39 @@ mod tests {
         assert_eq!(report.next_seq(), Some(15));
         for (i, r) in report.records.iter().enumerate() {
             assert_eq!(r.seq, 10 + i as u64);
+            assert_eq!(r.class, CLASS);
             assert_eq!(r.body, bodies()[i]);
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_appends_are_durable_after_the_covering_sync() {
+        let dir = tmp("group");
+        let path = wal_file_path(&dir, 0);
+        let mut w = WalWriter::create(&path, 0, CLASS).unwrap();
+        for body in bodies() {
+            w.append_unsynced(&body).unwrap();
+        }
+        w.sync().unwrap();
+        let report = read_wal(&path).unwrap();
+        assert!(report.torn.is_none(), "{:?}", report.torn);
+        assert_eq!(report.records.len(), 5);
+        assert_eq!(report.next_seq(), Some(5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_file_class_change_tears_the_tail() {
+        let mut file = Vec::new();
+        file.extend_from_slice(&encode_wal_record(0, 1, b"a"));
+        file.extend_from_slice(&encode_wal_record(1, 1, b"b"));
+        file.extend_from_slice(&encode_wal_record(2, 2, b"c")); // foreign class
+        let report = decode_wal_records(&file, "t");
+        assert_eq!(report.records.len(), 2);
+        let torn = report.torn.unwrap();
+        assert!(torn.contains("model class changed"), "{torn}");
+        assert!(torn.contains("itemsets") && torn.contains("clusters"), "{torn}");
     }
 
     #[test]
@@ -358,7 +446,7 @@ mod tests {
         let mut file = Vec::new();
         let mut ends = vec![0usize]; // byte length after each whole record
         for (i, body) in bodies().iter().enumerate() {
-            file.extend_from_slice(&encode_wal_record(i as u64, body));
+            file.extend_from_slice(&encode_wal_record(i as u64, CLASS, body));
             ends.push(file.len());
         }
         for cut in 0..=file.len() {
@@ -380,7 +468,7 @@ mod tests {
         let mut file = Vec::new();
         let mut ends = vec![0usize];
         for (i, body) in bodies().iter().enumerate() {
-            file.extend_from_slice(&encode_wal_record(i as u64, body));
+            file.extend_from_slice(&encode_wal_record(i as u64, CLASS, body));
             ends.push(file.len());
         }
         for i in 0..file.len() {
@@ -412,9 +500,9 @@ mod tests {
     #[test]
     fn out_of_sequence_records_tear_the_tail() {
         let mut file = Vec::new();
-        file.extend_from_slice(&encode_wal_record(3, b"a"));
-        file.extend_from_slice(&encode_wal_record(4, b"b"));
-        file.extend_from_slice(&encode_wal_record(9, b"c")); // gap
+        file.extend_from_slice(&encode_wal_record(3, CLASS, b"a"));
+        file.extend_from_slice(&encode_wal_record(4, CLASS, b"b"));
+        file.extend_from_slice(&encode_wal_record(9, CLASS, b"c")); // gap
         let report = decode_wal_records(&file, "t");
         assert_eq!(report.records.len(), 2);
         assert!(report.torn.unwrap().contains("sequence jumped"));
@@ -424,7 +512,7 @@ mod tests {
     fn recovery_truncates_the_torn_tail_before_appending() {
         let dir = tmp("recover");
         let path = wal_file_path(&dir, 1);
-        let mut w = WalWriter::create(&path, 0).unwrap();
+        let mut w = WalWriter::create(&path, 0, CLASS).unwrap();
         w.append(b"first").unwrap();
         w.append(b"second").unwrap();
         drop(w);
@@ -437,7 +525,7 @@ mod tests {
         assert_eq!(report.records.len(), 1);
         assert!(report.torn.is_some());
         let mut w =
-            WalWriter::open_after_recovery(&path, report.valid_len, report.next_seq().unwrap())
+            WalWriter::open_after_recovery(&path, report.valid_len, report.next_seq().unwrap(), CLASS)
                 .unwrap();
         w.append(b"third").unwrap();
         let healed = read_wal(&path).unwrap();
@@ -479,7 +567,7 @@ mod tests {
         let dir = tmp("list");
         assert!(list_wal_generations(&dir.join("absent")).unwrap().is_empty());
         for gen in [3u64, 1, 2] {
-            WalWriter::create(&wal_file_path(&dir, gen), 0).unwrap();
+            WalWriter::create(&wal_file_path(&dir, gen), 0, CLASS).unwrap();
         }
         std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
         assert_eq!(list_wal_generations(&dir).unwrap(), vec![1, 2, 3]);
@@ -490,7 +578,7 @@ mod tests {
     fn empty_wal_file_is_a_clean_empty_prefix() {
         let dir = tmp("empty");
         let path = wal_file_path(&dir, 0);
-        WalWriter::create(&path, 0).unwrap();
+        WalWriter::create(&path, 0, CLASS).unwrap();
         let report = read_wal(&path).unwrap();
         assert!(report.records.is_empty());
         assert!(report.torn.is_none());

@@ -8,8 +8,8 @@
 //! demon-cli mine     <store> --minsup 0.01 [--rules 0.8 --top 20] [--salvage]
 //! demon-cli monitor  <store> --minsup 0.01 [--window 4] [--bss 1011] [--counter ecut+] [--salvage]
 //! demon-cli patterns <store> [--alpha 0.12] [--min-len 4] [--window N]
-//! demon-cli serve    --listen 127.0.0.1:7677 --items 1000 --minsup 0.01 [--workers 4]
-//! demon-cli client   <addr> ingest <store> | query-model | sequences | stats | snapshot <dir> | shutdown
+//! demon-cli serve    --listen 127.0.0.1:7677 --model itemsets --items 1000 --minsup 0.01 [--workers 4]
+//! demon-cli client   <addr> ingest <store> | ingest-points | ingest-labeled | query-model | sequences | stats | snapshot <dir> | shutdown
 //! ```
 //!
 //! Stores are directories in the `demon_itemsets::persist` layout;
@@ -23,7 +23,10 @@
 //! clients query the live model, the compact pattern sequences and the
 //! stats table; `client` drives it. `client query-model` prints exactly
 //! what `mine` prints for the same stream — the serving path is
-//! byte-compatible with the batch path.
+//! byte-compatible with the batch path. `--model clusters|trees` serves
+//! BIRCH+ clusters or windowed decision trees instead of itemsets;
+//! `client ingest-points` / `ingest-labeled` stream deterministic
+//! Gaussian blocks to those daemons.
 //!
 //! `--threads N` (any command) sets the process-wide thread count of the
 //! parallel mining paths; `0` or omitting it means one thread per core.
@@ -44,7 +47,7 @@ use demon::core::engine::UwEngine;
 use demon::core::report;
 use demon::core::{Gemm, ItemsetMaintainer};
 use demon::datagen::webtrace::{self, WebTraceConfig, WebTraceGen};
-use demon::datagen::{QuestGen, QuestParams};
+use demon::datagen::{ClusterDataGen, ClusterParams, QuestGen, QuestParams};
 use demon::focus::{
     CompactSequenceMiner, ItemsetSimilarity, SimilarityConfig, WindowedCompactMiner,
 };
@@ -54,8 +57,9 @@ use demon::itemsets::persist::{
 use demon::itemsets::{derive_rules, BlockRef, CounterKind, FrequentItemsets, TxStore};
 use demon::serve::{Client, ServeConfig, Server};
 use demon::store::StoreConfig;
+use demon::trees::LabeledPoint;
 use demon::types::{obs, wal, DemonError};
-use demon::types::{Block, BlockId, MinSupport, Timestamp, TxBlock};
+use demon::types::{Block, BlockId, MinSupport, ModelClass, Timestamp, TxBlock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -72,12 +76,15 @@ USAGE:
   demon-cli mine     STORE --minsup F [--rules F] [--top N] [--salvage]
   demon-cli monitor  STORE --minsup F [--window N] [--bss BITS] [--counter KIND] [--salvage]
   demon-cli patterns STORE [--alpha F] [--min-len N] [--window N] [--salvage]
-  demon-cli serve    [--listen ADDR] [--items N] [--minsup F] [--counter KIND]
+  demon-cli serve    [--listen ADDR] [--model CLASS] [--items N] [--minsup F]
+                     [--counter KIND] [--dim N] [--k N] [--classes N]
                      [--window N] [--pattern-window N] [--alpha F] [--workers N]
                      [--shards N] [--queue N] [--queue-timeout-ms N] [--timeout-ms N]
-                     [--wal-dir DIR] [--wal-max-bytes N] [--no-wal]
+                     [--wal-dir DIR] [--wal-max-bytes N] [--no-wal] [--wal-group-commit]
   demon-cli client   ADDR ingest STORE [--salvage]
-  demon-cli client   ADDR query-model [--top N] [--json]
+  demon-cli client   ADDR ingest-points  [--spec S] [--blocks N] [--seed N]
+  demon-cli client   ADDR ingest-labeled [--spec S] [--blocks N] [--seed N]
+  demon-cli client   ADDR query-model [--top N] [--json] [--model CLASS]
   demon-cli client   ADDR sequences | stats | shutdown
   demon-cli client   ADDR snapshot DIR
 
@@ -88,6 +95,15 @@ SERVE:    serve runs the TCP monitoring daemon (default 127.0.0.1:7677;
           prints what mine prints (--json for the raw model), snapshot
           persists the monitored store server-side, shutdown drains the
           ingest queue and exits the daemon cleanly.
+MODEL:    --model itemsets|clusters|trees picks the served model class
+          (default itemsets, the legacy daemon). clusters maintains
+          BIRCH+ over point blocks (--dim, --k centroids); trees
+          maintains windowed decision trees over labeled points
+          (--dim, --classes labels). client ingest-points /
+          ingest-labeled stream deterministic Gaussian blocks (--spec
+          NM.Kc.dd, --seed) to such a daemon, and query-model --model
+          CLASS pins the class (the daemon refuses a mismatched class
+          with a typed error) and prints the raw model JSON.
 BSS:      a bit string like 1011; window-relative when --window is set,
           window-independent (periodic) otherwise.
 WAL:      --wal-dir DIR serves durably: every ingest is appended to a
@@ -96,12 +112,16 @@ WAL:      --wal-dir DIR serves durably: every ingest is appended to a
           torn final record is dropped, not fatal). --wal-max-bytes sets
           the log size that triggers background compaction (snapshot +
           log rotation, atomic); --no-wal disables durability even when
-          --wal-dir is present. verify also fscks a WAL directory.
+          --wal-dir is present. --wal-group-commit coalesces fsyncs
+          across queued blocks (acks still wait for the covering
+          fsync). verify also fscks a WAL directory.
 SHARDS:   --shards N (default 1) partitions the serving state into N
           shards (round-robin by block id) with per-shard WAL lanes and
           epoch-swapped query replicas; answers are byte-identical at
           any shard count. --shards 1 is the original single-lock
-          daemon; --window requires --shards 1.
+          daemon; --window requires --shards 1. Sharding needs an exact
+          shard merge, so --shards ≥ 2 is itemsets-only (a clusters or
+          trees daemon refuses it with a typed error).
 VERIFY:   re-checks every frame and checksum; exit status 1 on damage.
 SALVAGE:  --salvage loads a damaged store by quarantining corrupt files
           and keeping the longest consistent block prefix.
@@ -129,7 +149,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["salvage", "stats", "json", "no-wal"];
+const BOOL_FLAGS: &[&str] = &["salvage", "stats", "json", "no-wal", "wal-group-commit"];
 
 /// Splits arguments into positionals and `--flag value` pairs
 /// (boolean flags like `--salvage` take no value).
@@ -503,6 +523,15 @@ fn minsup_flag(flags: &HashMap<&str, &str>) -> Result<MinSupport, String> {
     MinSupport::new(kappa).map_err(|e| e.to_string())
 }
 
+fn model_flag(flags: &HashMap<&str, &str>) -> Result<Option<ModelClass>, String> {
+    match flags.get("model") {
+        None => Ok(None),
+        Some(v) => ModelClass::parse(v)
+            .map(Some)
+            .ok_or_else(|| format!("--model: unknown class {v:?} (itemsets | clusters | trees)")),
+    }
+}
+
 fn counter_flag(flags: &HashMap<&str, &str>) -> Result<CounterKind, String> {
     match flags.get("counter").copied().unwrap_or("ecut") {
         "ptscan" => Ok(CounterKind::PtScan),
@@ -730,6 +759,10 @@ fn serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
     let listen = flags.get("listen").copied().unwrap_or("127.0.0.1:7677");
     let items: u32 = flag_parse(flags, "items", 1000)?;
     let mut config = ServeConfig::new(listen, items, minsup_flag(flags)?);
+    config.model = model_flag(flags)?.unwrap_or(ModelClass::Itemsets);
+    config.dim = flag_parse(flags, "dim", config.dim)?;
+    config.k = flag_parse(flags, "k", config.k)?;
+    config.classes = flag_parse(flags, "classes", config.classes)?;
     config.counter = counter_flag(flags)?;
     config.window = match flags.get("window") {
         None => None,
@@ -757,6 +790,7 @@ fn serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
         config.wal_dir = flags.get("wal-dir").map(PathBuf::from);
     }
     config.wal_max_bytes = flag_parse(flags, "wal-max-bytes", config.wal_max_bytes)?;
+    config.wal_group_commit = flags.contains_key("wal-group-commit");
     let server = Server::bind(config).map_err(|e| format!("binding {listen}: {e}"))?;
     // Tests and scripts parse this line for the resolved ephemeral port.
     println!("demon-serve listening on {}", server.local_addr());
@@ -778,7 +812,7 @@ fn client(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String
     let verb = positional
         .get(2)
         .copied()
-        .ok_or_else(|| "client needs a verb (ingest | query-model | sequences | stats | snapshot | shutdown)".to_string())?;
+        .ok_or_else(|| "client needs a verb (ingest | ingest-points | ingest-labeled | query-model | sequences | stats | snapshot | shutdown)".to_string())?;
     let timeout = Duration::from_millis(flag_parse(flags, "timeout-ms", 30_000u64)?);
     let mut client = Client::connect_timeout(addr, timeout)
         .map_err(|e| format!("connecting to {addr}: {e}"))?;
@@ -815,14 +849,27 @@ fn client(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String
             }
             Ok(())
         }
+        "ingest-points" => ingest_synthetic(&mut client, flags, addr, false),
+        "ingest-labeled" => ingest_synthetic(&mut client, flags, addr, true),
         "query-model" => {
-            let json = client.query_model_json().map_err(|e| e.to_string())?;
-            if flags.contains_key("json") {
-                println!("{json}");
-            } else {
+            let class = model_flag(flags)?;
+            let json = match class {
+                // No --model: the legacy any-class query, answered by
+                // whatever the daemon serves.
+                None => client.query_model_json(),
+                Some(c) => client.query_model_json_for(c),
+            }
+            .map_err(|e| e.to_string())?;
+            // The itemset pretty-printer only makes sense for itemset
+            // JSON; a pinned clusters/trees model prints raw.
+            let pretty = !flags.contains_key("json")
+                && matches!(class, None | Some(ModelClass::Itemsets));
+            if pretty {
                 let model: FrequentItemsets = serde_json::from_str(&json)
                     .map_err(|e| format!("parsing served model: {e}"))?;
                 print_model(&model, flag_parse(flags, "top", 20)?);
+            } else {
+                println!("{json}");
             }
             Ok(())
         }
@@ -854,4 +901,58 @@ fn client(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String
         }
         other => Err(format!("unknown client verb {other:?}")),
     }
+}
+
+/// `client ADDR ingest-points | ingest-labeled` — streams blocks from
+/// the Gaussian cluster generator (the BIRCH experiments' data) into a
+/// clusters or trees daemon. `--spec NM.Kc.dd` fixes the ground truth,
+/// `--blocks` splits the points into that many blocks, and `--seed`
+/// makes reruns byte-identical — so re-streaming after a daemon restart
+/// is idempotent (duplicates are skipped), exactly like re-streaming a
+/// store.
+fn ingest_synthetic(
+    client: &mut Client,
+    flags: &HashMap<&str, &str>,
+    addr: &str,
+    labeled: bool,
+) -> Result<(), String> {
+    let spec = flags.get("spec").copied().unwrap_or("4K.4c.2d");
+    let n_blocks: u64 = flag_parse(flags, "blocks", 4)?;
+    let seed: u64 = flag_parse(flags, "seed", 1)?;
+    let params = ClusterParams::parse(spec, 1.0)?;
+    let per_block = (params.n_points / n_blocks as usize).max(1);
+    let dim = params.dim as u32;
+    let mut gen = ClusterDataGen::new(params, seed);
+    let mut sent = 0u64;
+    let mut skipped = 0u64;
+    for raw in 1..=n_blocks {
+        let id = BlockId(raw);
+        let outcome = if labeled {
+            let records = gen
+                .take_labeled(per_block)
+                .into_iter()
+                .map(|(point, label)| LabeledPoint { point, label })
+                .collect();
+            client.ingest_labeled(dim, &Block::new(id, records))
+        } else {
+            client.ingest_points(dim, &Block::new(id, gen.take_points(per_block)))
+        };
+        match outcome {
+            Ok(()) => {
+                sent += 1;
+                println!("ingested {id}: {per_block} points");
+            }
+            Err(DemonError::DuplicateBlock { .. }) => {
+                skipped += 1;
+                println!("skipped {id}: already applied");
+            }
+            Err(e) => return Err(format!("ingesting block {id}: {e}")),
+        }
+    }
+    if skipped > 0 {
+        println!("streamed {sent} blocks to {addr} ({skipped} already applied)");
+    } else {
+        println!("streamed {sent} blocks to {addr}");
+    }
+    Ok(())
 }

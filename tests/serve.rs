@@ -2,13 +2,18 @@
 //! over a real TCP socket must produce exactly the model the batch path
 //! produces, snapshots must be loadable, and shutdown must be clean.
 
+use demon::clustering::{phase2_model, BirchParams};
+use demon::core::{ClusterMaintainer, ModelMaintainer, TreeMaintainer};
 use demon::itemsets::persist::{
     load_store_configured, save_store, verify_store, RecoveryPolicy,
 };
 use demon::itemsets::{FrequentItemsets, TxStore};
-use demon::serve::{Client, ServeConfig, Server};
+use demon::serve::{Client, ClusterModel, ServableModel, ServeConfig, Server};
 use demon::store::StoreConfig;
-use demon::types::{Block, BlockId, MinSupport, Tid, Transaction, TxBlock};
+use demon::trees::{LabeledPoint, TreeParams};
+use demon::types::{
+    Block, BlockId, DemonError, MinSupport, ModelClass, Point, Tid, Transaction, TxBlock,
+};
 use std::io::BufRead;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -227,4 +232,222 @@ fn served_model_invariant_across_workers_and_memory_budget() {
         }
     }
     std::fs::remove_dir_all(&spill).ok();
+}
+
+// ---- the generic daemon: clusters and trees over the same socket ----
+
+const DIM: usize = 2;
+const K: usize = 4;
+const CLASSES: u32 = 2;
+
+/// A clusters daemon config over a 2-d stream with 4 centroids.
+fn cluster_config() -> ServeConfig {
+    let mut config = ServeConfig::new("127.0.0.1:0", N_ITEMS, MinSupport::new(MINSUP).unwrap());
+    config.model = ModelClass::Clusters;
+    config.dim = DIM;
+    config.k = K;
+    config
+}
+
+/// Deterministic point blocks: four tight groups on the diagonal with a
+/// small per-block jitter, so the CF-tree has real structure.
+fn golden_point_blocks() -> Vec<Block<Point>> {
+    (1..=4u64)
+        .map(|id| {
+            let pts = (0..60u64)
+                .map(|i| {
+                    let c = (i % 4) as f64 * 25.0;
+                    let j = ((id * 13 + i * 7) % 11) as f64 * 0.1;
+                    Point::new(vec![c + j, c - j])
+                })
+                .collect();
+            Block::new(BlockId(id), pts)
+        })
+        .collect()
+}
+
+/// The batch BIRCH+ pipeline over the golden points: register + absorb
+/// each block in stream order, then the phase-2 model as canonical JSON.
+fn batch_cluster_model_json() -> String {
+    let params = BirchParams::new(DIM, K);
+    let mut maintainer =
+        ClusterMaintainer::with_store_config(params, &StoreConfig::InMemory).unwrap();
+    let mut model = maintainer.fresh();
+    for block in golden_point_blocks() {
+        let id = block.id();
+        maintainer.register_block(block);
+        maintainer.absorb(&mut model, id);
+    }
+    serde_json::to_string(&phase2_model(&model, &params)).unwrap()
+}
+
+/// Deterministic labeled blocks: two well-separated classes with a
+/// per-block jitter, so the refitted tree actually splits.
+fn golden_labeled_blocks() -> Vec<Block<LabeledPoint>> {
+    (1..=3u64)
+        .map(|id| {
+            let recs = (0..40u64)
+                .map(|i| {
+                    let label = (i % 2) as u32;
+                    let base = f64::from(label) * 50.0;
+                    let j = ((id * 17 + i * 5) % 13) as f64 * 0.3;
+                    LabeledPoint::new(vec![base + j, base - j], label)
+                })
+                .collect();
+            Block::new(BlockId(id), recs)
+        })
+        .collect()
+}
+
+#[test]
+fn birch_daemon_matches_batch_and_snapshot_loads_strict() {
+    let dir = tmp("birch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = Server::bind(cluster_config()).expect("bind clusters daemon");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+    for block in golden_point_blocks() {
+        client.ingest_points(DIM as u32, &block).expect("ingest acked");
+    }
+
+    // The served cluster model is byte-identical to the batch BIRCH+
+    // pipeline over the same stream.
+    let served = client
+        .query_model_json_for(ModelClass::Clusters)
+        .expect("query-model");
+    assert_eq!(served, batch_cluster_model_json(), "served model diverged from batch");
+
+    // Class pinning is typed in both directions: a query pinned to the
+    // wrong class and an itemset ingest are both refused, and the
+    // connection survives.
+    let err = client.query_model_json_for(ModelClass::Trees).unwrap_err();
+    assert!(matches!(err, DemonError::ModelClassMismatch { .. }), "{err}");
+    let err = client.ingest(N_ITEMS, &golden_blocks()[0]).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("clusters") && msg.contains("itemsets"), "{msg}");
+
+    // A snapshot lands in the generic framed layout and loads strictly,
+    // record-identical to the stream.
+    let snap = dir.join("snap");
+    let n = client.snapshot(snap.to_str().unwrap()).expect("snapshot");
+    assert_eq!(n, 4);
+    let loaded = ClusterModel::load_snapshot(&snap, &cluster_config())
+        .expect("snapshot loads under Strict");
+    assert_eq!(loaded.len(), 4);
+    for (got, want) in loaded.iter().zip(golden_point_blocks()) {
+        assert_eq!(got.id(), want.id());
+        assert_eq!(got.records(), want.records());
+    }
+
+    client.shutdown().expect("shutdown");
+    let summary = handle.join().expect("server thread").expect("run ok");
+    assert_eq!(summary.blocks, 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tree_daemon_matches_batch_refit() {
+    let mut config = ServeConfig::new("127.0.0.1:0", N_ITEMS, MinSupport::new(MINSUP).unwrap());
+    config.model = ModelClass::Trees;
+    config.dim = DIM;
+    config.classes = CLASSES;
+    let server = Server::bind(config).expect("bind trees daemon");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+    for block in golden_labeled_blocks() {
+        client.ingest_labeled(DIM as u32, &block).expect("ingest acked");
+    }
+
+    let served = client
+        .query_model_json_for(ModelClass::Trees)
+        .expect("query-model");
+    let batch = {
+        let mut maintainer = TreeMaintainer::with_store_config(
+            DIM,
+            TreeParams::new(CLASSES),
+            &StoreConfig::InMemory,
+        )
+        .unwrap();
+        let mut model = maintainer.fresh();
+        for block in golden_labeled_blocks() {
+            let id = block.id();
+            maintainer.register_block(block);
+            maintainer.absorb(&mut model, id);
+        }
+        serde_json::to_string(&model).unwrap()
+    };
+    assert_eq!(served, batch, "served tree diverged from batch refit");
+
+    client.shutdown().expect("shutdown");
+    let summary = handle.join().expect("server thread").expect("run ok");
+    assert_eq!(summary.blocks, 3);
+}
+
+/// Sharding needs an exact merge; clusters and trees don't have one, so
+/// `--shards ≥ 2` is a typed refusal at bind time, not a wrong answer.
+#[test]
+fn sharding_is_refused_for_classes_without_exact_merge() {
+    for class in [ModelClass::Clusters, ModelClass::Trees] {
+        let mut config = cluster_config();
+        config.model = class;
+        config.classes = CLASSES;
+        config.shards = 4;
+        let err = match Server::bind(config) {
+            Ok(_) => panic!("bind must refuse --shards 4 for {}", class.name()),
+            Err(e) => e,
+        };
+        assert!(matches!(err, DemonError::ShardsUnsupported { .. }), "{err}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains(class.name()) && msg.contains("--shards 1"),
+            "{msg}"
+        );
+    }
+}
+
+/// WAL records carry the model class: a daemon of another class refuses
+/// to replay them (typed, at bind), while the rightful class recovers.
+#[test]
+fn cross_class_wal_replay_is_refused() {
+    let wal_dir = tmp("cross-class-wal");
+    std::fs::remove_dir_all(&wal_dir).ok();
+    let mut config = ServeConfig::new("127.0.0.1:0", N_ITEMS, MinSupport::new(MINSUP).unwrap());
+    config.wal_dir = Some(wal_dir.clone());
+    let server = Server::bind(config).expect("bind durable itemsets daemon");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+    for block in golden_blocks().into_iter().take(2) {
+        client.ingest(N_ITEMS, &block).expect("ingest acked");
+    }
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("run ok");
+
+    // A clusters daemon pointed at the itemset WAL refuses to start.
+    let mut config = cluster_config();
+    config.wal_dir = Some(wal_dir.clone());
+    let err = match Server::bind(config) {
+        Ok(_) => panic!("cross-class replay must be refused"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(&err, DemonError::ModelClassMismatch { expected, got }
+            if expected == "clusters" && got == "itemsets"),
+        "{err}"
+    );
+
+    // The rightful class still recovers every acked block.
+    let mut config = ServeConfig::new("127.0.0.1:0", N_ITEMS, MinSupport::new(MINSUP).unwrap());
+    config.wal_dir = Some(wal_dir.clone());
+    let server = Server::bind(config).expect("same-class recovery");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect after recovery");
+    let stats = client.stats_json().expect("stats");
+    assert!(stats.contains("\"blocks\":2"), "{stats}");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("run ok");
+    std::fs::remove_dir_all(&wal_dir).ok();
 }

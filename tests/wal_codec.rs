@@ -7,13 +7,18 @@ use demon::types::wal::{decode_wal_records, encode_wal_record};
 use proptest::prelude::*;
 use std::path::PathBuf;
 
+/// The model-class tag stamped on every record in these logs (the
+/// itemset tag — the value is arbitrary for the codec, which only
+/// requires consecutive records to agree).
+const CLASS: u8 = 1;
+
 /// Encodes `bodies` as consecutive WAL records and returns the bytes
 /// together with each record's end offset.
 fn encode_log(bodies: &[Vec<u8>]) -> (Vec<u8>, Vec<usize>) {
     let mut bytes = Vec::new();
     let mut ends = Vec::new();
     for (i, body) in bodies.iter().enumerate() {
-        bytes.extend_from_slice(&encode_wal_record(i as u64, body));
+        bytes.extend_from_slice(&encode_wal_record(i as u64, CLASS, body));
         ends.push(bytes.len());
     }
     (bytes, ends)
@@ -42,6 +47,7 @@ proptest! {
         prop_assert_eq!(report.records.len(), intact);
         for (i, record) in report.records.iter().enumerate() {
             prop_assert_eq!(record.seq, i as u64);
+            prop_assert_eq!(record.class, CLASS);
             prop_assert_eq!(&record.body, &bodies[i]);
         }
         prop_assert_eq!(report.valid_len as usize, ends.get(intact.wrapping_sub(1)).copied().unwrap_or(0));
@@ -72,6 +78,7 @@ proptest! {
         prop_assert_eq!(report.records.len(), damaged_frame);
         for (i, record) in report.records.iter().enumerate() {
             prop_assert_eq!(record.seq, i as u64);
+            prop_assert_eq!(record.class, CLASS);
             prop_assert_eq!(&record.body, &bodies[i]);
         }
         prop_assert!(report.torn.is_some());

@@ -235,6 +235,35 @@ fn crash_sweep_around_the_append_ack_protocol_never_loses_an_acked_block() {
     }
 }
 
+/// Group commit coalesces fsyncs across queued blocks, but the ack
+/// contract is unchanged: an ack is only sent after the fsync covering
+/// that block, so the same crash sweep must never lose an acked block.
+#[test]
+fn group_commit_crash_sweep_never_loses_an_acked_block() {
+    const GC: &[&str] = &["--wal-group-commit"];
+    let specs = [
+        ("before_append:2", 1usize),
+        ("after_append:2", 1),
+        ("after_ack:3", 2), // the nth ack itself may be lost on the wire
+    ];
+    for (crash, min_acked) in specs {
+        let wal_dir = tmp(&format!("gc-sweep-{}", crash.replace(':', "-")));
+        std::fs::remove_dir_all(&wal_dir).ok();
+
+        let (mut child, addr, _out) = spawn_daemon(&wal_dir, GC, Some(crash));
+        let acked = ingest_until_crash(&addr);
+        let status = child.wait().expect("crashed daemon reaps");
+        assert!(!status.success(), "[{crash}] daemon should have died");
+        assert!(
+            acked >= min_acked,
+            "[{crash}] expected at least {min_acked} acks, saw {acked}"
+        );
+
+        recover_and_check_with(&wal_dir, GC, acked, crash);
+        std::fs::remove_dir_all(&wal_dir).ok();
+    }
+}
+
 #[test]
 fn crash_mid_compaction_recovers_from_either_generation() {
     // A log cap far below one block's encoded size forces a rotation
