@@ -54,8 +54,32 @@ pub enum RemoveEffect {
     },
 }
 
+/// Parameters of a DBSCAN model: dimensionality, neighborhood radius ε
+/// and the density threshold MinPts (neighborhoods include the point
+/// itself). The density analogue of `BirchParams`.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DbscanParams {
+    /// Dimensionality of the point space.
+    pub dim: usize,
+    /// Neighborhood radius ε.
+    pub eps: f64,
+    /// Minimum neighborhood size for a core point.
+    pub min_pts: usize,
+}
+
+impl DbscanParams {
+    /// Bundles the three DBSCAN knobs.
+    pub fn new(dim: usize, eps: f64, min_pts: usize) -> Self {
+        DbscanParams { dim, eps, min_pts }
+    }
+}
+
 /// The incremental DBSCAN structure.
-#[derive(Clone, Debug)]
+///
+/// Serialization is deterministic (the neighbor grid renders as a
+/// key-sorted pair list) and round-trips the exact internal state, so a
+/// shelved or snapshotted model resumes byte-identically.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct IncrementalDbscan {
     eps: f64,
     eps2: f64,
@@ -92,6 +116,16 @@ impl IncrementalDbscan {
             grid: HashMap::new(),
             n_alive: 0,
         }
+    }
+
+    /// An empty structure from bundled [`DbscanParams`].
+    pub fn with_params(params: DbscanParams) -> Self {
+        IncrementalDbscan::new(params.dim, params.eps, params.min_pts)
+    }
+
+    /// The parameters this structure was built with.
+    pub fn params(&self) -> DbscanParams {
+        DbscanParams::new(self.dim, self.eps, self.min_pts)
     }
 
     /// Number of live points.
@@ -294,6 +328,17 @@ impl IncrementalDbscan {
         self.raw[idx] = None;
         let was_core = self.core[idx];
         self.core[idx] = false;
+        // Drop the point from the neighbor index. Without this the cell
+        // keeps a stale entry forever (and the key survives even when the
+        // removed point was its last member): invisible to queries, which
+        // filter on `alive`, but a leak that grows with every deletion.
+        let cell = self.cell_of(&p);
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.grid.entry(cell) {
+            e.get_mut().retain(|&m| m != idx);
+            if e.get().is_empty() {
+                e.remove();
+            }
+        }
 
         // Neighbors may lose core status.
         let nbrs = self.neighbors(&p);
@@ -362,6 +407,23 @@ impl IncrementalDbscan {
                 }
             }
         }
+        // A cleared border point may be density-reachable only from a
+        // cluster that was *not* affected (its own core neighbors all sat
+        // in another cluster). Region growing never visits it, so
+        // re-attach it to any live core neighbor instead of dropping it
+        // to noise.
+        for &m in &members {
+            if self.raw[m].is_some() {
+                continue;
+            }
+            if let Some(c) = self
+                .neighbors(&self.points[m].clone())
+                .into_iter()
+                .find(|&r| self.core[r])
+            {
+                self.raw[m] = self.raw[c];
+            }
+        }
         if pieces == n_affected {
             RemoveEffect::Shrink
         } else {
@@ -410,21 +472,39 @@ impl IncrementalDbscan {
     }
 
     /// Verifies the incremental state against batch DBSCAN: identical
-    /// core flags, identical core partition, identical noise set (border
-    /// assignment may differ, but every border point must sit within ε of
-    /// a core of its cluster). Test support.
+    /// core flags, identical core partition, identical cluster count and
+    /// identical noise set (border assignment may differ, but every
+    /// border point must sit within ε of a core of its cluster). Returns
+    /// the first divergence as an error message — the differential test
+    /// oracle.
     #[allow(clippy::needless_range_loop)]
-    pub fn check_against_batch(&self) {
+    pub fn verify_against_batch(&self) -> Result<(), String> {
         let batch = self.batch_labels();
         // Core flags.
         for i in 0..self.points.len() {
-            if self.alive[i] {
-                assert_eq!(
+            if self.alive[i] && self.core[i] != self.batch_is_core(i) {
+                return Err(format!(
+                    "core flag of {i} diverged: incremental {}, batch {}",
                     self.core[i],
-                    self.batch_is_core(i),
-                    "core flag of {i} diverged"
-                );
+                    self.batch_is_core(i)
+                ));
             }
+        }
+        // Cluster count.
+        let batch_count = {
+            let mut ids: Vec<usize> = (0..self.points.len())
+                .filter(|&i| self.alive[i])
+                .filter_map(|i| batch[i])
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        };
+        if self.n_clusters() != batch_count {
+            return Err(format!(
+                "cluster count diverged: incremental {}, batch {batch_count}",
+                self.n_clusters()
+            ));
         }
         // Core partition: two live cores share an incremental cluster iff
         // they share a batch cluster.
@@ -435,7 +515,9 @@ impl IncrementalDbscan {
             for &b in &cores[ai + 1..] {
                 let inc_same = self.label(a) == self.label(b);
                 let batch_same = batch[a] == batch[b];
-                assert_eq!(inc_same, batch_same, "core partition differs at ({a},{b})");
+                if inc_same != batch_same {
+                    return Err(format!("core partition differs at ({a},{b})"));
+                }
             }
         }
         for i in 0..self.points.len() {
@@ -444,21 +526,94 @@ impl IncrementalDbscan {
             }
             match self.label(i) {
                 Label::Noise => {
-                    assert!(batch[i].is_none(), "{i} noise incrementally, clustered in batch");
+                    if batch[i].is_some() {
+                        return Err(format!("{i} noise incrementally, clustered in batch"));
+                    }
                 }
                 Label::Cluster(id) => {
-                    assert!(batch[i].is_some(), "{i} clustered incrementally, noise in batch");
+                    if batch[i].is_none() {
+                        return Err(format!("{i} clustered incrementally, noise in batch"));
+                    }
                     if !self.core[i] {
                         // Border: must be within ε of some core of its cluster.
                         let ok = self
                             .neighbors(&self.points[i].clone())
                             .into_iter()
                             .any(|r| self.core[r] && self.label(r) == Label::Cluster(id));
-                        assert!(ok, "border {i} not attached to its cluster");
+                        if !ok {
+                            return Err(format!("border {i} not attached to its cluster"));
+                        }
                     }
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Panicking form of [`verify_against_batch`] for unit tests.
+    ///
+    /// [`verify_against_batch`]: IncrementalDbscan::verify_against_batch
+    pub fn check_against_batch(&self) {
+        if let Err(msg) = self.verify_against_batch() {
+            panic!("incremental DBSCAN diverged from batch: {msg}");
+        }
+    }
+
+    // ---- accessors for the maintainer / oracle / rendering layers ----
+
+    /// The neighborhood radius ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The density threshold (neighborhood includes the point itself).
+    pub fn min_pts(&self) -> usize {
+        self.min_pts
+    }
+
+    /// The dimensionality of the point space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The point at slot `idx` (slots of removed points stay readable).
+    pub fn point(&self, idx: usize) -> &Point {
+        &self.points[idx]
+    }
+
+    /// Whether slot `idx` still holds a live point.
+    pub fn is_alive(&self, idx: usize) -> bool {
+        self.alive[idx]
+    }
+
+    /// Total slots ever allocated (live + removed).
+    pub fn n_slots(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of live core points.
+    pub fn n_core(&self) -> usize {
+        (0..self.points.len())
+            .filter(|&i| self.alive[i] && self.core[i])
+            .count()
+    }
+
+    /// Live indices within ε of `p` — the public neighborhood query the
+    /// FOCUS oracle measures regions with.
+    pub fn neighbors_of(&self, p: &Point) -> Vec<usize> {
+        self.neighbors(p)
+    }
+
+    /// Number of occupied cells in the neighbor index (leak diagnostics:
+    /// must shrink back as points are removed).
+    pub fn index_cells(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Number of entries across all cells of the neighbor index; equals
+    /// the live-point count when the removal path keeps the index clean.
+    pub fn index_entries(&self) -> usize {
+        self.grid.values().map(Vec::len).sum()
     }
 }
 
@@ -590,6 +745,51 @@ mod tests {
             }
         }
         d.check_against_batch();
+    }
+
+    #[test]
+    fn removal_purges_the_neighbor_index() {
+        let mut d = db();
+        let ids = blob(&mut d, 0.0, 0.0);
+        // A point alone in a far-away cell: removing it must drop the
+        // emptied cell key, not just mask the entry behind `alive`.
+        let (lone, _) = d.insert(p(&[50.0, 50.0]));
+        let cells_before = d.index_cells();
+        d.remove(lone);
+        assert_eq!(d.index_cells(), cells_before - 1, "emptied cell key leaked");
+        assert_eq!(d.index_entries(), d.len(), "stale index entry leaked");
+        for id in ids {
+            d.remove(id);
+        }
+        assert_eq!(d.index_cells(), 0);
+        assert_eq!(d.index_entries(), 0);
+    }
+
+    #[test]
+    fn removal_keeps_border_of_unaffected_cluster() {
+        // Two 4-point clusters at min_pts = 4; a non-core border sits
+        // within ε of exactly one core of each. Deleting all of cluster A
+        // clears the border during A's re-clustering — it must be
+        // re-attached to B, not dropped to noise.
+        let mut d = IncrementalDbscan::new(2, 1.0, 4);
+        let a: Vec<usize> = [[0.3, 0.0], [0.0, 0.0], [0.3, 0.35], [0.3, -0.35]]
+            .iter()
+            .map(|c| d.insert(p(c)).0)
+            .collect();
+        for c in [[2.2, 0.0], [2.5, 0.0], [2.2, 0.35], [2.2, -0.35]] {
+            d.insert(p(&c));
+        }
+        let (border, _) = d.insert(p(&[1.25, 0.0]));
+        assert!(!d.is_core(border));
+        assert!(matches!(d.label(border), Label::Cluster(_)));
+        for id in a {
+            d.remove(id);
+        }
+        d.check_against_batch();
+        assert!(
+            matches!(d.label(border), Label::Cluster(_)),
+            "border reachable from the surviving cluster was dropped to noise"
+        );
     }
 
     #[test]

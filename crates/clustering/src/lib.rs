@@ -12,7 +12,11 @@
 //!   blocks, rerun the cheap phase 2 on demand), and the labeling scan;
 //! * [`dbscan`] — DBSCAN and incremental DBSCAN (Ester et al. '98), the
 //!   comparator whose insert/delete cost asymmetry motivates GEMM
-//!   (paper §3.2.4).
+//!   (paper §3.2.4);
+//! * [`dbscan_window`] — the windowed density model GEMM maintains: the
+//!   incremental structure plus a block→slots registry so the MRW window
+//!   slides by *deleting* the departing block's points (the only
+//!   deletion-based model class in the workspace).
 //!
 //! # Paper → module map
 //!
@@ -23,6 +27,7 @@
 //! | §3.1.2 | BIRCH+ suspend/resume maintenance | [`birch::BirchPlus`] |
 //! | §3.1.2 | "second scan" labeling | [`birch::BirchModel::label_block`] |
 //! | §3.2.4 | incremental-DBSCAN comparator | [`dbscan`] |
+//! | §3.2.4 | deletion-based MRW density model | [`dbscan_window`] |
 //! | Fig. 8 | BIRCH vs BIRCH+ response time | [`birch::BirchStats`] |
 //!
 //! The phase-2 assignment scan and the labeling scan shard across the
@@ -64,12 +69,14 @@
 pub mod birch;
 pub mod cf;
 pub mod dbscan;
+pub mod dbscan_window;
 pub mod cftree;
 pub mod global;
 pub mod spill;
 
 pub use birch::{phase2_model, Birch, BirchModel, BirchParams, BirchPlus, Cluster};
 pub use cf::ClusterFeature;
-pub use dbscan::IncrementalDbscan;
+pub use dbscan::{DbscanParams, IncrementalDbscan, Label};
+pub use dbscan_window::{ClusterSummary, DbscanSummary, WindowedDbscan};
 pub use cftree::CfTree;
 pub use spill::PointBlockEntry;

@@ -3,8 +3,9 @@
 
 use crate::bss::{BlockSelector, WiBss};
 use crate::gemm::{Gemm, GemmStats};
-use crate::maintainer::ModelMaintainer;
+use crate::maintainer::{DecrementalMaintainer, ModelMaintainer};
 use demon_types::{Block, BlockId, DemonError, Result};
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// The data span dimension (paper §2.2): mine everything collected so
@@ -98,6 +99,92 @@ impl<M: ModelMaintainer> UwEngine<M> {
     }
 }
 
+/// The **sliding** most-recent-window engine for deletion-capable model
+/// classes (paper §3.2.4's alternative to GEMM's per-window future
+/// models): one model, maintained by absorbing the arriving block and
+/// shedding the departing one through
+/// [`DecrementalMaintainer::shed`].
+///
+/// Unlike GEMM this keeps no off-line models at all — the trade the
+/// paper analyzes is exactly this: no off-line cost, but the on-line
+/// response time pays for deletion, which for e.g. incremental DBSCAN
+/// "is higher than that when a tuple is inserted". The window always
+/// selects every block (a window-relative BSS under deletion-based
+/// maintenance would need selective shedding, which no deletion-capable
+/// class provides).
+pub struct SlidingEngine<M: ModelMaintainer> {
+    maintainer: M,
+    w: usize,
+    model: M::Model,
+    window: VecDeque<BlockId>,
+    latest: Option<BlockId>,
+    /// `DecrementalMaintainer::shed`, captured at construction so the
+    /// struct (and [`DemonEngine`]) stay usable under the plain
+    /// `ModelMaintainer` bound.
+    shed: fn(&M, &mut M::Model, BlockId),
+}
+
+impl<M: ModelMaintainer> SlidingEngine<M> {
+    /// A sliding engine over the `w` most recent blocks.
+    pub fn new(maintainer: M, w: usize) -> Result<Self>
+    where
+        M: DecrementalMaintainer,
+    {
+        if w == 0 {
+            return Err(DemonError::InvalidParameter(
+                "window size w must be at least 1".into(),
+            ));
+        }
+        let model = maintainer.fresh();
+        Ok(SlidingEngine {
+            maintainer,
+            w,
+            model,
+            window: VecDeque::new(),
+            latest: None,
+            shed: M::shed,
+        })
+    }
+
+    /// The maintained window model.
+    pub fn model(&self) -> &M::Model {
+        &self.model
+    }
+
+    /// The underlying maintainer.
+    pub fn maintainer(&self) -> &M {
+        &self.maintainer
+    }
+
+    /// Blocks currently inside the window, oldest first.
+    pub fn window(&self) -> Vec<BlockId> {
+        self.window.iter().copied().collect()
+    }
+
+    /// Processes the next arriving block: absorb it, then shed and retire
+    /// the block that slid out of the `w`-window (if any). Sequencing
+    /// errors leave the engine untouched.
+    pub fn add_block(&mut self, block: Block<M::Record>) -> Result<EngineStats> {
+        let id = block.id();
+        check_sequential(id, self.latest)?;
+        self.maintainer.register_block(block);
+        self.latest = Some(id);
+        let t0 = Instant::now();
+        self.maintainer.absorb(&mut self.model, id);
+        self.window.push_back(id);
+        if self.window.len() > self.w {
+            let departing = self.window.pop_front().expect("window non-empty");
+            (self.shed)(&self.maintainer, &mut self.model, departing);
+            self.maintainer.retire_block(departing);
+        }
+        Ok(EngineStats {
+            response_time: t0.elapsed(),
+            offline_time: Duration::ZERO,
+            absorbed: true,
+        })
+    }
+}
+
 /// Enforces the paper's systematic-evolution contract: block `id` must
 /// be exactly the successor of `latest`. A replay of an id the engine
 /// already consumed is a [`DemonError::DuplicateBlock`] (benign and
@@ -125,8 +212,10 @@ pub(crate) fn check_sequential(id: BlockId, latest: Option<BlockId>) -> Result<(
 pub enum DemonEngine<M: ModelMaintainer + Sync> {
     /// Unrestricted window.
     Uw(UwEngine<M>),
-    /// Most recent window (GEMM).
+    /// Most recent window (GEMM: per-window future models).
     Mrw(Gemm<M>),
+    /// Most recent window by absorb/shed (deletion-capable classes).
+    Sliding(SlidingEngine<M>),
 }
 
 impl<M: ModelMaintainer + Sync> DemonEngine<M> {
@@ -140,11 +229,23 @@ impl<M: ModelMaintainer + Sync> DemonEngine<M> {
         }
     }
 
+    /// Builds a deletion-based most-recent-window engine: one model that
+    /// absorbs the arriving block and sheds the departing one, instead of
+    /// GEMM's per-window future models. Only deletion-capable maintainers
+    /// qualify.
+    pub fn new_decremental(maintainer: M, w: usize) -> Result<Self>
+    where
+        M: DecrementalMaintainer,
+    {
+        Ok(DemonEngine::Sliding(SlidingEngine::new(maintainer, w)?))
+    }
+
     /// Processes the next arriving block.
     pub fn add_block(&mut self, block: Block<M::Record>) -> Result<EngineStats> {
         match self {
             DemonEngine::Uw(e) => e.add_block(block),
             DemonEngine::Mrw(g) => Ok(g.add_block(block)?.into()),
+            DemonEngine::Sliding(s) => s.add_block(block),
         }
     }
 
@@ -154,6 +255,7 @@ impl<M: ModelMaintainer + Sync> DemonEngine<M> {
         match self {
             DemonEngine::Uw(e) => Some(e.model()),
             DemonEngine::Mrw(g) => g.current_model(),
+            DemonEngine::Sliding(s) => Some(s.model()),
         }
     }
 
@@ -162,6 +264,7 @@ impl<M: ModelMaintainer + Sync> DemonEngine<M> {
         match self {
             DemonEngine::Uw(e) => e.maintainer(),
             DemonEngine::Mrw(g) => g.maintainer(),
+            DemonEngine::Sliding(s) => s.maintainer(),
         }
     }
 }
@@ -207,6 +310,52 @@ mod tests {
         let mut e = UwEngine::new(maintainer(), WiBss::All);
         e.add_block(marker_block(1, 2)).unwrap();
         assert!(e.add_block(marker_block(3, 2)).is_err());
+    }
+
+    #[test]
+    fn sliding_engine_keeps_exactly_the_window() {
+        use crate::maintainer::DbscanMaintainer;
+        use demon_clustering::DbscanParams;
+        use demon_types::{Point, PointBlock};
+        let blob = |id: u64| {
+            PointBlock::new(
+                BlockId(id),
+                [(0.0, 0.0), (0.3, 0.0), (0.0, 0.3)]
+                    .iter()
+                    .map(|(dx, dy)| Point::new(vec![id as f64 * 10.0 + dx, *dy]))
+                    .collect(),
+            )
+        };
+        let maintainer = DbscanMaintainer::new(DbscanParams::new(2, 1.0, 3));
+        let mut e =
+            DemonEngine::new_decremental(maintainer, 2).expect("decremental engine builds");
+        for id in 1..=4u64 {
+            let stats = e.add_block(blob(id)).unwrap();
+            assert!(stats.absorbed);
+        }
+        let model = e.current_model().unwrap();
+        // Only the last two blobs survive the slide; retired blocks are
+        // gone from the store as well.
+        assert_eq!(model.covered_blocks(), vec![BlockId(3), BlockId(4)]);
+        assert_eq!(model.structure().n_clusters(), 2);
+        assert_eq!(model.structure().len(), 6);
+        model.structure().check_against_batch();
+        assert!(e.maintainer().store().get(BlockId(1)).unwrap().is_none());
+        assert!(e.maintainer().store().get(BlockId(4)).unwrap().is_some());
+        // Replays and gaps stay typed errors.
+        assert!(matches!(
+            e.add_block(blob(4)),
+            Err(DemonError::DuplicateBlock { .. })
+        ));
+        assert!(e.add_block(blob(7)).is_err());
+    }
+
+    #[test]
+    fn sliding_engine_rejects_zero_window() {
+        use crate::maintainer::DbscanMaintainer;
+        use demon_clustering::DbscanParams;
+        let maintainer = DbscanMaintainer::new(DbscanParams::new(2, 1.0, 3));
+        assert!(DemonEngine::new_decremental(maintainer, 0).is_err());
     }
 
     #[test]

@@ -11,8 +11,12 @@
 //!   **right-shift** operations of §3.2;
 //! * [`maintainer`] — the [`ModelMaintainer`] abstraction GEMM is generic
 //!   over, with the two instantiations of §3.1:
-//!   [`maintainer::ItemsetMaintainer`] (BORDERS + ECUT/ECUT+) and
-//!   [`maintainer::ClusterMaintainer`] (BIRCH+);
+//!   [`maintainer::ItemsetMaintainer`] (BORDERS + ECUT/ECUT+),
+//!   [`maintainer::ClusterMaintainer`] (BIRCH+),
+//!   [`maintainer::TreeMaintainer`] (refit decision trees) and
+//!   [`maintainer::DbscanMaintainer`] (incremental DBSCAN — the only
+//!   [`maintainer::DecrementalMaintainer`], whose MRW window slides by
+//!   deletion through [`engine::SlidingEngine`]);
 //! * [`gemm`] — the generic most-recent-window algorithm: maintain one
 //!   model per future window overlapping the current one, updating the
 //!   time-critical model first (its cost is the *response time*) and the
@@ -35,6 +39,7 @@
 //! | §3.2 ("main memory is a premium") | disk shelf | [`gemm::ShelfMode`] |
 //! | §3.2 ("may run in parallel") | parallel off-line fan-out | [`Gemm::with_parallelism`] |
 //! | §3.2.4 | AuM add/delete ablation baseline | [`aum`] |
+//! | §3.2.4 | deletion-based MRW engine (incremental DBSCAN) | [`engine::SlidingEngine`] |
 //! | §5 | calendar-style reporting | [`report`] |
 //! | Fig. 11 | the full framework composition | [`engine`], [`monitor`] |
 //!
@@ -77,7 +82,10 @@ pub mod monitor;
 pub mod report;
 
 pub use bss::{BlockSelector, WiBss};
-pub use engine::{DataSpan, DemonEngine};
+pub use engine::{DataSpan, DemonEngine, SlidingEngine};
 pub use gemm::{Gemm, GemmStats, ShelfMode};
-pub use maintainer::{ClusterMaintainer, ItemsetMaintainer, ModelMaintainer, TreeMaintainer};
+pub use maintainer::{
+    ClusterMaintainer, DbscanMaintainer, DecrementalMaintainer, ItemsetMaintainer,
+    ModelMaintainer, TreeMaintainer,
+};
 pub use monitor::{DemonMonitor, MonitorStats};

@@ -12,7 +12,9 @@
 //! * `retire_block` — drop the stored data of blocks no maintained window
 //!   can ever need again.
 
-use demon_clustering::{BirchModel, BirchParams, CfTree, PointBlockEntry};
+use demon_clustering::{
+    BirchModel, BirchParams, CfTree, DbscanParams, PointBlockEntry, WindowedDbscan,
+};
 use demon_itemsets::{CounterKind, FrequentItemsets, TxStore};
 use demon_store::{BlockStore, StoreConfig};
 use demon_trees::LabeledBlockEntry;
@@ -43,6 +45,22 @@ pub trait ModelMaintainer {
     /// Releases the stored data of a block that no maintained window
     /// overlaps any more.
     fn retire_block(&mut self, id: BlockId);
+}
+
+/// A maintainer whose models can also **unlearn** a block: the inverse of
+/// [`ModelMaintainer::absorb`].
+///
+/// §3.2.4 contrasts GEMM's per-window future models with direct
+/// add/delete maintenance à la incremental DBSCAN. Model classes that do
+/// support deletion implement this trait, and the engine then maintains a
+/// most-recent window with **one** model — absorb the arriving block,
+/// shed the departing one — instead of one off-line model per overlapping
+/// future window.
+pub trait DecrementalMaintainer: ModelMaintainer {
+    /// Updates `model` to no longer cover block `id` — the deletion-based
+    /// counterpart of `absorb`. Called while the block is still
+    /// registered; the engine retires it afterwards.
+    fn shed(&self, model: &mut Self::Model, id: BlockId);
 }
 
 /// How the [`ItemsetMaintainer`] materializes 2-itemset TID-lists for
@@ -262,6 +280,84 @@ impl ModelMaintainer for ClusterMaintainer {
     }
 }
 
+/// The density-model maintainer — incremental DBSCAN as a first-class
+/// model class, and the only one whose window maintenance is
+/// **deletion-based**.
+///
+/// `absorb` inserts the block's points into the maintained
+/// [`WindowedDbscan`] through the incremental insertion path (core
+/// promotion, cluster creation/absorption/merge); [`DecrementalMaintainer::shed`]
+/// deletes them again through the incremental removal path (core
+/// demotion, cluster shrink/split) — the direction §3.2.4 calls out as
+/// the expensive one. Registered blocks live in the block storage engine
+/// so snapshots and replays see the raw points.
+pub struct DbscanMaintainer {
+    params: DbscanParams,
+    blocks: BlockStore<PointBlockEntry>,
+}
+
+impl DbscanMaintainer {
+    /// A maintainer with the given DBSCAN parameters; blocks stay
+    /// resident in memory.
+    pub fn new(params: DbscanParams) -> Self {
+        DbscanMaintainer {
+            params,
+            blocks: BlockStore::in_memory(),
+        }
+    }
+
+    /// [`DbscanMaintainer::new`] over a storage engine built from
+    /// `config` — blocks spill to disk under a memory budget.
+    pub fn with_store_config(params: DbscanParams, config: &StoreConfig) -> Result<Self> {
+        Ok(DbscanMaintainer {
+            params,
+            blocks: config.build("density")?,
+        })
+    }
+
+    /// The DBSCAN parameters.
+    pub fn params(&self) -> DbscanParams {
+        self.params
+    }
+
+    /// The block storage engine holding the registered point blocks.
+    pub fn store(&self) -> &BlockStore<PointBlockEntry> {
+        &self.blocks
+    }
+}
+
+impl ModelMaintainer for DbscanMaintainer {
+    type Record = demon_types::Point;
+    type Model = WindowedDbscan;
+
+    fn fresh(&self) -> WindowedDbscan {
+        WindowedDbscan::new(self.params)
+    }
+
+    fn register_block(&mut self, block: PointBlock) {
+        self.blocks.insert(block.id(), PointBlockEntry(block));
+    }
+
+    fn absorb(&self, model: &mut WindowedDbscan, id: BlockId) {
+        let entry = self
+            .blocks
+            .get(id)
+            .expect("registered block readable")
+            .expect("absorb of registered block");
+        model.absorb_block(id, entry.0.records());
+    }
+
+    fn retire_block(&mut self, id: BlockId) {
+        self.blocks.remove(id);
+    }
+}
+
+impl DecrementalMaintainer for DbscanMaintainer {
+    fn shed(&self, model: &mut WindowedDbscan, id: BlockId) {
+        model.shed_block(id);
+    }
+}
+
 /// The decision-tree maintainer — the third model class, demonstrating
 /// that GEMM "can be instantiated for any class of data mining models".
 ///
@@ -442,6 +538,34 @@ mod tests {
         let mut tree2 = m.fresh();
         m.absorb(&mut tree2, BlockId(2));
         assert_eq!(tree2.n_points(), 50);
+    }
+
+    #[test]
+    fn dbscan_maintainer_absorbs_and_sheds_blocks() {
+        let mut m = DbscanMaintainer::new(DbscanParams::new(2, 1.0, 3));
+        let blob = |id: u64, cx: f64| {
+            PointBlock::new(
+                BlockId(id),
+                [(0.0, 0.0), (0.3, 0.0), (0.0, 0.3)]
+                    .iter()
+                    .map(|(dx, dy)| Point::new(vec![cx + dx, *dy]))
+                    .collect(),
+            )
+        };
+        m.register_block(blob(1, 0.0));
+        m.register_block(blob(2, 10.0));
+        let mut model = m.fresh();
+        m.absorb(&mut model, BlockId(1));
+        assert_eq!(model.structure().n_clusters(), 1);
+        m.absorb(&mut model, BlockId(2));
+        assert_eq!(model.structure().n_clusters(), 2);
+        assert_eq!(model.covered_blocks(), vec![BlockId(1), BlockId(2)]);
+        // Deletion-based window maintenance: shed undoes absorb.
+        m.shed(&mut model, BlockId(1));
+        m.retire_block(BlockId(1));
+        assert_eq!(model.structure().n_clusters(), 1);
+        assert_eq!(model.covered_blocks(), vec![BlockId(2)]);
+        model.structure().check_against_batch();
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! the paper's two problem dimensions composed.
 
 use crate::engine::{DataSpan, DemonEngine, EngineStats};
-use crate::maintainer::ModelMaintainer;
+use crate::maintainer::{DecrementalMaintainer, ModelMaintainer};
 use demon_focus::compact::{CompactSequenceMiner, CompactStats};
 use demon_focus::similarity::SimilarityOracle;
 use demon_focus::windowed::WindowedCompactMiner;
@@ -59,6 +59,27 @@ where
         pattern_window: Option<usize>,
     ) -> Result<Self> {
         let engine = DemonEngine::new(maintainer, span)?;
+        let miner = match pattern_window {
+            None => PatternMiner::Unrestricted(CompactSequenceMiner::new(oracle)),
+            Some(w) => PatternMiner::MostRecent(WindowedCompactMiner::new(oracle, w)),
+        };
+        Ok(DemonMonitor { engine, miner })
+    }
+
+    /// [`DemonMonitor::new`] with a **deletion-based** most-recent-window
+    /// engine (absorb the arriving block, shed the departing one) instead
+    /// of GEMM's per-window future models. Only deletion-capable
+    /// maintainers qualify.
+    pub fn new_decremental(
+        maintainer: M,
+        w: usize,
+        oracle: O,
+        pattern_window: Option<usize>,
+    ) -> Result<Self>
+    where
+        M: DecrementalMaintainer,
+    {
+        let engine = DemonEngine::new_decremental(maintainer, w)?;
         let miner = match pattern_window {
             None => PatternMiner::Unrestricted(CompactSequenceMiner::new(oracle)),
             Some(w) => PatternMiner::MostRecent(WindowedCompactMiner::new(oracle, w)),

@@ -14,7 +14,9 @@
 //!
 //! A fourth generator, [`drift`], schedules regime switches over a Quest
 //! stream — the data process behind the paper's "popularity of most toys
-//! is short-lived" motivation.
+//! is short-lived" motivation. Its density analogue, [`shapes`], plants a
+//! moons→rings shape switch in a point stream: a drift that centroid-based
+//! models barely see but density models flag.
 //!
 //! Every generator is deterministic given its seed.
 //!
@@ -26,6 +28,7 @@
 //! | §6.1 | Gaussian-cluster datasets | [`clusters`] |
 //! | §5 | DEC web-proxy traces (synthetic stand-in) | [`webtrace`] |
 //! | §1 (motivation) | drifting regimes | [`drift`] |
+//! | §3.2.4 | planted density drift (moons → rings) | [`shapes`] |
 //!
 //! # Example
 //!
@@ -49,9 +52,11 @@
 pub mod clusters;
 pub mod drift;
 pub mod quest;
+pub mod shapes;
 pub mod webtrace;
 
 pub use clusters::{ClusterDataGen, ClusterParams};
 pub use drift::DriftingQuestGen;
 pub use quest::{QuestGen, QuestParams};
+pub use shapes::{shape_points, DensityDriftGen, Shape, ShapeParams};
 pub use webtrace::{Request, WebTraceConfig, WebTraceGen};

@@ -1,0 +1,207 @@
+//! Non-Gaussian **shape** generators for the density-model experiments:
+//! interleaving moons and concentric rings, plus a planted density-drift
+//! stream that switches between them.
+//!
+//! Gaussian blobs (the [`crate::clusters`] generator) are the easy case
+//! for centroid-based models; the DBSCAN experiments need clusters whose
+//! *shape* carries the signal. Both families below are centered at the
+//! origin with comparable spatial extent and centroid mass, so a
+//! centroid-ball view (BIRCH) sees little change across a moons→rings
+//! switch while a density view (incremental DBSCAN core-reachability)
+//! sees a new regime.
+//!
+//! Every generator is deterministic given its seed; block `i`'s points
+//! depend only on `(seed, i)`, not on how many blocks were drawn before.
+
+use demon_types::{Block, BlockId, Point, PointBlock};
+use rand::prelude::*;
+
+/// The planted shape family of one regime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// Two interleaving half-circles ("two moons").
+    Moons,
+    /// Two concentric circles.
+    Rings,
+}
+
+/// Geometry knobs shared by both shape families.
+#[derive(Clone, Copy, Debug)]
+pub struct ShapeParams {
+    /// Overall size: the outer structure has radius `scale`.
+    pub scale: f64,
+    /// Standard deviation of the isotropic Gaussian jitter added to every
+    /// point (as a fraction of nothing — absolute units).
+    pub noise: f64,
+}
+
+impl ShapeParams {
+    /// Shapes of radius `scale` with jitter `noise`.
+    pub fn new(scale: f64, noise: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        assert!(noise >= 0.0, "noise cannot be negative");
+        ShapeParams { scale, noise }
+    }
+}
+
+/// `n` points of `shape` under `params`, drawn from `rng`.
+///
+/// Points alternate between the two sub-structures (the two moons, or the
+/// two rings), so any prefix of the output covers both.
+pub fn shape_points(shape: Shape, params: ShapeParams, n: usize, rng: &mut StdRng) -> Vec<Point> {
+    let s = params.scale;
+    (0..n)
+        .map(|i| {
+            let t = rng.gen_range(0.0..1.0);
+            let (x, y) = match (shape, i % 2) {
+                // Outer moon: upper half-circle, shifted to center the pair.
+                (Shape::Moons, 0) => {
+                    let a = t * std::f64::consts::PI;
+                    (s * a.cos() - 0.5 * s, s * a.sin() - 0.25 * s)
+                }
+                // Inner moon: lower half-circle interleaving the outer.
+                (Shape::Moons, _) => {
+                    let a = t * std::f64::consts::PI;
+                    (s - s * a.cos() - 0.5 * s, 0.5 * s - s * a.sin() - 0.25 * s)
+                }
+                // Outer ring: full circle of radius `scale`.
+                (Shape::Rings, 0) => {
+                    let a = t * std::f64::consts::TAU;
+                    (s * a.cos(), s * a.sin())
+                }
+                // Inner ring: concentric at 45% of the radius.
+                (Shape::Rings, _) => {
+                    let a = t * std::f64::consts::TAU;
+                    (0.45 * s * a.cos(), 0.45 * s * a.sin())
+                }
+            };
+            let jx = rng.gen_range(-params.noise..=params.noise);
+            let jy = rng.gen_range(-params.noise..=params.noise);
+            Point::new(vec![x + jx, y + jy])
+        })
+        .collect()
+}
+
+/// A point-block stream whose shape family switches per block according
+/// to a schedule — the density analogue of [`crate::drift::DriftingQuestGen`].
+pub struct DensityDriftGen {
+    params: ShapeParams,
+    /// `schedule[i]` = shape of block `i+1`; blocks beyond the schedule
+    /// reuse its last entry.
+    schedule: Vec<Shape>,
+    seed: u64,
+    next_block: u64,
+}
+
+impl DensityDriftGen {
+    /// A stream following `schedule`, jittered from `seed`.
+    pub fn new(params: ShapeParams, seed: u64, schedule: Vec<Shape>) -> Self {
+        assert!(!schedule.is_empty(), "schedule cannot be empty");
+        DensityDriftGen {
+            params,
+            schedule,
+            seed,
+            next_block: 1,
+        }
+    }
+
+    /// A two-regime schedule that switches moons→rings once after
+    /// `switch_at` blocks.
+    pub fn switch_once(params: ShapeParams, seed: u64, switch_at: usize, total: usize) -> Self {
+        assert!(switch_at < total, "switch must fall inside the stream");
+        let mut schedule = vec![Shape::Moons; switch_at];
+        schedule.extend(std::iter::repeat_n(Shape::Rings, total - switch_at));
+        Self::new(params, seed, schedule)
+    }
+
+    /// The shape family of block `id`.
+    pub fn regime_of(&self, id: BlockId) -> Shape {
+        let i = id.index().min(self.schedule.len() - 1);
+        self.schedule[i]
+    }
+
+    /// Generates the next block with `n` points.
+    pub fn next_block(&mut self, n: usize) -> PointBlock {
+        let id = BlockId(self.next_block);
+        self.next_block += 1;
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ id.value().wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        Block::new(id, shape_points(self.regime_of(id), self.params, n, &mut rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ShapeParams {
+        ShapeParams::new(4.0, 0.1)
+    }
+
+    #[test]
+    fn switch_once_builds_expected_schedule() {
+        let g = DensityDriftGen::switch_once(params(), 5, 2, 5);
+        assert_eq!(g.regime_of(BlockId(1)), Shape::Moons);
+        assert_eq!(g.regime_of(BlockId(2)), Shape::Moons);
+        assert_eq!(g.regime_of(BlockId(3)), Shape::Rings);
+        // Past the schedule: last entry repeats.
+        assert_eq!(g.regime_of(BlockId(9)), Shape::Rings);
+    }
+
+    #[test]
+    fn blocks_are_deterministic_and_ids_monotonic() {
+        let mk = || {
+            let mut g = DensityDriftGen::switch_once(params(), 11, 1, 3);
+            (g.next_block(50), g.next_block(50), g.next_block(50))
+        };
+        let (a1, a2, a3) = mk();
+        let (b1, _, _) = mk();
+        assert_eq!(a1.id(), BlockId(1));
+        assert_eq!(a3.id(), BlockId(3));
+        assert_eq!(a1.records(), b1.records(), "same seed, same block");
+        assert_ne!(a2.records(), a3.records(), "fresh jitter per block");
+    }
+
+    #[test]
+    fn both_families_share_centroid_but_not_shape() {
+        // The design property the golden experiment rests on: moons and
+        // rings agree in bulk statistics (centroid near origin, similar
+        // extent) but their point sets are far apart pointwise.
+        let mut rng = StdRng::seed_from_u64(3);
+        let moons = shape_points(Shape::Moons, params(), 400, &mut rng);
+        let rings = shape_points(Shape::Rings, params(), 400, &mut rng);
+        let centroid = |pts: &[Point]| -> Vec<f64> {
+            let mut c = vec![0.0; 2];
+            for p in pts {
+                for (ci, x) in c.iter_mut().zip(p.coords()) {
+                    *ci += x / pts.len() as f64;
+                }
+            }
+            c
+        };
+        let (cm, cr) = (centroid(&moons), centroid(&rings));
+        assert!(cm.iter().all(|c| c.abs() < 1.0), "moons centroid {cm:?}");
+        assert!(cr.iter().all(|c| c.abs() < 1.0), "rings centroid {cr:?}");
+        // Most ring points are not near any moon point at jitter scale.
+        let far = rings
+            .iter()
+            .filter(|r| moons.iter().all(|m| r.dist2(m) > 0.25))
+            .count();
+        assert!(far > 100, "only {far} ring points far from every moon point");
+    }
+
+    #[test]
+    fn shapes_form_clusters_under_dbscan() {
+        use demon_clustering::{DbscanParams, IncrementalDbscan};
+        for shape in [Shape::Moons, Shape::Rings] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let pts = shape_points(shape, params(), 300, &mut rng);
+            let mut m = IncrementalDbscan::with_params(DbscanParams::new(2, 0.9, 4));
+            for p in &pts {
+                m.insert(p.clone());
+            }
+            assert_eq!(m.n_clusters(), 2, "{shape:?} should form two clusters");
+        }
+    }
+}

@@ -13,7 +13,7 @@
 //! The normalized deviation is
 //! `δ = Σ_r |m₁(r) − m₂(r)| / Σ_r (m₁(r) + m₂(r))  ∈ [0, 1]`.
 
-use demon_clustering::BirchModel;
+use demon_clustering::{BirchModel, IncrementalDbscan, Label};
 use demon_itemsets::prefix_tree::PrefixTree;
 use demon_itemsets::FrequentItemsets;
 use demon_trees::{DecisionTree, LabeledPoint};
@@ -165,6 +165,75 @@ pub fn cluster_deviation(
         regions: regions.len(),
         counted_on_a: regions.len(),
         counted_on_b: regions.len(),
+    }
+}
+
+/// Deviation between two point blocks through their density (DBSCAN)
+/// models — the fourth FOCUS instantiation.
+///
+/// Density clusters are not convex, so centroid balls (the BIRCH regions
+/// of [`cluster_deviation`]) would misrepresent shapes like moons or
+/// rings. Instead each cluster of either model contributes its
+/// **core-reachable region**: the union of ε-balls around the cluster's
+/// core points. The measure of a dataset over a region is the fraction of
+/// its points within ε of some core point of that cluster — exactly the
+/// set of points DBSCAN would place in (or on the border of) the cluster,
+/// answered with the model's own grid index in one scan per block.
+pub fn dbscan_deviation(
+    a: &PointBlock,
+    da: &IncrementalDbscan,
+    b: &PointBlock,
+    db: &IncrementalDbscan,
+) -> DeviationResult {
+    // A cluster is identified by its resolved union-find root; collect the
+    // live cluster roots of one model, sorted for determinism.
+    let roots = |m: &IncrementalDbscan| -> Vec<usize> {
+        let mut out: Vec<usize> = (0..m.n_slots())
+            .filter(|&i| m.is_alive(i) && m.is_core(i))
+            .filter_map(|i| match m.label(i) {
+                Label::Cluster(root) => Some(root),
+                Label::Noise => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    };
+    // For each point, the set of clusters of `m` whose core-reachable
+    // region contains it — one grid-index neighborhood query per point.
+    let measure = |block: &PointBlock, m: &IncrementalDbscan, root: usize| -> f64 {
+        if block.is_empty() {
+            return 0.0;
+        }
+        let inside = block
+            .records()
+            .iter()
+            .filter(|p| {
+                m.neighbors_of(p)
+                    .into_iter()
+                    .any(|i| m.is_core(i) && m.label(i) == Label::Cluster(root))
+            })
+            .count();
+        inside as f64 / block.len() as f64
+    };
+
+    let mut diff = 0.0;
+    let mut total = 0.0;
+    let mut regions = 0;
+    for (m, rs) in [(da, roots(da)), (db, roots(db))] {
+        for root in rs {
+            let sa = measure(a, m, root);
+            let sb = measure(b, m, root);
+            diff += (sa - sb).abs();
+            total += sa + sb;
+            regions += 1;
+        }
+    }
+    DeviationResult {
+        deviation: if total > 0.0 { diff / total } else { 0.0 },
+        regions,
+        counted_on_a: regions,
+        counted_on_b: regions,
     }
 }
 
@@ -389,5 +458,51 @@ mod tests {
         let d_diff = cluster_deviation(&a, &ma, &c, &mc).deviation;
         assert!(d_same < 0.3, "same-process deviation {d_same}");
         assert!(d_diff > 0.9, "shifted deviation {d_diff}");
+    }
+
+    /// Points on a circle of radius `r` around `(cx, cy)`, with small
+    /// deterministic radial jitter.
+    fn ring_points(cx: f64, cy: f64, r: f64, n: usize, seed: u64) -> Vec<Point> {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                let rr = r + rng.gen_range(-0.1..0.1);
+                Point::new(vec![cx + rr * t.cos(), cy + rr * t.sin()])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dbscan_deviation_separates_shapes_with_equal_centroids() {
+        // A ring and a central blob share centroid and bounding box —
+        // indistinguishable to centroid-ball regions — but their
+        // core-reachable regions are disjoint, so the density deviation
+        // maxes out while two same-process rings score near zero.
+        use demon_clustering::{DbscanParams, IncrementalDbscan};
+        let fit = |pts: &[Point]| {
+            let mut m = IncrementalDbscan::with_params(DbscanParams::new(2, 1.0, 3));
+            for p in pts {
+                m.insert(p.clone());
+            }
+            m
+        };
+        let mk = |pts: Vec<Point>, id: u64| {
+            let m = fit(&pts);
+            (PointBlock::new(BlockId(id), pts), m)
+        };
+        let (a, da) = mk(ring_points(0.0, 0.0, 5.0, 60, 1), 1);
+        let (b, db) = mk(ring_points(0.0, 0.0, 5.0, 60, 2), 2);
+        let (c, dc) = mk(points_around(&[0.0, 0.0], 60, 1.5, 3), 3);
+
+        assert_eq!(da.n_clusters(), 1, "ring should be one density cluster");
+        assert_eq!(dc.n_clusters(), 1, "blob should be one density cluster");
+        let r_same = dbscan_deviation(&a, &da, &b, &db);
+        let r_diff = dbscan_deviation(&a, &da, &c, &dc);
+        assert!(r_same.deviation < 0.2, "same-process deviation {}", r_same.deviation);
+        assert!(r_diff.deviation > 0.9, "ring-vs-blob deviation {}", r_diff.deviation);
+        assert_eq!(r_same.regions, 2);
+        assert_eq!(r_same.counted_on_a, 2);
     }
 }

@@ -77,9 +77,14 @@ pub mod similarity;
 pub mod windowed;
 
 pub use compact::{CompactSequenceMiner, CompactStats};
-pub use deviation::{cluster_deviation, itemset_deviation, tree_deviation, DeviationResult};
+pub use deviation::{
+    cluster_deviation, dbscan_deviation, itemset_deviation, tree_deviation, DeviationResult,
+};
 pub use granularity::{evaluate_granularities, select_granularity, GranularityReport};
 pub use postprocess::{cyclic_subsequences, CyclicSequence};
 pub use significance::{bootstrap_significance, bootstrap_significance_with};
-pub use similarity::{ClusterSimilarity, ItemsetSimilarity, SimilarityConfig, SimilarityOracle, TreeSimilarity};
+pub use similarity::{
+    ClusterSimilarity, DbscanSimilarity, ItemsetSimilarity, SimilarityConfig, SimilarityOracle,
+    TreeSimilarity,
+};
 pub use windowed::WindowedCompactMiner;

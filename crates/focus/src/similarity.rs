@@ -228,6 +228,58 @@ impl SimilarityOracle<demon_types::Point> for ClusterSimilarity {
     }
 }
 
+/// The density-model instantiation of the oracle: each block is clustered
+/// once with (insert-only) incremental DBSCAN, and similarity is a
+/// threshold on the core-reachability deviation of
+/// [`crate::deviation::dbscan_deviation`] — sensitive to cluster *shape*,
+/// not just centroid mass.
+pub struct DbscanSimilarity {
+    params: demon_clustering::DbscanParams,
+    alpha: f64,
+    models: HashMap<BlockId, demon_clustering::IncrementalDbscan>,
+}
+
+impl DbscanSimilarity {
+    /// An oracle clustering blocks with `params`, similar iff `δ < alpha`.
+    pub fn new(params: demon_clustering::DbscanParams, alpha: f64) -> Self {
+        DbscanSimilarity {
+            params,
+            alpha,
+            models: HashMap::new(),
+        }
+    }
+
+    fn model(&mut self, block: &demon_types::PointBlock) -> &demon_clustering::IncrementalDbscan {
+        self.models.entry(block.id()).or_insert_with(|| {
+            let mut m = demon_clustering::IncrementalDbscan::with_params(self.params);
+            for p in block.records() {
+                m.insert(p.clone());
+            }
+            m
+        })
+    }
+
+    /// Number of models currently cached.
+    pub fn cached_models(&self) -> usize {
+        self.models.len()
+    }
+}
+
+impl SimilarityOracle<demon_types::Point> for DbscanSimilarity {
+    fn similar(
+        &mut self,
+        a: &demon_types::PointBlock,
+        b: &demon_types::PointBlock,
+    ) -> (bool, f64) {
+        self.model(a);
+        self.model(b);
+        let ma = &self.models[&a.id()];
+        let mb = &self.models[&b.id()];
+        let d = crate::deviation::dbscan_deviation(a, ma, b, mb).deviation;
+        (d < self.alpha, d)
+    }
+}
+
 /// The decision-tree instantiation of the oracle: each labeled block is
 /// fitted once (model cached); similarity thresholds the class-aware tree
 /// deviation. Completes the three FOCUS model classes of §4 as usable
@@ -381,6 +433,42 @@ mod tests {
         assert!(sim, "same-process point blocks should be similar (δ={d})");
         let (sim, d) = oracle.similar(&a, &far);
         assert!(!sim, "shifted point blocks should differ (δ={d})");
+        assert_eq!(oracle.cached_models(), 3);
+    }
+
+    #[test]
+    fn dbscan_oracle_separates_shape_changes() {
+        use demon_clustering::DbscanParams;
+        use demon_types::{Point, PointBlock};
+        // A ring and a filled blob with the same centroid: only a
+        // shape-aware oracle tells them apart.
+        let ring = |id: u64, phase: f64| {
+            PointBlock::new(
+                BlockId(id),
+                (0..48)
+                    .map(|i| {
+                        let t = (i as f64 + phase) / 48.0 * std::f64::consts::TAU;
+                        Point::new(vec![5.0 * t.cos(), 5.0 * t.sin()])
+                    })
+                    .collect(),
+            )
+        };
+        let blob = PointBlock::new(
+            BlockId(3),
+            (0..49)
+                .map(|i| {
+                    Point::new(vec![
+                        (i % 7) as f64 * 0.5 - 1.5,
+                        (i / 7) as f64 * 0.5 - 1.5,
+                    ])
+                })
+                .collect(),
+        );
+        let mut oracle = DbscanSimilarity::new(DbscanParams::new(2, 1.0, 3), 0.4);
+        let (sim, d) = oracle.similar(&ring(1, 0.0), &ring(2, 0.5));
+        assert!(sim, "same-shape blocks should be similar (δ={d})");
+        let (sim, d) = oracle.similar(&ring(1, 0.0), &blob);
+        assert!(!sim, "ring vs blob should differ (δ={d})");
         assert_eq!(oracle.cached_models(), 3);
     }
 

@@ -16,7 +16,7 @@
 //! a *first* attempt is a genuine protocol error and still surfaces as
 //! the typed [`DemonError::DuplicateBlock`].
 
-use crate::model::{ClusterModel, ItemsetModel, ServableModel, TreeModel};
+use crate::model::{ClusterModel, DbscanModel, ItemsetModel, ServableModel, TreeModel};
 use crate::protocol::{self, Request, Response, WireError};
 use demon_trees::LabeledPoint;
 use demon_types::durable::FrameClass;
@@ -257,6 +257,14 @@ impl Client {
     /// daemon. Same retry/duplicate semantics as [`Client::ingest`].
     pub fn ingest_labeled(&mut self, dim: u32, block: &Block<LabeledPoint>) -> Result<()> {
         self.ingest_records::<TreeModel>(dim, block)
+    }
+
+    /// Ingests one block of points into a `--model dbscan` daemon — the
+    /// same point codec as [`Client::ingest_points`], stamped with the
+    /// density class tag so a clusters daemon refuses it typed. Same
+    /// retry/duplicate semantics as [`Client::ingest`].
+    pub fn ingest_density(&mut self, dim: u32, block: &Block<Point>) -> Result<()> {
+        self.ingest_records::<DbscanModel>(dim, block)
     }
 
     /// The class-generic ingest the typed wrappers share: encode the

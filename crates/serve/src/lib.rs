@@ -93,6 +93,8 @@ pub mod server;
 pub mod shard;
 
 pub use client::{Client, RetryPolicy};
-pub use model::{ClusterModel, ItemsetModel, ServableModel, ShardableModel, TreeModel};
+pub use model::{
+    ClusterModel, DbscanModel, ItemsetModel, ServableModel, ShardableModel, TreeModel,
+};
 pub use protocol::{Request, Response, WireError, MAX_PAYLOAD};
 pub use server::{ServeConfig, ServeSummary, ServedMonitor, Server};

@@ -15,10 +15,13 @@
 //! | snapshot persist / load | [`ServableModel::save_snapshot`], [`ServableModel::load_snapshot`] |
 //! | exact shard merge (optional) | [`ShardableModel`] |
 //!
-//! Three classes implement it: [`ItemsetModel`] (the seed daemon,
+//! Four classes implement it: [`ItemsetModel`] (the seed daemon,
 //! byte-for-byte unchanged), [`ClusterModel`] (BIRCH+ over point
-//! blocks) and [`TreeModel`] (windowed decision trees over labeled
-//! points).
+//! blocks), [`TreeModel`] (windowed decision trees over labeled
+//! points) and [`DbscanModel`] (incremental DBSCAN density models —
+//! the one class whose `--window` engine slides by *deleting* the
+//! departing block's points instead of refitting, via the
+//! [`ServableModel::build_monitor`] hook).
 //!
 //! ## Sharding is a capability, not a default
 //!
@@ -46,11 +49,15 @@
 use std::path::Path;
 
 use crate::server::ServeConfig;
-use demon_clustering::{BirchParams, PointBlockEntry};
+use demon_clustering::{BirchParams, DbscanParams, PointBlockEntry};
+use demon_core::bss::{BlockSelector, WiBss};
+use demon_core::engine::DataSpan;
 use demon_core::maintainer::ModelMaintainer;
-use demon_core::{ClusterMaintainer, ItemsetMaintainer, TreeMaintainer};
+use demon_core::monitor::DemonMonitor;
+use demon_core::{ClusterMaintainer, DbscanMaintainer, ItemsetMaintainer, TreeMaintainer};
 use demon_focus::similarity::{
-    ClusterSimilarity, ItemsetSimilarity, SimilarityConfig, SimilarityOracle, TreeSimilarity,
+    ClusterSimilarity, DbscanSimilarity, ItemsetSimilarity, SimilarityConfig, SimilarityOracle,
+    TreeSimilarity,
 };
 use demon_itemsets::persist::{
     decode_block_txs, encode_block_txs, load_store_configured, save_store_atomic, RecoveryPolicy,
@@ -84,6 +91,26 @@ pub trait ServableModel: Send + Sync + 'static {
 
     /// Builds the maintainer from the daemon config.
     fn maintainer(config: &ServeConfig) -> Result<Self::Maintainer>;
+
+    /// Builds the full monitor (engine + pattern miner) from the daemon
+    /// config. The default maps `--window` to GEMM's most-recent-window
+    /// span; classes with a cheaper window mechanism (incremental DBSCAN
+    /// slides by deletion) override it.
+    fn build_monitor(config: &ServeConfig) -> Result<DemonMonitor<Self::Maintainer, Self::Oracle>> {
+        let span = match config.window {
+            None => DataSpan::Unrestricted(WiBss::All),
+            Some(w) => DataSpan::MostRecent {
+                w,
+                selector: BlockSelector::all(),
+            },
+        };
+        DemonMonitor::new(
+            Self::maintainer(config)?,
+            span,
+            Self::oracle(config),
+            config.pattern_window,
+        )
+    }
 
     /// Builds the similarity oracle from the daemon config.
     fn oracle(config: &ServeConfig) -> Self::Oracle;
@@ -354,6 +381,96 @@ impl ServableModel for ClusterModel {
         load_blocks_strict::<PointBlockEntry>(dir, Self::CLASS).map(|entries| {
             entries.into_iter().map(|e| e.0).collect()
         })
+    }
+}
+
+/// Incremental DBSCAN density models over point blocks.
+///
+/// Shares [`ClusterModel`]'s wire codec and snapshot layout (both
+/// persist raw point blocks through [`PointBlockEntry`]); differs in
+/// the maintainer (deletion-capable [`DbscanMaintainer`]), the oracle
+/// (core-reachability deviation), the rendered body (the canonical
+/// [`demon_clustering::DbscanSummary`]) and the window engine — see
+/// the [`ServableModel::build_monitor`] override.
+pub enum DbscanModel {}
+
+impl DbscanModel {
+    fn params(config: &ServeConfig) -> DbscanParams {
+        DbscanParams::new(config.dim, config.eps, config.min_pts)
+    }
+}
+
+impl ServableModel for DbscanModel {
+    type Record = Point;
+    type Maintainer = DbscanMaintainer;
+    type Oracle = DbscanSimilarity;
+    type RenderCtx = ();
+
+    const CLASS: ModelClass = ModelClass::Density;
+
+    fn maintainer(config: &ServeConfig) -> Result<DbscanMaintainer> {
+        DbscanMaintainer::with_store_config(Self::params(config), &config.store_config)
+    }
+
+    /// `--window w` slides by **deletion**: absorb the arriving block
+    /// into the incremental structure, shed the departing one through
+    /// `IncrementalDbscan::remove` — no per-window refits (paper
+    /// §3.2.4's insert/delete cost asymmetry, made servable).
+    fn build_monitor(config: &ServeConfig) -> Result<DemonMonitor<Self::Maintainer, Self::Oracle>> {
+        match config.window {
+            None => DemonMonitor::new(
+                Self::maintainer(config)?,
+                DataSpan::Unrestricted(WiBss::All),
+                Self::oracle(config),
+                config.pattern_window,
+            ),
+            Some(w) => DemonMonitor::new_decremental(
+                Self::maintainer(config)?,
+                w,
+                Self::oracle(config),
+                config.pattern_window,
+            ),
+        }
+    }
+
+    fn oracle(config: &ServeConfig) -> DbscanSimilarity {
+        DbscanSimilarity::new(Self::params(config), config.alpha)
+    }
+
+    fn block_meta(config: &ServeConfig) -> u32 {
+        config.dim as u32
+    }
+
+    fn meta_mismatch(expected: u32, got: u32) -> Option<String> {
+        dim_mismatch(expected, got)
+    }
+
+    fn encode_records(block: &Block<Point>) -> Result<Vec<u8>> {
+        ClusterModel::encode_records(block)
+    }
+
+    fn decode_records(payload: &[u8], id: BlockId, meta: u32) -> Result<Vec<Point>> {
+        ClusterModel::decode_records(payload, id, meta)
+    }
+
+    fn render_ctx(_maintainer: &DbscanMaintainer) -> Self::RenderCtx {}
+
+    fn render_model_json((): &Self::RenderCtx, model: &MaintainedModel<Self>) -> Result<String> {
+        serde_json::to_string(&model.summary())
+            .map_err(|e| DemonError::Serde(format!("model serialization: {e}")))
+    }
+
+    fn block_ids(maintainer: &DbscanMaintainer) -> Vec<BlockId> {
+        maintainer.store().ids()
+    }
+
+    fn save_snapshot(maintainer: &DbscanMaintainer, dir: &Path) -> Result<u64> {
+        save_blocks_atomic(maintainer.store(), Self::CLASS, dir)
+    }
+
+    fn load_snapshot(dir: &Path, _config: &ServeConfig) -> Result<Vec<Block<Point>>> {
+        load_blocks_strict::<PointBlockEntry>(dir, Self::CLASS)
+            .map(|entries| entries.into_iter().map(|e| e.0).collect())
     }
 }
 

@@ -70,10 +70,10 @@
 //! pin a worker. The recorder is enabled at bind time so the `Stats`
 //! verb always reports live `serve.*` and `wal.*` counters.
 
-use crate::model::{ClusterModel, ItemsetModel, MaintainedModel, ServableModel, TreeModel};
+use crate::model::{
+    ClusterModel, DbscanModel, ItemsetModel, MaintainedModel, ServableModel, TreeModel,
+};
 use crate::protocol::{self, Request, Response, WireError};
-use demon_core::bss::{BlockSelector, WiBss};
-use demon_core::engine::DataSpan;
 use demon_core::monitor::DemonMonitor;
 use demon_core::ItemsetMaintainer;
 use demon_focus::similarity::ItemsetSimilarity;
@@ -118,6 +118,11 @@ pub struct ServeConfig {
     pub k: usize,
     /// Label-domain size (`--model trees`).
     pub classes: u32,
+    /// DBSCAN neighborhood radius ε (`--model dbscan`).
+    pub eps: f64,
+    /// DBSCAN core threshold: a point with at least this many ε-neighbors
+    /// (itself included) is core (`--model dbscan`).
+    pub min_pts: usize,
     /// Model data span: `None` = unrestricted window, `Some(w)` = the
     /// `w` most recent blocks (GEMM).
     pub window: Option<usize>,
@@ -177,6 +182,8 @@ impl ServeConfig {
             dim: 2,
             k: 4,
             classes: 2,
+            eps: 1.0,
+            min_pts: 4,
             window: None,
             pattern_window: None,
             alpha: 0.12,
@@ -391,6 +398,7 @@ enum ServerInner {
     Itemsets(LegacyServer<ItemsetModel>),
     Clusters(LegacyServer<ClusterModel>),
     Trees(LegacyServer<TreeModel>),
+    Density(LegacyServer<DbscanModel>),
     Sharded(Box<crate::shard::ShardedServer<ItemsetModel>>),
 }
 
@@ -403,16 +411,9 @@ struct LegacyServer<S: ServableModel> {
 }
 
 fn build_monitor<S: ServableModel>(config: &ServeConfig) -> Result<Monitor<S>> {
-    let maintainer = S::maintainer(config)?;
-    let span = match config.window {
-        None => DataSpan::Unrestricted(WiBss::All),
-        Some(w) => DataSpan::MostRecent {
-            w,
-            selector: BlockSelector::all(),
-        },
-    };
-    let oracle = S::oracle(config);
-    DemonMonitor::new(maintainer, span, oracle, config.pattern_window)
+    // Delegated so a class can pick its own window engine (incremental
+    // DBSCAN slides by deletion instead of GEMM's per-window refits).
+    S::build_monitor(config)
 }
 
 /// What WAL recovery rebuilt: the monitor with every durable block
@@ -574,6 +575,7 @@ impl Server {
             ModelClass::Itemsets => ServerInner::Itemsets(LegacyServer::bind(config)?),
             ModelClass::Clusters => ServerInner::Clusters(LegacyServer::bind(config)?),
             ModelClass::Trees => ServerInner::Trees(LegacyServer::bind(config)?),
+            ModelClass::Density => ServerInner::Density(LegacyServer::bind(config)?),
         };
         Ok(Server { inner })
     }
@@ -584,6 +586,7 @@ impl Server {
             ServerInner::Itemsets(s) => s.shared.addr,
             ServerInner::Clusters(s) => s.shared.addr,
             ServerInner::Trees(s) => s.shared.addr,
+            ServerInner::Density(s) => s.shared.addr,
             ServerInner::Sharded(s) => s.local_addr(),
         }
     }
@@ -597,6 +600,7 @@ impl Server {
             ServerInner::Itemsets(s) => s.run(),
             ServerInner::Clusters(s) => s.run(),
             ServerInner::Trees(s) => s.run(),
+            ServerInner::Density(s) => s.run(),
             ServerInner::Sharded(s) => s.run(),
         }
     }

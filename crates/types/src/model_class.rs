@@ -24,12 +24,20 @@ pub enum ModelClass {
     Clusters = 2,
     /// Refit decision trees over labeled blocks (`TreeMaintainer`).
     Trees = 3,
+    /// Incremental-DBSCAN density models over point blocks
+    /// (`DbscanMaintainer`); the only class whose MRW window maintenance
+    /// is deletion-based rather than refit-based.
+    Density = 4,
 }
 
 impl ModelClass {
     /// Every model class, in tag order.
-    pub const ALL: [ModelClass; 3] =
-        [ModelClass::Itemsets, ModelClass::Clusters, ModelClass::Trees];
+    pub const ALL: [ModelClass; 4] = [
+        ModelClass::Itemsets,
+        ModelClass::Clusters,
+        ModelClass::Trees,
+        ModelClass::Density,
+    ];
 
     /// The one-byte wire/WAL tag.
     pub fn tag(self) -> u8 {
@@ -43,16 +51,19 @@ impl ModelClass {
             1 => Some(ModelClass::Itemsets),
             2 => Some(ModelClass::Clusters),
             3 => Some(ModelClass::Trees),
+            4 => Some(ModelClass::Density),
             _ => None,
         }
     }
 
-    /// The CLI / stats-JSON name (`itemsets`, `clusters`, `trees`).
+    /// The CLI / stats-JSON name (`itemsets`, `clusters`, `trees`,
+    /// `dbscan`).
     pub fn name(self) -> &'static str {
         match self {
             ModelClass::Itemsets => "itemsets",
             ModelClass::Clusters => "clusters",
             ModelClass::Trees => "trees",
+            ModelClass::Density => "dbscan",
         }
     }
 

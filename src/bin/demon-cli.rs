@@ -78,11 +78,12 @@ USAGE:
   demon-cli patterns STORE [--alpha F] [--min-len N] [--window N] [--salvage]
   demon-cli serve    [--listen ADDR] [--model CLASS] [--items N] [--minsup F]
                      [--counter KIND] [--dim N] [--k N] [--classes N]
+                     [--eps F] [--min-pts N]
                      [--window N] [--pattern-window N] [--alpha F] [--workers N]
                      [--shards N] [--queue N] [--queue-timeout-ms N] [--timeout-ms N]
                      [--wal-dir DIR] [--wal-max-bytes N] [--no-wal] [--wal-group-commit]
   demon-cli client   ADDR ingest STORE [--salvage]
-  demon-cli client   ADDR ingest-points  [--spec S] [--blocks N] [--seed N]
+  demon-cli client   ADDR ingest-points  [--spec S] [--blocks N] [--seed N] [--model CLASS]
   demon-cli client   ADDR ingest-labeled [--spec S] [--blocks N] [--seed N]
   demon-cli client   ADDR query-model [--top N] [--json] [--model CLASS]
   demon-cli client   ADDR sequences | stats | shutdown
@@ -95,13 +96,17 @@ SERVE:    serve runs the TCP monitoring daemon (default 127.0.0.1:7677;
           prints what mine prints (--json for the raw model), snapshot
           persists the monitored store server-side, shutdown drains the
           ingest queue and exits the daemon cleanly.
-MODEL:    --model itemsets|clusters|trees picks the served model class
-          (default itemsets, the legacy daemon). clusters maintains
-          BIRCH+ over point blocks (--dim, --k centroids); trees
-          maintains windowed decision trees over labeled points
-          (--dim, --classes labels). client ingest-points /
+MODEL:    --model itemsets|clusters|trees|dbscan picks the served model
+          class (default itemsets, the legacy daemon). clusters
+          maintains BIRCH+ over point blocks (--dim, --k centroids);
+          trees maintains windowed decision trees over labeled points
+          (--dim, --classes labels); dbscan maintains incremental
+          DBSCAN density models (--dim, --eps radius, --min-pts core
+          threshold) whose --window slides by deleting the departing
+          block instead of refitting. client ingest-points /
           ingest-labeled stream deterministic Gaussian blocks (--spec
-          NM.Kc.dd, --seed) to such a daemon, and query-model --model
+          NM.Kc.dd, --seed) to such a daemon (ingest-points --model
+          dbscan stamps the density class), and query-model --model
           CLASS pins the class (the daemon refuses a mismatched class
           with a typed error) and prints the raw model JSON.
 BSS:      a bit string like 1011; window-relative when --window is set,
@@ -120,8 +125,8 @@ SHARDS:   --shards N (default 1) partitions the serving state into N
           epoch-swapped query replicas; answers are byte-identical at
           any shard count. --shards 1 is the original single-lock
           daemon; --window requires --shards 1. Sharding needs an exact
-          shard merge, so --shards ≥ 2 is itemsets-only (a clusters or
-          trees daemon refuses it with a typed error).
+          shard merge, so --shards ≥ 2 is itemsets-only (a clusters,
+          trees or dbscan daemon refuses it with a typed error).
 VERIFY:   re-checks every frame and checksum; exit status 1 on damage.
 SALVAGE:  --salvage loads a damaged store by quarantining corrupt files
           and keeping the longest consistent block prefix.
@@ -528,7 +533,9 @@ fn model_flag(flags: &HashMap<&str, &str>) -> Result<Option<ModelClass>, String>
         None => Ok(None),
         Some(v) => ModelClass::parse(v)
             .map(Some)
-            .ok_or_else(|| format!("--model: unknown class {v:?} (itemsets | clusters | trees)")),
+            .ok_or_else(|| {
+                format!("--model: unknown class {v:?} (itemsets | clusters | trees | dbscan)")
+            }),
     }
 }
 
@@ -763,6 +770,8 @@ fn serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
     config.dim = flag_parse(flags, "dim", config.dim)?;
     config.k = flag_parse(flags, "k", config.k)?;
     config.classes = flag_parse(flags, "classes", config.classes)?;
+    config.eps = flag_parse(flags, "eps", config.eps)?;
+    config.min_pts = flag_parse(flags, "min-pts", config.min_pts)?;
     config.counter = counter_flag(flags)?;
     config.window = match flags.get("window") {
         None => None,
@@ -905,11 +914,12 @@ fn client(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String
 
 /// `client ADDR ingest-points | ingest-labeled` — streams blocks from
 /// the Gaussian cluster generator (the BIRCH experiments' data) into a
-/// clusters or trees daemon. `--spec NM.Kc.dd` fixes the ground truth,
-/// `--blocks` splits the points into that many blocks, and `--seed`
-/// makes reruns byte-identical — so re-streaming after a daemon restart
-/// is idempotent (duplicates are skipped), exactly like re-streaming a
-/// store.
+/// clusters, dbscan or trees daemon. `--spec NM.Kc.dd` fixes the ground
+/// truth, `--blocks` splits the points into that many blocks, and
+/// `--seed` makes reruns byte-identical — so re-streaming after a
+/// daemon restart is idempotent (duplicates are skipped), exactly like
+/// re-streaming a store. `ingest-points --model dbscan` stamps the
+/// blocks with the density class tag for a `--model dbscan` daemon.
 fn ingest_synthetic(
     client: &mut Client,
     flags: &HashMap<&str, &str>,
@@ -919,6 +929,17 @@ fn ingest_synthetic(
     let spec = flags.get("spec").copied().unwrap_or("4K.4c.2d");
     let n_blocks: u64 = flag_parse(flags, "blocks", 4)?;
     let seed: u64 = flag_parse(flags, "seed", 1)?;
+    let class = model_flag(flags)?.unwrap_or(ModelClass::Clusters);
+    match class {
+        ModelClass::Clusters | ModelClass::Density if !labeled => {}
+        _ if labeled => {}
+        other => {
+            return Err(format!(
+                "ingest-points streams point blocks; --model {} wants a different record type",
+                other.name()
+            ))
+        }
+    }
     let params = ClusterParams::parse(spec, 1.0)?;
     let per_block = (params.n_points / n_blocks as usize).max(1);
     let dim = params.dim as u32;
@@ -934,6 +955,8 @@ fn ingest_synthetic(
                 .map(|(point, label)| LabeledPoint { point, label })
                 .collect();
             client.ingest_labeled(dim, &Block::new(id, records))
+        } else if class == ModelClass::Density {
+            client.ingest_density(dim, &Block::new(id, gen.take_points(per_block)))
         } else {
             client.ingest_points(dim, &Block::new(id, gen.take_points(per_block)))
         };

@@ -61,6 +61,7 @@ fn pipeline_is_bit_identical_at_any_thread_count() {
     focus_scores_are_invariant(&blocks);
     patterns_are_invariant(&blocks);
     clustering_is_invariant();
+    dbscan_is_invariant();
     obs_counters_are_invariant(&blocks);
     // Leave the process default as other code expects it.
     set_global(Parallelism::new(0));
@@ -154,6 +155,39 @@ fn skewed_payload_counting_is_invariant() {
                 kind.name()
             );
         }
+    }
+}
+
+/// Incremental DBSCAN over a sliding window — the maintained structure
+/// and the served summary — is byte-identical at every thread count.
+/// Maintenance is sequential by construction; this pins that no future
+/// parallelization sneaks nondeterminism into the density model class.
+fn dbscan_is_invariant() {
+    use demon::clustering::{DbscanParams, WindowedDbscan};
+    use demon::datagen::{DensityDriftGen, ShapeParams};
+
+    let run = |threads: usize| -> (String, String) {
+        set_global(Parallelism::new(threads));
+        let mut gen = DensityDriftGen::switch_once(ShapeParams::new(4.0, 0.1), 41, 2, 4);
+        let mut model = WindowedDbscan::new(DbscanParams::new(2, 0.9, 4));
+        for _ in 0..4 {
+            let block = gen.next_block(100);
+            model.absorb_block(block.id(), block.records());
+            while model.covered_blocks().len() > 2 {
+                let oldest = model.covered_blocks()[0];
+                model.shed_block(oldest);
+            }
+        }
+        (
+            serde_json::to_string(model.structure()).unwrap(),
+            serde_json::to_string(&model.summary()).unwrap(),
+        )
+    };
+    let reference = run(THREADS[0]);
+    for &t in &THREADS[1..] {
+        let got = run(t);
+        assert_eq!(reference.0, got.0, "dbscan structure diverged at {t} threads");
+        assert_eq!(reference.1, got.1, "dbscan summary diverged at {t} threads");
     }
 }
 

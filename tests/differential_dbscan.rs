@@ -1,0 +1,155 @@
+//! Differential property test of incremental DBSCAN: the maintained
+//! structure after any sequence of block insertions and MRW-style block
+//! retirements must equal a from-scratch batch DBSCAN over the points
+//! currently alive — identical cluster count, identical core-point set,
+//! and identical labels up to cluster renaming (border points may
+//! legitimately attach to any adjacent cluster; the checker accounts
+//! for that). The paper's §3.2.4 argues incremental DBSCAN is the
+//! cheap path for evolving data; this pins down that cheap also means
+//! *correct*, at every stream prefix, not just at the end.
+
+use demon::clustering::{DbscanParams, WindowedDbscan};
+use demon::datagen::{DensityDriftGen, ShapeParams};
+use demon::types::parallel::set_global;
+use demon::types::{BlockId, Parallelism, Point};
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Random 2-D point blocks on a half-unit lattice. Coarse coordinates
+/// deliberately force duplicate points, dense ε-neighborhoods and
+/// border ambiguity — the cases where incremental label maintenance
+/// (core promotion/demotion, region regrowing after removal) can go
+/// subtly wrong.
+fn blocks_strategy(max_blocks: usize) -> impl Strategy<Value = Vec<Vec<Point>>> {
+    prop::collection::vec(
+        prop::collection::vec((-6i32..=6, -6i32..=6), 0..14),
+        1..=max_blocks,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|pts| {
+                pts.into_iter()
+                    .map(|(x, y)| Point::new(vec![f64::from(x) * 0.5, f64::from(y) * 0.5]))
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+/// ε spans "barely adjacent lattice cells" to "diagonal reach"; min_pts
+/// spans trivially-core to hard-to-core.
+fn params_strategy() -> impl Strategy<Value = DbscanParams> {
+    (0usize..3, 2usize..=4).prop_map(|(eps_idx, min_pts)| {
+        let eps = [0.6f64, 0.75, 1.1][eps_idx];
+        DbscanParams::new(2, eps, min_pts)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Insert-only streams: after every absorbed block the incremental
+    /// structure equals batch DBSCAN over everything seen so far.
+    #[test]
+    fn insert_stream_matches_batch_at_every_prefix(
+        blocks in blocks_strategy(5),
+        params in params_strategy(),
+    ) {
+        let mut w = WindowedDbscan::new(params);
+        for (i, pts) in blocks.iter().enumerate() {
+            w.absorb_block(BlockId(i as u64 + 1), pts);
+            if let Err(e) = w.structure().verify_against_batch() {
+                prop_assert!(false, "prefix {} diverged from batch: {e}", i + 1);
+            }
+        }
+    }
+
+    /// Sliding-window streams: the window retires old blocks by *deleting
+    /// their points* (the first deletion-based model class), so this
+    /// exercises remove-heavy schedules — core demotion, cluster splits,
+    /// region regrowing — and demands batch equality after every single
+    /// absorb and every single shed.
+    #[test]
+    fn sliding_window_matches_batch_at_every_prefix(
+        blocks in blocks_strategy(6),
+        params in params_strategy(),
+        window in 1usize..=3,
+    ) {
+        let mut w = WindowedDbscan::new(params);
+        for (i, pts) in blocks.iter().enumerate() {
+            w.absorb_block(BlockId(i as u64 + 1), pts);
+            if let Err(e) = w.structure().verify_against_batch() {
+                prop_assert!(false, "absorb of block {} diverged: {e}", i + 1);
+            }
+            while w.covered_blocks().len() > window {
+                let oldest = w.covered_blocks()[0];
+                w.shed_block(oldest);
+                if let Err(e) = w.structure().verify_against_batch() {
+                    prop_assert!(false, "shed of block {oldest:?} diverged: {e}");
+                }
+            }
+            let covered = w.covered_blocks();
+            prop_assert!(covered.len() <= window);
+            prop_assert_eq!(covered.last(), Some(&BlockId(i as u64 + 1)));
+        }
+    }
+
+    /// Shedding everything leaves a genuinely empty structure — no stale
+    /// grid cells, no surviving cores, no phantom clusters.
+    #[test]
+    fn shedding_all_blocks_empties_the_model(
+        blocks in blocks_strategy(4),
+        params in params_strategy(),
+    ) {
+        let mut w = WindowedDbscan::new(params);
+        for (i, pts) in blocks.iter().enumerate() {
+            w.absorb_block(BlockId(i as u64 + 1), pts);
+        }
+        for id in w.covered_blocks() {
+            w.shed_block(id);
+            if let Err(e) = w.structure().verify_against_batch() {
+                prop_assert!(false, "shed of block {id:?} diverged: {e}");
+            }
+        }
+        let summary = w.summary();
+        prop_assert_eq!(summary.n_points, 0);
+        prop_assert_eq!(summary.n_clusters, 0);
+        prop_assert_eq!(w.structure().index_entries(), 0);
+    }
+}
+
+/// The maintained model — raw serialized structure AND rendered summary
+/// (what `demon-serve` answers over the wire) — is byte-identical at 1,
+/// 2 and 8 threads over a sliding window of planted density drift.
+/// DBSCAN maintenance is sequential by design, so this pins the
+/// determinism contract the serving stack relies on.
+#[test]
+fn windowed_model_bytes_are_thread_invariant() {
+    let run = |threads: usize| -> (String, String) {
+        set_global(Parallelism::new(threads));
+        let mut gen = DensityDriftGen::switch_once(ShapeParams::new(4.0, 0.1), 77, 3, 5);
+        let mut w = WindowedDbscan::new(DbscanParams::new(2, 0.9, 4));
+        for _ in 0..5 {
+            let block = gen.next_block(120);
+            w.absorb_block(block.id(), block.records());
+            while w.covered_blocks().len() > 3 {
+                let oldest = w.covered_blocks()[0];
+                w.shed_block(oldest);
+            }
+        }
+        w.structure().check_against_batch();
+        (
+            serde_json::to_string(w.structure()).unwrap(),
+            serde_json::to_string(&w.summary()).unwrap(),
+        )
+    };
+    let reference = run(THREADS[0]);
+    assert!(reference.1.contains("\"n_clusters\""));
+    for &t in &THREADS[1..] {
+        let got = run(t);
+        assert_eq!(reference.0, got.0, "dbscan model bytes diverged at {t} threads");
+        assert_eq!(reference.1, got.1, "dbscan summary diverged at {t} threads");
+    }
+    set_global(Parallelism::new(0));
+}

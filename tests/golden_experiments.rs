@@ -16,11 +16,17 @@
 //! and review the resulting `tests/golden/*.json` diff like any other
 //! code change.
 
-use demon::clustering::{Birch, BirchParams, BirchPlus};
+use demon::clustering::{Birch, BirchParams, BirchPlus, DbscanParams};
 use demon::core::bss::{BlockSelector, WiBss, WrBss};
 use demon::core::{Gemm, ItemsetMaintainer};
-use demon::datagen::{ClusterDataGen, ClusterParams, DriftingQuestGen, QuestGen, QuestParams};
-use demon::focus::{CompactSequenceMiner, ItemsetSimilarity, SimilarityConfig};
+use demon::datagen::{
+    ClusterDataGen, ClusterParams, DensityDriftGen, DriftingQuestGen, QuestGen, QuestParams,
+    ShapeParams,
+};
+use demon::focus::{
+    ClusterSimilarity, CompactSequenceMiner, DbscanSimilarity, ItemsetSimilarity,
+    SimilarityConfig, SimilarityOracle,
+};
 use demon::itemsets::{count_supports_with, CounterKind, FrequentItemsets, TxStore};
 use demon::store::StoreConfig;
 use demon::types::{
@@ -428,6 +434,75 @@ fn focus_detects_planted_drift() {
             "switch_after_block": switch_at,
             "n_blocks": total,
             "sequences": rendered,
+        }),
+    );
+}
+
+/// Density drift the centroid-based oracle cannot see: moons and rings
+/// share centroid and extent, so BIRCH's FOCUS deviation stays under
+/// threshold across the planted switch while the DBSCAN
+/// core-reachability deviation flags exactly the drift block. This is
+/// the reason the density model class exists.
+#[test]
+fn dbscan_focus_flags_density_drift_that_birch_misses() {
+    maybe_enable_recorder();
+    let alpha = 0.25;
+    let switch_at = 3u64;
+    let total = 6;
+    let mut gen =
+        DensityDriftGen::switch_once(ShapeParams::new(8.0, 0.1), 53, switch_at as usize, total);
+    let blocks: Vec<PointBlock> = (0..total).map(|_| gen.next_block(150)).collect();
+
+    let mut density = DbscanSimilarity::new(DbscanParams::new(2, 1.0, 4), alpha);
+    let mut bp = BirchParams::new(2, 2);
+    bp.tree.threshold2 = 1.0;
+    let mut birch = ClusterSimilarity::new(bp, alpha);
+
+    // Consecutive-block deviations under both oracles. Blocks 1..=3 are
+    // moons, 4..=6 rings: only the (3, 4) pair crosses the switch.
+    let mut rows = Vec::new();
+    for w in blocks.windows(2) {
+        let (_, d_density) = density.similar(&w[0], &w[1]);
+        let (_, d_birch) = birch.similar(&w[0], &w[1]);
+        rows.push((w[1].id(), d_density, d_birch));
+    }
+    for &(id, d_density, d_birch) in &rows {
+        if id == BlockId(switch_at + 1) {
+            assert!(
+                d_density > alpha,
+                "dbscan deviation {d_density:.3} fails to flag the drift block {id}"
+            );
+            assert!(
+                d_birch < alpha,
+                "birch deviation {d_birch:.3} also flags block {id} — the drift \
+                 is not centroid-invisible and the experiment proves nothing"
+            );
+        } else {
+            assert!(
+                d_density < alpha,
+                "dbscan deviation {d_density:.3} false-positives within a regime at block {id}"
+            );
+        }
+    }
+
+    let rendered: Vec<Value> = rows
+        .iter()
+        .map(|(id, d_density, d_birch)| {
+            json!({
+                "block": id.0,
+                "dbscan_deviation": format!("{d_density:.4}"),
+                "birch_deviation": format!("{d_birch:.4}"),
+                "crosses_switch": id.0 == switch_at + 1,
+            })
+        })
+        .collect();
+    golden_check(
+        "dbscan_density_drift",
+        &json!({
+            "switch_after_block": switch_at,
+            "n_blocks": total,
+            "alpha": format!("{alpha:.2}"),
+            "consecutive_deviations": rendered,
         }),
     );
 }

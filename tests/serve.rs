@@ -3,12 +3,13 @@
 //! produces, snapshots must be loadable, and shutdown must be clean.
 
 use demon::clustering::{phase2_model, BirchParams};
-use demon::core::{ClusterMaintainer, ModelMaintainer, TreeMaintainer};
+use demon::clustering::DbscanParams;
+use demon::core::{ClusterMaintainer, DbscanMaintainer, ModelMaintainer, TreeMaintainer};
 use demon::itemsets::persist::{
     load_store_configured, save_store, verify_store, RecoveryPolicy,
 };
 use demon::itemsets::{FrequentItemsets, TxStore};
-use demon::serve::{Client, ClusterModel, ServableModel, ServeConfig, Server};
+use demon::serve::{Client, ClusterModel, DbscanModel, ServableModel, ServeConfig, Server};
 use demon::store::StoreConfig;
 use demon::trees::{LabeledPoint, TreeParams};
 use demon::types::{
@@ -346,6 +347,83 @@ fn birch_daemon_matches_batch_and_snapshot_loads_strict() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A density daemon config over the same 2-d stream. ε = 1.0 reaches
+/// across the jitter inside each diagonal group but not between groups.
+fn dbscan_config() -> ServeConfig {
+    let mut config = ServeConfig::new("127.0.0.1:0", N_ITEMS, MinSupport::new(MINSUP).unwrap());
+    config.model = ModelClass::Density;
+    config.dim = DIM;
+    config.eps = 1.0;
+    config.min_pts = 4;
+    config
+}
+
+/// The batch incremental-DBSCAN pipeline over the golden points:
+/// register + absorb each block in stream order, then the windowed
+/// summary as canonical JSON — exactly what the daemon renders.
+fn batch_dbscan_model_json() -> String {
+    let params = DbscanParams::new(DIM, 1.0, 4);
+    let mut maintainer =
+        DbscanMaintainer::with_store_config(params, &StoreConfig::InMemory).unwrap();
+    let mut model = maintainer.fresh();
+    for block in golden_point_blocks() {
+        let id = block.id();
+        maintainer.register_block(block);
+        maintainer.absorb(&mut model, id);
+    }
+    serde_json::to_string(&model.summary()).unwrap()
+}
+
+#[test]
+fn dbscan_daemon_matches_batch_and_snapshot_loads_strict() {
+    let dir = tmp("dbscan");
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = Server::bind(dbscan_config()).expect("bind density daemon");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+    for block in golden_point_blocks() {
+        client.ingest_density(DIM as u32, &block).expect("ingest acked");
+    }
+
+    // The served density model is byte-identical to the batch
+    // incremental-DBSCAN pipeline over the same stream, and the summary
+    // sees the four diagonal groups as four clusters.
+    let served = client
+        .query_model_json_for(ModelClass::Density)
+        .expect("query-model");
+    assert_eq!(served, batch_dbscan_model_json(), "served model diverged from batch");
+    assert!(served.contains("\"n_clusters\":4"), "{served}");
+    assert!(served.contains("\"n_noise\":0"), "{served}");
+
+    // Class pinning is typed in both directions: a query pinned to the
+    // wrong class and an itemset ingest are both refused, and the
+    // connection survives.
+    let err = client.query_model_json_for(ModelClass::Clusters).unwrap_err();
+    assert!(matches!(err, DemonError::ModelClassMismatch { .. }), "{err}");
+    let err = client.ingest(N_ITEMS, &golden_blocks()[0]).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("dbscan") && msg.contains("itemsets"), "{msg}");
+
+    // A snapshot lands in the generic framed layout and loads strictly,
+    // record-identical to the stream.
+    let snap = dir.join("snap");
+    let n = client.snapshot(snap.to_str().unwrap()).expect("snapshot");
+    assert_eq!(n, 4);
+    let loaded = DbscanModel::load_snapshot(&snap, &dbscan_config())
+        .expect("snapshot loads under Strict");
+    assert_eq!(loaded.len(), 4);
+    for (got, want) in loaded.iter().zip(golden_point_blocks()) {
+        assert_eq!(got.id(), want.id());
+        assert_eq!(got.records(), want.records());
+    }
+
+    client.shutdown().expect("shutdown");
+    let summary = handle.join().expect("server thread").expect("run ok");
+    assert_eq!(summary.blocks, 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn tree_daemon_matches_batch_refit() {
     let mut config = ServeConfig::new("127.0.0.1:0", N_ITEMS, MinSupport::new(MINSUP).unwrap());
@@ -385,11 +463,12 @@ fn tree_daemon_matches_batch_refit() {
     assert_eq!(summary.blocks, 3);
 }
 
-/// Sharding needs an exact merge; clusters and trees don't have one, so
-/// `--shards ≥ 2` is a typed refusal at bind time, not a wrong answer.
+/// Sharding needs an exact merge; clusters, trees and density models
+/// don't have one, so `--shards ≥ 2` is a typed refusal at bind time,
+/// not a wrong answer.
 #[test]
 fn sharding_is_refused_for_classes_without_exact_merge() {
-    for class in [ModelClass::Clusters, ModelClass::Trees] {
+    for class in [ModelClass::Clusters, ModelClass::Trees, ModelClass::Density] {
         let mut config = cluster_config();
         config.model = class;
         config.classes = CLASSES;
@@ -435,6 +514,20 @@ fn cross_class_wal_replay_is_refused() {
     assert!(
         matches!(&err, DemonError::ModelClassMismatch { expected, got }
             if expected == "clusters" && got == "itemsets"),
+        "{err}"
+    );
+
+    // So does a density daemon: the WAL class byte distinguishes all
+    // four model classes, not just the original pair.
+    let mut config = dbscan_config();
+    config.wal_dir = Some(wal_dir.clone());
+    let err = match Server::bind(config) {
+        Ok(_) => panic!("cross-class replay must be refused for dbscan"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(&err, DemonError::ModelClassMismatch { expected, got }
+            if expected == "dbscan" && got == "itemsets"),
         "{err}"
     );
 
